@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks of the numerical kernels: FFT, DCT,
+//! spectral Poisson solve, WA wirelength gradient, density map, net
+//! decomposition, and pattern routing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rdp_core::{congestion_gradients, CongestionField, DensityModel, NetMoveConfig, WaModel};
+use rdp_db::Point;
+use rdp_gen::{generate, GenParams};
+use rdp_poisson::{dct2, fft_in_place, Complex, PoissonSolver};
+use rdp_route::{rudy_map, GlobalRouter};
+
+fn bench_design() -> rdp_db::Design {
+    generate(
+        "bench",
+        &GenParams {
+            num_cells: 2000,
+            num_macros: 2,
+            macro_fraction: 0.15,
+            utilization: 0.65,
+            congestion_margin: 0.85,
+            rail_pitch: 1.0,
+            seed: 42,
+            ..GenParams::default()
+        },
+    )
+}
+
+fn kernels(c: &mut Criterion) {
+    // FFT 1024.
+    let signal: Vec<Complex> = (0..1024)
+        .map(|i| Complex::new((i as f64 * 0.37).sin(), 0.0))
+        .collect();
+    c.bench_function("fft_1024", |b| {
+        b.iter(|| {
+            let mut buf = signal.clone();
+            fft_in_place(&mut buf);
+            black_box(buf[0].re)
+        })
+    });
+
+    // DCT-II 1024.
+    let real: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.11).cos()).collect();
+    c.bench_function("dct2_1024", |b| {
+        b.iter(|| black_box(dct2(black_box(&real))[3]))
+    });
+
+    // Poisson solves.
+    for n in [64usize, 128] {
+        let solver = PoissonSolver::new(n, n, 100.0, 100.0);
+        let rho: Vec<f64> = (0..n * n).map(|i| ((i * 31) % 17) as f64).collect();
+        c.bench_function(&format!("poisson_solve_{n}x{n}"), |b| {
+            b.iter(|| black_box(solver.solve(black_box(&rho)).psi[0]))
+        });
+    }
+
+    let design = bench_design();
+
+    // WA wirelength gradient.
+    let wa = WaModel::new(2.0);
+    c.bench_function("wa_gradient_2k_cells", |b| {
+        b.iter(|| {
+            let mut grad = vec![Point::default(); design.num_cells()];
+            wa.accumulate_gradient(&design, &mut grad);
+            black_box(grad[0].x)
+        })
+    });
+
+    // Density map + field.
+    let model = DensityModel::new(&design);
+    c.bench_function("density_field_2k_cells", |b| {
+        b.iter(|| black_box(model.compute(&design, None, None, 0.9).penalty))
+    });
+
+    // Global routing.
+    let router = GlobalRouter::default();
+    c.bench_function("route_2k_cells", |b| {
+        b.iter(|| black_box(router.route(&design).wirelength))
+    });
+
+    // RUDY baseline estimator.
+    let grid = design.gcell_grid();
+    c.bench_function("rudy_2k_cells", |b| {
+        b.iter(|| black_box(rudy_map(&design, &grid).sum()))
+    });
+
+    // Net-moving congestion gradients (Algorithms 1–2).
+    let route = router.route(&design);
+    let field = CongestionField::from_route(&design, &route);
+    c.bench_function("netmove_gradients_2k_cells", |b| {
+        b.iter(|| {
+            black_box(
+                congestion_gradients(&design, &field, &NetMoveConfig::default()).virtual_cells,
+            )
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = kernels
+);
+criterion_main!(benches);

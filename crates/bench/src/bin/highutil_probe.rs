@@ -1,0 +1,47 @@
+//! Diagnoses the high-utilization failure mode: does virtual-width
+//! legalization fit, and how much does each stage cost? (dev tool)
+
+use rdp_core::{run_flow, PlacerPreset, RoutabilityConfig};
+use rdp_drc::{evaluate, EvalConfig};
+use rdp_legal::{legalize, legalize_virtual, LegalizeConfig};
+
+fn main() {
+    for name in ["des_perf_1", "matrix_mult_1", "fft_b"] {
+        let entry = rdp_gen::ispd2015_suite()
+            .into_iter()
+            .find(|e| e.name == name)
+            .unwrap();
+        let base = rdp_bench::prepare_design(&entry);
+        let mut d = base.clone();
+        let flow = run_flow(&mut d, &RoutabilityConfig::preset(PlacerPreset::Ours));
+        let e_global = evaluate(&d, &EvalConfig::default());
+
+        let widths = rdp_bench::virtual_widths(&d, &flow).expect("ours inflates");
+        let total_virtual: f64 = d
+            .movable_cells()
+            .map(|c| widths[c.index()] * d.cell(c).h)
+            .sum();
+        println!(
+            "{name}: util {:.2}, virtual-area/free {:.3}",
+            d.utilization(),
+            total_virtual / d.free_area()
+        );
+
+        let mut dv = d.clone();
+        let rep_v = legalize_virtual(&mut dv, &LegalizeConfig::default(), &widths);
+        let e_v = evaluate(&dv, &EvalConfig::default());
+        let mut dr = d.clone();
+        let rep_r = legalize(&mut dr, &LegalizeConfig::default());
+        let e_r = evaluate(&dr, &EvalConfig::default());
+        println!(
+            "  global ovfl {:.0} | virtual-LG: failed? maxdisp {:.1} avg {:.2} → ovfl {:.0} | real-LG: maxdisp {:.1} avg {:.2} → ovfl {:.0}",
+            e_global.drv_overflow,
+            rep_v.max_displacement,
+            rep_v.avg_displacement,
+            e_v.drv_overflow,
+            rep_r.max_displacement,
+            rep_r.avg_displacement,
+            e_r.drv_overflow
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Measures evaluation metrics before vs after legalization (dev tool).
+
+use rdp_core::{run_flow, PlacerPreset, RoutabilityConfig};
+use rdp_drc::{evaluate, EvalConfig};
+use rdp_legal::{detailed_place, legalize, DetailedConfig, LegalizeConfig};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "matrix_mult_1".into());
+    let entry = rdp_gen::ispd2015_suite()
+        .into_iter()
+        .find(|e| e.name == name)
+        .unwrap();
+    for (label, preset) in [
+        ("Xplace", PlacerPreset::Xplace),
+        ("Ours", PlacerPreset::Ours),
+    ] {
+        let mut d = rdp_bench::prepare_design(&entry);
+        run_flow(&mut d, &RoutabilityConfig::preset(preset));
+        let refine: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+        let cfg_e = EvalConfig { refine, ..EvalConfig::default() };
+        let e0 = evaluate(&d, &cfg_e);
+        let rep = legalize(&mut d, &LegalizeConfig::default());
+        let e1 = evaluate(&d, &cfg_e);
+        detailed_place(&mut d, &DetailedConfig::default());
+        let e2 = evaluate(&d, &cfg_e);
+        println!(
+            "{label}: global ovfl {:.0} drwl {:.0} | legal ovfl {:.0} drwl {:.0} (maxdisp {:.1}, avg {:.2}) | dp ovfl {:.0} drwl {:.0}",
+            e0.drv_overflow, e0.drwl, e1.drv_overflow, e1.drwl, rep.max_displacement,
+            rep.avg_displacement, e2.drv_overflow, e2.drwl
+        );
+    }
+}

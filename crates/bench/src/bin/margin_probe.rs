@@ -1,0 +1,49 @@
+//! Sweeps the generator's capacity-calibration quantile to find the range
+//! where post-placement routing congestion is real but fixable (dev tool).
+
+use rdp_core::{run_flow, PlacerPreset, RoutabilityConfig};
+use rdp_drc::{evaluate, EvalConfig};
+use rdp_gen::{GenParams, generate};
+use rdp_legal::{detailed_place, legalize, DetailedConfig, LegalizeConfig};
+
+fn main() {
+    let base = GenParams {
+        num_cells: 2200,
+        num_macros: 6,
+        macro_fraction: 0.22,
+        utilization: 0.36,
+        io_terminals: 16,
+        high_fanout_nets: 5,
+        rail_pitch: 1.0,
+        seed: 108,
+        ..GenParams::default()
+    };
+    println!(
+        "{:>7} {:<13} {:>10} {:>8} {:>8} {:>8} {:>8} {:>7}",
+        "margin", "placer", "DRWL", "vias", "DRVs", "ovfl", "pin", "rail"
+    );
+    for margin in [0.95, 0.85, 0.7, 0.55, 0.4] {
+        for (label, preset) in [
+            ("Xplace", PlacerPreset::Xplace),
+            ("Xplace-Route", PlacerPreset::XplaceRoute),
+            ("Ours", PlacerPreset::Ours),
+        ] {
+            let mut d = generate(
+                "m",
+                &GenParams {
+                    congestion_margin: margin,
+                    ..base.clone()
+                },
+            );
+            run_flow(&mut d, &RoutabilityConfig::preset(preset));
+            legalize(&mut d, &LegalizeConfig::default());
+            detailed_place(&mut d, &DetailedConfig::default());
+            let e = evaluate(&d, &EvalConfig::default());
+            println!(
+                "{:>7.2} {:<13} {:>10.0} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>7.0}",
+                margin, label, e.drwl, e.drvias, e.drvs, e.drv_overflow, e.drv_pin_access,
+                e.drv_rail
+            );
+        }
+    }
+}

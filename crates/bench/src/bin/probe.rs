@@ -1,0 +1,43 @@
+//! Calibration probe: per-preset DRV breakdown on selected designs (dev
+//! tool used while tuning the flow; not part of the paper tables).
+
+use rdp_core::{PlacerPreset, RoutabilityConfig};
+use rdp_drc::EvalConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let designs: Vec<&str> = if args.is_empty() {
+        vec!["fft_b", "des_perf_a", "matrix_mult_b"]
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    println!(
+        "{:<16} {:<13} {:>10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>7}",
+        "design", "placer", "DRWL", "vias", "DRVs", "ovfl", "pin", "rail", "PT/s"
+    );
+    for name in designs {
+        let entry = rdp_gen::ispd2015_suite()
+            .into_iter()
+            .find(|e| e.name == name)
+            .expect("design");
+        let base = rdp_bench::prepare_design(&entry);
+        for (label, preset) in [
+            ("Xplace", PlacerPreset::Xplace),
+            ("Xplace-Route", PlacerPreset::XplaceRoute),
+            ("Ours", PlacerPreset::Ours),
+        ] {
+            let mut d = base.clone();
+            let row = rdp_bench::run_pipeline(
+                &mut d,
+                &RoutabilityConfig::preset(preset),
+                &EvalConfig::default(),
+            );
+            let e = row.eval;
+            println!(
+                "{:<16} {:<13} {:>10.0} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>9.0} {:>7.2}",
+                name, label, e.drwl, e.drvias, e.drvs, e.drv_overflow, e.drv_pin_access,
+                e.drv_rail, row.pt
+            );
+        }
+    }
+}

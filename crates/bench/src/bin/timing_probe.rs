@@ -1,0 +1,24 @@
+//! Quick wall-clock probe of the flow on one suite design (dev tool).
+
+use rdp_core::{run_flow, PlacerPreset, RoutabilityConfig};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "fft_1".into());
+    let t0 = std::time::Instant::now();
+    let mut design = rdp_gen::generate_named(&name).expect("unknown design");
+    println!(
+        "generate: {:.2}s ({} cells, {} nets)",
+        t0.elapsed().as_secs_f64(),
+        design.num_cells(),
+        design.num_nets()
+    );
+    let t1 = std::time::Instant::now();
+    let report = run_flow(&mut design, &RoutabilityConfig::preset(PlacerPreset::Ours));
+    println!(
+        "flow: {:.2}s (gp {} iters, route {} iters, hpwl {:.0})",
+        t1.elapsed().as_secs_f64(),
+        report.gp_iterations,
+        report.route_iterations,
+        report.hpwl
+    );
+}

@@ -1,0 +1,65 @@
+//! Hyper-parameter sweep for the "Ours" preset (dev tool).
+
+use rdp_bench::{prepare_design, run_pipeline};
+use rdp_core::{PlacerPreset, RoutabilityConfig};
+use rdp_drc::EvalConfig;
+
+fn main() {
+    let designs = ["edit_dist_a", "superblue11_a", "fft_b", "matrix_mult_b"];
+    let variants: Vec<(&str, Box<dyn Fn() -> RoutabilityConfig>)> = vec![
+        ("ours", Box::new(|| RoutabilityConfig::preset(PlacerPreset::Ours))),
+        (
+            "iters16",
+            Box::new(|| RoutabilityConfig {
+                max_route_iters: 16,
+                ..RoutabilityConfig::preset(PlacerPreset::Ours)
+            }),
+        ),
+        (
+            "gp36",
+            Box::new(|| RoutabilityConfig {
+                gp_iters_per_route: 36,
+                ..RoutabilityConfig::preset(PlacerPreset::Ours)
+            }),
+        ),
+        (
+            "l2x0.5",
+            Box::new(|| RoutabilityConfig {
+                lambda2_scale: 0.5,
+                ..RoutabilityConfig::preset(PlacerPreset::Ours)
+            }),
+        ),
+        (
+            "l2x2",
+            Box::new(|| RoutabilityConfig {
+                lambda2_scale: 2.0,
+                ..RoutabilityConfig::preset(PlacerPreset::Ours)
+            }),
+        ),
+        (
+            "pat3i16",
+            Box::new(|| RoutabilityConfig {
+                max_route_iters: 16,
+                stop_patience: 3,
+                ..RoutabilityConfig::preset(PlacerPreset::Ours)
+            }),
+        ),
+    ];
+
+    let eval_cfg = EvalConfig::default();
+    for name in designs {
+        let entry = rdp_gen::ispd2015_suite()
+            .into_iter()
+            .find(|e| e.name == name)
+            .unwrap();
+        let base = prepare_design(&entry);
+        for (label, mk) in &variants {
+            let mut d = base.clone();
+            let row = run_pipeline(&mut d, &mk(), &eval_cfg);
+            println!(
+                "{:<15} {:<9} drvs {:>6.0} drwl {:>8.0} vias {:>7.0} pt {:>5.2}",
+                name, label, row.drvs, row.drwl, row.drvias, row.pt
+            );
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Electrostatic density model (ePlace): bin densities from (optionally
+//! inflated) cell areas plus the paper's dynamic PG-rail density, the
+//! potential/field from the Poisson solver, the density penalty
+//! `D = ½·Σ Aᵢψᵢ`, and its gradient `∇ᵢD = −Aᵢ·E(xᵢ)`.
+
+use rdp_db::{CellKind, Design, GridSpec, Map2d, Point};
+use rdp_poisson::PoissonSolver;
+
+/// Electro-density state for one gradient evaluation.
+#[derive(Debug, Clone)]
+pub struct DensityField {
+    /// Bin utilization ρ_b (dimensionless, 1.0 = full).
+    pub density: Map2d<f64>,
+    /// Electric potential ψ on bins.
+    pub psi: Map2d<f64>,
+    /// Field x-component (−∂ψ/∂x).
+    pub ex: Map2d<f64>,
+    /// Field y-component.
+    pub ey: Map2d<f64>,
+    /// Density penalty D = ½ Σ Aᵢ ψ(xᵢ) over movable cells.
+    pub penalty: f64,
+    /// Density overflow τ = Σ_b max(ρ_b − target, 0)·A_b / Σ movable area.
+    pub overflow: f64,
+}
+
+/// Density model bound to a design's bin grid.
+#[derive(Debug, Clone)]
+pub struct DensityModel {
+    grid: GridSpec,
+    solver: PoissonSolver,
+}
+
+impl DensityModel {
+    /// Creates the model on the design's G-cell grid (bins ≡ G-cells,
+    /// Section II-B of the paper).
+    pub fn new(design: &Design) -> Self {
+        let grid = design.gcell_grid();
+        let solver = PoissonSolver::new(
+            grid.nx(),
+            grid.ny(),
+            grid.region().width(),
+            grid.region().height(),
+        );
+        DensityModel { grid, solver }
+    }
+
+    /// The bin grid.
+    pub fn grid(&self) -> &GridSpec {
+        &self.grid
+    }
+
+    /// Computes bin densities and solves the Poisson problem.
+    ///
+    /// * `inflation` — optional per-cell **area** inflation ratios
+    ///   (indexed by cell id; only movable cells are inflated).
+    /// * `extra_density` — optional additive density map (the DPA term
+    ///   `D^PG` of Eq. (14)).
+    /// * `target` — target utilization for the overflow metric.
+    pub fn compute(
+        &self,
+        design: &Design,
+        inflation: Option<&[f64]>,
+        extra_density: Option<&Map2d<f64>>,
+        target: f64,
+    ) -> DensityField {
+        let mut density = Map2d::new(self.grid.nx(), self.grid.ny());
+        let bin_area = self.grid.bin_area();
+
+        for (i, cell) in design.cells().iter().enumerate() {
+            if cell.kind == CellKind::Terminal {
+                continue;
+            }
+            let scale = match inflation {
+                Some(r) if cell.is_movable() => r[i].max(0.0).sqrt(),
+                _ => 1.0,
+            };
+            let rect = rdp_db::Rect::centered(
+                design.positions()[i],
+                cell.w * scale,
+                cell.h * scale,
+            );
+            let Some((x0, y0, x1, y1)) = self.grid.bins_overlapping(&rect) else {
+                continue;
+            };
+            for iy in y0..=y1 {
+                for ix in x0..=x1 {
+                    density[(ix, iy)] +=
+                        self.grid.bin_rect(ix, iy).overlap_area(&rect) / bin_area;
+                }
+            }
+        }
+        if let Some(extra) = extra_density {
+            density.add_assign_map(extra);
+        }
+
+        let sol = self.solver.solve(density.as_slice());
+        let psi = Map2d::from_vec(self.grid.nx(), self.grid.ny(), sol.psi);
+        let ex = Map2d::from_vec(self.grid.nx(), self.grid.ny(), sol.ex);
+        let ey = Map2d::from_vec(self.grid.nx(), self.grid.ny(), sol.ey);
+
+        // Penalty over movable cells (the optimization variables).
+        let mut penalty = 0.0;
+        for c in design.movable_cells() {
+            let cell = design.cell(c);
+            let a = cell.area() * inflation.map(|r| r[c.index()]).unwrap_or(1.0);
+            penalty += a * self.grid.sample_bilinear(&psi, design.pos(c));
+        }
+        penalty *= 0.5;
+
+        // Overflow against the target utilization.
+        let mut over = 0.0;
+        for (_, _, &d) in density.iter_coords() {
+            over += (d - target).max(0.0) * bin_area;
+        }
+        let movable_area: f64 = design.movable_area().max(1e-12);
+        let overflow = over / movable_area;
+
+        DensityField {
+            density,
+            psi,
+            ex,
+            ey,
+            penalty,
+            overflow,
+        }
+    }
+
+    /// Accumulates `λ·∇D` into `grad`: for each movable cell,
+    /// `∇ᵢD = −Aᵢ·E(xᵢ)` (inflated area as the charge).
+    pub fn accumulate_gradient(
+        &self,
+        design: &Design,
+        field: &DensityField,
+        inflation: Option<&[f64]>,
+        lambda: f64,
+        grad: &mut [Point],
+    ) {
+        for c in design.movable_cells() {
+            let cell = design.cell(c);
+            let a = cell.area() * inflation.map(|r| r[c.index()]).unwrap_or(1.0);
+            let p = design.pos(c);
+            let e = Point::new(
+                self.grid.sample_bilinear(&field.ex, p),
+                self.grid.sample_bilinear(&field.ey, p),
+            );
+            grad[c.index()].x -= lambda * a * e.x;
+            grad[c.index()].y -= lambda * a * e.y;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdp_db::{Cell, CellId, DesignBuilder, Rect, RoutingSpec};
+
+    fn cluster_design() -> Design {
+        let mut b = DesignBuilder::new("d", Rect::new(0.0, 0.0, 64.0, 64.0));
+        // A tight cluster near (16,32) and one lone cell at (48,32).
+        let mut ids = Vec::new();
+        for i in 0..9 {
+            let dx = (i % 3) as f64 * 2.0;
+            let dy = (i / 3) as f64 * 2.0;
+            ids.push(b.add_cell(
+                Cell::std(format!("c{i}"), 2.0, 2.0),
+                Point::new(14.0 + dx, 30.0 + dy),
+            ));
+        }
+        let lone = b.add_cell(Cell::std("lone", 2.0, 2.0), Point::new(48.0, 32.0));
+        b.add_net("n", vec![(ids[0], Point::default()), (lone, Point::default())]);
+        b.routing(RoutingSpec::uniform(4, 8.0, 16, 16));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn density_mass_equals_cell_area() {
+        let d = cluster_design();
+        let m = DensityModel::new(&d);
+        let f = m.compute(&d, None, None, 1.0);
+        let mass = f.density.sum() * m.grid().bin_area();
+        assert!((mass - 40.0).abs() < 1e-9, "mass {mass}");
+    }
+
+    #[test]
+    fn field_pushes_cluster_apart() {
+        let d = cluster_design();
+        let m = DensityModel::new(&d);
+        let f = m.compute(&d, None, None, 1.0);
+        let mut grad = vec![Point::default(); d.num_cells()];
+        m.accumulate_gradient(&d, &f, None, 1.0, &mut grad);
+        // Descent −grad must push the cluster's left cell left and right
+        // cell right.
+        let left = grad[0]; // cell at (14,30)
+        let right = grad[2]; // cell at (18,30)
+        assert!(-left.x < 0.0, "left cell moves left: {left:?}");
+        assert!(-right.x >= -1e-12, "right cell moves right: {right:?}");
+    }
+
+    #[test]
+    fn inflation_increases_local_density_and_overflow() {
+        let d = cluster_design();
+        let m = DensityModel::new(&d);
+        let base = m.compute(&d, None, None, 0.5);
+        let mut ratios = vec![1.0; d.num_cells()];
+        for i in 0..9 {
+            ratios[i] = 2.0;
+        }
+        let inflated = m.compute(&d, Some(&ratios), None, 0.5);
+        assert!(inflated.density.max() > base.density.max());
+        assert!(inflated.overflow > base.overflow);
+    }
+
+    #[test]
+    fn extra_density_map_is_added() {
+        let d = cluster_design();
+        let m = DensityModel::new(&d);
+        let mut extra = Map2d::new(16, 16);
+        extra[(8, 8)] = 5.0;
+        let f = m.compute(&d, None, Some(&extra), 1.0);
+        let base = m.compute(&d, None, None, 1.0);
+        assert!((f.density[(8, 8)] - base.density[(8, 8)] - 5.0).abs() < 1e-12);
+        // Extra charge changes the field.
+        assert_ne!(f.ex, base.ex);
+    }
+
+    #[test]
+    fn penalty_decreases_when_cluster_spreads() {
+        let mut d = cluster_design();
+        let m = DensityModel::new(&d);
+        let before = m.compute(&d, None, None, 1.0).penalty;
+        // Spread the cluster out.
+        for i in 0..9 {
+            let id = CellId::from_index(i);
+            let p = d.pos(id);
+            d.set_pos(
+                id,
+                Point::new(8.0 + (p.x - 16.0) * 6.0, 32.0 + (p.y - 32.0) * 6.0),
+            );
+        }
+        let after = m.compute(&d, None, None, 1.0).penalty;
+        assert!(after < before, "penalty {after} !< {before}");
+    }
+
+    #[test]
+    fn overflow_zero_when_under_target() {
+        let d = cluster_design();
+        let m = DensityModel::new(&d);
+        let f = m.compute(&d, None, None, 10.0);
+        assert_eq!(f.overflow, 0.0);
+    }
+
+    #[test]
+    fn macros_contribute_density_but_get_no_gradient() {
+        let mut b = DesignBuilder::new("d", Rect::new(0.0, 0.0, 64.0, 64.0));
+        let m0 = b.add_cell(Cell::fixed_macro("m", 16.0, 16.0), Point::new(32.0, 32.0));
+        let a = b.add_cell(Cell::std("a", 2.0, 2.0), Point::new(8.0, 8.0));
+        b.add_net("n", vec![(m0, Point::default()), (a, Point::default())]);
+        b.routing(RoutingSpec::uniform(4, 8.0, 16, 16));
+        let d = b.build().unwrap();
+        let m = DensityModel::new(&d);
+        let f = m.compute(&d, None, None, 1.0);
+        assert!(f.density[(8, 8)] > 0.9); // macro-covered bin
+        let mut grad = vec![Point::default(); d.num_cells()];
+        m.accumulate_gradient(&d, &f, None, 1.0, &mut grad);
+        assert_eq!(grad[0], Point::default()); // fixed macro untouched
+        assert!(grad[1].x != 0.0 || grad[1].y != 0.0);
+    }
+}

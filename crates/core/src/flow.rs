@@ -1,0 +1,576 @@
+//! The routability-driven global placement flow of Fig. 2.
+//!
+//! ```text
+//!   PG-rail selection  →  wirelength-driven GP (Xplace)  →  loop {
+//!       global route → congestion map
+//!       momentum cell inflation (MCI)
+//!       dynamic pin-accessibility density (DPA)
+//!       congestion gradients for net moving (DC) + λ₂
+//!       Nesterov steps on problem (5)
+//!   } until C(x,y) stops decreasing or the iteration cap
+//! ```
+//!
+//! The same entry point also runs the two baselines of Table I by
+//! configuration: **Xplace** (no routability loop) and **Xplace-Route**
+//! (monotone inflation + static PG density, no net moving).
+
+use std::time::Instant;
+
+use rdp_db::Design;
+use rdp_route::{GlobalRouter, RouterConfig};
+
+use crate::congestion::CongestionField;
+use crate::dpa::{DpaConfig, PgDensity};
+use crate::inflate::{InflationBounds, InflationPolicy, InflationState};
+use crate::netmove::{congestion_gradients, lambda2, NetMoveConfig};
+use crate::placer::{GpSession, PlacerConfig, StepExtras};
+#[allow(unused_imports)]
+use crate::placer::GlobalPlacer;
+
+/// Which congestion model feeds the differentiable congestion field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DcSource {
+    /// The paper: demand/capacity from the global router (Eq. (3)).
+    Router,
+    /// The RUDY bounding-box estimate the paper argues against
+    /// (Fig. 1(b)) — kept for the router-vs-RUDY ablation.
+    Rudy,
+}
+
+/// How the pin-accessibility density is applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DpaMode {
+    /// Static pre-placement adjustment (the Xplace-Route baseline).
+    Static,
+    /// The paper's congestion-gated dynamic adjustment (Eqs. (13)–(15)).
+    Dynamic,
+}
+
+/// Named placer presets corresponding to the columns of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacerPreset {
+    /// Wirelength-driven placement only.
+    Xplace,
+    /// Monotone historical inflation + static PG density.
+    XplaceRoute,
+    /// The paper: momentum inflation + differentiable net moving + dynamic
+    /// pin-accessibility density.
+    Ours,
+}
+
+/// Full configuration of the routability-driven flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutabilityConfig {
+    /// Global-placement engine options.
+    pub gp: PlacerConfig,
+    /// Router options for congestion estimation.
+    pub router: RouterConfig,
+    /// Cell inflation policy (MCI and its baselines).
+    pub inflation: InflationPolicy,
+    /// Enable the differentiable congestion / net-moving term (DC).
+    pub enable_dc: bool,
+    /// Net-moving tuning.
+    pub netmove: NetMoveConfig,
+    /// Pin-accessibility density mode, or `None` to disable.
+    pub dpa: Option<DpaMode>,
+    /// DPA tuning.
+    pub dpa_cfg: DpaConfig,
+    /// Maximum routability iterations (router invocations).
+    pub max_route_iters: usize,
+    /// Nesterov steps of problem (5) per routability iteration.
+    pub gp_iters_per_route: usize,
+    /// Stop after this many consecutive non-improving routability
+    /// iterations (the "C(x,y) no longer decreases" rule).
+    pub stop_patience: usize,
+    /// Congestion model feeding the DC field (router per the paper, or
+    /// RUDY for the ablation).
+    pub dc_source: DcSource,
+    /// λ₁ re-anchoring factor applied at each routability iteration
+    /// (see [`GpSession::rebalance_lambda1`]).
+    pub lambda1_rebalance: f64,
+    /// Scale on the Eq. (10) congestion weight λ₂ (1.0 = the paper's
+    /// formula; exposed for the ablation benches).
+    pub lambda2_scale: f64,
+}
+
+impl RoutabilityConfig {
+    /// The configuration used for a Table I column.
+    pub fn preset(p: PlacerPreset) -> Self {
+        let base = RoutabilityConfig {
+            gp: PlacerConfig::default(),
+            router: RouterConfig::default(),
+            inflation: InflationPolicy::None,
+            enable_dc: false,
+            netmove: NetMoveConfig::default(),
+            dpa: None,
+            dpa_cfg: DpaConfig::default(),
+            max_route_iters: 0,
+            gp_iters_per_route: 24,
+            stop_patience: 2,
+            dc_source: DcSource::Router,
+            lambda1_rebalance: 2.0,
+            lambda2_scale: 1.0,
+        };
+        match p {
+            PlacerPreset::Xplace => base,
+            PlacerPreset::XplaceRoute => RoutabilityConfig {
+                inflation: InflationPolicy::Monotone { beta: 0.6 },
+                dpa: Some(DpaMode::Static),
+                max_route_iters: 8,
+                ..base
+            },
+            PlacerPreset::Ours => RoutabilityConfig {
+                inflation: InflationPolicy::Momentum { alpha: 0.4 },
+                enable_dc: true,
+                dpa: Some(DpaMode::Dynamic),
+                max_route_iters: 10,
+                lambda2_scale: 0.5,
+                ..base
+            },
+        }
+    }
+}
+
+impl Default for RoutabilityConfig {
+    fn default() -> Self {
+        RoutabilityConfig::preset(PlacerPreset::Ours)
+    }
+}
+
+/// One entry of the flow's stage log (for the Fig. 2 walk-through).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteIterLog {
+    /// Routability iteration number (1-based).
+    pub iter: usize,
+    /// Total routing overflow after this iteration's routing.
+    pub overflow: f64,
+    /// Maximum Eq. (3) congestion.
+    pub max_congestion: f64,
+    /// Congestion penalty C(x, y) (0 when DC is disabled).
+    pub c_penalty: f64,
+    /// λ₂ used (0 when DC is disabled).
+    pub lambda2: f64,
+    /// Virtual cells created by net moving.
+    pub virtual_cells: usize,
+    /// HPWL after the placement steps of this iteration.
+    pub hpwl: f64,
+}
+
+/// Result of [`run_flow`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowReport {
+    /// Wall-clock placement time in seconds (the PT column of Table I).
+    pub place_seconds: f64,
+    /// Iterations of the wirelength-driven phase.
+    pub gp_iterations: usize,
+    /// Routability iterations executed.
+    pub route_iterations: usize,
+    /// Final HPWL of the global placement.
+    pub hpwl: f64,
+    /// Final density overflow.
+    pub density_overflow: f64,
+    /// Per-iteration log.
+    pub log: Vec<RouteIterLog>,
+    /// Final effective inflation ratios (present when an inflation policy
+    /// ran); downstream legalization can preserve the congestion-driven
+    /// spacing by legalizing with these as virtual widths.
+    pub inflation_ratios: Option<Vec<f64>>,
+}
+
+impl FlowReport {
+    /// Serializes the per-iteration log as CSV (header + one row per
+    /// routability iteration) for external plotting.
+    pub fn log_csv(&self) -> String {
+        let mut out = String::from(
+            "iter,overflow,max_congestion,c_penalty,lambda2,virtual_cells,hpwl\n",
+        );
+        for l in &self.log {
+            out.push_str(&format!(
+                "{},{:.4},{:.4},{:.6},{:.6},{},{:.1}\n",
+                l.iter, l.overflow, l.max_congestion, l.c_penalty, l.lambda2,
+                l.virtual_cells, l.hpwl
+            ));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for FlowReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "flow: {} wirelength iters + {} routability iters in {:.2}s",
+            self.gp_iterations, self.route_iterations, self.place_seconds
+        )?;
+        writeln!(
+            f,
+            "  HPWL {:.0} um, density overflow {:.3}",
+            self.hpwl, self.density_overflow
+        )?;
+        if let Some(last) = self.log.last() {
+            write!(
+                f,
+                "  final routing overflow {:.1}, max congestion {:.2}, {} virtual cells",
+                last.overflow, last.max_congestion, last.virtual_cells
+            )?;
+        } else {
+            write!(f, "  (no routability iterations)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the full global-placement flow on the design (Fig. 2), mutating
+/// cell positions. Legalization/detailed placement and routing evaluation
+/// live in `rdp-legal` / `rdp-drc`.
+pub fn run_flow(design: &mut Design, cfg: &RoutabilityConfig) -> FlowReport {
+    let t0 = Instant::now();
+
+    // PG rail selection (before placement, Fig. 2 top).
+    let grid = design.gcell_grid();
+    let pg = cfg
+        .dpa
+        .map(|_| PgDensity::new(design, &grid, &cfg.dpa_cfg));
+    let static_pg = match (cfg.dpa, &pg) {
+        (Some(DpaMode::Static), Some(p)) => Some(p.density_map(None)),
+        _ => None,
+    };
+
+    // Phase 1: wirelength-driven global placement.
+    let mut session = GpSession::new(design, cfg.gp.clone());
+    let mut gp_iterations = 0;
+    for i in 0..cfg.gp.max_iters {
+        let extras = StepExtras {
+            extra_density: static_pg.as_ref(),
+            ..Default::default()
+        };
+        let report = session.step(design, &extras);
+        gp_iterations = i + 1;
+        if i >= 20 && report.overflow < cfg.gp.stop_overflow {
+            break;
+        }
+    }
+
+    // Phase 2: routability-driven iterations.
+    let router = GlobalRouter::new(cfg.router.clone());
+    let mut inflation = InflationState::new(
+        design.num_cells(),
+        cfg.inflation,
+        InflationBounds::default(),
+    );
+    let mut log = Vec::new();
+    let mut best_penalty = f64::INFINITY;
+    let mut stale = 0usize;
+    let mut route_iterations = 0;
+    // Best-so-far snapshot: the routability iterations can regress (or,
+    // with aggressive settings, diverge), so the flow keeps the placement
+    // with the lowest observed score and restores it at the end. Total
+    // overflow alone would reward scattering (spreading cells thins the
+    // per-G-cell demand while total wirelength explodes), so the score
+    // adds the routed wirelength in G-cell pitches with a small weight.
+    // Overlapped intermediate placements route deceptively well (stacked
+    // cells make nets short), so the score also penalizes real-area
+    // density overflow beyond what legalization absorbs cheaply.
+    let pitch = 0.5 * (grid.bin_w() + grid.bin_h());
+    let overflow_allowance = (1.5 * cfg.gp.stop_overflow).max(0.12);
+    let snapshot_score = |route: &rdp_route::RouteResult, real_density_overflow: f64| {
+        route.maps.total_overflow()
+            + 0.02 * route.wirelength / pitch
+            + 1e6 * (real_density_overflow - overflow_allowance).max(0.0)
+    };
+    let real_density_overflow = |session: &GpSession, design: &Design| {
+        session
+            .model()
+            .compute(design, None, None, cfg.gp.target_density)
+            .overflow
+    };
+    let mut best_positions: Option<(f64, Vec<rdp_db::Point>)> = None;
+
+    for t in 1..=cfg.max_route_iters {
+        let route = router.route(design);
+        let field = match cfg.dc_source {
+            DcSource::Router => CongestionField::from_route(design, &route),
+            DcSource::Rudy => CongestionField::from_rudy(design),
+        };
+        let score_now = snapshot_score(&route, real_density_overflow(&session, design));
+        if best_positions
+            .as_ref()
+            .map(|(s, _)| score_now < *s)
+            .unwrap_or(true)
+        {
+            best_positions = Some((score_now, design.positions().to_vec()));
+        }
+
+        // MCI.
+        inflation.update(design, &field);
+        let ratios = match cfg.inflation {
+            InflationPolicy::None => None,
+            _ => Some(inflation.ratios()),
+        };
+
+        // DPA.
+        let pg_map = match (cfg.dpa, &pg) {
+            (Some(DpaMode::Dynamic), Some(p)) => Some(p.density_map(Some(&field))),
+            (Some(DpaMode::Static), _) => static_pg.clone(),
+            _ => None,
+        };
+
+        // DC: net-moving congestion gradients + λ₂.
+        let (cgrad, l2, c_penalty, virtual_cells) = if cfg.enable_dc {
+            let g = congestion_gradients(design, &field, &cfg.netmove);
+            let l2 = cfg.lambda2_scale * lambda2(design, &field, &g);
+            let pen = g.penalty;
+            let vc = g.virtual_cells;
+            (Some(g), l2, pen, vc)
+        } else {
+            (None, 0.0, 0.0, 0)
+        };
+
+        // Solve problem (5) for a burst of Nesterov steps, re-anchoring
+        // the density weight so wirelength stays in the objective.
+        session.restart_momentum();
+        {
+            let extras = StepExtras {
+                inflation: ratios,
+                extra_density: pg_map.as_ref(),
+                congestion_grad: cgrad.as_ref().map(|g| (g.grad.as_slice(), l2)),
+            };
+            session.rebalance_lambda1(design, &extras, cfg.lambda1_rebalance);
+        }
+        for _ in 0..cfg.gp_iters_per_route {
+            let extras = StepExtras {
+                inflation: ratios,
+                extra_density: pg_map.as_ref(),
+                congestion_grad: cgrad.as_ref().map(|g| (g.grad.as_slice(), l2)),
+            };
+            session.step(design, &extras);
+        }
+
+        route_iterations = t;
+        log.push(RouteIterLog {
+            iter: t,
+            overflow: route.maps.total_overflow(),
+            max_congestion: route.max_congestion(),
+            c_penalty,
+            lambda2: l2,
+            virtual_cells,
+            hpwl: design.hpwl(),
+        });
+
+        // Stop when the congestion objective no longer decreases
+        // (C(x, y) when DC is active; routing overflow otherwise).
+        let score = if cfg.enable_dc {
+            c_penalty
+        } else {
+            route.maps.total_overflow()
+        };
+        if score < best_penalty - 1e-9 {
+            best_penalty = score;
+            stale = 0;
+        } else {
+            stale += 1;
+            if stale >= cfg.stop_patience {
+                break;
+            }
+        }
+    }
+
+    // Score the final placement too, then restore the best snapshot.
+    if cfg.max_route_iters > 0 {
+        let final_score =
+            snapshot_score(&router.route(design), real_density_overflow(&session, design));
+        if let Some((best_score, positions)) = &best_positions {
+            if *best_score < final_score {
+                design.set_positions(positions);
+            }
+        }
+    }
+
+    let inflation_ratios = match cfg.inflation {
+        InflationPolicy::None => None,
+        _ if cfg.max_route_iters == 0 => None,
+        _ => Some(inflation.ratios().to_vec()),
+    };
+
+    FlowReport {
+        place_seconds: t0.elapsed().as_secs_f64(),
+        gp_iterations,
+        route_iterations,
+        hpwl: design.hpwl(),
+        density_overflow: session.overflow(),
+        log,
+        inflation_ratios,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdp_gen::{generate, GenParams};
+
+    fn congested_design(seed: u64) -> Design {
+        generate(
+            "flow",
+            &GenParams {
+                num_cells: 400,
+                num_macros: 2,
+                macro_fraction: 0.12,
+                utilization: 0.6,
+                congestion_margin: 0.8,
+                io_terminals: 8,
+                high_fanout_nets: 3,
+                rail_pitch: 1.0,
+                seed,
+                ..GenParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn xplace_preset_runs_no_routability_iters() {
+        let mut d = congested_design(1);
+        let r = run_flow(&mut d, &RoutabilityConfig::preset(PlacerPreset::Xplace));
+        assert_eq!(r.route_iterations, 0);
+        assert!(r.log.is_empty());
+        assert!(r.gp_iterations > 20);
+        assert!(r.hpwl > 0.0);
+    }
+
+    #[test]
+    fn ours_preset_runs_and_logs() {
+        let mut d = congested_design(2);
+        let mut cfg = RoutabilityConfig::preset(PlacerPreset::Ours);
+        cfg.gp.max_iters = 120;
+        cfg.max_route_iters = 4;
+        cfg.gp_iters_per_route = 10;
+        let r = run_flow(&mut d, &cfg);
+        assert!(r.route_iterations >= 1);
+        assert_eq!(r.log.len(), r.route_iterations);
+        // DC is active: λ₂ and virtual cells appear once congestion exists.
+        let any_virtual = r.log.iter().any(|l| l.virtual_cells > 0);
+        assert!(any_virtual, "log: {:?}", r.log);
+        assert!(r.place_seconds > 0.0);
+    }
+
+    #[test]
+    fn ours_reduces_routing_overflow_vs_xplace() {
+        // The headline claim in miniature: the routability flow must not
+        // route worse than the wirelength-only flow on a congested design.
+        let mut d_x = congested_design(3);
+        let mut d_o = congested_design(3);
+
+        let mut xcfg = RoutabilityConfig::preset(PlacerPreset::Xplace);
+        xcfg.gp.max_iters = 150;
+        run_flow(&mut d_x, &xcfg);
+
+        let mut ocfg = RoutabilityConfig::preset(PlacerPreset::Ours);
+        ocfg.gp.max_iters = 150;
+        ocfg.max_route_iters = 5;
+        ocfg.gp_iters_per_route = 12;
+        run_flow(&mut d_o, &ocfg);
+
+        let router = GlobalRouter::default();
+        let over_x = router.route(&d_x).maps.total_overflow();
+        let over_o = router.route(&d_o).maps.total_overflow();
+        assert!(
+            over_o <= over_x * 1.05,
+            "ours {over_o} vs xplace {over_x}"
+        );
+    }
+
+    #[test]
+    fn flow_is_deterministic() {
+        let mut d1 = congested_design(4);
+        let mut d2 = congested_design(4);
+        let mut cfg = RoutabilityConfig::preset(PlacerPreset::Ours);
+        cfg.gp.max_iters = 80;
+        cfg.max_route_iters = 2;
+        cfg.gp_iters_per_route = 6;
+        let r1 = run_flow(&mut d1, &cfg);
+        let r2 = run_flow(&mut d2, &cfg);
+        assert_eq!(d1.positions(), d2.positions());
+        assert_eq!(r1.route_iterations, r2.route_iterations);
+    }
+
+    /// The best-snapshot guard: the final placement's routed overflow is
+    /// never dramatically worse than the best iteration observed in the
+    /// log (catches the divergence failure mode).
+    #[test]
+    fn snapshot_restore_bounds_final_overflow() {
+        let mut d = congested_design(6);
+        let mut cfg = RoutabilityConfig::preset(PlacerPreset::Ours);
+        cfg.gp.max_iters = 120;
+        cfg.max_route_iters = 8;
+        cfg.gp_iters_per_route = 16;
+        cfg.stop_patience = 99; // never stop early: stress the guard
+        let r = run_flow(&mut d, &cfg);
+        let best_logged = r
+            .log
+            .iter()
+            .map(|l| l.overflow)
+            .fold(f64::INFINITY, f64::min);
+        let final_overflow = GlobalRouter::new(cfg.router.clone())
+            .route(&d)
+            .maps
+            .total_overflow();
+        assert!(
+            final_overflow <= best_logged * 1.5 + 10.0,
+            "final {final_overflow} vs best logged {best_logged}"
+        );
+    }
+
+    #[test]
+    fn inflation_ratios_reported_only_with_inflation() {
+        let mut d = congested_design(7);
+        let mut cfg = RoutabilityConfig::preset(PlacerPreset::XplaceRoute);
+        cfg.gp.max_iters = 80;
+        cfg.max_route_iters = 2;
+        cfg.gp_iters_per_route = 6;
+        let r = run_flow(&mut d, &cfg);
+        let ratios = r.inflation_ratios.expect("monotone inflation ran");
+        assert_eq!(ratios.len(), d.num_cells());
+        assert!(ratios.iter().all(|&x| x >= 0.9 && x <= 2.0));
+    }
+
+    #[test]
+    fn log_csv_has_one_row_per_iteration() {
+        let mut d = congested_design(9);
+        let mut cfg = RoutabilityConfig::preset(PlacerPreset::Ours);
+        cfg.gp.max_iters = 60;
+        cfg.max_route_iters = 3;
+        cfg.gp_iters_per_route = 4;
+        let r = run_flow(&mut d, &cfg);
+        let csv = r.log_csv();
+        assert_eq!(csv.lines().count(), r.route_iterations + 1);
+        assert!(csv.starts_with("iter,overflow"));
+        // Every row parses back to the right column count.
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), 7, "{line}");
+        }
+    }
+
+    #[test]
+    fn flow_report_display_is_informative() {
+        let mut d = congested_design(8);
+        let mut cfg = RoutabilityConfig::preset(PlacerPreset::Ours);
+        cfg.gp.max_iters = 60;
+        cfg.max_route_iters = 2;
+        cfg.gp_iters_per_route = 4;
+        let r = run_flow(&mut d, &cfg);
+        let shown = format!("{r}");
+        assert!(shown.contains("routability iters"));
+        assert!(shown.contains("HPWL"));
+        assert!(shown.contains("virtual cells"));
+    }
+
+    #[test]
+    fn presets_differ() {
+        let x = RoutabilityConfig::preset(PlacerPreset::Xplace);
+        let xr = RoutabilityConfig::preset(PlacerPreset::XplaceRoute);
+        let ours = RoutabilityConfig::preset(PlacerPreset::Ours);
+        assert_eq!(x.max_route_iters, 0);
+        assert!(!xr.enable_dc && ours.enable_dc);
+        assert_eq!(xr.dpa, Some(DpaMode::Static));
+        assert_eq!(ours.dpa, Some(DpaMode::Dynamic));
+    }
+}

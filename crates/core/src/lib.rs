@@ -1,0 +1,58 @@
+//! # rdp-core — routability-driven electrostatic global placement
+//!
+//! A from-scratch implementation of *“Differentiable Net-Moving and Local
+//! Congestion Mitigation for Routability-Driven Global Placement”*
+//! (DAC 2025):
+//!
+//! * [`WaModel`] — the weighted-average wirelength surrogate (Section II-A),
+//! * [`DensityModel`] — ePlace electrostatic density on the bin grid,
+//! * [`NesterovSolver`] — the accelerated first-order solver,
+//! * [`GpSession`] / [`GlobalPlacer`] — the placement engine and the plain
+//!   wirelength-driven placer (problem (2), the "Xplace" baseline),
+//! * [`CongestionField`] — the differentiable congestion function from
+//!   Poisson's equation over `Dmd/Cap` (Section II-B),
+//! * [`congestion_gradients`] — virtual-cell net moving and multi-pin cell
+//!   gradients (Algorithms 1–2, Eqs. (6)–(10)),
+//! * [`InflationState`] — momentum-based cell inflation (Eqs. (11)–(12))
+//!   plus the present-only and monotone baselines,
+//! * [`PgDensity`] — dynamic pin-accessibility density around PG rails
+//!   (Eqs. (13)–(15), Fig. 4),
+//! * [`run_flow`] — the complete Fig. 2 flow with the Table I presets
+//!   ([`PlacerPreset`]).
+//!
+//! ```no_run
+//! use rdp_core::{run_flow, PlacerPreset, RoutabilityConfig};
+//! use rdp_gen::generate_named;
+//!
+//! let mut design = generate_named("fft_1").unwrap();
+//! let report = run_flow(&mut design, &RoutabilityConfig::preset(PlacerPreset::Ours));
+//! println!("placed in {:.1}s, HPWL {:.0}", report.place_seconds, report.hpwl);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod congestion;
+mod density;
+mod dpa;
+mod flow;
+mod inflate;
+mod nesterov;
+mod netmove;
+mod placer;
+mod wirelength;
+
+pub use congestion::CongestionField;
+pub use density::{DensityField, DensityModel};
+pub use dpa::{select_rails, DpaConfig, PgDensity};
+pub use flow::{
+    run_flow, DcSource, DpaMode, FlowReport, PlacerPreset, RouteIterLog, RoutabilityConfig,
+};
+pub use inflate::{InflationBounds, InflationPolicy, InflationState};
+pub use nesterov::NesterovSolver;
+pub use netmove::{
+    congestion_gradients, lambda2, two_pin_gradient, CongestionGradients, NetMoveConfig,
+    VirtualCellInfo,
+};
+pub use placer::{GlobalPlacer, GpSession, PlaceStats, PlacerConfig, StepExtras, StepReport};
+pub use wirelength::WaModel;

@@ -1,0 +1,444 @@
+//! The electrostatic global-placement engine.
+//!
+//! [`GpSession`] is one optimization session of the analytical model: the
+//! WA wirelength term, the electro-density term, and (optionally) the
+//! paper's routability extras — inflated areas, the DPA density addend,
+//! and the net-moving congestion gradient with its λ₂ weight. The plain
+//! wirelength-driven placer ([`GlobalPlacer`], the "Xplace" baseline of
+//! Table I) is a session run with no extras until the density overflow
+//! target is reached.
+
+use rdp_db::{CellId, Design, Map2d, Point};
+
+use crate::density::{DensityField, DensityModel};
+use crate::nesterov::NesterovSolver;
+use crate::wirelength::WaModel;
+
+/// Configuration of the global-placement engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacerConfig {
+    /// Target bin utilization for the overflow metric and stop criterion.
+    pub target_density: f64,
+    /// Hard iteration cap of the wirelength-driven phase.
+    pub max_iters: usize,
+    /// Stop when density overflow drops below this value.
+    pub stop_overflow: f64,
+    /// Base γ of the WA model, in units of mean bin extent.
+    pub gamma_factor: f64,
+    /// Multiplicative growth of the density weight λ₁ per iteration.
+    pub lambda_growth: f64,
+    /// Spread movable cells around the die center before optimizing
+    /// (the ePlace/Xplace initialization). When false the current
+    /// positions are used as the starting point.
+    pub center_init: bool,
+}
+
+impl Default for PlacerConfig {
+    fn default() -> Self {
+        PlacerConfig {
+            target_density: 0.9,
+            max_iters: 500,
+            stop_overflow: 0.08,
+            gamma_factor: 0.5,
+            lambda_growth: 1.05,
+            center_init: true,
+        }
+    }
+}
+
+/// Optional routability inputs for one optimization step (the Eq. (5)
+/// extras).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepExtras<'a> {
+    /// Per-cell area inflation ratios (MCI), indexed by cell id.
+    pub inflation: Option<&'a [f64]>,
+    /// Additive density map (DPA's `D^PG`).
+    pub extra_density: Option<&'a Map2d<f64>>,
+    /// Pre-computed congestion gradient per cell (Algorithm 2) and its
+    /// weight λ₂.
+    pub congestion_grad: Option<(&'a [Point], f64)>,
+}
+
+/// Result snapshot of a session step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepReport {
+    /// Density overflow after the step.
+    pub overflow: f64,
+    /// Density penalty D(x, y).
+    pub density_penalty: f64,
+    /// Current λ₁.
+    pub lambda1: f64,
+    /// γ used this step.
+    pub gamma: f64,
+}
+
+/// One live global-placement optimization session.
+#[derive(Debug)]
+pub struct GpSession {
+    cfg: PlacerConfig,
+    model: DensityModel,
+    movable: Vec<CellId>,
+    solver: NesterovSolver,
+    lambda1: f64,
+    base_gamma: f64,
+    last_overflow: f64,
+}
+
+impl GpSession {
+    /// Starts a session on the design. When `cfg.center_init` is set, the
+    /// movable cells are gathered around the die center with a small
+    /// deterministic jitter first.
+    pub fn new(design: &mut Design, cfg: PlacerConfig) -> Self {
+        let model = DensityModel::new(design);
+        let movable: Vec<CellId> = design.movable_cells().collect();
+        let grid = model.grid();
+        let base_gamma = cfg.gamma_factor * 0.5 * (grid.bin_w() + grid.bin_h());
+
+        if cfg.center_init {
+            let c = design.die().center();
+            let amp = 1.0 * (grid.bin_w() + grid.bin_h());
+            for (k, &id) in movable.iter().enumerate() {
+                // Deterministic jitter from a tiny splitmix-style hash.
+                let h = splitmix(k as u64 ^ 0x9e37_79b9_7f4a_7c15);
+                let jx = ((h & 0xffff) as f64 / 65535.0 - 0.5) * amp;
+                let jy = (((h >> 16) & 0xffff) as f64 / 65535.0 - 0.5) * amp;
+                design.set_pos(id, design.die().clamp_point(c.offset(jx, jy)));
+            }
+        }
+
+        // Initial λ₁ = ‖∇WA‖₁ / ‖∇D‖₁ (ePlace).
+        let field = model.compute(design, None, None, cfg.target_density);
+        let mut gw = vec![Point::default(); design.num_cells()];
+        WaModel::new(base_gamma * gamma_scale(field.overflow))
+            .accumulate_gradient(design, &mut gw);
+        let mut gd = vec![Point::default(); design.num_cells()];
+        model.accumulate_gradient(design, &field, None, 1.0, &mut gd);
+        let l1_w: f64 = movable.iter().map(|&c| l1(gw[c.index()])).sum();
+        let l1_d: f64 = movable.iter().map(|&c| l1(gd[c.index()])).sum();
+        let lambda1 = if l1_d > 1e-12 { l1_w / l1_d } else { 1.0 };
+
+        let init: Vec<Point> = movable.iter().map(|&c| design.pos(c)).collect();
+        let first_step = grid.bin_w().min(grid.bin_h());
+        let last_overflow = field.overflow;
+
+        GpSession {
+            cfg,
+            model,
+            movable,
+            solver: NesterovSolver::new(init, first_step),
+            lambda1,
+            base_gamma,
+            last_overflow,
+        }
+    }
+
+    /// The density model (shared bin grid).
+    pub fn model(&self) -> &DensityModel {
+        &self.model
+    }
+
+    /// Movable cell ids in optimization order.
+    pub fn movable(&self) -> &[CellId] {
+        &self.movable
+    }
+
+    /// Density overflow observed at the most recent gradient evaluation.
+    pub fn overflow(&self) -> f64 {
+        self.last_overflow
+    }
+
+    /// Current λ₁.
+    pub fn lambda1(&self) -> f64 {
+        self.lambda1
+    }
+
+    /// Restarts Nesterov momentum from the current positions (used at
+    /// routability-iteration boundaries where the objective jumps).
+    pub fn restart_momentum(&mut self) {
+        self.solver.reset_momentum();
+    }
+
+    /// Re-balances λ₁ to `factor · ‖∇WA‖₁ / ‖∇D‖₁` at the current
+    /// positions. The wirelength-driven phase grows λ₁ geometrically; by
+    /// the routability phase the density term would otherwise dwarf the
+    /// wirelength and congestion terms, so each routability iteration
+    /// re-anchors it (with `factor` > 1 keeping density dominant enough
+    /// to realize the inflation-driven spreading).
+    pub fn rebalance_lambda1(&mut self, design: &Design, extras: &StepExtras<'_>, factor: f64) {
+        let gamma = self.base_gamma * gamma_scale(self.last_overflow);
+        let field = self.model.compute(
+            design,
+            extras.inflation,
+            extras.extra_density,
+            self.cfg.target_density,
+        );
+        let mut gw = vec![Point::default(); design.num_cells()];
+        WaModel::new(gamma).accumulate_gradient(design, &mut gw);
+        let mut gd = vec![Point::default(); design.num_cells()];
+        self.model
+            .accumulate_gradient(design, &field, extras.inflation, 1.0, &mut gd);
+        let l1_w: f64 = self.movable.iter().map(|&c| l1(gw[c.index()])).sum();
+        let l1_d: f64 = self.movable.iter().map(|&c| l1(gd[c.index()])).sum();
+        if l1_d > 1e-12 {
+            self.lambda1 = factor * l1_w / l1_d;
+        }
+    }
+
+    /// Runs one Nesterov step of problem (2)/(5) and writes the updated
+    /// positions back into the design.
+    pub fn step(&mut self, design: &mut Design, extras: &StepExtras<'_>) -> StepReport {
+        let die = design.die();
+        let gamma = self.base_gamma * gamma_scale(self.last_overflow);
+        let wa = WaModel::new(gamma);
+        let target = self.cfg.target_density;
+
+        let mut overflow = self.last_overflow;
+        let mut density_penalty = 0.0;
+        let model = &self.model;
+        let movable = &self.movable;
+        let lambda1 = self.lambda1;
+
+        self.solver.step(
+            |v, g| {
+                // Scatter reference positions into the design.
+                for (k, &id) in movable.iter().enumerate() {
+                    design.set_pos(id, v[k]);
+                }
+                let field: DensityField =
+                    model.compute(design, extras.inflation, extras.extra_density, target);
+                overflow = field.overflow;
+                density_penalty = field.penalty;
+
+                let mut full = vec![Point::default(); design.num_cells()];
+                wa.accumulate_gradient(design, &mut full);
+                model.accumulate_gradient(
+                    design,
+                    &field,
+                    extras.inflation,
+                    lambda1,
+                    &mut full,
+                );
+                if let Some((cgrad, lambda2)) = extras.congestion_grad {
+                    for &id in movable.iter() {
+                        full[id.index()].x += lambda2 * cgrad[id.index()].x;
+                        full[id.index()].y += lambda2 * cgrad[id.index()].y;
+                    }
+                }
+                for (k, &id) in movable.iter().enumerate() {
+                    g[k] = full[id.index()];
+                }
+            },
+            |p| die.clamp_point(p),
+        );
+
+        // Commit the major solution.
+        for (k, &id) in self.movable.iter().enumerate() {
+            design.set_pos(id, self.solver.positions()[k]);
+        }
+        self.last_overflow = overflow;
+        self.lambda1 *= self.cfg.lambda_growth;
+        StepReport {
+            overflow,
+            density_penalty,
+            lambda1: self.lambda1,
+            gamma,
+        }
+    }
+}
+
+/// γ annealing: large γ early (heavy smoothing) while overflow is high,
+/// tightening toward the base value as the placement spreads.
+fn gamma_scale(overflow: f64) -> f64 {
+    1.0 + 9.0 * overflow.clamp(0.0, 1.0)
+}
+
+fn l1(p: Point) -> f64 {
+    p.x.abs() + p.y.abs()
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Statistics of a completed wirelength-driven placement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlaceStats {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Final HPWL.
+    pub hpwl: f64,
+    /// Final density overflow.
+    pub overflow: f64,
+}
+
+/// The wirelength-driven analytical global placer (problem (2)): the
+/// "Xplace" baseline of the paper's Table I.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalPlacer {
+    cfg: PlacerConfig,
+}
+
+impl GlobalPlacer {
+    /// Creates a placer with the given configuration.
+    pub fn new(cfg: PlacerConfig) -> Self {
+        GlobalPlacer { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PlacerConfig {
+        &self.cfg
+    }
+
+    /// Places the design, mutating cell positions, and returns statistics.
+    pub fn place(&self, design: &mut Design) -> PlaceStats {
+        let mut session = GpSession::new(design, self.cfg.clone());
+        let mut iterations = 0;
+        for i in 0..self.cfg.max_iters {
+            let report = session.step(design, &StepExtras::default());
+            iterations = i + 1;
+            if i >= 20 && report.overflow < self.cfg.stop_overflow {
+                break;
+            }
+        }
+        PlaceStats {
+            iterations,
+            hpwl: design.hpwl(),
+            overflow: session.overflow(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdp_gen::{generate, GenParams};
+
+    fn small() -> Design {
+        generate(
+            "p",
+            &GenParams {
+                num_cells: 250,
+                num_macros: 0,
+                utilization: 0.55,
+                io_terminals: 8,
+                high_fanout_nets: 2,
+                rail_pitch: 0.0,
+                seed: 11,
+                ..GenParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn placement_reduces_overflow_below_target() {
+        let mut d = small();
+        let placer = GlobalPlacer::new(PlacerConfig {
+            max_iters: 300,
+            ..PlacerConfig::default()
+        });
+        let stats = placer.place(&mut d);
+        assert!(
+            stats.overflow < 0.12,
+            "overflow {} after {} iters",
+            stats.overflow,
+            stats.iterations
+        );
+    }
+
+    #[test]
+    fn placement_beats_center_blob_hpwl_growth() {
+        // After spreading from the center the HPWL must stay well below a
+        // random-like scatter: compare to the tile placement baseline.
+        let mut d = small();
+        let tile_hpwl = d.hpwl();
+        let placer = GlobalPlacer::default();
+        let stats = placer.place(&mut d);
+        // Analytic GP on a clustered netlist should land within a small
+        // multiple of the compact tile placement's HPWL.
+        assert!(
+            stats.hpwl < tile_hpwl * 3.0,
+            "hpwl {} vs tile {}",
+            stats.hpwl,
+            tile_hpwl
+        );
+    }
+
+    #[test]
+    fn all_cells_stay_inside_die() {
+        let mut d = small();
+        GlobalPlacer::default().place(&mut d);
+        let die = d.die();
+        for c in d.movable_cells() {
+            assert!(die.contains(d.pos(c)), "{c} at {} outside", d.pos(c));
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let mut d1 = small();
+        let mut d2 = small();
+        GlobalPlacer::default().place(&mut d1);
+        GlobalPlacer::default().place(&mut d2);
+        assert_eq!(d1.positions(), d2.positions());
+    }
+
+    #[test]
+    fn extras_congestion_gradient_shifts_cells() {
+        let mut d = small();
+        GlobalPlacer::default().place(&mut d);
+        // A uniform rightward descent-gradient (negative x) pushes cells
+        // right when applied via extras.
+        let mut session = GpSession::new(&mut d, PlacerConfig {
+            center_init: false,
+            ..PlacerConfig::default()
+        });
+        let before: f64 = session
+            .movable()
+            .iter()
+            .map(|&c| d.pos(c).x)
+            .sum::<f64>();
+        let cgrad = vec![Point::new(-1.0, 0.0); d.num_cells()];
+        let extras = StepExtras {
+            congestion_grad: Some((&cgrad, 1e3)),
+            ..Default::default()
+        };
+        for _ in 0..5 {
+            session.step(&mut d, &extras);
+        }
+        let after: f64 = session
+            .movable()
+            .iter()
+            .map(|&c| d.pos(c).x)
+            .sum::<f64>();
+        assert!(after > before, "after {after} !> before {before}");
+    }
+
+    #[test]
+    fn rebalance_lambda1_scales_linearly_with_factor() {
+        let mut d = small();
+        let mut session = GpSession::new(&mut d, PlacerConfig::default());
+        for _ in 0..10 {
+            session.step(&mut d, &StepExtras::default());
+        }
+        session.rebalance_lambda1(&d, &StepExtras::default(), 1.0);
+        let base = session.lambda1();
+        assert!(base > 0.0 && base.is_finite());
+        session.rebalance_lambda1(&d, &StepExtras::default(), 3.0);
+        let tripled = session.lambda1();
+        assert!(
+            (tripled - 3.0 * base).abs() < 1e-9 * tripled,
+            "{tripled} vs 3x{base}"
+        );
+    }
+
+    #[test]
+    fn gamma_scale_monotone() {
+        assert!(gamma_scale(1.0) > gamma_scale(0.5));
+        assert!(gamma_scale(0.5) > gamma_scale(0.0));
+        assert_eq!(gamma_scale(0.0), 1.0);
+        assert_eq!(gamma_scale(2.0), 10.0);
+    }
+}

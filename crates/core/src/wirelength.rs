@@ -1,0 +1,274 @@
+//! Weighted-average (WA) wirelength model (Hsu, Chang, Balabanov, DAC'11)
+//! — the smooth HPWL surrogate of Section II-A.
+//!
+//! Per net and per axis:
+//!
+//! ```text
+//!   WA_x(e) = Σᵢ xᵢ·e^{xᵢ/γ} / Σᵢ e^{xᵢ/γ}  −  Σᵢ xᵢ·e^{−xᵢ/γ} / Σᵢ e^{−xᵢ/γ}
+//! ```
+//!
+//! γ controls smoothness: WA → HPWL as γ → 0. All exponentials are
+//! computed on max-shifted coordinates for numerical stability.
+
+use rdp_db::{Design, NetId, Point};
+
+/// The WA wirelength model with a fixed smoothing parameter γ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaModel {
+    /// Smoothing parameter γ (microns).
+    pub gamma: f64,
+}
+
+impl WaModel {
+    /// Creates a model with the given γ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if γ is not positive.
+    pub fn new(gamma: f64) -> Self {
+        assert!(gamma > 0.0, "gamma must be positive, got {gamma}");
+        WaModel { gamma }
+    }
+
+    /// Smooth wirelength of one net.
+    pub fn net_wirelength(&self, design: &Design, net: NetId) -> f64 {
+        let pins = &design.net(net).pins;
+        if pins.len() < 2 {
+            return 0.0;
+        }
+        let xs: Vec<f64> = pins.iter().map(|&p| design.pin_position(p).x).collect();
+        let ys: Vec<f64> = pins.iter().map(|&p| design.pin_position(p).y).collect();
+        (wa_1d(&xs, self.gamma) + wa_1d(&ys, self.gamma)) * design.net(net).weight
+    }
+
+    /// Total smooth wirelength Σₑ WAₑ.
+    pub fn wirelength(&self, design: &Design) -> f64 {
+        (0..design.num_nets())
+            .map(|i| self.net_wirelength(design, NetId::from_index(i)))
+            .sum()
+    }
+
+    /// Accumulates ∂WA/∂(cell position) into `grad` (one entry per cell,
+    /// indexed by cell id). `grad` is **not** cleared first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad.len() != design.num_cells()`.
+    pub fn accumulate_gradient(&self, design: &Design, grad: &mut [Point]) {
+        assert_eq!(grad.len(), design.num_cells(), "gradient buffer size");
+        let mut xs: Vec<f64> = Vec::new();
+        let mut gx: Vec<f64> = Vec::new();
+        for ni in 0..design.num_nets() {
+            let net = design.net(NetId::from_index(ni));
+            if net.pins.len() < 2 {
+                continue;
+            }
+            let w = net.weight;
+            // x axis
+            xs.clear();
+            xs.extend(net.pins.iter().map(|&p| design.pin_position(p).x));
+            gx.clear();
+            gx.resize(xs.len(), 0.0);
+            wa_grad_1d(&xs, self.gamma, &mut gx);
+            for (k, &p) in net.pins.iter().enumerate() {
+                grad[design.pin(p).cell.index()].x += w * gx[k];
+            }
+            // y axis
+            xs.clear();
+            xs.extend(net.pins.iter().map(|&p| design.pin_position(p).y));
+            gx.clear();
+            gx.resize(xs.len(), 0.0);
+            wa_grad_1d(&xs, self.gamma, &mut gx);
+            for (k, &p) in net.pins.iter().enumerate() {
+                grad[design.pin(p).cell.index()].y += w * gx[k];
+            }
+        }
+    }
+}
+
+/// One-dimensional WA value, max-shifted for stability.
+fn wa_1d(v: &[f64], gamma: f64) -> f64 {
+    let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+    let (mut sp, mut ap, mut sn, mut an) = (0.0, 0.0, 0.0, 0.0);
+    for &x in v {
+        let ep = ((x - hi) / gamma).exp();
+        let en = ((lo - x) / gamma).exp();
+        sp += ep;
+        ap += x * ep;
+        sn += en;
+        an += x * en;
+    }
+    ap / sp - an / sn
+}
+
+/// One-dimensional WA gradient: out[i] = ∂WA/∂v[i].
+fn wa_grad_1d(v: &[f64], gamma: f64, out: &mut [f64]) {
+    let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+    let (mut sp, mut ap, mut sn, mut an) = (0.0, 0.0, 0.0, 0.0);
+    for &x in v {
+        let ep = ((x - hi) / gamma).exp();
+        let en = ((lo - x) / gamma).exp();
+        sp += ep;
+        ap += x * ep;
+        sn += en;
+        an += x * en;
+    }
+    for (i, &x) in v.iter().enumerate() {
+        let ep = ((x - hi) / gamma).exp();
+        let en = ((lo - x) / gamma).exp();
+        // d(ap/sp)/dxi = ep(1 + xi/γ)/sp − ap·ep/(γ·sp²)
+        let dmax = ep * (1.0 + x / gamma) / sp - ap * ep / (gamma * sp * sp);
+        // d(an/sn)/dxi = en(1 − xi/γ)/sn + an·en/(γ·sn²)
+        let dmin = en * (1.0 - x / gamma) / sn + an * en / (gamma * sn * sn);
+        out[i] = dmax - dmin;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdp_db::{Cell, DesignBuilder, Rect, RoutingSpec};
+
+    fn two_cell_design(a: Point, b: Point) -> Design {
+        let mut db = DesignBuilder::new("w", Rect::new(-100.0, -100.0, 200.0, 200.0));
+        let c1 = db.add_cell(Cell::std("a", 1.0, 1.0), a);
+        let c2 = db.add_cell(Cell::std("b", 1.0, 1.0), b);
+        db.add_net("n", vec![(c1, Point::default()), (c2, Point::default())]);
+        db.routing(RoutingSpec::uniform(2, 1.0, 4, 4));
+        db.build().unwrap()
+    }
+
+    #[test]
+    fn wa_lower_bounds_hpwl_and_converges() {
+        let d = two_cell_design(Point::new(0.0, 0.0), Point::new(10.0, 7.0));
+        let hpwl = d.hpwl();
+        for gamma in [4.0, 1.0, 0.25, 0.05] {
+            let wa = WaModel::new(gamma).wirelength(&d);
+            assert!(wa <= hpwl + 1e-9, "gamma={gamma}: wa {wa} > hpwl {hpwl}");
+        }
+        // Tight for small gamma.
+        let wa = WaModel::new(0.05).wirelength(&d);
+        assert!((wa - hpwl).abs() < 0.5, "wa {wa} vs hpwl {hpwl}");
+    }
+
+    #[test]
+    fn wa_zero_for_coincident_pins() {
+        let d = two_cell_design(Point::new(5.0, 5.0), Point::new(5.0, 5.0));
+        let wa = WaModel::new(1.0).wirelength(&d);
+        assert!(wa.abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut d = two_cell_design(Point::new(2.0, 3.0), Point::new(11.0, 5.0));
+        let model = WaModel::new(1.5);
+        let mut grad = vec![Point::default(); d.num_cells()];
+        model.accumulate_gradient(&d, &mut grad);
+
+        let h = 1e-6;
+        for ci in 0..2 {
+            let id = rdp_db::CellId::from_index(ci);
+            let p0 = d.pos(id);
+            d.set_pos(id, Point::new(p0.x + h, p0.y));
+            let fp = model.wirelength(&d);
+            d.set_pos(id, Point::new(p0.x - h, p0.y));
+            let fm = model.wirelength(&d);
+            d.set_pos(id, p0);
+            let fd = (fp - fm) / (2.0 * h);
+            assert!(
+                (grad[ci].x - fd).abs() < 1e-6,
+                "cell {ci}: analytic {} vs fd {fd}",
+                grad[ci].x
+            );
+
+            d.set_pos(id, Point::new(p0.x, p0.y + h));
+            let fp = model.wirelength(&d);
+            d.set_pos(id, Point::new(p0.x, p0.y - h));
+            let fm = model.wirelength(&d);
+            d.set_pos(id, p0);
+            let fd = (fp - fm) / (2.0 * h);
+            assert!(
+                (grad[ci].y - fd).abs() < 1e-6,
+                "cell {ci}: analytic {} vs fd {fd}",
+                grad[ci].y
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_pulls_pins_together() {
+        let d = two_cell_design(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        let mut grad = vec![Point::default(); 2];
+        WaModel::new(1.0).accumulate_gradient(&d, &mut grad);
+        // Descent direction −grad moves the left cell right and the right
+        // cell left.
+        assert!(grad[0].x < 0.0);
+        assert!(grad[1].x > 0.0);
+        assert!(grad[0].y.abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_pin_gradient_consistent() {
+        let mut db = DesignBuilder::new("w", Rect::new(0.0, 0.0, 100.0, 100.0));
+        let ids: Vec<_> = (0..5)
+            .map(|i| {
+                db.add_cell(
+                    Cell::std(format!("c{i}"), 1.0, 1.0),
+                    Point::new(10.0 * i as f64, (i * i) as f64),
+                )
+            })
+            .collect();
+        db.add_net(
+            "n",
+            ids.iter().map(|&c| (c, Point::new(0.3, -0.2))).collect(),
+        );
+        db.routing(RoutingSpec::uniform(2, 1.0, 4, 4));
+        let mut d = db.build().unwrap();
+        let model = WaModel::new(2.0);
+        let mut grad = vec![Point::default(); d.num_cells()];
+        model.accumulate_gradient(&d, &mut grad);
+        let h = 1e-6;
+        for ci in 0..5 {
+            let id = rdp_db::CellId::from_index(ci);
+            let p0 = d.pos(id);
+            d.set_pos(id, Point::new(p0.x + h, p0.y));
+            let fp = model.wirelength(&d);
+            d.set_pos(id, Point::new(p0.x - h, p0.y));
+            let fm = model.wirelength(&d);
+            d.set_pos(id, p0);
+            let fd = (fp - fm) / (2.0 * h);
+            assert!(
+                (grad[ci].x - fd).abs() < 1e-5,
+                "cell {ci}: analytic {} vs fd {fd}",
+                grad[ci].x
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_net_scales_value_and_gradient() {
+        let mut db = DesignBuilder::new("w", Rect::new(0.0, 0.0, 100.0, 100.0));
+        let a = db.add_cell(Cell::std("a", 1.0, 1.0), Point::new(0.0, 0.0));
+        let b = db.add_cell(Cell::std("b", 1.0, 1.0), Point::new(10.0, 0.0));
+        db.add_weighted_net("n", 3.0, vec![(a, Point::default()), (b, Point::default())]);
+        db.routing(RoutingSpec::uniform(2, 1.0, 4, 4));
+        let d = db.build().unwrap();
+        let m = WaModel::new(1.0);
+        let base = wa_1d(&[0.0, 10.0], 1.0);
+        assert!((m.wirelength(&d) - 3.0 * base).abs() < 1e-12);
+        let mut grad = vec![Point::default(); 2];
+        m.accumulate_gradient(&d, &mut grad);
+        let d1 = two_cell_design(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        let mut g1 = vec![Point::default(); 2];
+        m.accumulate_gradient(&d1, &mut g1);
+        assert!((grad[0].x - 3.0 * g1[0].x).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be positive")]
+    fn zero_gamma_rejected() {
+        WaModel::new(0.0);
+    }
+}

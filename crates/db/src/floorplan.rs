@@ -1,0 +1,184 @@
+//! Floorplan structures: placement rows, power/ground rails, and the
+//! routing-layer stack.
+
+use crate::geom::{Dir, Rect};
+
+/// A standard-cell placement row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Row {
+    /// Bottom y coordinate of the row.
+    pub y: f64,
+    /// Row (site) height.
+    pub height: f64,
+    /// Left edge of the row.
+    pub x0: f64,
+    /// Right edge of the row.
+    pub x1: f64,
+    /// Width of one placement site.
+    pub site_w: f64,
+}
+
+impl Row {
+    /// Horizontal extent of the row.
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Number of whole sites in the row.
+    pub fn num_sites(&self) -> usize {
+        (self.width() / self.site_w).floor() as usize
+    }
+
+    /// Geometric extent of the row.
+    pub fn rect(&self) -> Rect {
+        Rect::new(self.x0, self.y, self.x1, self.y + self.height)
+    }
+}
+
+/// A power or ground rail segment on a metal layer (M2 in the paper's
+/// pin-accessibility discussion).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PgRail {
+    /// Metal layer index (0 = M1).
+    pub layer: u8,
+    /// Direction the rail runs in.
+    pub dir: Dir,
+    /// Physical extent (a long thin rectangle).
+    pub rect: Rect,
+}
+
+impl PgRail {
+    /// Length along the rail's direction.
+    pub fn length(&self) -> f64 {
+        match self.dir {
+            Dir::Horizontal => self.rect.width(),
+            Dir::Vertical => self.rect.height(),
+        }
+    }
+
+    /// Width across the rail's direction.
+    pub fn thickness(&self) -> f64 {
+        match self.dir {
+            Dir::Horizontal => self.rect.height(),
+            Dir::Vertical => self.rect.width(),
+        }
+    }
+}
+
+/// One routing layer of the metal stack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingLayer {
+    /// Layer name, e.g. `"M1"`.
+    pub name: String,
+    /// Preferred routing direction.
+    pub dir: Dir,
+    /// Routing capacity of one G-cell edge on this layer, expressed in
+    /// track·G-cells (how much wire length, in units of G-cell extent, fits
+    /// through one G-cell).
+    pub capacity: f64,
+}
+
+/// The routing environment: the layer stack and the G-cell discretization.
+///
+/// The paper maps the 3-D G-cell array onto the 2-D plane by summing demand
+/// and capacity over layers; [`crate::Design`] keeps the full stack so the
+/// router can model per-layer directionality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingSpec {
+    /// Metal layers, bottom-up (index 0 = M1).
+    pub layers: Vec<RoutingLayer>,
+    /// G-cell count in x (equals the bin count, per Section II-B).
+    pub gx: usize,
+    /// G-cell count in y.
+    pub gy: usize,
+}
+
+impl RoutingSpec {
+    /// Total horizontal capacity of one G-cell (sum over H layers).
+    pub fn total_h_capacity(&self) -> f64 {
+        self.layers
+            .iter()
+            .filter(|l| l.dir == Dir::Horizontal)
+            .map(|l| l.capacity)
+            .sum()
+    }
+
+    /// Total vertical capacity of one G-cell (sum over V layers).
+    pub fn total_v_capacity(&self) -> f64 {
+        self.layers
+            .iter()
+            .filter(|l| l.dir == Dir::Vertical)
+            .map(|l| l.capacity)
+            .sum()
+    }
+
+    /// Number of routing layers `L`.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// A conventional 2-µm-pitch-style default stack with `n` layers of
+    /// alternating direction (M1 horizontal) and uniform per-layer capacity.
+    pub fn uniform(n: usize, capacity: f64, gx: usize, gy: usize) -> Self {
+        let layers = (0..n)
+            .map(|i| RoutingLayer {
+                name: format!("M{}", i + 1),
+                dir: if i % 2 == 0 {
+                    Dir::Horizontal
+                } else {
+                    Dir::Vertical
+                },
+                capacity,
+            })
+            .collect();
+        RoutingSpec { layers, gx, gy }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_sites() {
+        let r = Row {
+            y: 0.0,
+            height: 2.8,
+            x0: 0.0,
+            x1: 10.0,
+            site_w: 0.4,
+        };
+        assert_eq!(r.num_sites(), 25);
+        assert_eq!(r.rect(), Rect::new(0.0, 0.0, 10.0, 2.8));
+        assert_eq!(r.width(), 10.0);
+    }
+
+    #[test]
+    fn rail_length_by_direction() {
+        let h = PgRail {
+            layer: 1,
+            dir: Dir::Horizontal,
+            rect: Rect::new(0.0, 10.0, 50.0, 10.4),
+        };
+        assert_eq!(h.length(), 50.0);
+        assert!((h.thickness() - 0.4).abs() < 1e-12);
+
+        let v = PgRail {
+            layer: 1,
+            dir: Dir::Vertical,
+            rect: Rect::new(5.0, 0.0, 5.4, 30.0),
+        };
+        assert_eq!(v.length(), 30.0);
+    }
+
+    #[test]
+    fn uniform_stack_alternates() {
+        let s = RoutingSpec::uniform(4, 10.0, 64, 64);
+        assert_eq!(s.num_layers(), 4);
+        assert_eq!(s.layers[0].dir, Dir::Horizontal);
+        assert_eq!(s.layers[1].dir, Dir::Vertical);
+        assert_eq!(s.total_h_capacity(), 20.0);
+        assert_eq!(s.total_v_capacity(), 20.0);
+        assert_eq!(s.layers[2].name, "M3");
+    }
+}

@@ -1,0 +1,91 @@
+//! Typed index handles into the design database.
+//!
+//! Each entity kind (cell, net, pin, …) gets its own newtype around `u32`
+//! so indices cannot be confused across arenas (C-NEWTYPE). All handles are
+//! plain indices into the owning [`crate::Design`]'s vectors.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Index into the owning arena.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Constructs a handle from a raw arena index.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                $name(i as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Handle to a cell (standard cell, macro, or fixed terminal).
+    CellId,
+    "c"
+);
+define_id!(
+    /// Handle to a net (hyperedge).
+    NetId,
+    "n"
+);
+define_id!(
+    /// Handle to a pin (connection point of a net on a cell).
+    PinId,
+    "p"
+);
+define_id!(
+    /// Handle to a placement row.
+    RowId,
+    "r"
+);
+define_id!(
+    /// Handle to a power/ground rail.
+    RailId,
+    "g"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let c = CellId::from_index(42);
+        assert_eq!(c.index(), 42);
+        assert_eq!(format!("{c}"), "c42");
+        assert_eq!(format!("{c:?}"), "c42");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(NetId(1));
+        s.insert(NetId(1));
+        s.insert(NetId(2));
+        assert_eq!(s.len(), 2);
+        assert!(NetId(1) < NetId(2));
+    }
+}

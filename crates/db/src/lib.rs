@@ -1,0 +1,52 @@
+//! # rdp-db — design database for routability-driven placement
+//!
+//! This crate is the shared data model of the `rdp` workspace: geometry
+//! primitives, the netlist hypergraph, floorplan structures (rows, PG
+//! rails, routing layers), dense 2-D maps, and the uniform bin/G-cell grid.
+//!
+//! Everything downstream — the electrostatic placer ([`rdp-core`]), the
+//! grid global router ([`rdp-route`]), the legalizer ([`rdp-legal`]) and
+//! the evaluation flow ([`rdp-drc`]) — operates on a [`Design`].
+//!
+//! ## Quick example
+//!
+//! ```
+//! use rdp_db::{Cell, DesignBuilder, Point, Rect, RoutingSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = DesignBuilder::new("demo", Rect::new(0.0, 0.0, 100.0, 100.0));
+//! let u1 = b.add_cell(Cell::std("u1", 1.0, 2.0), Point::new(20.0, 30.0));
+//! let u2 = b.add_cell(Cell::std("u2", 1.0, 2.0), Point::new(70.0, 60.0));
+//! b.add_net("n0", vec![(u1, Point::default()), (u2, Point::default())]);
+//! b.routing(RoutingSpec::uniform(6, 12.0, 32, 32));
+//! let design = b.build()?;
+//! assert_eq!(design.hpwl(), 80.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`rdp-core`]: https://example.invalid/rdp
+//! [`rdp-route`]: https://example.invalid/rdp
+//! [`rdp-legal`]: https://example.invalid/rdp
+//! [`rdp-drc`]: https://example.invalid/rdp
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod design;
+mod floorplan;
+mod geom;
+mod grid;
+mod ids;
+mod map2d;
+mod netlist;
+mod stats;
+
+pub use design::{BuildDesignError, Design, DesignBuilder};
+pub use floorplan::{PgRail, Row, RoutingLayer, RoutingSpec};
+pub use geom::{Dir, Point, Rect};
+pub use grid::GridSpec;
+pub use ids::{CellId, NetId, PinId, RailId, RowId};
+pub use map2d::Map2d;
+pub use netlist::{Cell, CellKind, Net, Pin};
+pub use stats::DesignStats;

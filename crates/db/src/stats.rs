@@ -1,0 +1,127 @@
+//! Summary statistics for a design, used by reports and the benchmark
+//! generator's self-checks.
+
+use crate::design::Design;
+use crate::netlist::CellKind;
+use std::fmt;
+
+/// Aggregate statistics of a [`Design`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignStats {
+    /// Design name.
+    pub name: String,
+    /// Total number of cells (movable + fixed).
+    pub num_cells: usize,
+    /// Number of movable cells.
+    pub num_movable: usize,
+    /// Number of fixed macro blocks.
+    pub num_macros: usize,
+    /// Number of terminals.
+    pub num_terminals: usize,
+    /// Number of nets.
+    pub num_nets: usize,
+    /// Number of pins.
+    pub num_pins: usize,
+    /// Number of two-pin nets (eligible for virtual-cell net moving).
+    pub num_two_pin_nets: usize,
+    /// Average net degree.
+    pub avg_net_degree: f64,
+    /// Movable-area / free-area utilization.
+    pub utilization: f64,
+    /// Current total HPWL.
+    pub hpwl: f64,
+}
+
+impl DesignStats {
+    /// Computes statistics for a design.
+    pub fn of(design: &Design) -> Self {
+        let num_macros = design
+            .cells()
+            .iter()
+            .filter(|c| c.kind == CellKind::Macro)
+            .count();
+        let num_terminals = design
+            .cells()
+            .iter()
+            .filter(|c| c.kind == CellKind::Terminal)
+            .count();
+        let num_two_pin = design.nets().iter().filter(|n| n.is_two_pin()).count();
+        let avg_deg = if design.num_nets() == 0 {
+            0.0
+        } else {
+            design.num_pins() as f64 / design.num_nets() as f64
+        };
+        DesignStats {
+            name: design.name().to_string(),
+            num_cells: design.num_cells(),
+            num_movable: design.movable_cells().count(),
+            num_macros,
+            num_terminals,
+            num_nets: design.num_nets(),
+            num_pins: design.num_pins(),
+            num_two_pin_nets: num_two_pin,
+            avg_net_degree: avg_deg,
+            utilization: design.utilization(),
+            hpwl: design.hpwl(),
+        }
+    }
+}
+
+impl fmt::Display for DesignStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "design `{}`:", self.name)?;
+        writeln!(
+            f,
+            "  cells: {} ({} movable, {} macros, {} terminals)",
+            self.num_cells, self.num_movable, self.num_macros, self.num_terminals
+        )?;
+        writeln!(
+            f,
+            "  nets: {} ({} two-pin, avg degree {:.2}), pins: {}",
+            self.num_nets, self.num_two_pin_nets, self.avg_net_degree, self.num_pins
+        )?;
+        write!(
+            f,
+            "  utilization: {:.1}%, HPWL: {:.1} um",
+            self.utilization * 100.0,
+            self.hpwl
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::DesignBuilder;
+    use crate::geom::{Point, Rect};
+    use crate::netlist::Cell;
+    use crate::RoutingSpec;
+
+    #[test]
+    fn stats_of_small_design() {
+        let mut b = DesignBuilder::new("s", Rect::new(0.0, 0.0, 10.0, 10.0));
+        let a = b.add_cell(Cell::std("a", 1.0, 1.0), Point::new(1.0, 1.0));
+        let c = b.add_cell(Cell::std("b", 1.0, 1.0), Point::new(9.0, 9.0));
+        let t = b.add_cell(Cell::terminal("io"), Point::new(0.0, 5.0));
+        b.add_net("n0", vec![(a, Point::default()), (c, Point::default())]);
+        b.add_net(
+            "n1",
+            vec![
+                (a, Point::default()),
+                (c, Point::default()),
+                (t, Point::default()),
+            ],
+        );
+        b.routing(RoutingSpec::uniform(2, 1.0, 2, 2));
+        let d = b.build().unwrap();
+        let s = DesignStats::of(&d);
+        assert_eq!(s.num_cells, 3);
+        assert_eq!(s.num_movable, 2);
+        assert_eq!(s.num_terminals, 1);
+        assert_eq!(s.num_two_pin_nets, 1);
+        assert!((s.avg_net_degree - 2.5).abs() < 1e-12);
+        let shown = format!("{s}");
+        assert!(shown.contains("design `s`"));
+        assert!(shown.contains("two-pin"));
+    }
+}

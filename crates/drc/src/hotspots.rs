@@ -1,0 +1,193 @@
+//! Hotspot diagnostics: where the DRVs come from.
+//!
+//! The scalar DRV proxy is enough for tables; debugging a placement needs
+//! locations. This module ranks the evaluation grid's worst G-cells and
+//! classifies each one (wire overflow vs via pressure vs pin density), the
+//! kind of report a detailed router's DRC summary gives.
+
+use rdp_db::{Design, GridSpec, Map2d, Point, Rect};
+use rdp_route::RouteResult;
+
+/// One congestion/DRV hotspot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hotspot {
+    /// G-cell indices on the evaluation grid.
+    pub gcell: (usize, usize),
+    /// Physical region of the G-cell.
+    pub region: Rect,
+    /// Demand beyond capacity (track units; 0 when only pin-driven).
+    pub overflow: f64,
+    /// Demand / capacity utilization.
+    pub utilization: f64,
+    /// Pins inside the G-cell.
+    pub pins: usize,
+    /// Movable cells whose center lies in the G-cell.
+    pub cells: usize,
+}
+
+/// Ranks the `top_n` worst G-cells of a routing result by overflow, then
+/// utilization.
+pub fn hotspots(
+    design: &Design,
+    route: &RouteResult,
+    grid: &GridSpec,
+    top_n: usize,
+) -> Vec<Hotspot> {
+    assert_eq!(route.congestion.nx(), grid.nx(), "grid mismatch");
+    assert_eq!(route.congestion.ny(), grid.ny(), "grid mismatch");
+
+    let mut pin_count = Map2d::<u32>::new(grid.nx(), grid.ny());
+    for p in 0..design.num_pins() {
+        let pos = design.pin_position(rdp_db::PinId::from_index(p));
+        let (ix, iy) = grid.bin_of(pos);
+        pin_count[(ix, iy)] += 1;
+    }
+    let mut cell_count = Map2d::<u32>::new(grid.nx(), grid.ny());
+    for c in design.movable_cells() {
+        let (ix, iy) = grid.bin_of(design.pos(c));
+        cell_count[(ix, iy)] += 1;
+    }
+
+    let mut spots: Vec<Hotspot> = Vec::new();
+    for iy in 0..grid.ny() {
+        for ix in 0..grid.nx() {
+            let demand = route.maps.demand_at(ix, iy);
+            let capacity = route.maps.capacity_at(ix, iy);
+            let overflow = (demand - capacity).max(0.0);
+            if overflow <= 0.0 {
+                continue;
+            }
+            spots.push(Hotspot {
+                gcell: (ix, iy),
+                region: grid.bin_rect(ix, iy),
+                overflow,
+                utilization: demand / capacity,
+                pins: pin_count[(ix, iy)] as usize,
+                cells: cell_count[(ix, iy)] as usize,
+            });
+        }
+    }
+    spots.sort_by(|a, b| {
+        b.overflow
+            .total_cmp(&a.overflow)
+            .then(b.utilization.total_cmp(&a.utilization))
+    });
+    spots.truncate(top_n);
+    spots
+}
+
+/// Classifies a hotspot by its dominant cause.
+pub fn classify(h: &Hotspot) -> &'static str {
+    if h.cells == 0 {
+        // Congestion with no cells present: the paper's *global* routing
+        // congestion — only net moving can fix it.
+        "global (net-driven)"
+    } else if h.pins > 4 * h.cells.max(1) {
+        "pin-dense"
+    } else {
+        "local (cell-driven)"
+    }
+}
+
+/// Center of gravity of the overflow distribution — where a placer should
+/// focus next.
+pub fn overflow_centroid(route: &RouteResult, grid: &GridSpec) -> Option<Point> {
+    let mut acc = Point::default();
+    let mut total = 0.0;
+    for iy in 0..grid.ny() {
+        for ix in 0..grid.nx() {
+            let over = (route.maps.demand_at(ix, iy) - route.maps.capacity_at(ix, iy)).max(0.0);
+            if over > 0.0 {
+                let c = grid.bin_center(ix, iy);
+                acc.x += c.x * over;
+                acc.y += c.y * over;
+                total += over;
+            }
+        }
+    }
+    if total > 0.0 {
+        Some(Point::new(acc.x / total, acc.y / total))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdp_db::{Cell, DesignBuilder, RoutingSpec};
+    use rdp_route::GlobalRouter;
+
+    /// A congested stripe with no cells inside it (global congestion).
+    fn stripe_design() -> Design {
+        let mut b = DesignBuilder::new("h", Rect::new(0.0, 0.0, 64.0, 64.0));
+        let mut pairs = Vec::new();
+        for i in 0..40 {
+            let y = 30.0 + (i % 4) as f64;
+            let a = b.add_cell(Cell::std(format!("a{i}"), 1.0, 1.0), Point::new(2.0, y));
+            let c = b.add_cell(Cell::std(format!("b{i}"), 1.0, 1.0), Point::new(62.0, y));
+            pairs.push((a, c));
+        }
+        for (i, (a, c)) in pairs.iter().enumerate() {
+            b.add_net(format!("n{i}"), vec![(*a, Point::default()), (*c, Point::default())]);
+        }
+        b.routing(RoutingSpec::uniform(4, 1.5, 16, 16));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn hotspots_found_in_the_stripe() {
+        let d = stripe_design();
+        let grid = d.gcell_grid();
+        let route = GlobalRouter::default().route(&d);
+        let spots = hotspots(&d, &route, &grid, 5);
+        assert!(!spots.is_empty());
+        // All top hotspots are in the stripe rows (y ∈ [28, 36)).
+        for s in &spots {
+            assert!(s.region.lo.y >= 24.0 && s.region.hi.y <= 40.0, "{s:?}");
+            assert!(s.overflow > 0.0);
+            assert!(s.utilization > 1.0);
+        }
+        // Ranked by overflow.
+        for w in spots.windows(2) {
+            assert!(w[0].overflow >= w[1].overflow);
+        }
+    }
+
+    #[test]
+    fn stripe_interior_classified_as_global() {
+        let d = stripe_design();
+        let grid = d.gcell_grid();
+        let route = GlobalRouter::default().route(&d);
+        let spots = hotspots(&d, &route, &grid, 16);
+        // Interior of the stripe (x in the middle) has no cells.
+        let interior = spots
+            .iter()
+            .find(|s| s.gcell.0 > 2 && s.gcell.0 < 13)
+            .expect("interior hotspot exists");
+        assert_eq!(classify(interior), "global (net-driven)");
+    }
+
+    #[test]
+    fn centroid_is_inside_the_stripe() {
+        let d = stripe_design();
+        let grid = d.gcell_grid();
+        let route = GlobalRouter::default().route(&d);
+        let c = overflow_centroid(&route, &grid).expect("overflow exists");
+        assert!(c.y > 26.0 && c.y < 40.0, "{c}");
+    }
+
+    #[test]
+    fn no_overflow_means_no_hotspots() {
+        let mut b = DesignBuilder::new("q", Rect::new(0.0, 0.0, 64.0, 64.0));
+        let a = b.add_cell(Cell::std("a", 1.0, 1.0), Point::new(2.0, 2.0));
+        let c = b.add_cell(Cell::std("b", 1.0, 1.0), Point::new(60.0, 60.0));
+        b.add_net("n", vec![(a, Point::default()), (c, Point::default())]);
+        b.routing(RoutingSpec::uniform(4, 100.0, 16, 16));
+        let d = b.build().unwrap();
+        let grid = d.gcell_grid();
+        let route = GlobalRouter::default().route(&d);
+        assert!(hotspots(&d, &route, &grid, 10).is_empty());
+        assert!(overflow_centroid(&route, &grid).is_none());
+    }
+}

@@ -1,0 +1,535 @@
+//! Synthetic design generation: floorplan, clustered netlist, compact
+//! reference placement, and routing-capacity calibration.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rdp_db::{
+    Cell, CellId, Design, DesignBuilder, Dir, PgRail, Point, Rect, RoutingLayer, RoutingSpec, Row,
+};
+use rdp_route::{GlobalRouter, RouterConfig};
+
+use crate::params::GenParams;
+
+const ROW_HEIGHT: f64 = 2.0;
+const SITE_WIDTH: f64 = 0.2;
+/// Standard-cell widths (microns) and their sampling weights.
+const CELL_WIDTHS: [(f64, f64); 4] = [(0.8, 0.4), (1.2, 0.3), (1.6, 0.2), (2.4, 0.1)];
+
+/// Generates a synthetic design from parameters.
+///
+/// The result is deterministic in `(name, params)` — the RNG seed lives in
+/// [`GenParams::seed`]. Cells come out in a compact cluster-ordered
+/// "tile" placement (a plausible legal-ish starting point that the
+/// placement flow re-optimizes), and the routing capacity is calibrated
+/// against a trial routing of that placement so every design exhibits the
+/// congestion stress its [`GenParams::congestion_margin`] asks for.
+pub fn generate(name: &str, params: &GenParams) -> Design {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    // ---- Cell population -------------------------------------------------
+    let widths: Vec<f64> = (0..params.num_cells)
+        .map(|_| sample_width(&mut rng))
+        .collect();
+    let cell_area: f64 = widths.iter().map(|w| w * ROW_HEIGHT).sum();
+
+    // ---- Die sizing -------------------------------------------------------
+    let die_area = cell_area / (params.utilization * (1.0 - params.macro_fraction));
+    let mut w = (die_area / params.aspect).sqrt();
+    let mut h = w * params.aspect;
+    // Round to whole rows / sites.
+    h = (h / ROW_HEIGHT).ceil() * ROW_HEIGHT;
+    w = (w / SITE_WIDTH).ceil() * SITE_WIDTH;
+    let die = Rect::new(0.0, 0.0, w, h);
+
+    let mut b = DesignBuilder::new(name, die);
+
+    // ---- Rows --------------------------------------------------------------
+    let num_rows = (h / ROW_HEIGHT) as usize;
+    for r in 0..num_rows {
+        b.add_row(Row {
+            y: r as f64 * ROW_HEIGHT,
+            height: ROW_HEIGHT,
+            x0: 0.0,
+            x1: w,
+            site_w: SITE_WIDTH,
+        });
+    }
+
+    // ---- Macros -----------------------------------------------------------
+    let mut macro_rects: Vec<Rect> = Vec::new();
+    if params.num_macros > 0 {
+        let total = params.macro_fraction * die.area();
+        let each = total / params.num_macros as f64;
+        let g = (params.num_macros as f64).sqrt().ceil() as usize;
+        let region = Rect::new(0.12 * w, 0.12 * h, 0.88 * w, 0.88 * h);
+        let slot_w = region.width() / g as f64;
+        let slot_h = region.height() / g.max(params.num_macros.div_ceil(g)) as f64;
+        for i in 0..params.num_macros {
+            let aspect = rng.random_range(0.7..1.4);
+            let mw = (each * aspect).sqrt().min(slot_w * 0.85);
+            let mh = (each / aspect).sqrt().min(slot_h * 0.85);
+            let cx = region.lo.x + (i % g) as f64 * slot_w + slot_w / 2.0;
+            let cy = region.lo.y + (i / g) as f64 * slot_h + slot_h / 2.0;
+            // Snap macro bottom to a row boundary for realism.
+            let cy = ((cy - mh / 2.0) / ROW_HEIGHT).round() * ROW_HEIGHT + mh / 2.0;
+            let rect = Rect::centered(Point::new(cx, cy), mw, mh);
+            macro_rects.push(rect);
+            b.add_cell(Cell::fixed_macro(format!("m{i}"), mw, mh), rect.center());
+        }
+    }
+    let macro_ids: Vec<CellId> = (0..params.num_macros).map(CellId::from_index).collect();
+
+    // ---- Standard cells (positions filled by tiling below) ----------------
+    let first_std = b.num_cells();
+    for (i, &cw) in widths.iter().enumerate() {
+        b.add_cell(Cell::std(format!("u{i}"), cw, ROW_HEIGHT), die.center());
+    }
+
+    // ---- Terminals on the boundary -----------------------------------------
+    let first_term = b.num_cells();
+    for t in 0..params.io_terminals {
+        let frac = (t as f64 + 0.5) / params.io_terminals as f64;
+        let perim = 2.0 * (w + h);
+        let d = frac * perim;
+        let p = if d < w {
+            Point::new(d, 0.0)
+        } else if d < w + h {
+            Point::new(w, d - w)
+        } else if d < 2.0 * w + h {
+            Point::new(2.0 * w + h - d, h)
+        } else {
+            Point::new(0.0, perim - d)
+        };
+        b.add_cell(Cell::terminal(format!("io{t}")), p);
+    }
+
+    // ---- Clustered netlist --------------------------------------------------
+    let n = params.num_cells;
+    let cs = params.cluster_size.max(2);
+    let n_clusters = n.div_ceil(cs);
+    let cell_of = |cluster: usize, rng: &mut StdRng| -> CellId {
+        let lo = cluster * cs;
+        let hi = ((cluster + 1) * cs).min(n);
+        CellId::from_index(first_std + rng.random_range(lo..hi))
+    };
+    let num_nets = (params.nets_per_cell * n as f64).round() as usize;
+    let mut net_idx = 0usize;
+    for _ in 0..num_nets {
+        let anchor = rng.random_range(0..n_clusters);
+        let degree = if rng.random_bool(params.two_pin_frac) {
+            2
+        } else {
+            // 3 + geometric tail, capped at 8.
+            let mut d = 3;
+            while d < 8 && rng.random_bool(0.45) {
+                d += 1;
+            }
+            d
+        };
+        let mut members: Vec<CellId> = Vec::with_capacity(degree);
+        members.push(cell_of(anchor, &mut rng));
+        let mut guard = 0;
+        while members.len() < degree && guard < 50 {
+            guard += 1;
+            let cluster = if rng.random_bool(0.72) {
+                anchor
+            } else if rng.random_bool(0.8) {
+                // A nearby cluster: locality with geometric falloff.
+                let mut step = 1usize;
+                while step < 4 && rng.random_bool(0.4) {
+                    step += 1;
+                }
+                if rng.random_bool(0.5) {
+                    anchor.saturating_sub(step)
+                } else {
+                    (anchor + step).min(n_clusters - 1)
+                }
+            } else {
+                rng.random_range(0..n_clusters)
+            };
+            let c = cell_of(cluster, &mut rng);
+            if !members.contains(&c) {
+                members.push(c);
+            }
+        }
+        if members.len() < 2 {
+            continue;
+        }
+        add_signal_net(&mut b, &mut rng, net_idx, &members, &widths, first_std);
+        net_idx += 1;
+    }
+
+    // High-fanout nets spanning many clusters (global congestion drivers).
+    for _ in 0..params.high_fanout_nets {
+        let degree = rng.random_range(12..40);
+        let mut members = Vec::with_capacity(degree);
+        let mut guard = 0;
+        while members.len() < degree && guard < 200 {
+            guard += 1;
+            let c = cell_of(rng.random_range(0..n_clusters), &mut rng);
+            if !members.contains(&c) {
+                members.push(c);
+            }
+        }
+        add_signal_net(&mut b, &mut rng, net_idx, &members, &widths, first_std);
+        net_idx += 1;
+    }
+
+    // Terminal nets: each I/O connects into 1–3 random clusters.
+    for t in 0..params.io_terminals {
+        let io = CellId::from_index(first_term + t);
+        let fanout = rng.random_range(1..=3);
+        let mut members = vec![io];
+        for _ in 0..fanout {
+            let c = cell_of(rng.random_range(0..n_clusters), &mut rng);
+            if !members.contains(&c) {
+                members.push(c);
+            }
+        }
+        if members.len() < 2 {
+            continue;
+        }
+        let pins = members
+            .iter()
+            .map(|&c| {
+                if c == io {
+                    (c, Point::default())
+                } else {
+                    (c, pin_offset(&mut rng, widths[c.index() - first_std]))
+                }
+            })
+            .collect();
+        b.add_net(format!("ionet{t}"), pins);
+    }
+
+    // A couple of macro connectivity nets so macros are not isolated.
+    for (i, &m) in macro_ids.iter().enumerate() {
+        let mut members = vec![m];
+        for _ in 0..6 {
+            let c = cell_of(rng.random_range(0..n_clusters), &mut rng);
+            if !members.contains(&c) {
+                members.push(c);
+            }
+        }
+        let pins = members
+            .iter()
+            .map(|&c| {
+                if c == m {
+                    (c, Point::default())
+                } else {
+                    (c, pin_offset(&mut rng, widths[c.index() - first_std]))
+                }
+            })
+            .collect();
+        b.add_net(format!("mnet{i}"), pins);
+    }
+
+    // ---- PG rails: vertical stripes on M2 ----------------------------------
+    let pitch = if params.rail_pitch > 1.0 {
+        params.rail_pitch
+    } else if params.rail_pitch > 0.0 {
+        w / 14.0
+    } else {
+        0.0
+    };
+    if pitch > 0.0 {
+        let thickness = 0.4;
+        let mut x = pitch / 2.0;
+        while x < w {
+            b.add_rail(PgRail {
+                layer: 1,
+                dir: Dir::Vertical,
+                rect: Rect::new(x - thickness / 2.0, 0.0, x + thickness / 2.0, h),
+            });
+            x += pitch;
+        }
+    }
+
+    // ---- Provisional routing spec; G-cell grid is a power of two ----------
+    let gx = pow2_grid(w / 6.0);
+    let gy = pow2_grid(h / 6.0);
+    b.routing(RoutingSpec::uniform(params.num_layers, 1.0, gx, gy));
+
+    let mut design = b.build().expect("generator produced an invalid design");
+
+    // ---- Compact reference placement ---------------------------------------
+    tile_placement(&mut design);
+
+    // ---- Capacity calibration ----------------------------------------------
+    calibrate_capacity(&mut design, params);
+
+    design
+}
+
+fn add_signal_net(
+    b: &mut DesignBuilder,
+    rng: &mut StdRng,
+    idx: usize,
+    members: &[CellId],
+    widths: &[f64],
+    first_std: usize,
+) {
+    let pins = members
+        .iter()
+        .map(|&c| (c, pin_offset(rng, widths[c.index() - first_std])))
+        .collect();
+    b.add_net(format!("n{idx}"), pins);
+}
+
+fn pin_offset(rng: &mut StdRng, cell_w: f64) -> Point {
+    Point::new(
+        rng.random_range(-0.4 * cell_w..0.4 * cell_w),
+        rng.random_range(-0.4 * ROW_HEIGHT..0.4 * ROW_HEIGHT),
+    )
+}
+
+fn sample_width(rng: &mut StdRng) -> f64 {
+    let r: f64 = rng.random();
+    let mut acc = 0.0;
+    for &(w, p) in &CELL_WIDTHS {
+        acc += p;
+        if r < acc {
+            return w;
+        }
+    }
+    CELL_WIDTHS[CELL_WIDTHS.len() - 1].0
+}
+
+fn pow2_grid(target: f64) -> usize {
+    let mut g = 16usize;
+    while (g as f64) < target && g < 128 {
+        g <<= 1;
+    }
+    g
+}
+
+/// Places movable cells compactly in id (= cluster) order, skipping macro
+/// footprints: a deterministic, near-legal reference placement used for
+/// capacity calibration and as the generated design's starting point.
+pub fn tile_placement(design: &mut Design) {
+    let die = design.die();
+    let rows: Vec<Row> = design.rows().to_vec();
+    let macro_rects: Vec<Rect> = design
+        .macros()
+        .map(|m| design.cell_rect(m).expanded(0.4))
+        .collect();
+
+    // Total width to place vs. row capacity determines the per-cell gap.
+    let movable: Vec<CellId> = design.movable_cells().collect();
+    let total_w: f64 = movable.iter().map(|&c| design.cell(c).w).sum();
+    let mut row_capacity = 0.0;
+    for row in &rows {
+        let mut cap = row.width();
+        for m in &macro_rects {
+            if m.lo.y < row.y + row.height && row.y < m.hi.y {
+                cap -= (m.hi.x.min(row.x1) - m.lo.x.max(row.x0)).max(0.0);
+            }
+        }
+        row_capacity += cap.max(0.0);
+    }
+    let slack = ((row_capacity / total_w.max(1e-9)) - 1.0).max(0.0);
+
+    let mut row_i = 0usize;
+    let mut cursor = rows.first().map(|r| r.x0).unwrap_or(0.0);
+    for &cid in &movable {
+        let cw = design.cell(cid).w;
+        let gap = cw * slack;
+        loop {
+            if row_i >= rows.len() {
+                // Out of rows (should not happen with util < 1): stack at top.
+                row_i = rows.len() - 1;
+                break;
+            }
+            let row = rows[row_i];
+            // Skip macro spans.
+            let y_lo = row.y;
+            let y_hi = row.y + row.height;
+            let mut moved = false;
+            for m in &macro_rects {
+                if m.lo.y < y_hi
+                    && y_lo < m.hi.y
+                    && cursor + cw > m.lo.x
+                    && cursor < m.hi.x
+                {
+                    cursor = m.hi.x;
+                    moved = true;
+                }
+            }
+            if cursor + cw <= row.x1 {
+                break;
+            }
+            if !moved || cursor + cw > row.x1 {
+                row_i += 1;
+                cursor = rows.get(row_i).map(|r| r.x0).unwrap_or(0.0);
+            }
+        }
+        let row = rows[row_i.min(rows.len() - 1)];
+        let p = Point::new(cursor + cw / 2.0, row.y + row.height / 2.0);
+        design.set_pos(cid, die.clamp_point(p));
+        cursor += cw + gap;
+    }
+}
+
+/// Routes the design's **current placement** and rescales the layer stack
+/// so that the requested per-direction demand quantile exactly saturates
+/// capacity: `margin = 0.9` leaves ~10 % of G-cells over capacity.
+///
+/// The generator applies this once against the compact tile placement;
+/// the experiment harness re-applies it against a wirelength-driven
+/// placement to pin each design's congestion stress to a calibrated
+/// baseline level (the per-design "technology" choice).
+pub fn calibrate_routing(design: &Design, margin: f64) -> RoutingSpec {
+    let cfg = RouterConfig {
+        passes: 1,
+        z_candidates: 2,
+        ..RouterConfig::default()
+    };
+    let result = GlobalRouter::new(cfg).route(design);
+
+    let cap_h = quantile(result.maps.h_demand.as_slice(), margin).max(4.0);
+    let cap_v = quantile(result.maps.v_demand.as_slice(), margin).max(4.0);
+
+    let spec = design.routing();
+    let n_h = spec.layers.iter().filter(|l| l.dir == Dir::Horizontal).count();
+    let n_v = spec.layers.len() - n_h;
+    let layers = spec
+        .layers
+        .iter()
+        .map(|l| RoutingLayer {
+            name: l.name.clone(),
+            dir: l.dir,
+            capacity: match l.dir {
+                Dir::Horizontal => cap_h / n_h.max(1) as f64,
+                Dir::Vertical => cap_v / n_v.max(1) as f64,
+            },
+        })
+        .collect();
+    RoutingSpec {
+        layers,
+        gx: spec.gx,
+        gy: spec.gy,
+    }
+}
+
+/// Applies [`calibrate_routing`] to the generator's tile placement.
+fn calibrate_capacity(design: &mut Design, params: &GenParams) {
+    let spec = calibrate_routing(design, params.congestion_margin);
+    design.set_routing(spec);
+}
+
+fn quantile(values: &[f64], q: f64) -> f64 {
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    if v.is_empty() {
+        return 0.0;
+    }
+    let idx = ((v.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    v[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdp_db::DesignStats;
+
+    fn tiny_params() -> GenParams {
+        GenParams {
+            num_cells: 300,
+            num_macros: 2,
+            macro_fraction: 0.15,
+            utilization: 0.6,
+            io_terminals: 8,
+            high_fanout_nets: 2,
+            rail_pitch: 1.0,
+            seed: 7,
+            ..GenParams::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = tiny_params();
+        let a = generate("t", &p);
+        let b = generate("t", &p);
+        assert_eq!(a.num_cells(), b.num_cells());
+        assert_eq!(a.num_nets(), b.num_nets());
+        assert_eq!(a.positions(), b.positions());
+        assert_eq!(a.hpwl(), b.hpwl());
+        assert_eq!(a.routing(), b.routing());
+    }
+
+    #[test]
+    fn structure_matches_params() {
+        let p = tiny_params();
+        let d = generate("t", &p);
+        let s = DesignStats::of(&d);
+        assert_eq!(s.num_movable, 300);
+        assert_eq!(s.num_macros, 2);
+        assert_eq!(s.num_terminals, 8);
+        assert!(s.num_nets > 250);
+        assert!(s.avg_net_degree > 2.0 && s.avg_net_degree < 5.0);
+        assert!(!d.rails().is_empty());
+        assert!(!d.rows().is_empty());
+    }
+
+    #[test]
+    fn utilization_near_target() {
+        let p = tiny_params();
+        let d = generate("t", &p);
+        let u = d.utilization();
+        assert!((u - 0.6).abs() < 0.1, "utilization {u}");
+    }
+
+    #[test]
+    fn tile_placement_keeps_cells_inside_die_and_off_macros() {
+        let p = tiny_params();
+        let d = generate("t", &p);
+        let die = d.die();
+        let macro_rects: Vec<Rect> = d.macros().map(|m| d.cell_rect(m)).collect();
+        for c in d.movable_cells() {
+            let pos = d.pos(c);
+            assert!(die.contains(pos), "cell {c} at {pos} outside die");
+            for m in &macro_rects {
+                assert!(
+                    !m.contains(pos),
+                    "cell {c} at {pos} inside macro {m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn calibrated_capacity_produces_bounded_congestion() {
+        let p = tiny_params();
+        let d = generate("t", &p);
+        let r = GlobalRouter::default().route(&d);
+        let cong = r.congestion.max();
+        // Some congestion must exist (margin < 1) but not be absurd.
+        assert!(cong > 0.0, "no congestion at all");
+        assert!(cong < 20.0, "implausible congestion {cong}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut p2 = tiny_params();
+        p2.seed = 8;
+        let a = generate("t", &tiny_params());
+        let b = generate("t", &p2);
+        assert_ne!(a.hpwl(), b.hpwl());
+    }
+
+    #[test]
+    fn pow2_grid_bounds() {
+        assert_eq!(pow2_grid(10.0), 16);
+        assert_eq!(pow2_grid(17.0), 32);
+        assert_eq!(pow2_grid(1000.0), 128);
+    }
+
+    #[test]
+    fn quantile_basics() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 5.0);
+        assert_eq!(quantile(&v, 0.5), 3.0);
+    }
+}

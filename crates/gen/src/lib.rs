@@ -1,0 +1,56 @@
+//! # rdp-gen — synthetic ISPD-2015-like benchmark suite
+//!
+//! The paper evaluates on the ISPD 2015 detailed-routing-driven placement
+//! contest benchmarks, which are not redistributable here. This crate
+//! generates a deterministic synthetic suite with the same 20 design
+//! names, mirrored relative scale (superblue ≫ matrix_mult ≫ fft), macro
+//! structure, clustered Rent-style connectivity, vertical M2 PG rails, and
+//! per-design routing-capacity stress — everything the paper's three
+//! techniques are sensitive to.
+//!
+//! ```
+//! use rdp_gen::{generate, GenParams};
+//!
+//! let design = generate("demo", &GenParams { num_cells: 500, ..GenParams::default() });
+//! assert_eq!(design.movable_cells().count(), 500);
+//! ```
+//!
+//! The full suite:
+//!
+//! ```no_run
+//! for entry in rdp_gen::ispd2015_suite() {
+//!     let design = rdp_gen::generate(entry.name, &entry.params);
+//!     println!("{}: {} cells", design.name(), design.num_cells());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generate;
+mod params;
+
+pub use generate::{calibrate_routing, generate, tile_placement};
+pub use params::{ispd2015_suite, GenParams, SuiteEntry};
+
+/// Generates one of the 20 named suite designs, or `None` for an unknown
+/// name.
+pub fn generate_named(name: &str) -> Option<rdp_db::Design> {
+    ispd2015_suite()
+        .into_iter()
+        .find(|e| e.name == name)
+        .map(|e| generate(e.name, &e.params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_named_known_and_unknown() {
+        assert!(generate_named("nonexistent").is_none());
+        let d = generate_named("fft_a").expect("fft_a is in the suite");
+        assert_eq!(d.name(), "fft_a");
+        assert!(d.macros().count() > 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Legality verification used by tests and the evaluation flow.
+
+use rdp_db::{CellId, Design};
+
+/// Violations found by [`check_legality`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LegalityReport {
+    /// Pairs of movable cells that overlap with positive area.
+    pub overlaps: usize,
+    /// Movable cells not vertically centered in any row.
+    pub off_row: usize,
+    /// Movable cells whose footprint leaves the die.
+    pub outside_die: usize,
+    /// Movable cells overlapping a macro footprint.
+    pub on_macro: usize,
+}
+
+impl LegalityReport {
+    /// Whether the placement is fully legal.
+    pub fn is_legal(&self) -> bool {
+        self.overlaps == 0 && self.off_row == 0 && self.outside_die == 0 && self.on_macro == 0
+    }
+}
+
+/// Checks row alignment, die containment, macro avoidance, and pairwise
+/// overlap of all movable cells.
+pub fn check_legality(design: &Design) -> LegalityReport {
+    let mut report = LegalityReport::default();
+    let die = design.die();
+    let eps = 1e-6;
+
+    let macro_rects: Vec<_> = design.macros().map(|m| design.cell_rect(m)).collect();
+    let rows = design.rows();
+
+    // Bucket movable cells by row.
+    let mut buckets: Vec<Vec<CellId>> = vec![Vec::new(); rows.len().max(1)];
+    for c in design.movable_cells() {
+        let r = design.cell_rect(c);
+        if r.lo.x < die.lo.x - eps
+            || r.lo.y < die.lo.y - eps
+            || r.hi.x > die.hi.x + eps
+            || r.hi.y > die.hi.y + eps
+        {
+            report.outside_die += 1;
+        }
+        if macro_rects.iter().any(|m| {
+            m.overlap_area(&r) > eps
+        }) {
+            report.on_macro += 1;
+        }
+        let cy = design.pos(c).y;
+        let row = rows
+            .iter()
+            .position(|row| (row.y + row.height / 2.0 - cy).abs() < eps);
+        match row {
+            Some(ri) => buckets[ri].push(c),
+            None => report.off_row += 1,
+        }
+    }
+
+    // Pairwise overlap per row (sweep on x).
+    for bucket in &mut buckets {
+        bucket.sort_by(|&a, &b| design.pos(a).x.total_cmp(&design.pos(b).x));
+        for w in bucket.windows(2) {
+            let a = design.cell_rect(w[0]);
+            let b = design.cell_rect(w[1]);
+            if a.hi.x > b.lo.x + eps {
+                report.overlaps += 1;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdp_db::{Cell, DesignBuilder, Point, Rect, RoutingSpec, Row};
+
+    fn base() -> DesignBuilder {
+        let mut b = DesignBuilder::new("c", Rect::new(0.0, 0.0, 20.0, 4.0));
+        for r in 0..2 {
+            b.add_row(Row {
+                y: r as f64 * 2.0,
+                height: 2.0,
+                x0: 0.0,
+                x1: 20.0,
+                site_w: 0.2,
+            });
+        }
+        b
+    }
+
+    fn finish(mut b: DesignBuilder, a: rdp_db::CellId, c: rdp_db::CellId) -> Design {
+        b.add_net("n", vec![(a, Point::default()), (c, Point::default())]);
+        b.routing(RoutingSpec::uniform(2, 10.0, 4, 4));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn legal_placement_reports_clean() {
+        let mut b = base();
+        let a = b.add_cell(Cell::std("a", 2.0, 2.0), Point::new(1.0, 1.0));
+        let c = b.add_cell(Cell::std("b", 2.0, 2.0), Point::new(5.0, 3.0));
+        let d = finish(b, a, c);
+        assert!(check_legality(&d).is_legal());
+    }
+
+    #[test]
+    fn detects_overlap_and_off_row() {
+        let mut b = base();
+        let a = b.add_cell(Cell::std("a", 2.0, 2.0), Point::new(1.0, 1.0));
+        let c = b.add_cell(Cell::std("b", 2.0, 2.0), Point::new(2.0, 1.0));
+        let d = finish(b, a, c);
+        let r = check_legality(&d);
+        assert_eq!(r.overlaps, 1);
+        assert!(!r.is_legal());
+
+        let mut b = base();
+        let a = b.add_cell(Cell::std("a", 2.0, 2.0), Point::new(1.0, 1.3));
+        let c = b.add_cell(Cell::std("b", 2.0, 2.0), Point::new(5.0, 1.0));
+        let d = finish(b, a, c);
+        assert_eq!(check_legality(&d).off_row, 1);
+    }
+
+    #[test]
+    fn detects_outside_die() {
+        let mut b = base();
+        let a = b.add_cell(Cell::std("a", 2.0, 2.0), Point::new(19.5, 1.0));
+        let c = b.add_cell(Cell::std("b", 2.0, 2.0), Point::new(5.0, 1.0));
+        let d = finish(b, a, c);
+        assert_eq!(check_legality(&d).outside_die, 1);
+    }
+
+    #[test]
+    fn detects_macro_overlap() {
+        let mut b = base();
+        let m = b.add_cell(Cell::fixed_macro("m", 4.0, 2.0), Point::new(10.0, 1.0));
+        let a = b.add_cell(Cell::std("a", 2.0, 2.0), Point::new(9.0, 1.0));
+        let d = finish(b, m, a);
+        assert_eq!(check_legality(&d).on_macro, 1);
+    }
+}

@@ -1,0 +1,304 @@
+//! Greedy detailed placement: order-preserving in-row re-optimization and
+//! HPWL-driven adjacent swaps.
+
+use crate::legalize::abacus;
+use crate::segments::{build_segments, Segment};
+use rdp_db::{CellId, Design, NetId, Point};
+
+/// Configuration for [`detailed_place`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetailedConfig {
+    /// Number of improvement passes.
+    pub passes: usize,
+}
+
+impl Default for DetailedConfig {
+    fn default() -> Self {
+        DetailedConfig { passes: 2 }
+    }
+}
+
+/// Runs detailed placement on an already-legal design; returns the HPWL
+/// improvement (positive = better). Legality is preserved.
+pub fn detailed_place(design: &mut Design, cfg: &DetailedConfig) -> f64 {
+    detailed_impl(design, cfg, None)
+}
+
+/// Detailed placement that moves cells by their **virtual widths** (see
+/// [`crate::legalize_virtual`]): the congestion-driven spacing from
+/// inflation is preserved through the swap and shift moves.
+///
+/// # Panics
+///
+/// Panics if `virtual_widths.len() != design.num_cells()`.
+pub fn detailed_place_virtual(
+    design: &mut Design,
+    cfg: &DetailedConfig,
+    virtual_widths: &[f64],
+) -> f64 {
+    assert_eq!(virtual_widths.len(), design.num_cells());
+    detailed_impl(design, cfg, Some(virtual_widths))
+}
+
+fn detailed_impl(
+    design: &mut Design,
+    cfg: &DetailedConfig,
+    virtual_widths: Option<&[f64]>,
+) -> f64 {
+    let before = design.hpwl();
+    let segments = build_segments(design);
+    let eps = 1e-6;
+
+    for _ in 0..cfg.passes.max(1) {
+        // Group movable cells by segment.
+        let mut per_seg: Vec<Vec<CellId>> = vec![Vec::new(); segments.len()];
+        for c in design.movable_cells() {
+            let p = design.pos(c);
+            if let Some(si) = segments.iter().position(|s| {
+                (s.y + s.height / 2.0 - p.y).abs() < eps && p.x >= s.x0 - eps && p.x <= s.x1 + eps
+            }) {
+                per_seg[si].push(c);
+            }
+        }
+        for cells in &mut per_seg {
+            cells.sort_by(|&a, &b| design.pos(a).x.total_cmp(&design.pos(b).x));
+        }
+
+        // (a) adjacent swaps driven by HPWL delta. After an accepted swap
+        // the next pair is skipped, so every swap stays inside its own
+        // pair extent and legality is preserved.
+        for cells in &per_seg {
+            let mut i = 0;
+            while i + 1 < cells.len() {
+                if try_swap(design, cells[i], cells[i + 1], virtual_widths) {
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        // (b) order-preserving in-row shift toward each cell's optimal x.
+        for (si, cells) in per_seg.iter().enumerate() {
+            if cells.is_empty() {
+                continue;
+            }
+            shift_row(design, &segments[si], cells, virtual_widths);
+        }
+    }
+    before - design.hpwl()
+}
+
+/// Swaps two same-row neighbors (`a` left of `b`) by exchanging their
+/// extents — `b` moves to `a`'s left edge, `a` to `b`'s right edge — when
+/// that reduces the HPWL of their nets. Returns whether the swap was kept.
+/// Both new footprints stay inside the union of the old ones, so no other
+/// cell can be collided with.
+fn try_swap(
+    design: &mut Design,
+    a: CellId,
+    b: CellId,
+    virtual_widths: Option<&[f64]>,
+) -> bool {
+    let width_of = |c: CellId| -> f64 {
+        let real = design.cell(c).w;
+        virtual_widths.map(|v| v[c.index()].max(real)).unwrap_or(real)
+    };
+    let (wa, wb) = (width_of(a), width_of(b));
+    let nets = affected_nets(design, a, b);
+    let before: f64 = nets.iter().map(|&n| design.net_hpwl(n)).sum();
+    let (pa, pb) = (design.pos(a), design.pos(b));
+    let new_pa = Point::new(pb.x + wb / 2.0 - wa / 2.0, pa.y);
+    let new_pb = Point::new(pa.x - wa / 2.0 + wb / 2.0, pb.y);
+    design.set_pos(a, new_pa);
+    design.set_pos(b, new_pb);
+    let after: f64 = nets.iter().map(|&n| design.net_hpwl(n)).sum();
+    if after >= before {
+        design.set_pos(a, pa);
+        design.set_pos(b, pb);
+        return false;
+    }
+    true
+}
+
+fn affected_nets(design: &Design, a: CellId, b: CellId) -> Vec<NetId> {
+    let mut nets: Vec<NetId> = design
+        .pins_of_cell(a)
+        .iter()
+        .chain(design.pins_of_cell(b))
+        .map(|&p| design.pin(p).net)
+        .collect();
+    nets.sort_unstable();
+    nets.dedup();
+    nets
+}
+
+/// Order-preserving Abacus shift of a row's cells toward the x that
+/// minimizes each cell's connected-net HPWL (the median of the other pin
+/// positions).
+fn shift_row(
+    design: &mut Design,
+    seg: &Segment,
+    cells: &[CellId],
+    virtual_widths: Option<&[f64]>,
+) {
+    let widths: Vec<f64> = cells
+        .iter()
+        .map(|&c| {
+            let real = design.cell(c).w;
+            virtual_widths
+                .map(|v| v[c.index()].max(real))
+                .unwrap_or(real)
+        })
+        .collect();
+    let mut desired: Vec<f64> = Vec::with_capacity(cells.len());
+    for (&c, w) in cells.iter().zip(&widths) {
+        let ox = optimal_x(design, c).unwrap_or(design.pos(c).x);
+        desired.push(ox - w / 2.0);
+    }
+    // Keep the current order (Abacus requires sorted desired input to
+    // avoid reordering): clamp each desired to be ≥ its predecessor.
+    for i in 1..desired.len() {
+        if desired[i] < desired[i - 1] {
+            desired[i] = desired[i - 1];
+        }
+    }
+    let lefts = abacus(&desired, &widths, seg.x0, seg.x1);
+    // Only the nets touching this segment's cells can change.
+    let mut nets: Vec<NetId> = cells
+        .iter()
+        .flat_map(|&c| design.pins_of_cell(c).iter().map(|&p| design.pin(p).net))
+        .collect();
+    nets.sort_unstable();
+    nets.dedup();
+    let hpwl_before: f64 = nets.iter().map(|&n| design.net_hpwl(n)).sum();
+    let old: Vec<Point> = cells.iter().map(|&c| design.pos(c)).collect();
+    // Snap to sites, monotone.
+    let mut cursor = seg.x0;
+    for ((&c, w), l) in cells.iter().zip(&widths).zip(&lefts) {
+        let k = ((l - seg.x0) / seg.site_w).floor().max(0.0);
+        let x = (seg.x0 + k * seg.site_w).max(cursor).min(seg.x1 - w);
+        design.set_pos(c, Point::new(x + w / 2.0, seg.y + seg.height / 2.0));
+        cursor = x + w;
+    }
+    let hpwl_after: f64 = nets.iter().map(|&n| design.net_hpwl(n)).sum();
+    if hpwl_after > hpwl_before {
+        for (&c, &p) in cells.iter().zip(&old) {
+            design.set_pos(c, p);
+        }
+    }
+}
+
+/// The x minimizing the cell's total connected HPWL: median of the other
+/// pins' x positions over all its nets.
+fn optimal_x(design: &Design, c: CellId) -> Option<f64> {
+    let mut xs: Vec<f64> = Vec::new();
+    for &pid in design.pins_of_cell(c) {
+        let net = design.pin(pid).net;
+        for &q in &design.net(net).pins {
+            if design.pin(q).cell != c {
+                xs.push(design.pin_position(q).x);
+            }
+        }
+    }
+    if xs.is_empty() {
+        return None;
+    }
+    xs.sort_by(f64::total_cmp);
+    Some(xs[xs.len() / 2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_legality;
+    use rdp_db::{Cell, DesignBuilder, Rect, RoutingSpec, Row};
+
+    /// Two cells placed in swapped order relative to their connections:
+    /// detailed placement must swap them.
+    #[test]
+    fn swap_improves_crossed_connections() {
+        let mut b = DesignBuilder::new("d", Rect::new(0.0, 0.0, 40.0, 2.0));
+        b.add_row(Row {
+            y: 0.0,
+            height: 2.0,
+            x0: 0.0,
+            x1: 40.0,
+            site_w: 0.2,
+        });
+        let left_io = b.add_cell(Cell::terminal("l"), Point::new(0.0, 1.0));
+        let right_io = b.add_cell(Cell::terminal("r"), Point::new(40.0, 1.0));
+        // a wants to be right, b wants to be left — but placed crossed.
+        let a = b.add_cell(Cell::std("a", 2.0, 2.0), Point::new(19.0, 1.0));
+        let c = b.add_cell(Cell::std("b", 2.0, 2.0), Point::new(21.0, 1.0));
+        b.add_net("na", vec![(a, Point::default()), (right_io, Point::default())]);
+        b.add_net("nb", vec![(c, Point::default()), (left_io, Point::default())]);
+        b.routing(RoutingSpec::uniform(2, 10.0, 4, 4));
+        let mut d = b.build().unwrap();
+        let improved = detailed_place(&mut d, &DetailedConfig::default());
+        assert!(improved > 0.0, "no improvement: {improved}");
+        assert!(design_x(&d, a) > design_x(&d, c), "cells not swapped");
+        assert!(check_legality(&d).is_legal());
+    }
+
+    fn design_x(d: &Design, c: CellId) -> f64 {
+        d.pos(c).x
+    }
+
+    #[test]
+    fn shift_moves_cell_toward_its_net() {
+        let mut b = DesignBuilder::new("d", Rect::new(0.0, 0.0, 40.0, 2.0));
+        b.add_row(Row {
+            y: 0.0,
+            height: 2.0,
+            x0: 0.0,
+            x1: 40.0,
+            site_w: 0.2,
+        });
+        let io = b.add_cell(Cell::terminal("io"), Point::new(40.0, 1.0));
+        let a = b.add_cell(Cell::std("a", 2.0, 2.0), Point::new(5.0, 1.0));
+        b.add_net("n", vec![(a, Point::default()), (io, Point::default())]);
+        b.routing(RoutingSpec::uniform(2, 10.0, 4, 4));
+        let mut d = b.build().unwrap();
+        let improved = detailed_place(&mut d, &DetailedConfig::default());
+        assert!(improved > 0.0);
+        // Cell slides right toward the terminal (clamped by the row edge).
+        assert!(d.pos(a).x > 30.0, "x = {}", d.pos(a).x);
+        assert!(check_legality(&d).is_legal());
+    }
+
+    #[test]
+    fn detailed_never_degrades_hpwl() {
+        let mut b = DesignBuilder::new("d", Rect::new(0.0, 0.0, 40.0, 4.0));
+        for r in 0..2 {
+            b.add_row(Row {
+                y: r as f64 * 2.0,
+                height: 2.0,
+                x0: 0.0,
+                x1: 40.0,
+                site_w: 0.2,
+            });
+        }
+        let mut ids = Vec::new();
+        for i in 0..16 {
+            let x = 1.0 + (i % 8) as f64 * 4.8;
+            let y = if i < 8 { 1.0 } else { 3.0 };
+            ids.push(b.add_cell(Cell::std(format!("c{i}"), 1.6, 2.0), Point::new(x, y)));
+        }
+        for i in 0..12 {
+            b.add_net(
+                format!("n{i}"),
+                vec![
+                    (ids[i], Point::default()),
+                    (ids[(i * 7 + 3) % 16], Point::default()),
+                ],
+            );
+        }
+        b.routing(RoutingSpec::uniform(2, 10.0, 4, 4));
+        let mut d = b.build().unwrap();
+        let improved = detailed_place(&mut d, &DetailedConfig { passes: 3 });
+        assert!(improved >= -1e-9);
+        let rep = check_legality(&d);
+        assert!(rep.is_legal(), "{rep:?}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Row segmentation: placement rows split into free intervals around
+//! macro footprints.
+
+use rdp_db::{Design, Rect};
+
+/// A free interval of one placement row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Row index into `design.rows()`.
+    pub row: usize,
+    /// Bottom y of the row.
+    pub y: f64,
+    /// Row height.
+    pub height: f64,
+    /// Site width of the row.
+    pub site_w: f64,
+    /// Left edge of the free interval.
+    pub x0: f64,
+    /// Right edge of the free interval.
+    pub x1: f64,
+}
+
+impl Segment {
+    /// Usable width.
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+}
+
+/// Splits every row of the design into free segments not covered by fixed
+/// macros. Segments narrower than one site are dropped.
+pub fn build_segments(design: &Design) -> Vec<Segment> {
+    let macro_rects: Vec<Rect> = design.macros().map(|m| design.cell_rect(m)).collect();
+    let mut segments = Vec::new();
+    for (ri, row) in design.rows().iter().enumerate() {
+        let y_lo = row.y;
+        let y_hi = row.y + row.height;
+        // Blocked x-intervals in this row.
+        let mut blocked: Vec<(f64, f64)> = macro_rects
+            .iter()
+            .filter(|m| m.lo.y < y_hi && y_lo < m.hi.y)
+            .map(|m| (m.lo.x.max(row.x0), m.hi.x.min(row.x1)))
+            .filter(|(a, b)| b > a)
+            .collect();
+        blocked.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // Merge overlapping intervals.
+        let mut merged: Vec<(f64, f64)> = Vec::new();
+        for (a, b) in blocked {
+            match merged.last_mut() {
+                Some(last) if a <= last.1 => last.1 = last.1.max(b),
+                _ => merged.push((a, b)),
+            }
+        }
+        // Complement.
+        let mut x = row.x0;
+        for (a, b) in &merged {
+            if *a - x >= row.site_w {
+                segments.push(Segment {
+                    row: ri,
+                    y: row.y,
+                    height: row.height,
+                    site_w: row.site_w,
+                    x0: x,
+                    x1: *a,
+                });
+            }
+            x = *b;
+        }
+        if row.x1 - x >= row.site_w {
+            segments.push(Segment {
+                row: ri,
+                y: row.y,
+                height: row.height,
+                site_w: row.site_w,
+                x0: x,
+                x1: row.x1,
+            });
+        }
+    }
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdp_db::{Cell, DesignBuilder, Point, Rect, RoutingSpec, Row};
+
+    fn design_with_macro() -> Design {
+        let mut b = DesignBuilder::new("s", Rect::new(0.0, 0.0, 100.0, 10.0));
+        let m = b.add_cell(Cell::fixed_macro("m", 20.0, 4.0), Point::new(50.0, 4.0));
+        let a = b.add_cell(Cell::std("a", 1.0, 2.0), Point::new(10.0, 1.0));
+        b.add_net("n", vec![(m, Point::default()), (a, Point::default())]);
+        for r in 0..5 {
+            b.add_row(Row {
+                y: r as f64 * 2.0,
+                height: 2.0,
+                x0: 0.0,
+                x1: 100.0,
+                site_w: 0.2,
+            });
+        }
+        b.routing(RoutingSpec::uniform(4, 10.0, 8, 8));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn rows_without_macro_are_one_segment() {
+        let d = design_with_macro();
+        let segs = build_segments(&d);
+        // Macro spans y in [2,6): rows 1 and 2 are split, rows 0, 3, 4 whole.
+        let whole: Vec<_> = segs.iter().filter(|s| s.width() == 100.0).collect();
+        assert_eq!(whole.len(), 3);
+    }
+
+    #[test]
+    fn macro_rows_are_split_around_footprint() {
+        let d = design_with_macro();
+        let segs = build_segments(&d);
+        let row1: Vec<_> = segs.iter().filter(|s| s.row == 1).collect();
+        assert_eq!(row1.len(), 2);
+        assert_eq!(row1[0].x0, 0.0);
+        assert_eq!(row1[0].x1, 40.0);
+        assert_eq!(row1[1].x0, 60.0);
+        assert_eq!(row1[1].x1, 100.0);
+    }
+
+    #[test]
+    fn segments_never_overlap_macros() {
+        let d = design_with_macro();
+        let m = d.cell_rect(rdp_db::CellId(0));
+        for s in build_segments(&d) {
+            let seg_rect = Rect::new(s.x0, s.y, s.x1, s.y + s.height);
+            assert!(!seg_rect.intersects(&m), "{s:?} overlaps macro");
+        }
+    }
+}

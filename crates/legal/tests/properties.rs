@@ -1,0 +1,96 @@
+//! Property tests for legalization on arbitrary inputs.
+
+use proptest::prelude::*;
+use rdp_db::{Cell, CellId, Design, DesignBuilder, Point, Rect, RoutingSpec, Row};
+use rdp_legal::{check_legality, legalize, legalize_virtual, LegalizeConfig};
+
+/// Builds a design with `n` cells at arbitrary positions in a fixed
+/// 2-row-per-10µm floorplan.
+fn design_with(positions: Vec<(f64, f64, f64)>) -> Design {
+    let mut b = DesignBuilder::new("p", Rect::new(0.0, 0.0, 60.0, 20.0));
+    for r in 0..10 {
+        b.add_row(Row {
+            y: r as f64 * 2.0,
+            height: 2.0,
+            x0: 0.0,
+            x1: 60.0,
+            site_w: 0.2,
+        });
+    }
+    let ids: Vec<CellId> = positions
+        .iter()
+        .enumerate()
+        .map(|(i, &(x, y, w))| {
+            b.add_cell(
+                Cell::std(format!("c{i}"), w, 2.0),
+                Point::new(x, y),
+            )
+        })
+        .collect();
+    for pair in ids.chunks(2) {
+        if let [a, c] = pair {
+            b.add_net(
+                format!("n{a}"),
+                vec![(*a, Point::default()), (*c, Point::default())],
+            );
+        }
+    }
+    b.routing(RoutingSpec::uniform(4, 10.0, 8, 8));
+    b.build().unwrap()
+}
+
+fn arb_cells() -> impl Strategy<Value = Vec<(f64, f64, f64)>> {
+    prop::collection::vec(
+        (
+            -5.0f64..65.0,       // x, possibly outside the die
+            -3.0f64..23.0,       // y, possibly off-row
+            prop::sample::select(vec![0.8, 1.2, 1.6, 2.4]),
+        ),
+        2..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any input — including cells far outside the die — legalizes to a
+    /// clean placement.
+    #[test]
+    fn legalize_handles_arbitrary_positions(cells in arb_cells()) {
+        let mut d = design_with(cells);
+        let report = legalize(&mut d, &LegalizeConfig::default());
+        prop_assert_eq!(report.failed, 0);
+        let check = check_legality(&d);
+        prop_assert!(check.is_legal(), "{:?}", check);
+    }
+
+    /// Virtual-width legalization is legal for the real widths and keeps
+    /// at least the virtual spacing between same-row neighbors.
+    #[test]
+    fn legalize_virtual_keeps_spacing(cells in arb_cells(), extra in 1.0f64..1.4) {
+        let mut d = design_with(cells);
+        let widths: Vec<f64> = d.cells().iter().map(|c| c.w * extra).collect();
+        let report = legalize_virtual(&mut d, &LegalizeConfig::default(), &widths);
+        prop_assert_eq!(report.failed, 0);
+        let check = check_legality(&d);
+        prop_assert!(check.is_legal(), "{:?}", check);
+    }
+
+    /// Re-legalizing an already-legal placement is cheap: the second run
+    /// stays legal and moves cells far less on average than a typical
+    /// from-scratch run (individual cells may still hop a row when the
+    /// crowding heuristic re-balances).
+    #[test]
+    fn relegalization_is_cheap(cells in arb_cells()) {
+        let mut d = design_with(cells);
+        legalize(&mut d, &LegalizeConfig::default());
+        let report = legalize(&mut d, &LegalizeConfig::default());
+        prop_assert_eq!(report.failed, 0);
+        prop_assert!(check_legality(&d).is_legal());
+        prop_assert!(
+            report.avg_displacement < 2.0,
+            "avg displacement {}",
+            report.avg_displacement
+        );
+    }
+}

@@ -1,0 +1,457 @@
+//! Bookshelf-lite reader and writer.
+//!
+//! The classic GSRC Bookshelf placement format (.nodes/.nets/.pl/.scl)
+//! extended with two small files the format lacks but the routability
+//! flow needs:
+//!
+//! * `.route` — G-cell grid dimensions and per-layer directions/capacities,
+//! * `.pg`    — power/ground rail rectangles.
+//!
+//! All geometry is written in microns with cell positions as **lower-left
+//! corners** (the Bookshelf convention; the database stores centers).
+
+use std::collections::HashMap;
+
+use rdp_db::{
+    Cell, CellId, CellKind, Design, DesignBuilder, Dir, PgRail, Point, Rect, RoutingLayer,
+    RoutingSpec, Row,
+};
+
+use crate::error::ParseDesignError;
+
+/// The in-memory contents of a Bookshelf-lite design bundle.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BookshelfFiles {
+    /// `.nodes` — cell names and sizes.
+    pub nodes: String,
+    /// `.nets` — hyperedges with pin offsets.
+    pub nets: String,
+    /// `.pl` — placements (lower-left corners).
+    pub pl: String,
+    /// `.scl` — placement rows.
+    pub scl: String,
+    /// `.route` — routing grid + layer stack (extension).
+    pub route: String,
+    /// `.pg` — PG rails (extension).
+    pub pg: String,
+}
+
+/// Serializes a design to Bookshelf-lite strings.
+pub fn write_bookshelf(design: &Design) -> BookshelfFiles {
+    let mut nodes = String::new();
+    nodes.push_str("UCLA nodes 1.0\n");
+    nodes.push_str(&format!("NumNodes : {}\n", design.num_cells()));
+    let n_fixed = design.cells().iter().filter(|c| c.fixed).count();
+    nodes.push_str(&format!("NumTerminals : {n_fixed}\n"));
+    for c in design.cells() {
+        if c.fixed {
+            nodes.push_str(&format!("{} {} {} terminal\n", c.name, c.w, c.h));
+        } else {
+            nodes.push_str(&format!("{} {} {}\n", c.name, c.w, c.h));
+        }
+    }
+
+    let mut nets = String::new();
+    nets.push_str("UCLA nets 1.0\n");
+    nets.push_str(&format!("NumNets : {}\n", design.num_nets()));
+    nets.push_str(&format!("NumPins : {}\n", design.num_pins()));
+    for net in design.nets() {
+        nets.push_str(&format!(
+            "NetDegree : {} {}\n",
+            net.pins.len(),
+            net.name
+        ));
+        for &p in &net.pins {
+            let pin = design.pin(p);
+            let cell = design.cell(pin.cell);
+            nets.push_str(&format!(
+                "  {} B : {} {}\n",
+                cell.name, pin.offset.x, pin.offset.y
+            ));
+        }
+    }
+
+    let mut pl = String::new();
+    pl.push_str("UCLA pl 1.0\n");
+    for (i, c) in design.cells().iter().enumerate() {
+        let p = design.positions()[i];
+        let (x, y) = (p.x - c.w / 2.0, p.y - c.h / 2.0);
+        if c.fixed {
+            pl.push_str(&format!("{} {} {} : N /FIXED\n", c.name, x, y));
+        } else {
+            pl.push_str(&format!("{} {} {} : N\n", c.name, x, y));
+        }
+    }
+
+    let mut scl = String::new();
+    scl.push_str("UCLA scl 1.0\n");
+    scl.push_str(&format!("NumRows : {}\n", design.rows().len()));
+    let die = design.die();
+    scl.push_str(&format!(
+        "DieArea : {} {} {} {}\n",
+        die.lo.x, die.lo.y, die.hi.x, die.hi.y
+    ));
+    for r in design.rows() {
+        scl.push_str(&format!(
+            "CoreRow {} {} {} {} {}\n",
+            r.y, r.height, r.x0, r.x1, r.site_w
+        ));
+    }
+
+    let spec = design.routing();
+    let mut route = String::new();
+    route.push_str(&format!("Grid : {} {}\n", spec.gx, spec.gy));
+    route.push_str(&format!("NumLayers : {}\n", spec.num_layers()));
+    for l in &spec.layers {
+        route.push_str(&format!("Layer {} {} {}\n", l.name, l.dir, l.capacity));
+    }
+
+    let mut pg = String::new();
+    pg.push_str(&format!("NumRails : {}\n", design.rails().len()));
+    for r in design.rails() {
+        pg.push_str(&format!(
+            "Rail {} {} {} {} {} {}\n",
+            r.layer, r.dir, r.rect.lo.x, r.rect.lo.y, r.rect.hi.x, r.rect.hi.y
+        ));
+    }
+
+    BookshelfFiles {
+        nodes,
+        nets,
+        pl,
+        scl,
+        route,
+        pg,
+    }
+}
+
+/// Parses a Bookshelf-lite bundle back into a design.
+///
+/// # Errors
+///
+/// Returns [`ParseDesignError`] on malformed content, unknown cell
+/// references, or inconsistent counts.
+pub fn read_bookshelf(name: &str, files: &BookshelfFiles) -> Result<Design, ParseDesignError> {
+    // --- scl: die + rows -------------------------------------------------
+    let mut die: Option<Rect> = None;
+    let mut rows: Vec<Row> = Vec::new();
+    for (ln, line) in files.scl.lines().enumerate() {
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        match toks.as_slice() {
+            ["DieArea", ":", a, b, c, d] => {
+                die = Some(Rect::new(
+                    num("scl", ln, a)?,
+                    num("scl", ln, b)?,
+                    num("scl", ln, c)?,
+                    num("scl", ln, d)?,
+                ));
+            }
+            ["CoreRow", y, h, x0, x1, sw] => rows.push(Row {
+                y: num("scl", ln, y)?,
+                height: num("scl", ln, h)?,
+                x0: num("scl", ln, x0)?,
+                x1: num("scl", ln, x1)?,
+                site_w: num("scl", ln, sw)?,
+            }),
+            _ => {}
+        }
+    }
+    let die = die.ok_or_else(|| ParseDesignError::new("scl", None, "missing DieArea"))?;
+
+    // --- nodes ------------------------------------------------------------
+    struct NodeRec {
+        w: f64,
+        h: f64,
+        fixed: bool,
+    }
+    let mut node_names: Vec<String> = Vec::new();
+    let mut node_recs: Vec<NodeRec> = Vec::new();
+    for (ln, line) in files.nodes.lines().enumerate() {
+        if line.starts_with("UCLA") || line.contains(':') || line.trim().is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.len() < 3 {
+            return Err(ParseDesignError::new("nodes", Some(ln + 1), "short line"));
+        }
+        node_names.push(toks[0].to_string());
+        node_recs.push(NodeRec {
+            w: num("nodes", ln, toks[1])?,
+            h: num("nodes", ln, toks[2])?,
+            fixed: toks.get(3) == Some(&"terminal"),
+        });
+    }
+
+    // --- pl ----------------------------------------------------------------
+    let mut pos: HashMap<String, Point> = HashMap::new();
+    for (ln, line) in files.pl.lines().enumerate() {
+        if line.starts_with("UCLA") || line.trim().is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.len() < 3 {
+            return Err(ParseDesignError::new("pl", Some(ln + 1), "short line"));
+        }
+        pos.insert(
+            toks[0].to_string(),
+            Point::new(num("pl", ln, toks[1])?, num("pl", ln, toks[2])?),
+        );
+    }
+
+    // --- builder with cells --------------------------------------------------
+    let mut b = DesignBuilder::new(name, die);
+    let mut ids: HashMap<String, CellId> = HashMap::new();
+    let row_h = rows.first().map(|r| r.height).unwrap_or(1.0);
+    for (nm, rec) in node_names.iter().zip(&node_recs) {
+        let ll = pos.get(nm).copied().unwrap_or_default();
+        let center = Point::new(ll.x + rec.w / 2.0, ll.y + rec.h / 2.0);
+        let cell = if rec.fixed && rec.w == 0.0 && rec.h == 0.0 {
+            Cell::terminal(nm.clone())
+        } else if rec.fixed && rec.h > row_h * 1.5 {
+            Cell::fixed_macro(nm.clone(), rec.w, rec.h)
+        } else if rec.fixed {
+            Cell {
+                name: nm.clone(),
+                kind: CellKind::Std,
+                w: rec.w,
+                h: rec.h,
+                fixed: true,
+            }
+        } else {
+            Cell::std(nm.clone(), rec.w, rec.h)
+        };
+        ids.insert(nm.clone(), b.add_cell(cell, center));
+    }
+    for r in rows {
+        b.add_row(r);
+    }
+
+    // --- nets -----------------------------------------------------------------
+    let mut current: Option<(String, Vec<(CellId, Point)>)> = None;
+    let flush =
+        |b: &mut DesignBuilder, cur: &mut Option<(String, Vec<(CellId, Point)>)>| {
+            if let Some((name, pins)) = cur.take() {
+                b.add_net(name, pins);
+            }
+        };
+    for (ln, line) in files.nets.lines().enumerate() {
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        match toks.as_slice() {
+            ["NetDegree", ":", _k, name] => {
+                flush(&mut b, &mut current);
+                current = Some(((*name).to_string(), Vec::new()));
+            }
+            [cell, _dir, ":", ox, oy] => {
+                let id = *ids.get(*cell).ok_or_else(|| {
+                    ParseDesignError::new("nets", Some(ln + 1), format!("unknown cell `{cell}`"))
+                })?;
+                if let Some((_, pins)) = current.as_mut() {
+                    pins.push((id, Point::new(num("nets", ln, ox)?, num("nets", ln, oy)?)));
+                }
+            }
+            _ => {}
+        }
+    }
+    flush(&mut b, &mut current);
+
+    // --- pg ----------------------------------------------------------------------
+    for (ln, line) in files.pg.lines().enumerate() {
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if let ["Rail", layer, dir, a, c, d, e] = toks.as_slice() {
+            b.add_rail(PgRail {
+                layer: layer.parse().map_err(|_| {
+                    ParseDesignError::new("pg", Some(ln + 1), "bad layer index")
+                })?,
+                dir: parse_dir("pg", ln, dir)?,
+                rect: Rect::new(
+                    num("pg", ln, a)?,
+                    num("pg", ln, c)?,
+                    num("pg", ln, d)?,
+                    num("pg", ln, e)?,
+                ),
+            });
+        }
+    }
+
+    // --- route ---------------------------------------------------------------------
+    let mut gx = 16usize;
+    let mut gy = 16usize;
+    let mut layers: Vec<RoutingLayer> = Vec::new();
+    for (ln, line) in files.route.lines().enumerate() {
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        match toks.as_slice() {
+            ["Grid", ":", a, bb] => {
+                gx = a.parse().map_err(|_| {
+                    ParseDesignError::new("route", Some(ln + 1), "bad grid x")
+                })?;
+                gy = bb.parse().map_err(|_| {
+                    ParseDesignError::new("route", Some(ln + 1), "bad grid y")
+                })?;
+            }
+            ["Layer", name, dir, cap] => layers.push(RoutingLayer {
+                name: (*name).to_string(),
+                dir: parse_dir("route", ln, dir)?,
+                capacity: num("route", ln, cap)?,
+            }),
+            _ => {}
+        }
+    }
+    if layers.is_empty() {
+        return Err(ParseDesignError::new("route", None, "no layers"));
+    }
+    b.routing(RoutingSpec { layers, gx, gy });
+
+    b.build()
+        .map_err(|e| ParseDesignError::new("build", None, e.to_string()))
+}
+
+fn num(ctx: &str, line: usize, tok: &str) -> Result<f64, ParseDesignError> {
+    tok.parse()
+        .map_err(|_| ParseDesignError::new(ctx, Some(line + 1), format!("bad number `{tok}`")))
+}
+
+fn parse_dir(ctx: &str, line: usize, tok: &str) -> Result<Dir, ParseDesignError> {
+    match tok {
+        "H" => Ok(Dir::Horizontal),
+        "V" => Ok(Dir::Vertical),
+        _ => Err(ParseDesignError::new(
+            ctx,
+            Some(line + 1),
+            format!("bad direction `{tok}`"),
+        )),
+    }
+}
+
+/// Writes a bundle to `<dir>/<base>.{nodes,nets,pl,scl,route,pg,aux}`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_bookshelf(
+    design: &Design,
+    dir: &std::path::Path,
+    base: &str,
+) -> std::io::Result<()> {
+    let files = write_bookshelf(design);
+    std::fs::create_dir_all(dir)?;
+    let w = |ext: &str, content: &str| std::fs::write(dir.join(format!("{base}.{ext}")), content);
+    w("nodes", &files.nodes)?;
+    w("nets", &files.nets)?;
+    w("pl", &files.pl)?;
+    w("scl", &files.scl)?;
+    w("route", &files.route)?;
+    w("pg", &files.pg)?;
+    w(
+        "aux",
+        &format!(
+            "RowBasedPlacement : {base}.nodes {base}.nets {base}.pl {base}.scl {base}.route {base}.pg\n"
+        ),
+    )
+}
+
+/// Loads a bundle saved by [`save_bookshelf`].
+///
+/// # Errors
+///
+/// Returns an error for missing files or malformed content.
+pub fn load_bookshelf(
+    dir: &std::path::Path,
+    base: &str,
+) -> Result<Design, Box<dyn std::error::Error>> {
+    let r = |ext: &str| std::fs::read_to_string(dir.join(format!("{base}.{ext}")));
+    let files = BookshelfFiles {
+        nodes: r("nodes")?,
+        nets: r("nets")?,
+        pl: r("pl")?,
+        scl: r("scl")?,
+        route: r("route")?,
+        pg: r("pg")?,
+    };
+    Ok(read_bookshelf(base, &files)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdp_gen::{generate, GenParams};
+
+    fn sample() -> Design {
+        generate(
+            "bk",
+            &GenParams {
+                num_cells: 120,
+                num_macros: 2,
+                macro_fraction: 0.15,
+                utilization: 0.5,
+                io_terminals: 6,
+                rail_pitch: 1.0,
+                seed: 21,
+                ..GenParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let d = sample();
+        let files = write_bookshelf(&d);
+        let back = read_bookshelf("bk", &files).expect("parse");
+        assert_eq!(back.num_cells(), d.num_cells());
+        assert_eq!(back.num_nets(), d.num_nets());
+        assert_eq!(back.num_pins(), d.num_pins());
+        assert_eq!(back.rails().len(), d.rails().len());
+        assert_eq!(back.rows().len(), d.rows().len());
+        assert_eq!(back.routing(), d.routing());
+        assert_eq!(back.die(), d.die());
+    }
+
+    #[test]
+    fn roundtrip_preserves_geometry() {
+        let d = sample();
+        let back = read_bookshelf("bk", &write_bookshelf(&d)).unwrap();
+        assert!((back.hpwl() - d.hpwl()).abs() < 1e-6);
+        for i in 0..d.num_cells() {
+            let a = d.positions()[i];
+            let b = back.positions()[i];
+            assert!(a.distance(b) < 1e-9, "cell {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_kinds_and_fixedness() {
+        let d = sample();
+        let back = read_bookshelf("bk", &write_bookshelf(&d)).unwrap();
+        for (a, b) in d.cells().iter().zip(back.cells()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.fixed, b.fixed, "{}", a.name);
+            assert_eq!(a.kind, b.kind, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn unknown_cell_in_net_is_an_error() {
+        let d = sample();
+        let mut files = write_bookshelf(&d);
+        files.nets.push_str("NetDegree : 2 broken\n  ghost B : 0 0\n  u0 B : 0 0\n");
+        let err = read_bookshelf("bk", &files).unwrap_err();
+        assert!(err.to_string().contains("ghost"), "{err}");
+    }
+
+    #[test]
+    fn missing_layers_is_an_error() {
+        let d = sample();
+        let mut files = write_bookshelf(&d);
+        files.route.clear();
+        assert!(read_bookshelf("bk", &files).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let d = sample();
+        let dir = std::env::temp_dir().join("rdp_bookshelf_test");
+        save_bookshelf(&d, &dir, "t").unwrap();
+        let back = load_bookshelf(&dir, "t").unwrap();
+        assert_eq!(back.num_cells(), d.num_cells());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,488 @@
+//! LEF/DEF-lite writer and reader.
+//!
+//! A compact subset of the LEF/DEF pair that industry flows (and the ISPD
+//! 2015 benchmarks) use, sufficient to carry everything the routability
+//! flow needs. Deliberate simplifications, documented here:
+//!
+//! * LEF `MACRO`s carry only `CLASS` and `SIZE`; one macro is emitted per
+//!   distinct (class, w, h) combination.
+//! * DEF `NETS` list `( <component> <dx> <dy> )` pin triples with offsets
+//!   from the component **center** instead of LEF pin names.
+//! * PG rails are written as `SPECIALNETS` wire rectangles on their layer.
+//! * A nonstandard `GCELLGRID`/`LAYERCAP` pair records the routing grid
+//!   and per-layer capacities (DEF has no capacity construct).
+//!
+//! Distances are DEF database units at `UNITS DISTANCE MICRONS 1000`, so
+//! geometry round-trips to 1/1000 µm.
+
+use std::collections::HashMap;
+
+use rdp_db::{
+    Cell, CellId, CellKind, Design, DesignBuilder, Dir, PgRail, Point, Rect, RoutingLayer,
+    RoutingSpec, Row,
+};
+
+use crate::error::ParseDesignError;
+
+const DBU: f64 = 1000.0;
+
+/// A LEF-lite + DEF-lite pair.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LefDefFiles {
+    /// The LEF-lite library (cell classes and sizes).
+    pub lef: String,
+    /// The DEF-lite design.
+    pub def: String,
+}
+
+fn dbu(v: f64) -> i64 {
+    (v * DBU).round() as i64
+}
+
+fn from_dbu(v: i64) -> f64 {
+    v as f64 / DBU
+}
+
+/// Serializes a design to a LEF/DEF-lite pair.
+pub fn write_lefdef(design: &Design) -> LefDefFiles {
+    // Distinct cell types.
+    let mut types: Vec<(CellKind, i64, i64)> = Vec::new();
+    let mut type_of: Vec<usize> = Vec::with_capacity(design.num_cells());
+    for c in design.cells() {
+        let key = (c.kind, dbu(c.w), dbu(c.h));
+        let idx = match types.iter().position(|t| *t == key) {
+            Some(i) => i,
+            None => {
+                types.push(key);
+                types.len() - 1
+            }
+        };
+        type_of.push(idx);
+    }
+
+    let mut lef = String::from("VERSION 5.8 ;\nUNITS\n  DATABASE MICRONS 1000 ;\nEND UNITS\n");
+    for (i, (kind, w, h)) in types.iter().enumerate() {
+        let class = match kind {
+            CellKind::Std => "CORE",
+            CellKind::Macro => "BLOCK",
+            CellKind::Terminal => "PAD",
+        };
+        lef.push_str(&format!(
+            "MACRO T{i}\n  CLASS {class} ;\n  SIZE {} BY {} ;\nEND T{i}\n",
+            from_dbu(*w),
+            from_dbu(*h)
+        ));
+    }
+    lef.push_str("END LIBRARY\n");
+
+    let die = design.die();
+    let mut def = String::new();
+    def.push_str("VERSION 5.8 ;\n");
+    def.push_str(&format!("DESIGN {} ;\n", design.name()));
+    def.push_str("UNITS DISTANCE MICRONS 1000 ;\n");
+    def.push_str(&format!(
+        "DIEAREA ( {} {} ) ( {} {} ) ;\n",
+        dbu(die.lo.x),
+        dbu(die.lo.y),
+        dbu(die.hi.x),
+        dbu(die.hi.y)
+    ));
+    for (i, r) in design.rows().iter().enumerate() {
+        def.push_str(&format!(
+            "ROW row_{i} core {} {} N DO {} BY 1 STEP {} 0 ;\n",
+            dbu(r.x0),
+            dbu(r.y),
+            r.num_sites(),
+            dbu(r.site_w)
+        ));
+    }
+    def.push_str(&format!("GCELLGRID {} {} ;\n", design.routing().gx, design.routing().gy));
+    for l in &design.routing().layers {
+        def.push_str(&format!("LAYERCAP {} {} {} ;\n", l.name, l.dir, l.capacity));
+    }
+
+    def.push_str(&format!("COMPONENTS {} ;\n", design.num_cells()));
+    for (i, c) in design.cells().iter().enumerate() {
+        let p = design.positions()[i];
+        let ll = (dbu(p.x - c.w / 2.0), dbu(p.y - c.h / 2.0));
+        let state = if c.fixed { "FIXED" } else { "PLACED" };
+        def.push_str(&format!(
+            "- {} T{} + {state} ( {} {} ) N ;\n",
+            c.name, type_of[i], ll.0, ll.1
+        ));
+    }
+    def.push_str("END COMPONENTS\n");
+
+    def.push_str(&format!("NETS {} ;\n", design.num_nets()));
+    for net in design.nets() {
+        def.push_str(&format!("- {}", net.name));
+        for &p in &net.pins {
+            let pin = design.pin(p);
+            def.push_str(&format!(
+                " ( {} {} {} )",
+                design.cell(pin.cell).name,
+                dbu(pin.offset.x),
+                dbu(pin.offset.y)
+            ));
+        }
+        def.push_str(" ;\n");
+    }
+    def.push_str("END NETS\n");
+
+    def.push_str(&format!("SPECIALNETS {} ;\n", design.rails().len()));
+    for r in design.rails() {
+        def.push_str(&format!(
+            "- PG M{} {} RECT ( {} {} ) ( {} {} ) ;\n",
+            r.layer + 1,
+            r.dir,
+            dbu(r.rect.lo.x),
+            dbu(r.rect.lo.y),
+            dbu(r.rect.hi.x),
+            dbu(r.rect.hi.y)
+        ));
+    }
+    def.push_str("END SPECIALNETS\nEND DESIGN\n");
+
+    LefDefFiles { lef, def }
+}
+
+/// Parses a LEF/DEF-lite pair back into a design.
+///
+/// # Errors
+///
+/// Returns [`ParseDesignError`] on malformed content or dangling
+/// references.
+pub fn read_lefdef(files: &LefDefFiles) -> Result<Design, ParseDesignError> {
+    // --- LEF: cell types -------------------------------------------------
+    struct TypeRec {
+        kind: CellKind,
+        w: f64,
+        h: f64,
+    }
+    let mut types: HashMap<String, TypeRec> = HashMap::new();
+    let mut cur: Option<String> = None;
+    for (ln, line) in files.lef.lines().enumerate() {
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        match toks.as_slice() {
+            ["MACRO", name] => {
+                cur = Some((*name).to_string());
+                types.insert(
+                    (*name).to_string(),
+                    TypeRec {
+                        kind: CellKind::Std,
+                        w: 0.0,
+                        h: 0.0,
+                    },
+                );
+            }
+            ["CLASS", class, ";"] => {
+                if let Some(name) = &cur {
+                    let rec = types.get_mut(name).expect("MACRO open");
+                    rec.kind = match *class {
+                        "CORE" => CellKind::Std,
+                        "BLOCK" => CellKind::Macro,
+                        "PAD" => CellKind::Terminal,
+                        other => {
+                            return Err(ParseDesignError::new(
+                                "lef",
+                                Some(ln + 1),
+                                format!("unknown class `{other}`"),
+                            ))
+                        }
+                    };
+                }
+            }
+            ["SIZE", w, "BY", h, ";"] => {
+                if let Some(name) = &cur {
+                    let rec = types.get_mut(name).expect("MACRO open");
+                    rec.w = num("lef", ln, w)?;
+                    rec.h = num("lef", ln, h)?;
+                }
+            }
+            ["END", name] if Some(*name) == cur.as_deref() => cur = None,
+            _ => {}
+        }
+    }
+
+    // --- DEF --------------------------------------------------------------
+    let mut design_name = String::from("design");
+    let mut die: Option<Rect> = None;
+    let mut rows: Vec<Row> = Vec::new();
+    let mut gx = 16usize;
+    let mut gy = 16usize;
+    let mut layers: Vec<RoutingLayer> = Vec::new();
+    let mut comps: Vec<(String, String, Point, bool)> = Vec::new(); // name, type, ll(µm), fixed
+    let mut nets: Vec<(String, Vec<(String, Point)>)> = Vec::new();
+    let mut rails: Vec<PgRail> = Vec::new();
+    let mut section = "";
+
+    for (ln, line) in files.def.lines().enumerate() {
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        match toks.as_slice() {
+            ["DESIGN", name, ";"] => design_name = (*name).to_string(),
+            ["DIEAREA", "(", a, b, ")", "(", c, d, ")", ";"] => {
+                die = Some(Rect::new(
+                    from_dbu(int("def", ln, a)?),
+                    from_dbu(int("def", ln, b)?),
+                    from_dbu(int("def", ln, c)?),
+                    from_dbu(int("def", ln, d)?),
+                ));
+            }
+            ["ROW", _name, _site, x, y, "N", "DO", n, "BY", "1", "STEP", sw, "0", ";"] => {
+                let x0 = from_dbu(int("def", ln, x)?);
+                let site_w = from_dbu(int("def", ln, sw)?);
+                let sites: usize = n.parse().map_err(|_| {
+                    ParseDesignError::new("def", Some(ln + 1), "bad site count")
+                })?;
+                rows.push(Row {
+                    y: from_dbu(int("def", ln, y)?),
+                    height: 0.0, // filled below from the row pitch
+                    x0,
+                    x1: x0 + sites as f64 * site_w,
+                    site_w,
+                });
+            }
+            ["GCELLGRID", a, b, ";"] => {
+                gx = a.parse().map_err(|_| {
+                    ParseDesignError::new("def", Some(ln + 1), "bad gcell x")
+                })?;
+                gy = b.parse().map_err(|_| {
+                    ParseDesignError::new("def", Some(ln + 1), "bad gcell y")
+                })?;
+            }
+            ["LAYERCAP", name, dir, cap, ";"] => layers.push(RoutingLayer {
+                name: (*name).to_string(),
+                dir: match *dir {
+                    "H" => Dir::Horizontal,
+                    "V" => Dir::Vertical,
+                    other => {
+                        return Err(ParseDesignError::new(
+                            "def",
+                            Some(ln + 1),
+                            format!("bad dir `{other}`"),
+                        ))
+                    }
+                },
+                capacity: num("def", ln, cap)?,
+            }),
+            ["COMPONENTS", ..] => section = "components",
+            ["NETS", ..] if section != "nets" && !line.starts_with('-') => section = "nets",
+            ["SPECIALNETS", ..] => section = "specialnets",
+            ["END", ..] => section = "",
+            _ if line.starts_with('-') => match section {
+                "components" => {
+                    // - name Tk + STATE ( x y ) N ;
+                    if toks.len() < 10 {
+                        return Err(ParseDesignError::new(
+                            "def",
+                            Some(ln + 1),
+                            "short component line",
+                        ));
+                    }
+                    // - name Tk + STATE ( x y ) N ;
+                    let fixed = toks[4] == "FIXED";
+                    comps.push((
+                        toks[1].to_string(),
+                        toks[2].to_string(),
+                        Point::new(
+                            from_dbu(int("def", ln, toks[6])?),
+                            from_dbu(int("def", ln, toks[7])?),
+                        ),
+                        fixed,
+                    ));
+                }
+                "nets" => {
+                    // - name ( comp dx dy ) ... ;
+                    let name = toks[1].to_string();
+                    let mut pins = Vec::new();
+                    let mut i = 2;
+                    while i + 4 < toks.len() {
+                        if toks[i] == "(" {
+                            pins.push((
+                                toks[i + 1].to_string(),
+                                Point::new(
+                                    from_dbu(int("def", ln, toks[i + 2])?),
+                                    from_dbu(int("def", ln, toks[i + 3])?),
+                                ),
+                            ));
+                            i += 5;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    nets.push((name, pins));
+                }
+                "specialnets" => {
+                    // - PG M<k> <dir> RECT ( a b ) ( c d ) ;
+                    if toks.len() >= 13 {
+                        let layer: u8 = toks[2]
+                            .trim_start_matches('M')
+                            .parse::<u8>()
+                            .map_err(|_| {
+                                ParseDesignError::new("def", Some(ln + 1), "bad rail layer")
+                            })?
+                            - 1;
+                        let dir = match toks[3] {
+                            "H" => Dir::Horizontal,
+                            _ => Dir::Vertical,
+                        };
+                        rails.push(PgRail {
+                            layer,
+                            dir,
+                            rect: Rect::new(
+                                from_dbu(int("def", ln, toks[6])?),
+                                from_dbu(int("def", ln, toks[7])?),
+                                from_dbu(int("def", ln, toks[10])?),
+                                from_dbu(int("def", ln, toks[11])?),
+                            ),
+                        });
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+
+    let die = die.ok_or_else(|| ParseDesignError::new("def", None, "missing DIEAREA"))?;
+
+    // Row height = pitch between consecutive rows (or a default).
+    let height = if rows.len() >= 2 {
+        (rows[1].y - rows[0].y).abs()
+    } else {
+        2.0
+    };
+    for r in &mut rows {
+        r.height = height;
+    }
+
+    let mut b = DesignBuilder::new(design_name, die);
+    let mut ids: HashMap<String, CellId> = HashMap::new();
+    for (name, ty, ll, fixed) in comps {
+        let rec = types.get(&ty).ok_or_else(|| {
+            ParseDesignError::new("def", None, format!("unknown type `{ty}`"))
+        })?;
+        let center = Point::new(ll.x + rec.w / 2.0, ll.y + rec.h / 2.0);
+        let cell = Cell {
+            name: name.clone(),
+            kind: rec.kind,
+            w: rec.w,
+            h: rec.h,
+            fixed,
+        };
+        ids.insert(name, b.add_cell(cell, center));
+    }
+    for (name, pins) in nets {
+        let mut resolved = Vec::with_capacity(pins.len());
+        for (comp, off) in pins {
+            let id = *ids.get(&comp).ok_or_else(|| {
+                ParseDesignError::new("def", None, format!("net `{name}` references `{comp}`"))
+            })?;
+            resolved.push((id, off));
+        }
+        b.add_net(name, resolved);
+    }
+    for r in rows {
+        b.add_row(r);
+    }
+    for r in rails {
+        b.add_rail(r);
+    }
+    if layers.is_empty() {
+        return Err(ParseDesignError::new("def", None, "no LAYERCAP entries"));
+    }
+    b.routing(RoutingSpec { layers, gx, gy });
+    b.build()
+        .map_err(|e| ParseDesignError::new("build", None, e.to_string()))
+}
+
+fn num(ctx: &str, line: usize, tok: &str) -> Result<f64, ParseDesignError> {
+    tok.parse()
+        .map_err(|_| ParseDesignError::new(ctx, Some(line + 1), format!("bad number `{tok}`")))
+}
+
+fn int(ctx: &str, line: usize, tok: &str) -> Result<i64, ParseDesignError> {
+    tok.parse()
+        .map_err(|_| ParseDesignError::new(ctx, Some(line + 1), format!("bad integer `{tok}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdp_gen::{generate, GenParams};
+
+    fn sample() -> Design {
+        generate(
+            "ld",
+            &GenParams {
+                num_cells: 100,
+                num_macros: 2,
+                macro_fraction: 0.15,
+                utilization: 0.5,
+                io_terminals: 4,
+                rail_pitch: 1.0,
+                seed: 33,
+                ..GenParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn roundtrip_counts_and_structure() {
+        let d = sample();
+        let back = read_lefdef(&write_lefdef(&d)).expect("parse");
+        assert_eq!(back.num_cells(), d.num_cells());
+        assert_eq!(back.num_nets(), d.num_nets());
+        assert_eq!(back.num_pins(), d.num_pins());
+        assert_eq!(back.rails().len(), d.rails().len());
+        assert_eq!(back.rows().len(), d.rows().len());
+        assert_eq!(back.routing().gx, d.routing().gx);
+        assert_eq!(back.routing().num_layers(), d.routing().num_layers());
+    }
+
+    #[test]
+    fn roundtrip_geometry_within_dbu() {
+        let d = sample();
+        let back = read_lefdef(&write_lefdef(&d)).unwrap();
+        for i in 0..d.num_cells() {
+            let a = d.positions()[i];
+            let b = back.positions()[i];
+            assert!(a.distance(b) < 2e-3, "cell {i}: {a} vs {b}");
+        }
+        assert!((back.hpwl() - d.hpwl()).abs() / d.hpwl().max(1.0) < 1e-3);
+    }
+
+    #[test]
+    fn roundtrip_kinds() {
+        let d = sample();
+        let back = read_lefdef(&write_lefdef(&d)).unwrap();
+        for (a, b) in d.cells().iter().zip(back.cells()) {
+            assert_eq!(a.kind, b.kind, "{}", a.name);
+            assert_eq!(a.fixed, b.fixed, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn missing_diearea_is_error() {
+        let d = sample();
+        let mut files = write_lefdef(&d);
+        files.def = files
+            .def
+            .lines()
+            .filter(|l| !l.starts_with("DIEAREA"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(read_lefdef(&files).is_err());
+    }
+
+    #[test]
+    fn unknown_component_type_is_error() {
+        let d = sample();
+        let mut files = write_lefdef(&d);
+        files.lef = files.lef.replace("MACRO T0", "MACRO TX");
+        // T0 components now reference a missing type — but only if TX
+        // didn't leave an END mismatch; rebuild minimal check:
+        let err = read_lefdef(&files);
+        assert!(err.is_err());
+    }
+}

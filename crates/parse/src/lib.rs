@@ -1,0 +1,40 @@
+//! # rdp-parse — design file formats
+//!
+//! Readers and writers so real benchmark data can flow in and out of the
+//! `rdp` stack:
+//!
+//! * [`write_bookshelf`] / [`read_bookshelf`] — the GSRC Bookshelf
+//!   placement format (.nodes/.nets/.pl/.scl) with two lite extensions
+//!   (.route for the routing grid, .pg for power rails),
+//! * [`write_lefdef`] / [`read_lefdef`] — a documented LEF/DEF subset,
+//! * [`save_bookshelf`] / [`load_bookshelf`] — filesystem convenience
+//!   wrappers.
+//!
+//! Both formats round-trip: `read(write(design))` preserves the netlist,
+//! geometry (to 1/1000 µm for DEF), floorplan, and routing environment.
+//!
+//! ```
+//! use rdp_gen::{generate, GenParams};
+//! use rdp_parse::{read_bookshelf, write_bookshelf};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let design = generate("demo", &GenParams { num_cells: 50, ..GenParams::default() });
+//! let files = write_bookshelf(&design);
+//! let back = read_bookshelf("demo", &files)?;
+//! assert_eq!(back.num_nets(), design.num_nets());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bookshelf;
+mod deflite;
+mod error;
+
+pub use bookshelf::{
+    load_bookshelf, read_bookshelf, save_bookshelf, write_bookshelf, BookshelfFiles,
+};
+pub use deflite::{read_lefdef, write_lefdef, LefDefFiles};
+pub use error::ParseDesignError;

@@ -1,0 +1,274 @@
+//! Fast cosine/sine transforms built on the radix-2 FFT (Makhoul's
+//! single-FFT formulation).
+//!
+//! Conventions (all lengths are powers of two):
+//!
+//! * [`dct2`]:  `X[k] = Σ_{n} x[n]·cos(πk(n+½)/N)` — the analysis transform.
+//! * [`idct`]:  `y[n] = X[0]/2 + Σ_{k≥1} X[k]·cos(πk(n+½)/N)` — the cosine
+//!   series evaluation (DCT-III), so `idct(dct2(x)) = (N/2)·x`.
+//! * [`idxst`]: `y[n] = Σ_{k} X[k]·sin(πk(n+½)/N)` — the shifted sine series
+//!   used for the electric field components (DREAMPlace's "IDXST").
+
+use crate::complex::Complex;
+use crate::fft::{fft_in_place, ifft_unnormalized_in_place, is_power_of_two};
+
+/// DCT-II of `x`: `X[k] = Σ_n x[n]·cos(πk(n+½)/N)`.
+///
+/// # Panics
+///
+/// Panics if `x.len()` is not a power of two.
+pub fn dct2(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    assert!(is_power_of_two(n), "DCT length {n} is not a power of two");
+    if n == 1 {
+        return vec![x[0]];
+    }
+    // Makhoul reordering: evens ascending then odds descending.
+    let mut v = vec![Complex::ZERO; n];
+    let half = n.div_ceil(2);
+    for i in 0..half {
+        v[i] = Complex::new(x[2 * i], 0.0);
+    }
+    for i in 0..n / 2 {
+        v[n - 1 - i] = Complex::new(x[2 * i + 1], 0.0);
+    }
+    fft_in_place(&mut v);
+    let mut out = Vec::with_capacity(n);
+    for (k, vk) in v.iter().enumerate() {
+        let w = Complex::cis(-std::f64::consts::PI * k as f64 / (2.0 * n as f64));
+        out.push((*vk * w).re);
+    }
+    out
+}
+
+/// Cosine-series evaluation (DCT-III):
+/// `y[n] = X[0]/2 + Σ_{k=1}^{N-1} X[k]·cos(πk(n+½)/N)`.
+///
+/// Together with [`dct2`]: `idct(dct2(x)) == (N/2)·x`.
+///
+/// # Panics
+///
+/// Panics if `x.len()` is not a power of two.
+pub fn idct(coeffs: &[f64]) -> Vec<f64> {
+    let n = coeffs.len();
+    assert!(is_power_of_two(n), "IDCT length {n} is not a power of two");
+    if n == 1 {
+        return vec![coeffs[0] / 2.0];
+    }
+    // Rebuild the spectrum of the Makhoul-reordered sequence:
+    // V[k] = e^{iπk/2N}·(C[k] − i·C[N−k]), with C[N] = 0.
+    let mut v = vec![Complex::ZERO; n];
+    for k in 0..n {
+        let c_k = coeffs[k];
+        let c_nk = if k == 0 { 0.0 } else { coeffs[n - k] };
+        let w = Complex::cis(std::f64::consts::PI * k as f64 / (2.0 * n as f64));
+        v[k] = w * Complex::new(c_k, -c_nk);
+    }
+    ifft_unnormalized_in_place(&mut v);
+    // The unnormalized inverse yields N·v; the exact inverse of dct2 is
+    // x[n] = (2/N)(C[0]/2 + Σ …), so the series value is (N/2)·x = v/2.
+    let mut out = vec![0.0; n];
+    let half = n.div_ceil(2);
+    for i in 0..half {
+        out[2 * i] = v[i].re / 2.0;
+    }
+    for i in 0..n / 2 {
+        out[2 * i + 1] = v[n - 1 - i].re / 2.0;
+    }
+    out
+}
+
+/// Shifted sine-series evaluation:
+/// `y[n] = Σ_{k=0}^{N-1} X[k]·sin(πk(n+½)/N)` (the `k = 0` term vanishes).
+///
+/// Uses the identity `sin(πk(n+½)/N) = (−1)ⁿ·cos(π(N−k)(n+½)/N)`, reducing
+/// to an [`idct`] on the index-reversed coefficients.
+///
+/// # Panics
+///
+/// Panics if `x.len()` is not a power of two.
+pub fn idxst(coeffs: &[f64]) -> Vec<f64> {
+    let n = coeffs.len();
+    assert!(is_power_of_two(n), "IDXST length {n} is not a power of two");
+    let mut flipped = vec![0.0; n];
+    for k in 1..n {
+        flipped[k] = coeffs[n - k];
+    }
+    let mut y = idct(&flipped);
+    for (i, v) in y.iter_mut().enumerate() {
+        if i % 2 == 1 {
+            *v = -*v;
+        }
+    }
+    y
+}
+
+/// 2-D DCT-II of a row-major `nx × ny` grid:
+/// `A[u,v] = Σ_{n,m} x[n,m]·cos(πu(n+½)/nx)·cos(πv(m+½)/ny)`,
+/// returned row-major with `u` along x.
+///
+/// # Panics
+///
+/// Panics if either dimension is not a power of two or the buffer size is
+/// inconsistent.
+pub fn dct2_2d(data: &[f64], nx: usize, ny: usize) -> Vec<f64> {
+    assert_eq!(data.len(), nx * ny);
+    let mut rows: Vec<f64> = Vec::with_capacity(nx * ny);
+    for iy in 0..ny {
+        rows.extend(dct2(&data[iy * nx..(iy + 1) * nx]));
+    }
+    // Columns.
+    let mut out = vec![0.0; nx * ny];
+    let mut col = vec![0.0; ny];
+    for u in 0..nx {
+        for iy in 0..ny {
+            col[iy] = rows[iy * nx + u];
+        }
+        let t = dct2(&col);
+        for v in 0..ny {
+            out[v * nx + u] = t[v];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dct2(x: &[f64]) -> Vec<f64> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                x.iter()
+                    .enumerate()
+                    .map(|(i, &v)| {
+                        v * (std::f64::consts::PI * k as f64 * (i as f64 + 0.5) / n as f64).cos()
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    fn naive_idct(c: &[f64]) -> Vec<f64> {
+        let n = c.len();
+        (0..n)
+            .map(|i| {
+                c[0] / 2.0
+                    + (1..n)
+                        .map(|k| {
+                            c[k] * (std::f64::consts::PI * k as f64 * (i as f64 + 0.5) / n as f64)
+                                .cos()
+                        })
+                        .sum::<f64>()
+            })
+            .collect()
+    }
+
+    fn naive_idxst(c: &[f64]) -> Vec<f64> {
+        let n = c.len();
+        (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|k| {
+                        c[k] * (std::f64::consts::PI * k as f64 * (i as f64 + 0.5) / n as f64).sin()
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    fn test_vec(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i * 37 % 11) as f64 - 5.0) * 0.7 + (i as f64 * 0.31).sin())
+            .collect()
+    }
+
+    #[test]
+    fn dct2_matches_naive() {
+        for n in [2usize, 4, 8, 32] {
+            let x = test_vec(n);
+            let fast = dct2(&x);
+            let slow = naive_dct2(&x);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((a - b).abs() < 1e-9, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn idct_matches_naive() {
+        for n in [2usize, 4, 16] {
+            let c = test_vec(n);
+            let fast = idct(&c);
+            let slow = naive_idct(&c);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((a - b).abs() < 1e-9, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn idxst_matches_naive() {
+        for n in [2usize, 4, 8, 64] {
+            let c = test_vec(n);
+            let fast = idxst(&c);
+            let slow = naive_idxst(&c);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((a - b).abs() < 1e-9, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_scaling() {
+        let x = test_vec(16);
+        let y = idct(&dct2(&x));
+        for (a, b) in y.iter().zip(&x) {
+            assert!((a - b * 8.0).abs() < 1e-9, "{a} vs {}", b * 8.0);
+        }
+    }
+
+    #[test]
+    fn length_one() {
+        assert_eq!(dct2(&[5.0]), vec![5.0]);
+        assert_eq!(idct(&[5.0]), vec![2.5]);
+    }
+
+    #[test]
+    fn dct2_2d_matches_naive() {
+        let nx = 4;
+        let ny = 8;
+        let data = test_vec(nx * ny);
+        let fast = dct2_2d(&data, nx, ny);
+        for u in 0..nx {
+            for v in 0..ny {
+                let mut acc = 0.0;
+                for n in 0..nx {
+                    for m in 0..ny {
+                        acc += data[m * nx + n]
+                            * (std::f64::consts::PI * u as f64 * (n as f64 + 0.5) / nx as f64)
+                                .cos()
+                            * (std::f64::consts::PI * v as f64 * (m as f64 + 0.5) / ny as f64)
+                                .cos();
+                    }
+                }
+                assert!(
+                    (fast[v * nx + u] - acc).abs() < 1e-8,
+                    "u={u} v={v}: {} vs {acc}",
+                    fast[v * nx + u]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dct_of_constant_concentrates_at_dc() {
+        let x = vec![3.0; 16];
+        let c = dct2(&x);
+        assert!((c[0] - 48.0).abs() < 1e-9);
+        for &v in &c[1..] {
+            assert!(v.abs() < 1e-9);
+        }
+    }
+}

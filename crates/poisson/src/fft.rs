@@ -1,0 +1,164 @@
+//! Iterative radix-2 complex FFT.
+//!
+//! Power-of-two sizes only; the placement grids used throughout the
+//! workspace are chosen as powers of two, so no mixed-radix machinery is
+//! needed.
+
+use crate::complex::Complex;
+
+/// Returns true when `n` is a power of two (and non-zero).
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// In-place forward FFT: `X[k] = Σ_n x[n]·e^{-2πikn/N}`.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft_in_place(buf: &mut [Complex]) {
+    fft_dir(buf, false);
+}
+
+/// In-place inverse FFT including the `1/N` normalization:
+/// `x[n] = (1/N)·Σ_k X[k]·e^{+2πikn/N}`.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn ifft_in_place(buf: &mut [Complex]) {
+    fft_dir(buf, true);
+    let inv = 1.0 / buf.len() as f64;
+    for v in buf.iter_mut() {
+        *v = v.scale(inv);
+    }
+}
+
+/// In-place inverse FFT **without** the `1/N` normalization:
+/// `x[n] = Σ_k X[k]·e^{+2πikn/N}`. Used by the DCT kernels, which fold the
+/// normalization into their own closed-form constants.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn ifft_unnormalized_in_place(buf: &mut [Complex]) {
+    fft_dir(buf, true);
+}
+
+fn fft_dir(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    assert!(is_power_of_two(n), "FFT length {n} is not a power of two");
+    if n == 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+
+    // Cooley–Tukey butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let a = buf[start + k];
+                let b = buf[start + k + len / 2] * w;
+                buf[start + k] = a + b;
+                buf[start + k + len / 2] = a - b;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (i, &v) in x.iter().enumerate() {
+                    acc = acc + v * Complex::cis(-std::f64::consts::TAU * (k * i) as f64 / n as f64);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let x: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64).sin() + 0.3, (i as f64 * 0.7).cos()))
+            .collect();
+        let mut y = x.clone();
+        fft_in_place(&mut y);
+        let reference = naive_dft(&x);
+        for (a, b) in y.iter().zip(&reference) {
+            assert!((a.re - b.re).abs() < 1e-9, "{a:?} vs {b:?}");
+            assert!((a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_ones() {
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::new(1.0, 0.0);
+        fft_in_place(&mut x);
+        for v in x {
+            assert!((v.re - 1.0).abs() < 1e-12 && v.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let x: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i * 31 % 17) as f64, (i * 7 % 5) as f64))
+            .collect();
+        let mut y = x.clone();
+        fft_in_place(&mut y);
+        ifft_in_place(&mut y);
+        for (a, b) in y.iter().zip(&x) {
+            assert!((a.re - b.re).abs() < 1e-9);
+            assert!((a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let x: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64 * 1.3).sin(), (i as f64 * 0.9).cos()))
+            .collect();
+        let time: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let mut y = x.clone();
+        fft_in_place(&mut y);
+        let freq: f64 = y.iter().map(|v| v.norm_sqr()).sum::<f64>() / 32.0;
+        assert!((time - freq).abs() < 1e-9 * time.max(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut x = vec![Complex::ZERO; 12];
+        fft_in_place(&mut x);
+    }
+
+    #[test]
+    fn single_element_is_identity() {
+        let mut x = vec![Complex::new(3.0, 4.0)];
+        fft_in_place(&mut x);
+        assert_eq!(x[0], Complex::new(3.0, 4.0));
+    }
+}

@@ -1,0 +1,157 @@
+//! Demand/capacity maps and the congestion metrics defined in Section II-B
+//! of the paper.
+
+use crate::capacity::CapacityMaps;
+use rdp_db::Map2d;
+
+/// Routing state after a global-routing pass: demand accumulated per
+/// G-cell, split by direction, plus via demand, against the capacity model.
+#[derive(Debug, Clone)]
+pub struct RouteMaps {
+    /// Horizontal wire demand per G-cell (track·G-cells).
+    pub h_demand: Map2d<f64>,
+    /// Vertical wire demand per G-cell.
+    pub v_demand: Map2d<f64>,
+    /// Via count per G-cell.
+    pub via_demand: Map2d<f64>,
+    /// Capacity model the demand is measured against.
+    pub caps: CapacityMaps,
+    /// Weight of one via in demand units (paper: demand = wire + via
+    /// demand; a via consumes a fraction of a track in each layer).
+    pub via_weight: f64,
+}
+
+impl RouteMaps {
+    /// Creates empty demand maps over the capacity model's grid.
+    pub fn new(caps: CapacityMaps, via_weight: f64) -> Self {
+        let nx = caps.h.nx();
+        let ny = caps.h.ny();
+        RouteMaps {
+            h_demand: Map2d::new(nx, ny),
+            v_demand: Map2d::new(nx, ny),
+            via_demand: Map2d::new(nx, ny),
+            caps,
+            via_weight,
+        }
+    }
+
+    /// Grid width.
+    pub fn nx(&self) -> usize {
+        self.h_demand.nx()
+    }
+
+    /// Grid height.
+    pub fn ny(&self) -> usize {
+        self.h_demand.ny()
+    }
+
+    /// Total demand `Dmd_{m,n}` of one G-cell (wire + weighted vias).
+    #[inline]
+    pub fn demand_at(&self, ix: usize, iy: usize) -> f64 {
+        self.h_demand[(ix, iy)] + self.v_demand[(ix, iy)] + self.via_weight * self.via_demand[(ix, iy)]
+    }
+
+    /// Total capacity `Cap_{m,n}` of one G-cell.
+    #[inline]
+    pub fn capacity_at(&self, ix: usize, iy: usize) -> f64 {
+        self.caps.h[(ix, iy)] + self.caps.v[(ix, iy)]
+    }
+
+    /// The congestion map of Eq. (3):
+    /// `C_{m,n} = max(Dmd_{m,n} / Cap_{m,n} − 1, 0)`.
+    pub fn congestion_eq3(&self) -> Map2d<f64> {
+        let mut m = Map2d::new(self.nx(), self.ny());
+        for iy in 0..self.ny() {
+            for ix in 0..self.nx() {
+                m[(ix, iy)] = (self.demand_at(ix, iy) / self.capacity_at(ix, iy) - 1.0).max(0.0);
+            }
+        }
+        m
+    }
+
+    /// The utilization map `ρ_{m,n} = Dmd_{m,n} / Cap_{m,n}` used as the
+    /// charge density of the congestion Poisson problem (Section II-B).
+    pub fn charge_density(&self) -> Map2d<f64> {
+        let mut m = Map2d::new(self.nx(), self.ny());
+        for iy in 0..self.ny() {
+            for ix in 0..self.nx() {
+                m[(ix, iy)] = self.demand_at(ix, iy) / self.capacity_at(ix, iy);
+            }
+        }
+        m
+    }
+
+    /// Total overflow: Σ max(Dmd − Cap, 0) over G-cells, in track units.
+    pub fn total_overflow(&self) -> f64 {
+        let mut acc = 0.0;
+        for iy in 0..self.ny() {
+            for ix in 0..self.nx() {
+                acc += (self.demand_at(ix, iy) - self.capacity_at(ix, iy)).max(0.0);
+            }
+        }
+        acc
+    }
+
+    /// Number of G-cells whose demand exceeds capacity.
+    pub fn overflowed_gcells(&self) -> usize {
+        let mut n = 0;
+        for iy in 0..self.ny() {
+            for ix in 0..self.nx() {
+                if self.demand_at(ix, iy) > self.capacity_at(ix, iy) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Total via count.
+    pub fn total_vias(&self) -> f64 {
+        self.via_demand.sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capacity::CapacityMaps;
+
+    fn flat_caps(nx: usize, ny: usize, h: f64, v: f64) -> CapacityMaps {
+        CapacityMaps {
+            h: Map2d::filled(nx, ny, h),
+            v: Map2d::filled(nx, ny, v),
+        }
+    }
+
+    #[test]
+    fn congestion_clamps_at_zero() {
+        let mut m = RouteMaps::new(flat_caps(2, 2, 5.0, 5.0), 0.5);
+        m.h_demand[(0, 0)] = 20.0; // over
+        m.h_demand[(1, 0)] = 2.0; // under
+        let c = m.congestion_eq3();
+        assert!((c[(0, 0)] - 1.0).abs() < 1e-12);
+        assert_eq!(c[(1, 0)], 0.0);
+        assert_eq!(c[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn demand_includes_weighted_vias() {
+        let mut m = RouteMaps::new(flat_caps(1, 1, 4.0, 4.0), 0.5);
+        m.h_demand[(0, 0)] = 3.0;
+        m.v_demand[(0, 0)] = 2.0;
+        m.via_demand[(0, 0)] = 4.0;
+        assert_eq!(m.demand_at(0, 0), 7.0);
+        assert_eq!(m.capacity_at(0, 0), 8.0);
+        assert!((m.charge_density()[(0, 0)] - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_counts() {
+        let mut m = RouteMaps::new(flat_caps(2, 1, 1.0, 1.0), 0.0);
+        m.h_demand[(0, 0)] = 5.0;
+        m.h_demand[(1, 0)] = 1.0;
+        assert_eq!(m.total_overflow(), 3.0);
+        assert_eq!(m.overflowed_gcells(), 1);
+        assert_eq!(m.total_vias(), 0.0);
+    }
+}

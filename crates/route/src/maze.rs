@@ -1,0 +1,233 @@
+//! A* maze routing over the G-cell graph — the rip-up-and-detour fallback
+//! for segments the pattern router cannot place without overflow.
+//!
+//! Pattern routing (L/Z shapes) only produces monotone paths; when a
+//! region is saturated the real fix is a detour. The maze router searches
+//! the full grid with congestion-aware edge costs and bend penalties, so
+//! it finds non-monotone escapes when they pay off.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::maps::RouteMaps;
+
+/// One step of a maze path: the G-cell entered and whether the move was
+/// horizontal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MazeStep {
+    /// Entered cell.
+    pub cell: (usize, usize),
+    /// True when the entering move was horizontal.
+    pub horizontal: bool,
+}
+
+/// Result of one maze search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MazePath {
+    /// Steps from source (exclusive) to target (inclusive).
+    pub steps: Vec<MazeStep>,
+    /// Total path cost.
+    pub cost: f64,
+    /// Number of bends.
+    pub bends: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Node {
+    /// Priority f = g + h.
+    f: f64,
+    /// Path cost so far.
+    g: f64,
+    cell: (usize, usize),
+    dir: u8, // 0 = none, 1 = horizontal, 2 = vertical
+}
+
+impl Eq for Node {}
+
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on f.
+        other.f.total_cmp(&self.f)
+    }
+}
+
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Congestion-aware A* from `src` to `dst` on the route maps' grid.
+///
+/// `cell_cost(ix, iy, horizontal)` prices entering a cell in a direction;
+/// `via_cost` prices each bend. Returns `None` only for degenerate inputs
+/// (the grid is connected, so a path always exists otherwise).
+pub fn astar(
+    maps: &RouteMaps,
+    src: (usize, usize),
+    dst: (usize, usize),
+    cell_cost: &dyn Fn(usize, usize, bool) -> f64,
+    via_cost: f64,
+) -> Option<MazePath> {
+    let (nx, ny) = (maps.nx(), maps.ny());
+    if src == dst {
+        return Some(MazePath {
+            steps: Vec::new(),
+            cost: 0.0,
+            bends: 0,
+        });
+    }
+    // State: (cell, incoming dir 0..3). dir 0 used only at the source.
+    let idx = |c: (usize, usize), d: u8| (c.1 * nx + c.0) * 3 + d as usize;
+    let mut dist = vec![f64::INFINITY; nx * ny * 3];
+    let mut prev: Vec<u32> = vec![u32::MAX; nx * ny * 3];
+    let mut heap = BinaryHeap::new();
+    // Admissible heuristic: Manhattan distance × the minimum possible
+    // per-cell cost (1.0 — the uncongested base).
+    let h = |c: (usize, usize)| -> f64 {
+        (c.0 as f64 - dst.0 as f64).abs() + (c.1 as f64 - dst.1 as f64).abs()
+    };
+    dist[idx(src, 0)] = 0.0;
+    heap.push(Node {
+        f: h(src),
+        g: 0.0,
+        cell: src,
+        dir: 0,
+    });
+
+    while let Some(Node { g, cell, dir, .. }) = heap.pop() {
+        let key = idx(cell, dir);
+        if g > dist[key] + 1e-12 {
+            continue;
+        }
+        if cell == dst {
+            // Reconstruct.
+            let mut steps = Vec::new();
+            let mut bends = 0usize;
+            let mut cur = key;
+            while prev[cur] != u32::MAX {
+                let d = (cur % 3) as u8;
+                let cellno = cur / 3;
+                steps.push(MazeStep {
+                    cell: (cellno % nx, cellno / nx),
+                    horizontal: d == 1,
+                });
+                let p = prev[cur] as usize;
+                let pd = (p % 3) as u8;
+                if pd != 0 && pd != d {
+                    bends += 1;
+                }
+                cur = p;
+            }
+            steps.reverse();
+            return Some(MazePath {
+                steps,
+                cost: dist[key],
+                bends,
+            });
+        }
+        let neighbors = [
+            (cell.0.wrapping_sub(1), cell.1, 1u8),
+            (cell.0 + 1, cell.1, 1u8),
+            (cell.0, cell.1.wrapping_sub(1), 2u8),
+            (cell.0, cell.1 + 1, 2u8),
+        ];
+        for (nx_, ny_, nd) in neighbors {
+            if nx_ >= nx || ny_ >= ny {
+                continue;
+            }
+            let step = cell_cost(nx_, ny_, nd == 1);
+            let bend = if dir != 0 && dir != nd { via_cost } else { 0.0 };
+            let ng = g + step + bend;
+            let nkey = idx((nx_, ny_), nd);
+            if ng < dist[nkey] - 1e-12 {
+                dist[nkey] = ng;
+                prev[nkey] = key as u32;
+                heap.push(Node {
+                    f: ng + h((nx_, ny_)),
+                    g: ng,
+                    cell: (nx_, ny_),
+                    dir: nd,
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capacity::CapacityMaps;
+    use rdp_db::Map2d;
+
+    fn maps(nx: usize, ny: usize) -> RouteMaps {
+        RouteMaps::new(
+            CapacityMaps {
+                h: Map2d::filled(nx, ny, 10.0),
+                v: Map2d::filled(nx, ny, 10.0),
+            },
+            0.5,
+        )
+    }
+
+    #[test]
+    fn straight_line_is_found() {
+        let m = maps(8, 8);
+        let p = astar(&m, (0, 3), (7, 3), &|_, _, _| 1.0, 1.0).unwrap();
+        assert_eq!(p.steps.len(), 7);
+        assert_eq!(p.bends, 0);
+        assert!((p.cost - 7.0).abs() < 1e-9);
+        assert_eq!(p.steps.last().unwrap().cell, (7, 3));
+    }
+
+    #[test]
+    fn source_equals_target() {
+        let m = maps(4, 4);
+        let p = astar(&m, (2, 2), (2, 2), &|_, _, _| 1.0, 1.0).unwrap();
+        assert!(p.steps.is_empty());
+        assert_eq!(p.cost, 0.0);
+    }
+
+    #[test]
+    fn detours_around_expensive_wall() {
+        let m = maps(8, 8);
+        // Wall at x = 4 except the top row.
+        let cost = |ix: usize, iy: usize, _h: bool| -> f64 {
+            if ix == 4 && iy < 7 {
+                1000.0
+            } else {
+                1.0
+            }
+        };
+        let p = astar(&m, (0, 0), (7, 0), &cost, 0.5).unwrap();
+        // Path must climb to row 7 to cross the wall.
+        assert!(p.steps.iter().any(|s| s.cell.1 == 7), "{:?}", p.steps);
+        assert!(p.cost < 1000.0);
+        assert!(p.bends >= 2);
+    }
+
+    #[test]
+    fn bend_cost_prefers_straighter_paths() {
+        let m = maps(6, 6);
+        let cheap_bends = astar(&m, (0, 0), (5, 5), &|_, _, _| 1.0, 0.0).unwrap();
+        let dear_bends = astar(&m, (0, 0), (5, 5), &|_, _, _| 1.0, 10.0).unwrap();
+        assert!(dear_bends.bends <= cheap_bends.bends.max(1));
+        // Any monotone path has 10 steps.
+        assert_eq!(dear_bends.steps.len(), 10);
+    }
+
+    #[test]
+    fn path_is_connected() {
+        let m = maps(10, 10);
+        let p = astar(&m, (1, 8), (9, 2), &|ix, _, _| 1.0 + (ix % 3) as f64, 1.5).unwrap();
+        let mut cur = (1usize, 8usize);
+        for s in &p.steps {
+            let dx = (s.cell.0 as i64 - cur.0 as i64).abs();
+            let dy = (s.cell.1 as i64 - cur.1 as i64).abs();
+            assert_eq!(dx + dy, 1, "disconnected step {s:?} from {cur:?}");
+            cur = s.cell;
+        }
+        assert_eq!(cur, (9, 2));
+    }
+}

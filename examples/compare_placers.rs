@@ -1,0 +1,42 @@
+//! Table I in miniature: run the three placer presets (Xplace,
+//! Xplace-Route, Ours) on one congested design and compare DRWL, vias,
+//! and the DRV proxy.
+//!
+//! ```sh
+//! cargo run --release --example compare_placers [design_name]
+//! ```
+
+use rdp::{place_and_evaluate, PlacerPreset, RoutabilityConfig};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "fft_b".into());
+    let presets = [
+        ("Xplace", PlacerPreset::Xplace),
+        ("Xplace-Route", PlacerPreset::XplaceRoute),
+        ("Ours", PlacerPreset::Ours),
+    ];
+
+    println!(
+        "{:<14} {:>12} {:>10} {:>10} {:>8} {:>8}",
+        "placer", "DRWL/um", "#DRVias", "#DRVs", "PT/s", "RT/s"
+    );
+    for (label, preset) in presets {
+        let mut design = rdp::gen::generate_named(&name)
+            .unwrap_or_else(|| panic!("unknown design `{name}` — see rdp::gen::ispd2015_suite()"));
+        let report = place_and_evaluate(
+            &mut design,
+            &RoutabilityConfig::preset(preset),
+            &rdp::drc::EvalConfig::default(),
+        );
+        println!(
+            "{:<14} {:>12.0} {:>10.0} {:>10.0} {:>8.2} {:>8.2}",
+            label,
+            report.eval.drwl,
+            report.eval.drvias,
+            report.eval.drvs,
+            report.flow.place_seconds,
+            report.eval.route_seconds
+        );
+    }
+    println!("\n(design `{name}`; see crates/bench table1 for the full 20-design sweep)");
+}

@@ -1,0 +1,68 @@
+//! Visualizes routing congestion before and after the routability-driven
+//! flow as ASCII heat maps (the Fig. 1 phenomenon: both local congestion
+//! from cell clusters and global congestion from net bundles).
+//!
+//! ```sh
+//! cargo run --release --example congestion_map
+//! ```
+
+use rdp::core::{run_flow, PlacerPreset, RoutabilityConfig};
+use rdp::route::GlobalRouter;
+
+fn main() {
+    let mut design = rdp::gen::generate(
+        "congestion-demo",
+        &rdp::gen::GenParams {
+            num_cells: 3000,
+            num_macros: 4,
+            macro_fraction: 0.2,
+            utilization: 0.7,
+            congestion_margin: 0.55,
+            rail_pitch: 1.0,
+            seed: 7,
+            ..rdp::gen::GenParams::default()
+        },
+    );
+
+    let router = GlobalRouter::default();
+
+    // Wirelength-driven placement only.
+    run_flow(
+        &mut design,
+        &RoutabilityConfig::preset(PlacerPreset::Xplace),
+    );
+    // Anchor the routing capacity on this placement (as the experiment
+    // harness does): 12% of G-cells are left over capacity, so the
+    // congestion below is real and the routability flow has work to do.
+    let spec = rdp::gen::calibrate_routing(&design, 0.88);
+    design.set_routing(spec);
+    let before = router.route(&design);
+    println!("== congestion after wirelength-driven placement ==");
+    println!(
+        "max {:.2}, overflowed G-cells {}, total overflow {:.0}",
+        before.max_congestion(),
+        before.maps.overflowed_gcells(),
+        before.maps.total_overflow()
+    );
+    println!("{}", before.congestion.ascii_heatmap(48));
+
+    // Continue with the routability-driven flow.
+    let mut cfg = RoutabilityConfig::preset(PlacerPreset::Ours);
+    cfg.gp.center_init = false; // keep the wirelength placement as start
+    run_flow(&mut design, &cfg);
+    let after = router.route(&design);
+    println!("== congestion after the routability-driven flow (Ours) ==");
+    println!(
+        "max {:.2}, overflowed G-cells {}, total overflow {:.0}",
+        after.max_congestion(),
+        after.maps.overflowed_gcells(),
+        after.maps.total_overflow()
+    );
+    println!("{}", after.congestion.ascii_heatmap(48));
+
+    println!(
+        "overflow change: {:.0} → {:.0}",
+        before.maps.total_overflow(),
+        after.maps.total_overflow()
+    );
+}

@@ -1,0 +1,61 @@
+//! Quickstart: generate a small design, run the paper's full
+//! routability-driven flow, and print the evaluation metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rdp::{place_and_evaluate, PlacerPreset, RoutabilityConfig};
+
+fn main() {
+    // A small congested design from the synthetic suite generator.
+    let mut design = rdp::gen::generate(
+        "quickstart",
+        &rdp::gen::GenParams {
+            num_cells: 2000,
+            num_macros: 2,
+            macro_fraction: 0.15,
+            utilization: 0.65,
+            congestion_margin: 0.85,
+            rail_pitch: 1.0,
+            seed: 42,
+            ..rdp::gen::GenParams::default()
+        },
+    );
+    println!("{}", rdp::db::DesignStats::of(&design));
+
+    let report = place_and_evaluate(
+        &mut design,
+        &RoutabilityConfig::preset(PlacerPreset::Ours),
+        &rdp::drc::EvalConfig::default(),
+    );
+
+    println!();
+    println!(
+        "global placement: {} WL-driven iters + {} routability iters in {:.2}s",
+        report.flow.gp_iterations, report.flow.route_iterations, report.flow.place_seconds
+    );
+    println!(
+        "legalization: max displacement {:.2} um, avg {:.2} um, {} failed",
+        report.legal.max_displacement, report.legal.avg_displacement, report.legal.failed
+    );
+    println!(
+        "detailed placement improved HPWL by {:.0} um",
+        report.detailed_gain
+    );
+    println!();
+    println!("evaluation (Innovus-proxy):");
+    println!("  DRWL    {:>12.0} um", report.eval.drwl);
+    println!("  #DRVias {:>12.0}", report.eval.drvias);
+    println!(
+        "  #DRVs   {:>12.0}  (overflow {:.0}, pin access {:.0}, rail {:.0})",
+        report.eval.drvs,
+        report.eval.drv_overflow,
+        report.eval.drv_pin_access,
+        report.eval.drv_rail
+    );
+
+    let legality = rdp::legal::check_legality(&design);
+    assert!(legality.is_legal(), "final placement not legal: {legality:?}");
+    println!("\nfinal placement is legal ✓");
+}

@@ -1,0 +1,322 @@
+//! `rdp` — command-line driver for the routability-driven placement stack.
+//!
+//! ```text
+//! rdp suite                                   list the 20 benchmark designs
+//! rdp stats    <input>                        design statistics
+//! rdp generate <name> --out DIR [--format F]  write a suite design to disk
+//! rdp place    <input> [--preset P] [--out DIR]   run the placement flow
+//! rdp route    <input>                        route + congestion summary
+//! rdp eval     <input>                        evaluate current placement
+//! rdp flow     <input> [--preset P]           full pipeline + report
+//! rdp convert  <input> --out DIR --format F   convert between formats
+//!
+//! <input> is either a suite design name (e.g. fft_1), a Bookshelf bundle
+//! `bookshelf:DIR:BASE`, or a LEF/DEF pair `lefdef:LEF:DEF`.
+//! Presets: xplace | xplace-route | ours (default ours).
+//! Formats: bookshelf | lefdef.
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rdp::core::{run_flow, PlacerPreset, RoutabilityConfig};
+use rdp::db::DesignStats;
+use rdp::{place_and_evaluate, Design, EvalConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "suite" => cmd_suite(),
+        "stats" => cmd_stats(rest),
+        "generate" => cmd_generate(rest),
+        "place" => cmd_place(rest),
+        "route" => cmd_route(rest),
+        "eval" => cmd_eval(rest),
+        "flow" => cmd_flow(rest),
+        "convert" => cmd_convert(rest),
+        "render" => cmd_render(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: rdp <command> [args]
+commands:
+  suite                                    list the benchmark suite
+  stats    <input>                         print design statistics
+  generate <name> --out DIR [--format F]   write a suite design to disk
+  place    <input> [--preset P] [--out DIR]  global placement flow
+  route    <input>                         route and summarize congestion
+  eval     <input>                         evaluate the current placement
+  flow     <input> [--preset P]            place → legalize → evaluate
+  convert  <input> --out DIR --format F    convert between formats
+  render   <input> --out FILE.svg [--congestion] [--place P]   render to SVG
+inputs:  <suite-name> | bookshelf:DIR:BASE | lefdef:LEF_PATH:DEF_PATH
+presets: xplace | xplace-route | ours       formats: bookshelf | lefdef"
+}
+
+fn flag<'a>(rest: &'a [String], name: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| a == name)
+        .and_then(|i| rest.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn parse_preset(rest: &[String]) -> Result<PlacerPreset, String> {
+    match flag(rest, "--preset").unwrap_or("ours") {
+        "xplace" => Ok(PlacerPreset::Xplace),
+        "xplace-route" => Ok(PlacerPreset::XplaceRoute),
+        "ours" => Ok(PlacerPreset::Ours),
+        other => Err(format!("unknown preset `{other}`")),
+    }
+}
+
+/// Resolves an input spec to a design.
+fn load_input(spec: &str) -> Result<Design, String> {
+    if let Some(rem) = spec.strip_prefix("bookshelf:") {
+        let (dir, base) = rem
+            .split_once(':')
+            .ok_or("bookshelf input must be bookshelf:DIR:BASE")?;
+        return rdp::parse::load_bookshelf(Path::new(dir), base).map_err(|e| e.to_string());
+    }
+    if let Some(rem) = spec.strip_prefix("lefdef:") {
+        let (lef, def) = rem
+            .split_once(':')
+            .ok_or("lefdef input must be lefdef:LEF_PATH:DEF_PATH")?;
+        let files = rdp::parse::LefDefFiles {
+            lef: std::fs::read_to_string(lef).map_err(|e| format!("{lef}: {e}"))?,
+            def: std::fs::read_to_string(def).map_err(|e| format!("{def}: {e}"))?,
+        };
+        return rdp::parse::read_lefdef(&files).map_err(|e| e.to_string());
+    }
+    rdp::gen::generate_named(spec).ok_or_else(|| {
+        format!("`{spec}` is not a suite design; see `rdp suite` or use bookshelf:/lefdef: inputs")
+    })
+}
+
+fn save_output(design: &Design, dir: &Path, format: &str) -> Result<(), String> {
+    match format {
+        "bookshelf" => {
+            rdp::parse::save_bookshelf(design, dir, design.name()).map_err(|e| e.to_string())?;
+            println!("wrote {}/{}.{{nodes,nets,pl,scl,route,pg,aux}}", dir.display(), design.name());
+        }
+        "lefdef" => {
+            let files = rdp::parse::write_lefdef(design);
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+            let lef = dir.join(format!("{}.lef", design.name()));
+            let def = dir.join(format!("{}.def", design.name()));
+            std::fs::write(&lef, files.lef).map_err(|e| e.to_string())?;
+            std::fs::write(&def, files.def).map_err(|e| e.to_string())?;
+            println!("wrote {} and {}", lef.display(), def.display());
+        }
+        other => return Err(format!("unknown format `{other}`")),
+    }
+    Ok(())
+}
+
+fn cmd_suite() -> Result<(), String> {
+    println!(
+        "{:<16} {:>8} {:>7} {:>6} {:>8}",
+        "design", "cells", "macros", "util", "margin"
+    );
+    for e in rdp::gen::ispd2015_suite() {
+        println!(
+            "{:<16} {:>8} {:>7} {:>6.2} {:>8.3}",
+            e.name,
+            e.params.num_cells,
+            e.params.num_macros,
+            e.params.utilization,
+            e.params.congestion_margin
+        );
+    }
+    Ok(())
+}
+
+fn cmd_stats(rest: &[String]) -> Result<(), String> {
+    let spec = rest.first().ok_or("stats needs an input")?;
+    let design = load_input(spec)?;
+    println!("{}", DesignStats::of(&design));
+    let spec = design.routing();
+    println!(
+        "  routing: {} layers, {}x{} G-cells, H/V capacity {:.1}/{:.1} per G-cell",
+        spec.num_layers(),
+        spec.gx,
+        spec.gy,
+        spec.total_h_capacity(),
+        spec.total_v_capacity()
+    );
+    Ok(())
+}
+
+fn cmd_generate(rest: &[String]) -> Result<(), String> {
+    let name = rest.first().ok_or("generate needs a suite design name")?;
+    let out: PathBuf = flag(rest, "--out").ok_or("generate needs --out DIR")?.into();
+    let format = flag(rest, "--format").unwrap_or("bookshelf");
+    let design =
+        rdp::gen::generate_named(name).ok_or_else(|| format!("unknown design `{name}`"))?;
+    save_output(&design, &out, format)
+}
+
+fn cmd_place(rest: &[String]) -> Result<(), String> {
+    let spec = rest.first().ok_or("place needs an input")?;
+    let preset = parse_preset(rest)?;
+    let mut design = load_input(spec)?;
+    let report = run_flow(&mut design, &RoutabilityConfig::preset(preset));
+    println!(
+        "placed `{}`: {} WL iters + {} routability iters in {:.2}s, HPWL {:.0} um",
+        design.name(),
+        report.gp_iterations,
+        report.route_iterations,
+        report.place_seconds,
+        report.hpwl
+    );
+    if let Some(out) = flag(rest, "--out") {
+        let format = flag(rest, "--format").unwrap_or("bookshelf");
+        save_output(&design, Path::new(out), format)?;
+    }
+    Ok(())
+}
+
+fn cmd_route(rest: &[String]) -> Result<(), String> {
+    let spec = rest.first().ok_or("route needs an input")?;
+    let design = load_input(spec)?;
+    let result = rdp::route::GlobalRouter::default().route(&design);
+    println!(
+        "routed `{}`: wirelength {:.0} um, {:.0} vias",
+        design.name(),
+        result.wirelength,
+        result.vias
+    );
+    println!(
+        "congestion: max {:.2}, {} overflowed G-cells, total overflow {:.1}",
+        result.max_congestion(),
+        result.maps.overflowed_gcells(),
+        result.maps.total_overflow()
+    );
+    println!("{}", result.congestion.ascii_heatmap(48));
+    Ok(())
+}
+
+fn cmd_eval(rest: &[String]) -> Result<(), String> {
+    let spec = rest.first().ok_or("eval needs an input")?;
+    let design = load_input(spec)?;
+    let e = rdp::drc::evaluate(&design, &EvalConfig::default());
+    println!("evaluation of `{}` (current placement):", design.name());
+    println!("  DRWL    {:>12.0} um", e.drwl);
+    println!("  #DRVias {:>12.0}", e.drvias);
+    println!(
+        "  #DRVs   {:>12.0}  (overflow {:.0}, pin access {:.0}, rail {:.0})",
+        e.drvs, e.drv_overflow, e.drv_pin_access, e.drv_rail
+    );
+    println!("  track shorts {:>7.0}", e.track_shorts);
+
+    // Hotspot diagnostics on the G-cell grid.
+    let route = rdp::route::GlobalRouter::default().route(&design);
+    let grid = design.gcell_grid();
+    let spots = rdp::drc::hotspots(&design, &route, &grid, 5);
+    if spots.is_empty() {
+        println!("  no overflow hotspots");
+    } else {
+        println!("  top hotspots:");
+        for s in &spots {
+            println!(
+                "    {:?} at {}: overflow {:.1}, util {:.2} → {}",
+                s.gcell,
+                s.region.center(),
+                s.overflow,
+                s.utilization,
+                rdp::drc::classify(s)
+            );
+        }
+    }
+    let tr = rdp::drc::track_analysis(&design, &route, &grid);
+    println!(
+        "  worst layer: {} (overflow {:.1} tracks)",
+        tr.worst_layer_name(),
+        tr.overflow_per_layer[tr.worst_layer]
+    );
+    Ok(())
+}
+
+fn cmd_flow(rest: &[String]) -> Result<(), String> {
+    let spec = rest.first().ok_or("flow needs an input")?;
+    let preset = parse_preset(rest)?;
+    let mut design = load_input(spec)?;
+    let report = place_and_evaluate(
+        &mut design,
+        &RoutabilityConfig::preset(preset),
+        &EvalConfig::default(),
+    );
+    println!(
+        "flow on `{}` ({:?}): PT {:.2}s, RT {:.2}s",
+        design.name(),
+        preset,
+        report.flow.place_seconds,
+        report.eval.route_seconds
+    );
+    println!(
+        "  DRWL {:.0} um | #DRVias {:.0} | #DRVs {:.0}",
+        report.eval.drwl, report.eval.drvias, report.eval.drvs
+    );
+    let legality = rdp::legal::check_legality(&design);
+    println!("  legal: {}", legality.is_legal());
+    if let Some(out) = flag(rest, "--out") {
+        let format = flag(rest, "--format").unwrap_or("bookshelf");
+        save_output(&design, Path::new(out), format)?;
+    }
+    Ok(())
+}
+
+fn cmd_render(rest: &[String]) -> Result<(), String> {
+    let spec = rest.first().ok_or("render needs an input")?;
+    let out = flag(rest, "--out").ok_or("render needs --out FILE.svg")?;
+    let mut design = load_input(spec)?;
+    if let Some(p) = flag(rest, "--place") {
+        let preset = match p {
+            "xplace" => PlacerPreset::Xplace,
+            "xplace-route" => PlacerPreset::XplaceRoute,
+            "ours" => PlacerPreset::Ours,
+            other => return Err(format!("unknown preset `{other}`")),
+        };
+        run_flow(&mut design, &RoutabilityConfig::preset(preset));
+    }
+    let congestion = rest.iter().any(|a| a == "--congestion").then(|| {
+        rdp::route::GlobalRouter::default()
+            .route(&design)
+            .congestion
+    });
+    let svg = rdp::render::render_svg(
+        &design,
+        &rdp::render::RenderOptions {
+            congestion,
+            ..Default::default()
+        },
+    );
+    std::fs::write(out, svg).map_err(|e| e.to_string())?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_convert(rest: &[String]) -> Result<(), String> {
+    let spec = rest.first().ok_or("convert needs an input")?;
+    let out: PathBuf = flag(rest, "--out").ok_or("convert needs --out DIR")?.into();
+    let format = flag(rest, "--format").ok_or("convert needs --format")?;
+    let design = load_input(spec)?;
+    save_output(&design, &out, format)
+}

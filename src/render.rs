@@ -1,0 +1,227 @@
+//! SVG rendering of placements and congestion maps.
+//!
+//! Produces self-contained SVG documents for design inspection: die
+//! outline, rows, macros, standard cells, PG rails, and an optional
+//! congestion heat overlay. Used by the `rdp render` CLI command and
+//! handy in notebooks/docs.
+
+use rdp_db::{CellKind, Design, Map2d};
+
+/// Rendering options for [`render_svg`].
+#[derive(Debug, Clone)]
+pub struct RenderOptions {
+    /// Output image width in pixels (height follows the die aspect).
+    pub width_px: f64,
+    /// Congestion map (G-cell grid) drawn as a translucent heat overlay.
+    pub congestion: Option<Map2d<f64>>,
+    /// Draw PG rails.
+    pub show_rails: bool,
+    /// Draw placement rows as faint horizontal guides.
+    pub show_rows: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            width_px: 900.0,
+            congestion: None,
+            show_rails: true,
+            show_rows: false,
+        }
+    }
+}
+
+/// Renders the design to an SVG string.
+///
+/// ```
+/// use rdp::gen::{generate, GenParams};
+/// use rdp::render::{render_svg, RenderOptions};
+///
+/// let design = generate("svg", &GenParams { num_cells: 50, ..GenParams::default() });
+/// let svg = render_svg(&design, &RenderOptions::default());
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("</svg>"));
+/// ```
+pub fn render_svg(design: &Design, opts: &RenderOptions) -> String {
+    let die = design.die();
+    let scale = opts.width_px / die.width();
+    let h_px = die.height() * scale;
+    // SVG y grows downward; flip so the die's y-up convention is kept.
+    let tx = |x: f64| (x - die.lo.x) * scale;
+    let ty = |y: f64| h_px - (y - die.lo.y) * scale;
+
+    let mut svg = String::with_capacity(1 << 16);
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" \
+         viewBox=\"0 0 {:.0} {:.0}\">\n",
+        opts.width_px, h_px, opts.width_px, h_px
+    ));
+    svg.push_str(&format!(
+        "<rect x=\"0\" y=\"0\" width=\"{:.1}\" height=\"{:.1}\" fill=\"#fcfcf8\" stroke=\"#333\"/>\n",
+        opts.width_px, h_px
+    ));
+
+    if opts.show_rows {
+        for r in design.rows() {
+            svg.push_str(&format!(
+                "<line x1=\"{:.1}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" stroke=\"#eee\" stroke-width=\"0.5\"/>\n",
+                tx(r.x0),
+                ty(r.y),
+                tx(r.x1),
+                ty(r.y)
+            ));
+        }
+    }
+
+    // Congestion heat overlay (under the cells).
+    if let Some(cmap) = &opts.congestion {
+        let grid = design.gcell_grid();
+        if cmap.nx() == grid.nx() && cmap.ny() == grid.ny() {
+            let hi = cmap.max().max(1e-9);
+            for (ix, iy, &c) in cmap.iter_coords() {
+                if c <= 0.0 {
+                    continue;
+                }
+                let r = grid.bin_rect(ix, iy);
+                let alpha = (c / hi * 0.6).min(0.6);
+                svg.push_str(&format!(
+                    "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" \
+                     fill=\"#e03020\" fill-opacity=\"{:.2}\"/>\n",
+                    tx(r.lo.x),
+                    ty(r.hi.y),
+                    r.width() * scale,
+                    r.height() * scale,
+                    alpha
+                ));
+            }
+        }
+    }
+
+    // Cells.
+    for (i, cell) in design.cells().iter().enumerate() {
+        if cell.kind == CellKind::Terminal {
+            continue;
+        }
+        let r = design.cell_rect(rdp_db::CellId::from_index(i));
+        let (fill, stroke) = match cell.kind {
+            CellKind::Macro => ("#5b7aa9", "#2d4a75"),
+            _ => ("#9fc2e8", "#6b90b8"),
+        };
+        svg.push_str(&format!(
+            "<rect x=\"{:.2}\" y=\"{:.2}\" width=\"{:.2}\" height=\"{:.2}\" \
+             fill=\"{fill}\" fill-opacity=\"0.8\" stroke=\"{stroke}\" stroke-width=\"0.3\"/>\n",
+            tx(r.lo.x),
+            ty(r.hi.y),
+            r.width() * scale,
+            r.height() * scale
+        ));
+    }
+
+    // PG rails.
+    if opts.show_rails {
+        for rail in design.rails() {
+            let r = rail.rect;
+            svg.push_str(&format!(
+                "<rect x=\"{:.2}\" y=\"{:.2}\" width=\"{:.2}\" height=\"{:.2}\" \
+                 fill=\"#8b4bb8\" fill-opacity=\"0.55\"/>\n",
+                tx(r.lo.x),
+                ty(r.hi.y),
+                (r.width() * scale).max(0.8),
+                (r.height() * scale).max(0.8)
+            ));
+        }
+    }
+
+    // Terminals as dots on the boundary.
+    for (i, cell) in design.cells().iter().enumerate() {
+        if cell.kind != CellKind::Terminal {
+            continue;
+        }
+        let p = design.positions()[i];
+        svg.push_str(&format!(
+            "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"2.5\" fill=\"#333\"/>\n",
+            tx(p.x),
+            ty(p.y)
+        ));
+    }
+
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdp_gen::{generate, GenParams};
+
+    fn design() -> Design {
+        generate(
+            "svg",
+            &GenParams {
+                num_cells: 80,
+                num_macros: 1,
+                macro_fraction: 0.1,
+                utilization: 0.5,
+                rail_pitch: 1.0,
+                io_terminals: 4,
+                seed: 4,
+                ..GenParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn svg_contains_all_layers() {
+        let d = design();
+        let svg = render_svg(&d, &RenderOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // macro fill color present
+        assert!(svg.contains("#5b7aa9"));
+        // std cell fill
+        assert!(svg.contains("#9fc2e8"));
+        // rails
+        assert!(svg.contains("#8b4bb8"));
+        // terminals
+        assert!(svg.contains("<circle"));
+        // balanced tags: every <rect is self-closed
+        assert_eq!(svg.matches("<svg").count(), 1);
+    }
+
+    #[test]
+    fn congestion_overlay_rendered_when_dims_match() {
+        let d = design();
+        let route = rdp_route::GlobalRouter::default().route(&d);
+        let opts = RenderOptions {
+            congestion: Some(route.congestion.clone()),
+            ..RenderOptions::default()
+        };
+        let svg = render_svg(&d, &opts);
+        // The overlay color appears iff some congestion exists.
+        if route.congestion.max() > 0.0 {
+            assert!(svg.contains("#e03020"));
+        }
+    }
+
+    #[test]
+    fn rails_can_be_hidden() {
+        let d = design();
+        let svg = render_svg(
+            &d,
+            &RenderOptions {
+                show_rails: false,
+                ..RenderOptions::default()
+            },
+        );
+        assert!(!svg.contains("#8b4bb8"));
+    }
+
+    #[test]
+    fn element_count_scales_with_cells() {
+        let d = design();
+        let svg = render_svg(&d, &RenderOptions::default());
+        let rects = svg.matches("<rect").count();
+        // background + 80 std cells + 1 macro + rails
+        assert!(rects > 80, "{rects}");
+    }
+}

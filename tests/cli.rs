@@ -1,0 +1,102 @@
+//! Integration tests of the `rdp` CLI binary.
+
+use std::process::Command;
+
+fn rdp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rdp"))
+}
+
+#[test]
+fn suite_lists_twenty_designs() {
+    let out = rdp().arg("suite").output().expect("run rdp suite");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("des_perf_1"));
+    assert!(text.contains("superblue19"));
+    // header + 20 designs
+    assert_eq!(text.lines().count(), 21, "{text}");
+}
+
+#[test]
+fn stats_works_on_suite_design() {
+    let out = rdp().args(["stats", "fft_a"]).output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("design `fft_a`"));
+    assert!(text.contains("routing:"));
+}
+
+#[test]
+fn unknown_design_fails_with_message() {
+    let out = rdp().args(["stats", "nonexistent"]).output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("nonexistent"), "{err}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = rdp().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage"), "{err}");
+}
+
+#[test]
+fn generate_convert_roundtrip_via_cli() {
+    let dir = std::env::temp_dir().join("rdp_cli_test");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let out = rdp()
+        .args([
+            "generate",
+            "pci_bridge32_b",
+            "--out",
+            dir.to_str().unwrap(),
+            "--format",
+            "bookshelf",
+        ])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("pci_bridge32_b.nodes").exists());
+    assert!(dir.join("pci_bridge32_b.aux").exists());
+
+    // Load the bundle back through the CLI and check stats.
+    let input = format!("bookshelf:{}:pci_bridge32_b", dir.display());
+    let out = rdp().args(["stats", &input]).output().expect("run stats");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("pci_bridge32_b"), "{text}");
+
+    // Convert to LEF/DEF.
+    let out = rdp()
+        .args([
+            "convert",
+            &input,
+            "--out",
+            dir.to_str().unwrap(),
+            "--format",
+            "lefdef",
+        ])
+        .output()
+        .expect("run convert");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("pci_bridge32_b.lef").exists());
+    assert!(dir.join("pci_bridge32_b.def").exists());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn render_writes_svg() {
+    let svg_path = std::env::temp_dir().join("rdp_cli_test.svg");
+    let out = rdp()
+        .args(["render", "fft_a", "--out", svg_path.to_str().unwrap()])
+        .output()
+        .expect("run render");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let svg = std::fs::read_to_string(&svg_path).expect("svg written");
+    assert!(svg.starts_with("<svg"));
+    std::fs::remove_file(&svg_path).ok();
+}

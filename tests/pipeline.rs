@@ -1,0 +1,126 @@
+//! End-to-end integration tests: generate → place → legalize → evaluate
+//! across the three placer presets.
+
+use rdp::core::{PlacerPreset, RoutabilityConfig};
+use rdp::gen::{generate, GenParams};
+use rdp::{place_and_evaluate, EvalConfig};
+
+fn congested(seed: u64) -> rdp::Design {
+    generate(
+        "it",
+        &GenParams {
+            num_cells: 500,
+            num_macros: 2,
+            macro_fraction: 0.15,
+            utilization: 0.6,
+            congestion_margin: 0.75,
+            rail_pitch: 1.0,
+            io_terminals: 8,
+            seed,
+            ..GenParams::default()
+        },
+    )
+}
+
+#[test]
+fn full_pipeline_produces_legal_placement_and_metrics() {
+    let mut d = congested(1);
+    let report = place_and_evaluate(
+        &mut d,
+        &RoutabilityConfig::preset(PlacerPreset::Ours),
+        &EvalConfig::default(),
+    );
+    assert!(report.eval.drwl > 0.0);
+    assert!(report.eval.drvias > 0.0);
+    assert!(report.eval.drvs >= 0.0);
+    assert_eq!(report.legal.failed, 0);
+    assert!(rdp::legal::check_legality(&d).is_legal());
+    assert!(report.flow.route_iterations >= 1);
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let mut d1 = congested(2);
+    let mut d2 = congested(2);
+    let cfg = RoutabilityConfig::preset(PlacerPreset::Ours);
+    let r1 = place_and_evaluate(&mut d1, &cfg, &EvalConfig::default());
+    let r2 = place_and_evaluate(&mut d2, &cfg, &EvalConfig::default());
+    assert_eq!(d1.positions(), d2.positions());
+    assert_eq!(r1.eval.drvs, r2.eval.drvs);
+    assert_eq!(r1.eval.drwl, r2.eval.drwl);
+}
+
+#[test]
+fn routability_flow_does_not_hurt_routing_on_congested_design() {
+    // The miniature Table I claim: Ours must not route meaningfully worse
+    // than the wirelength-only baseline on a congested design.
+    let mut d_x = congested(3);
+    let mut d_o = congested(3);
+    let rx = place_and_evaluate(
+        &mut d_x,
+        &RoutabilityConfig::preset(PlacerPreset::Xplace),
+        &EvalConfig::default(),
+    );
+    let ro = place_and_evaluate(
+        &mut d_o,
+        &RoutabilityConfig::preset(PlacerPreset::Ours),
+        &EvalConfig::default(),
+    );
+    assert!(
+        ro.eval.drv_overflow <= rx.eval.drv_overflow * 1.1 + 10.0,
+        "ours {} vs xplace {}",
+        ro.eval.drv_overflow,
+        rx.eval.drv_overflow
+    );
+    // Wirelength stays comparable (the paper's DRWL ≈ 1.00 claim).
+    assert!(
+        ro.eval.drwl <= rx.eval.drwl * 1.25,
+        "ours drwl {} vs xplace {}",
+        ro.eval.drwl,
+        rx.eval.drwl
+    );
+}
+
+#[test]
+fn xplace_preset_skips_routability_machinery() {
+    let mut d = congested(4);
+    let r = place_and_evaluate(
+        &mut d,
+        &RoutabilityConfig::preset(PlacerPreset::Xplace),
+        &EvalConfig::default(),
+    );
+    assert_eq!(r.flow.route_iterations, 0);
+    assert!(r.flow.inflation_ratios.is_none());
+    assert!(r.flow.log.is_empty());
+}
+
+#[test]
+fn flow_log_is_consistent() {
+    let mut d = congested(5);
+    let r = place_and_evaluate(
+        &mut d,
+        &RoutabilityConfig::preset(PlacerPreset::Ours),
+        &EvalConfig::default(),
+    );
+    assert_eq!(r.flow.log.len(), r.flow.route_iterations);
+    for (i, l) in r.flow.log.iter().enumerate() {
+        assert_eq!(l.iter, i + 1);
+        assert!(l.overflow >= 0.0);
+        assert!(l.hpwl > 0.0);
+        assert!(l.lambda2 >= 0.0);
+    }
+    // Inflation ratios must be within the paper's clamp bounds.
+    let ratios = r.flow.inflation_ratios.expect("ours inflates");
+    assert!(ratios.iter().all(|&x| (0.9..=2.0).contains(&x) || x == 1.0));
+}
+
+#[test]
+fn suite_designs_generate_and_have_declared_structure() {
+    for entry in rdp::gen::ispd2015_suite().iter().take(3) {
+        let d = rdp::gen::generate(entry.name, &entry.params);
+        assert_eq!(d.name(), entry.name);
+        assert_eq!(d.movable_cells().count(), entry.params.num_cells);
+        assert_eq!(d.macros().count(), entry.params.num_macros);
+        assert!(!d.rails().is_empty());
+    }
+}
