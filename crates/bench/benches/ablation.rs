@@ -1,9 +1,9 @@
-//! Criterion benchmarks of the per-iteration cost of each routability
+//! rdp-testkit benchmarks of the per-iteration cost of each routability
 //! technique (the runtime side of the Table II ablation): inflation
 //! policy updates, the DPA density map, net-moving gradients with and
 //! without Z-candidates, and the λ₂ computation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rdp_testkit::BenchHarness;
 use std::hint::black_box;
 
 use rdp_core::{
@@ -13,7 +13,7 @@ use rdp_core::{
 use rdp_gen::{generate, GenParams};
 use rdp_route::GlobalRouter;
 
-fn ablation(c: &mut Criterion) {
+fn ablation(c: &mut BenchHarness) {
     let design = generate(
         "bench-abl",
         &GenParams {
@@ -32,12 +32,22 @@ fn ablation(c: &mut Criterion) {
 
     // Inflation policies (MCI vs the two baselines).
     for (name, policy) in [
-        ("inflation_momentum", InflationPolicy::Momentum { alpha: 0.4 }),
-        ("inflation_monotone", InflationPolicy::Monotone { beta: 0.6 }),
-        ("inflation_present_only", InflationPolicy::PresentOnly { beta: 1.0 }),
+        (
+            "inflation_momentum",
+            InflationPolicy::Momentum { alpha: 0.4 },
+        ),
+        (
+            "inflation_monotone",
+            InflationPolicy::Monotone { beta: 0.6 },
+        ),
+        (
+            "inflation_present_only",
+            InflationPolicy::PresentOnly { beta: 1.0 },
+        ),
     ] {
         c.bench_function(name, |b| {
-            let mut st = InflationState::new(design.num_cells(), policy, InflationBounds::default());
+            let mut st =
+                InflationState::new(design.num_cells(), policy, InflationBounds::default());
             b.iter(|| {
                 st.update(&design, &field);
                 black_box(st.ratios()[0])
@@ -48,7 +58,13 @@ fn ablation(c: &mut Criterion) {
     // DPA: rail selection (once) + dynamic density map per iteration.
     let grid = design.gcell_grid();
     c.bench_function("dpa_rail_selection", |b| {
-        b.iter(|| black_box(PgDensity::new(&design, &grid, &DpaConfig::default()).selected_rails().len()))
+        b.iter(|| {
+            black_box(
+                PgDensity::new(&design, &grid, &DpaConfig::default())
+                    .selected_rails()
+                    .len(),
+            )
+        })
     });
     let pg = PgDensity::new(&design, &grid, &DpaConfig::default());
     c.bench_function("dpa_dynamic_density_map", |b| {
@@ -74,9 +90,8 @@ fn ablation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = ablation
-);
-criterion_main!(benches);
+fn main() {
+    let mut harness = BenchHarness::new("ablation").sample_size(20);
+    ablation(&mut harness);
+    harness.finish();
+}

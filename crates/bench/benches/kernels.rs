@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks of the numerical kernels: FFT, DCT,
+//! rdp-testkit micro-benchmarks of the numerical kernels: FFT, DCT,
 //! spectral Poisson solve, WA wirelength gradient, density map, net
 //! decomposition, and pattern routing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rdp_testkit::BenchHarness;
 use std::hint::black_box;
 
 use rdp_core::{congestion_gradients, CongestionField, DensityModel, NetMoveConfig, WaModel};
@@ -27,7 +27,7 @@ fn bench_design() -> rdp_db::Design {
     )
 }
 
-fn kernels(c: &mut Criterion) {
+fn kernels(c: &mut BenchHarness) {
     // FFT 1024.
     let signal: Vec<Complex> = (0..1024)
         .map(|i| Complex::new((i as f64 * 0.37).sin(), 0.0))
@@ -97,9 +97,8 @@ fn kernels(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = kernels
-);
-criterion_main!(benches);
+fn main() {
+    let mut harness = BenchHarness::new("kernels").sample_size(20);
+    kernels(&mut harness);
+    harness.finish();
+}

@@ -1,8 +1,8 @@
-//! Criterion benchmarks of the placement stages: one Nesterov step, the
+//! rdp-testkit benchmarks of the placement stages: one Nesterov step, the
 //! full wirelength-driven placement, legalization + detailed placement,
 //! and the end-to-end routability flow on a small design.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rdp_testkit::BenchHarness;
 use std::hint::black_box;
 
 use rdp_core::{
@@ -28,7 +28,7 @@ fn small_design() -> rdp_db::Design {
     )
 }
 
-fn placement(c: &mut Criterion) {
+fn placement(c: &mut BenchHarness) {
     // One Nesterov step of the analytical model.
     c.bench_function("gp_single_step_1k_cells", |b| {
         let mut design = small_design();
@@ -77,9 +77,8 @@ fn placement(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = placement
-);
-criterion_main!(benches);
+fn main() {
+    let mut harness = BenchHarness::new("placement").sample_size(10);
+    placement(&mut harness);
+    harness.finish();
+}

@@ -105,9 +105,18 @@ fn main() {
     println!("\n== inflation policy family ==");
     for (label, policy) in [
         ("inflation = none", InflationPolicy::None),
-        ("inflation = present-only", InflationPolicy::PresentOnly { beta: 1.0 }),
-        ("inflation = monotone", InflationPolicy::Monotone { beta: 0.6 }),
-        ("inflation = momentum (paper)", InflationPolicy::Momentum { alpha: 0.4 }),
+        (
+            "inflation = present-only",
+            InflationPolicy::PresentOnly { beta: 1.0 },
+        ),
+        (
+            "inflation = monotone",
+            InflationPolicy::Monotone { beta: 0.6 },
+        ),
+        (
+            "inflation = momentum (paper)",
+            InflationPolicy::Momentum { alpha: 0.4 },
+        ),
     ] {
         let cfg = RoutabilityConfig {
             inflation: policy,

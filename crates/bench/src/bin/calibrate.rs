@@ -45,7 +45,10 @@ fn target_overflow(name: &str) -> f64 {
 
 fn main() {
     let eval_cfg = EvalConfig::default();
-    println!("{:<16} {:>8} {:>8} {:>10} {:>10}", "design", "margin", "ovfl", "target", "pin");
+    println!(
+        "{:<16} {:>8} {:>8} {:>10} {:>10}",
+        "design", "margin", "ovfl", "target", "pin"
+    );
     for entry in ispd2015_suite() {
         // Place once with the wirelength-driven baseline.
         let mut placed = generate(entry.name, &entry.params);

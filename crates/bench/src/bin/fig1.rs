@@ -57,7 +57,10 @@ fn main() {
     // swallows the unrelated cluster congestion at the bottom-left.
     let p1 = b.add_cell(Cell::std("p1", 1.2, 2.0), Point::new(20.0, 88.0));
     let p2 = b.add_cell(Cell::std("p2", 1.2, 2.0), Point::new(88.0, 60.0));
-    b.add_net("probe", vec![(p1, Point::default()), (p2, Point::default())]);
+    b.add_net(
+        "probe",
+        vec![(p1, Point::default()), (p2, Point::default())],
+    );
     b.routing(RoutingSpec::uniform(4, 2.0, 16, 16));
     let design = b.build().unwrap();
 

@@ -31,7 +31,10 @@ fn main() {
     }
     let c1 = b.add_cell(Cell::std("c1", 1.0, 2.0), Point::new(14.0, 20.0));
     let c2 = b.add_cell(Cell::std("c2", 1.0, 2.0), Point::new(52.0, 44.0));
-    b.add_net("probe", vec![(c1, Point::default()), (c2, Point::default())]);
+    b.add_net(
+        "probe",
+        vec![(c1, Point::default()), (c2, Point::default())],
+    );
     b.routing(RoutingSpec::uniform(4, 2.0, 16, 16));
     let design = b.build().unwrap();
 
@@ -54,15 +57,29 @@ fn main() {
     for i in 1..=k {
         let t = i as f64 / (k + 1) as f64;
         let cand = p1 + (p2 - p1).scale(t);
-        println!("{:>4} {:>22} {:>8.3}", i, format!("{cand}"), field.congestion_at(cand));
+        println!(
+            "{:>4} {:>22} {:>8.3}",
+            i,
+            format!("{cand}"),
+            field.congestion_at(cand)
+        );
     }
 
     let info = two_pin_gradient(&design, &field, &NetMoveConfig::default(), probe, 1.0)
         .expect("probe spans G-cells");
     println!("\nvirtual cell c_v (Eq. 8):    {}", info.pos);
-    println!("field gradient ∇C_cv:        ({:+.4}, {:+.4})", info.grad_v.x, info.grad_v.y);
-    println!("oriented unit normal n̂:      ({:+.4}, {:+.4})", info.normal.x, info.normal.y);
-    println!("projection ∇C⊥ = (∇C·n̂)n̂:    ({:+.4}, {:+.4})", info.proj.x, info.proj.y);
+    println!(
+        "field gradient ∇C_cv:        ({:+.4}, {:+.4})",
+        info.grad_v.x, info.grad_v.y
+    );
+    println!(
+        "oriented unit normal n̂:      ({:+.4}, {:+.4})",
+        info.normal.x, info.normal.y
+    );
+    println!(
+        "projection ∇C⊥ = (∇C·n̂)n̂:    ({:+.4}, {:+.4})",
+        info.proj.x, info.proj.y
+    );
     let l = p1.distance(p2);
     let d1 = p1.distance(info.pos);
     let d2 = p2.distance(info.pos);
@@ -81,6 +98,10 @@ fn main() {
     );
     println!(
         "\n→ descent −∇C moves the whole net {} out of the stripe, the closer pin faster",
-        if info.g1.y > 0.0 { "downward" } else { "upward" }
+        if info.g1.y > 0.0 {
+            "downward"
+        } else {
+            "upward"
+        }
     );
 }

@@ -5,7 +5,9 @@ use rdp_drc::{evaluate, EvalConfig};
 use rdp_legal::{detailed_place, legalize, DetailedConfig, LegalizeConfig};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "matrix_mult_1".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "matrix_mult_1".into());
     let entry = rdp_gen::ispd2015_suite()
         .into_iter()
         .find(|e| e.name == name)
@@ -16,8 +18,14 @@ fn main() {
     ] {
         let mut d = rdp_bench::prepare_design(&entry);
         run_flow(&mut d, &RoutabilityConfig::preset(preset));
-        let refine: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(2);
-        let cfg_e = EvalConfig { refine, ..EvalConfig::default() };
+        let refine: usize = std::env::args()
+            .nth(2)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(2);
+        let cfg_e = EvalConfig {
+            refine,
+            ..EvalConfig::default()
+        };
         let e0 = evaluate(&d, &cfg_e);
         let rep = legalize(&mut d, &LegalizeConfig::default());
         let e1 = evaluate(&d, &cfg_e);

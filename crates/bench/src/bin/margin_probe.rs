@@ -3,7 +3,7 @@
 
 use rdp_core::{run_flow, PlacerPreset, RoutabilityConfig};
 use rdp_drc::{evaluate, EvalConfig};
-use rdp_gen::{GenParams, generate};
+use rdp_gen::{generate, GenParams};
 use rdp_legal::{detailed_place, legalize, DetailedConfig, LegalizeConfig};
 
 fn main() {
@@ -41,7 +41,13 @@ fn main() {
             let e = evaluate(&d, &EvalConfig::default());
             println!(
                 "{:>7.2} {:<13} {:>10.0} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>7.0}",
-                margin, label, e.drwl, e.drvias, e.drvs, e.drv_overflow, e.drv_pin_access,
+                margin,
+                label,
+                e.drwl,
+                e.drvias,
+                e.drvs,
+                e.drv_overflow,
+                e.drv_pin_access,
                 e.drv_rail
             );
         }

@@ -35,8 +35,15 @@ fn main() {
             let e = row.eval;
             println!(
                 "{:<16} {:<13} {:>10.0} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>9.0} {:>7.2}",
-                name, label, e.drwl, e.drvias, e.drvs, e.drv_overflow, e.drv_pin_access,
-                e.drv_rail, row.pt
+                name,
+                label,
+                e.drwl,
+                e.drvias,
+                e.drvs,
+                e.drv_overflow,
+                e.drv_pin_access,
+                e.drv_rail,
+                row.pt
             );
         }
     }

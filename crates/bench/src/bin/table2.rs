@@ -71,9 +71,18 @@ fn main() {
     }
 
     let full = results.last().expect("non-empty").clone();
-    println!("\nTable II: Ablation Experiment ({} designs)", designs.len());
-    println!("{:<16} {:>12} {:>12} {:>12}", "Methods", "DRWL", "#DRVias", "#DRVs");
-    println!("{:<16} {:>12} {:>12} {:>12}", "MCI  DC   DPA", "Avg.Ratio", "Avg.Ratio", "Avg.Ratio");
+    println!(
+        "\nTable II: Ablation Experiment ({} designs)",
+        designs.len()
+    );
+    println!(
+        "{:<16} {:>12} {:>12} {:>12}",
+        "Methods", "DRWL", "#DRVias", "#DRVs"
+    );
+    println!(
+        "{:<16} {:>12} {:>12} {:>12}",
+        "MCI  DC   DPA", "Avg.Ratio", "Avg.Ratio", "Avg.Ratio"
+    );
     for (ri, (label, _)) in rows_cfg.iter().enumerate() {
         let (w, v, d) = mean_ratios(&results[ri], &full);
         println!("{:<16} {:>12.2} {:>12.2} {:>12.2}", label, w, v, d);

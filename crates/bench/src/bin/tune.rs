@@ -7,7 +7,10 @@ use rdp_drc::EvalConfig;
 fn main() {
     let designs = ["edit_dist_a", "superblue11_a", "fft_b", "matrix_mult_b"];
     let variants: Vec<(&str, Box<dyn Fn() -> RoutabilityConfig>)> = vec![
-        ("ours", Box::new(|| RoutabilityConfig::preset(PlacerPreset::Ours))),
+        (
+            "ours",
+            Box::new(|| RoutabilityConfig::preset(PlacerPreset::Ours)),
+        ),
         (
             "iters16",
             Box::new(|| RoutabilityConfig {

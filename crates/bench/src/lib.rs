@@ -33,10 +33,7 @@ use rdp_legal::{detailed_place, legalize, DetailedConfig, LegalizeConfig};
 pub fn prepare_design(entry: &SuiteEntry) -> Design {
     let mut design = rdp_gen::generate(entry.name, &entry.params);
     let mut probe = design.clone();
-    run_flow(
-        &mut probe,
-        &RoutabilityConfig::preset(PlacerPreset::Xplace),
-    );
+    run_flow(&mut probe, &RoutabilityConfig::preset(PlacerPreset::Xplace));
     legalize(&mut probe, &LegalizeConfig::default());
     detailed_place(&mut probe, &DetailedConfig::default());
     let spec = rdp_gen::calibrate_routing(&probe, entry.params.congestion_margin);
@@ -65,7 +62,11 @@ pub struct RowResult {
 
 /// Runs the complete pipeline (place → legalize → detailed place →
 /// evaluate) for one design under one flow configuration.
-pub fn run_pipeline(design: &mut Design, cfg: &RoutabilityConfig, eval_cfg: &EvalConfig) -> RowResult {
+pub fn run_pipeline(
+    design: &mut Design,
+    cfg: &RoutabilityConfig,
+    eval_cfg: &EvalConfig,
+) -> RowResult {
     let flow = run_flow(design, cfg);
     // Routability-driven legalization/DP: preserve the inflation spacing
     // by legalizing with virtual (inflated) widths when the flow produced

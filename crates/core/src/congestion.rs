@@ -63,10 +63,7 @@ impl CongestionField {
     pub fn from_rudy(design: &Design) -> Self {
         let grid = design.gcell_grid();
         let rudy = rdp_route::rudy_map(design, &grid);
-        let caps = rdp_route::CapacityMaps::build(
-            design,
-            &rdp_route::CapacityOptions::default(),
-        );
+        let caps = rdp_route::CapacityMaps::build(design, &rdp_route::CapacityOptions::default());
         // RUDY is wirelength per unit area; convert to track units per
         // G-cell (wire crossing a G-cell consumes one track over its
         // extent) and ratio against the total capacity.
@@ -178,7 +175,10 @@ mod tests {
             pairs.push((a, c));
         }
         for (i, (a, c)) in pairs.iter().enumerate() {
-            b.add_net(format!("n{i}"), vec![(*a, Point::default()), (*c, Point::default())]);
+            b.add_net(
+                format!("n{i}"),
+                vec![(*a, Point::default()), (*c, Point::default())],
+            );
         }
         b.routing(RoutingSpec::uniform(4, 2.0, 16, 16));
         let d = b.build().unwrap();
@@ -191,9 +191,7 @@ mod tests {
         assert!(field.field_at(Point::new(32.0, 50.0)).y > 0.0);
         assert!(field.field_at(Point::new(32.0, 12.0)).y < 0.0);
         // Potential peaks at the stripe.
-        assert!(
-            field.psi_at(Point::new(32.0, 31.0)) > field.psi_at(Point::new(32.0, 56.0))
-        );
+        assert!(field.psi_at(Point::new(32.0, 31.0)) > field.psi_at(Point::new(32.0, 56.0)));
         assert!(field.mean_congestion >= 0.0);
     }
 

@@ -74,18 +74,14 @@ impl DensityModel {
                 Some(r) if cell.is_movable() => r[i].max(0.0).sqrt(),
                 _ => 1.0,
             };
-            let rect = rdp_db::Rect::centered(
-                design.positions()[i],
-                cell.w * scale,
-                cell.h * scale,
-            );
+            let rect =
+                rdp_db::Rect::centered(design.positions()[i], cell.w * scale, cell.h * scale);
             let Some((x0, y0, x1, y1)) = self.grid.bins_overlapping(&rect) else {
                 continue;
             };
             for iy in y0..=y1 {
                 for ix in x0..=x1 {
-                    density[(ix, iy)] +=
-                        self.grid.bin_rect(ix, iy).overlap_area(&rect) / bin_area;
+                    density[(ix, iy)] += self.grid.bin_rect(ix, iy).overlap_area(&rect) / bin_area;
                 }
             }
         }
@@ -167,7 +163,10 @@ mod tests {
             ));
         }
         let lone = b.add_cell(Cell::std("lone", 2.0, 2.0), Point::new(48.0, 32.0));
-        b.add_net("n", vec![(ids[0], Point::default()), (lone, Point::default())]);
+        b.add_net(
+            "n",
+            vec![(ids[0], Point::default()), (lone, Point::default())],
+        );
         b.routing(RoutingSpec::uniform(4, 8.0, 16, 16));
         b.build().unwrap()
     }

@@ -57,8 +57,7 @@ impl PgDensity {
             };
             for iy in y0..=y1 {
                 for ix in x0..=x1 {
-                    overlap[(ix, iy)] +=
-                        grid.bin_rect(ix, iy).overlap_area(&rail.rect) / bin_area;
+                    overlap[(ix, iy)] += grid.bin_rect(ix, iy).overlap_area(&rail.rect) / bin_area;
                 }
             }
         }

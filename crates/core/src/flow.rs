@@ -23,9 +23,9 @@ use crate::congestion::CongestionField;
 use crate::dpa::{DpaConfig, PgDensity};
 use crate::inflate::{InflationBounds, InflationPolicy, InflationState};
 use crate::netmove::{congestion_gradients, lambda2, NetMoveConfig};
-use crate::placer::{GpSession, PlacerConfig, StepExtras};
 #[allow(unused_imports)]
 use crate::placer::GlobalPlacer;
+use crate::placer::{GpSession, PlacerConfig, StepExtras};
 
 /// Which congestion model feeds the differentiable congestion field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,14 +181,18 @@ impl FlowReport {
     /// Serializes the per-iteration log as CSV (header + one row per
     /// routability iteration) for external plotting.
     pub fn log_csv(&self) -> String {
-        let mut out = String::from(
-            "iter,overflow,max_congestion,c_penalty,lambda2,virtual_cells,hpwl\n",
-        );
+        let mut out =
+            String::from("iter,overflow,max_congestion,c_penalty,lambda2,virtual_cells,hpwl\n");
         for l in &self.log {
             out.push_str(&format!(
                 "{},{:.4},{:.4},{:.6},{:.6},{},{:.1}\n",
-                l.iter, l.overflow, l.max_congestion, l.c_penalty, l.lambda2,
-                l.virtual_cells, l.hpwl
+                l.iter,
+                l.overflow,
+                l.max_congestion,
+                l.c_penalty,
+                l.lambda2,
+                l.virtual_cells,
+                l.hpwl
             ));
         }
         out
@@ -228,9 +232,7 @@ pub fn run_flow(design: &mut Design, cfg: &RoutabilityConfig) -> FlowReport {
 
     // PG rail selection (before placement, Fig. 2 top).
     let grid = design.gcell_grid();
-    let pg = cfg
-        .dpa
-        .map(|_| PgDensity::new(design, &grid, &cfg.dpa_cfg));
+    let pg = cfg.dpa.map(|_| PgDensity::new(design, &grid, &cfg.dpa_cfg));
     let static_pg = match (cfg.dpa, &pg) {
         (Some(DpaMode::Static), Some(p)) => Some(p.density_map(None)),
         _ => None,
@@ -377,8 +379,10 @@ pub fn run_flow(design: &mut Design, cfg: &RoutabilityConfig) -> FlowReport {
 
     // Score the final placement too, then restore the best snapshot.
     if cfg.max_route_iters > 0 {
-        let final_score =
-            snapshot_score(&router.route(design), real_density_overflow(&session, design));
+        let final_score = snapshot_score(
+            &router.route(design),
+            real_density_overflow(&session, design),
+        );
         if let Some((best_score, positions)) = &best_positions {
             if *best_score < final_score {
                 design.set_positions(positions);
@@ -472,10 +476,7 @@ mod tests {
         let router = GlobalRouter::default();
         let over_x = router.route(&d_x).maps.total_overflow();
         let over_o = router.route(&d_o).maps.total_overflow();
-        assert!(
-            over_o <= over_x * 1.05,
-            "ours {over_o} vs xplace {over_x}"
-        );
+        assert!(over_o <= over_x * 1.05, "ours {over_o} vs xplace {over_x}");
     }
 
     #[test]

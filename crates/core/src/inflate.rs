@@ -143,8 +143,7 @@ impl InflationState {
                         // strength; a fully escaped cell (C = 0) keeps its
                         // size, and Δr decays by α so growth stops.
                         let delta_factor = if c < mean && self.c_prev[i] > self.mean_prev {
-                            -(self.c_prev[i] / self.mean_prev.max(1e-12)
-                                - c / mean.max(1e-12))
+                            -(self.c_prev[i] / self.mean_prev.max(1e-12) - c / mean.max(1e-12))
                                 .abs()
                         } else {
                             1.0
@@ -153,8 +152,7 @@ impl InflationState {
                         alpha * self.delta_r[i] + (1.0 - alpha) * s
                     };
                     self.delta_r[i] = delta;
-                    self.r[i] =
-                        (self.r[i] + delta).clamp(self.bounds.r_min, self.bounds.r_max);
+                    self.r[i] = (self.r[i] + delta).clamp(self.bounds.r_min, self.bounds.r_max);
                 }
             }
             self.c_prev[i] = c;
@@ -204,7 +202,10 @@ mod tests {
         let q = b.add_cell(Cell::std("quiet", 1.0, 1.0), Point::new(60.0, 4.0));
         let q2 = b.add_cell(Cell::std("quiet2", 1.0, 1.0), Point::new(58.0, 4.0));
         for (i, (a, c)) in pairs.iter().enumerate() {
-            b.add_net(format!("n{i}"), vec![(*a, Point::default()), (*c, Point::default())]);
+            b.add_net(
+                format!("n{i}"),
+                vec![(*a, Point::default()), (*c, Point::default())],
+            );
         }
         b.add_net("qn", vec![(q, Point::default()), (q2, Point::default())]);
         b.routing(RoutingSpec::uniform(4, 1.5, 16, 16));

@@ -46,7 +46,7 @@ pub use congestion::CongestionField;
 pub use density::{DensityField, DensityModel};
 pub use dpa::{select_rails, DpaConfig, PgDensity};
 pub use flow::{
-    run_flow, DcSource, DpaMode, FlowReport, PlacerPreset, RouteIterLog, RoutabilityConfig,
+    run_flow, DcSource, DpaMode, FlowReport, PlacerPreset, RoutabilityConfig, RouteIterLog,
 };
 pub use inflate::{InflationBounds, InflationPolicy, InflationState};
 pub use nesterov::NesterovSolver;

@@ -74,7 +74,11 @@ pub fn congestion_gradients(
         area_sum += design.cell(c).area();
         n_mov += 1;
     }
-    let std_area = if n_mov > 0 { area_sum / n_mov as f64 } else { 1.0 };
+    let std_area = if n_mov > 0 {
+        area_sum / n_mov as f64
+    } else {
+        1.0
+    };
 
     let n_bar = design.avg_pins_per_cell();
     let mut selected_multi: HashSet<u32> = HashSet::new();
@@ -200,7 +204,11 @@ pub fn two_pin_gradient(
     // Lines 4–5: segment length and oriented normal.
     let len = p1.distance(p2);
     let n = Point::new(-dir.y, dir.x).normalized()?;
-    let normal = if n.dot(grad_v) >= 0.0 { n } else { n.scale(-1.0) };
+    let normal = if n.dot(grad_v) >= 0.0 {
+        n
+    } else {
+        n.scale(-1.0)
+    };
 
     // Lines 6–9: project and distribute with the lever-arm weighting.
     let proj = normal.scale(grad_v.dot(normal));
@@ -266,9 +274,15 @@ mod tests {
         let t1 = b.add_cell(Cell::std("t1", 1.0, 1.0), Point::new(10.0, 31.0));
         let t2 = b.add_cell(Cell::std("t2", 1.0, 1.0), Point::new(54.0, 31.0));
         for (i, (a, c)) in pairs.iter().enumerate() {
-            b.add_net(format!("n{i}"), vec![(*a, Point::default()), (*c, Point::default())]);
+            b.add_net(
+                format!("n{i}"),
+                vec![(*a, Point::default()), (*c, Point::default())],
+            );
         }
-        b.add_net("probe", vec![(t1, Point::default()), (t2, Point::default())]);
+        b.add_net(
+            "probe",
+            vec![(t1, Point::default()), (t2, Point::default())],
+        );
         b.routing(RoutingSpec::uniform(4, 2.0, 16, 16));
         b.build().unwrap()
     }
@@ -296,10 +310,12 @@ mod tests {
         let d = stripe_design();
         let f = field_of(&d);
         let probe = NetId::from_index(d.num_nets() - 1);
-        let info =
-            two_pin_gradient(&d, &f, &NetMoveConfig::default(), probe, 1.0).unwrap();
+        let info = two_pin_gradient(&d, &f, &NetMoveConfig::default(), probe, 1.0).unwrap();
         let dir = Point::new(1.0, 0.0); // probe net is horizontal
-        assert!(info.normal.dot(dir).abs() < 1e-9, "normal not perpendicular");
+        assert!(
+            info.normal.dot(dir).abs() < 1e-9,
+            "normal not perpendicular"
+        );
         assert!((info.normal.norm() - 1.0).abs() < 1e-12);
         assert!(info.normal.dot(info.grad_v) >= 0.0, "not acute");
         // Projection is parallel to the normal.
@@ -312,8 +328,7 @@ mod tests {
         let d = stripe_design();
         let f = field_of(&d);
         let probe = NetId::from_index(d.num_nets() - 1);
-        let info =
-            two_pin_gradient(&d, &f, &NetMoveConfig::default(), probe, 1.0).unwrap();
+        let info = two_pin_gradient(&d, &f, &NetMoveConfig::default(), probe, 1.0).unwrap();
         // The probe net runs along the stripe center (y=31); the stripe
         // spans roughly y∈[30,34]. Descent −g moves both cells in the same
         // vertical direction, out of the stripe.
@@ -339,15 +354,20 @@ mod tests {
         let t1 = b.add_cell(Cell::std("t1", 1.0, 1.0), Point::new(20.0, 36.0));
         let t2 = b.add_cell(Cell::std("t2", 1.0, 1.0), Point::new(60.0, 60.0));
         for (i, (a, c)) in pairs.iter().enumerate() {
-            b.add_net(format!("n{i}"), vec![(*a, Point::default()), (*c, Point::default())]);
+            b.add_net(
+                format!("n{i}"),
+                vec![(*a, Point::default()), (*c, Point::default())],
+            );
         }
-        b.add_net("probe", vec![(t1, Point::default()), (t2, Point::default())]);
+        b.add_net(
+            "probe",
+            vec![(t1, Point::default()), (t2, Point::default())],
+        );
         b.routing(RoutingSpec::uniform(4, 2.0, 16, 16));
         let d = b.build().unwrap();
         let f = field_of(&d);
         let probe = NetId::from_index(d.num_nets() - 1);
-        let info =
-            two_pin_gradient(&d, &f, &NetMoveConfig::default(), probe, 1.0).unwrap();
+        let info = two_pin_gradient(&d, &f, &NetMoveConfig::default(), probe, 1.0).unwrap();
         let d1 = Point::new(20.0, 36.0).distance(info.pos);
         let d2 = Point::new(60.0, 60.0).distance(info.pos);
         if d1 < d2 {
@@ -417,7 +437,10 @@ mod tests {
         let l1_w: f64 = gw.iter().map(|g| g.x.abs() + g.y.abs()).sum();
         let l1_c: f64 = out.grad.iter().map(|g| g.x.abs() + g.y.abs()).sum();
         let expect = 2.0 * n_c as f64 / n as f64 * l1_w / l1_c;
-        assert!((l2 - expect).abs() < 1e-9 * expect.max(1.0), "{l2} vs {expect}");
+        assert!(
+            (l2 - expect).abs() < 1e-9 * expect.max(1.0),
+            "{l2} vs {expect}"
+        );
     }
 
     /// The multi-pin condition needs BOTH pins > n̄ and C > threshold.
@@ -436,7 +459,10 @@ mod tests {
         let hub_hot = b.add_cell(Cell::std("hub_hot", 1.0, 1.0), Point::new(32.0, 31.0));
         let hub_cold = b.add_cell(Cell::std("hub_cold", 1.0, 1.0), Point::new(60.0, 4.0));
         for (i, (a, c)) in pairs.iter().enumerate() {
-            b.add_net(format!("n{i}"), vec![(*a, Point::default()), (*c, Point::default())]);
+            b.add_net(
+                format!("n{i}"),
+                vec![(*a, Point::default()), (*c, Point::default())],
+            );
         }
         for i in 0..6 {
             let (a, c) = pairs[i];
@@ -481,10 +507,7 @@ mod tests {
         // The quiet corner has C = 0 exactly, so even a zero threshold
         // (which requires C > 0) never selects hub_cold: its gradient is
         // identical across threshold settings.
-        assert_eq!(
-            loose.grad[hub_cold.index()],
-            paper.grad[hub_cold.index()]
-        );
+        assert_eq!(loose.grad[hub_cold.index()], paper.grad[hub_cold.index()]);
 
         // With an impossible threshold nothing is selected.
         let strict = congestion_gradients(

@@ -109,8 +109,7 @@ impl GpSession {
         // Initial λ₁ = ‖∇WA‖₁ / ‖∇D‖₁ (ePlace).
         let field = model.compute(design, None, None, cfg.target_density);
         let mut gw = vec![Point::default(); design.num_cells()];
-        WaModel::new(base_gamma * gamma_scale(field.overflow))
-            .accumulate_gradient(design, &mut gw);
+        WaModel::new(base_gamma * gamma_scale(field.overflow)).accumulate_gradient(design, &mut gw);
         let mut gd = vec![Point::default(); design.num_cells()];
         model.accumulate_gradient(design, &field, None, 1.0, &mut gd);
         let l1_w: f64 = movable.iter().map(|&c| l1(gw[c.index()])).sum();
@@ -211,13 +210,7 @@ impl GpSession {
 
                 let mut full = vec![Point::default(); design.num_cells()];
                 wa.accumulate_gradient(design, &mut full);
-                model.accumulate_gradient(
-                    design,
-                    &field,
-                    extras.inflation,
-                    lambda1,
-                    &mut full,
-                );
+                model.accumulate_gradient(design, &field, extras.inflation, lambda1, &mut full);
                 if let Some((cgrad, lambda2)) = extras.congestion_grad {
                     for &id in movable.iter() {
                         full[id.index()].x += lambda2 * cgrad[id.index()].x;
@@ -391,15 +384,14 @@ mod tests {
         GlobalPlacer::default().place(&mut d);
         // A uniform rightward descent-gradient (negative x) pushes cells
         // right when applied via extras.
-        let mut session = GpSession::new(&mut d, PlacerConfig {
-            center_init: false,
-            ..PlacerConfig::default()
-        });
-        let before: f64 = session
-            .movable()
-            .iter()
-            .map(|&c| d.pos(c).x)
-            .sum::<f64>();
+        let mut session = GpSession::new(
+            &mut d,
+            PlacerConfig {
+                center_init: false,
+                ..PlacerConfig::default()
+            },
+        );
+        let before: f64 = session.movable().iter().map(|&c| d.pos(c).x).sum::<f64>();
         let cgrad = vec![Point::new(-1.0, 0.0); d.num_cells()];
         let extras = StepExtras {
             congestion_grad: Some((&cgrad, 1e3)),
@@ -408,11 +400,7 @@ mod tests {
         for _ in 0..5 {
             session.step(&mut d, &extras);
         }
-        let after: f64 = session
-            .movable()
-            .iter()
-            .map(|&c| d.pos(c).x)
-            .sum::<f64>();
+        let after: f64 = session.movable().iter().map(|&c| d.pos(c).x).sum::<f64>();
         assert!(after > before, "after {after} !> before {before}");
     }
 

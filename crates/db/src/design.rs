@@ -272,10 +272,7 @@ impl Design {
             .iter()
             .enumerate()
             .filter(|(_, c)| c.fixed && c.kind == CellKind::Macro)
-            .map(|(i, c)| {
-                Rect::centered(self.pos[i], c.w, c.h)
-                    .overlap_area(&self.die)
-            })
+            .map(|(i, c)| Rect::centered(self.pos[i], c.w, c.h).overlap_area(&self.die))
             .sum();
         (self.die.area() - macro_area).max(0.0)
     }

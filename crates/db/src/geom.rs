@@ -130,10 +130,7 @@ impl Rect {
 
     /// Center point.
     pub fn center(&self) -> Point {
-        Point::new(
-            (self.lo.x + self.hi.x) / 2.0,
-            (self.lo.y + self.hi.y) / 2.0,
-        )
+        Point::new((self.lo.x + self.hi.x) / 2.0, (self.lo.y + self.hi.y) / 2.0)
     }
 
     /// Whether the point lies inside (lo-inclusive, hi-exclusive).

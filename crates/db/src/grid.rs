@@ -93,14 +93,26 @@ impl GridSpec {
         if !self.region.intersects(r) {
             return None;
         }
-        let x0 = ((r.lo.x - self.region.lo.x) / self.bin_w()).floor().max(0.0) as usize;
-        let y0 = ((r.lo.y - self.region.lo.y) / self.bin_h()).floor().max(0.0) as usize;
+        let x0 = ((r.lo.x - self.region.lo.x) / self.bin_w())
+            .floor()
+            .max(0.0) as usize;
+        let y0 = ((r.lo.y - self.region.lo.y) / self.bin_h())
+            .floor()
+            .max(0.0) as usize;
         // hi is exclusive geometry: a rect ending exactly on a bin boundary
         // does not overlap the next bin.
         let x1f = (r.hi.x - self.region.lo.x) / self.bin_w();
         let y1f = (r.hi.y - self.region.lo.y) / self.bin_h();
-        let x1 = if x1f.fract() == 0.0 { x1f as usize - 1 } else { x1f.floor() as usize };
-        let y1 = if y1f.fract() == 0.0 { y1f as usize - 1 } else { y1f.floor() as usize };
+        let x1 = if x1f.fract() == 0.0 {
+            x1f as usize - 1
+        } else {
+            x1f.floor() as usize
+        };
+        let y1 = if y1f.fract() == 0.0 {
+            y1f as usize - 1
+        } else {
+            y1f.floor() as usize
+        };
         Some((
             x0.min(self.nx - 1),
             y0.min(self.ny - 1),
@@ -198,7 +210,10 @@ mod tests {
     #[test]
     fn bins_overlapping_outside() {
         let g = grid();
-        assert_eq!(g.bins_overlapping(&Rect::new(200.0, 0.0, 210.0, 10.0)), None);
+        assert_eq!(
+            g.bins_overlapping(&Rect::new(200.0, 0.0, 210.0, 10.0)),
+            None
+        );
     }
 
     #[test]

@@ -87,11 +87,7 @@ pub fn evaluate(design: &Design, cfg: &EvalConfig) -> EvalReport {
     let t0 = Instant::now();
     let base = design.gcell_grid();
     let refine = cfg.refine.max(1).next_power_of_two();
-    let grid = GridSpec::new(
-        base.region(),
-        base.nx() * refine,
-        base.ny() * refine,
-    );
+    let grid = GridSpec::new(base.region(), base.nx() * refine, base.ny() * refine);
 
     // Evaluation routing. Capacity per fine cell shrinks with the area,
     // which `CapacityMaps::build_on_grid` does NOT do by itself (capacity
@@ -136,10 +132,7 @@ pub fn evaluate(design: &Design, cfg: &EvalConfig) -> EvalReport {
     let mut drv_rail = 0.0;
     for c in design.movable_cells() {
         let rect = design.cell_rect(c);
-        let covered = design
-            .rails()
-            .iter()
-            .any(|r| r.rect.intersects(&rect));
+        let covered = design.rails().iter().any(|r| r.rect.intersects(&rect));
         if !covered {
             continue;
         }
@@ -203,9 +196,7 @@ mod tests {
         let r = evaluate(&d, &EvalConfig::default());
         assert!(r.drwl > 0.0);
         assert!(r.drvias > 0.0);
-        assert!(
-            (r.drvs - (r.drv_overflow + r.drv_pin_access + r.drv_rail)).abs() < 1e-9
-        );
+        assert!((r.drvs - (r.drv_overflow + r.drv_pin_access + r.drv_rail)).abs() < 1e-9);
         assert!(r.route_seconds > 0.0);
     }
 
@@ -238,7 +229,12 @@ mod tests {
     fn drwl_includes_detour_costs() {
         let d = design(0.6, 9);
         let r = evaluate(&d, &EvalConfig::default());
-        assert!(r.drwl >= d.hpwl() * 0.99, "drwl {} vs hpwl {}", r.drwl, d.hpwl());
+        assert!(
+            r.drwl >= d.hpwl() * 0.99,
+            "drwl {} vs hpwl {}",
+            r.drwl,
+            d.hpwl()
+        );
         // With zero-weight detour models the DRWL can only shrink.
         let bare = evaluate(
             &d,

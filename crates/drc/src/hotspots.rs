@@ -129,7 +129,10 @@ mod tests {
             pairs.push((a, c));
         }
         for (i, (a, c)) in pairs.iter().enumerate() {
-            b.add_net(format!("n{i}"), vec![(*a, Point::default()), (*c, Point::default())]);
+            b.add_net(
+                format!("n{i}"),
+                vec![(*a, Point::default()), (*c, Point::default())],
+            );
         }
         b.routing(RoutingSpec::uniform(4, 1.5, 16, 16));
         b.build().unwrap()

@@ -79,7 +79,10 @@ mod tests {
             pairs.push((a, c));
         }
         for (i, (a, c)) in pairs.iter().enumerate() {
-            b.add_net(format!("n{i}"), vec![(*a, Point::default()), (*c, Point::default())]);
+            b.add_net(
+                format!("n{i}"),
+                vec![(*a, Point::default()), (*c, Point::default())],
+            );
         }
         b.routing(RoutingSpec::uniform(4, 1.0, 16, 16));
         let d = b.build().unwrap();
@@ -91,9 +94,7 @@ mod tests {
         let worst_dir_is_h = report.worst_layer % 2 == 0; // uniform stack: even = H
         assert!(worst_dir_is_h, "worst layer {}", report.worst_layer_name());
         assert_eq!(report.layers.len(), 4);
-        assert!(
-            (report.shorts - report.shorts_per_layer.iter().sum::<f64>()).abs() < 1e-9
-        );
+        assert!((report.shorts - report.shorts_per_layer.iter().sum::<f64>()).abs() < 1e-9);
     }
 
     /// An uncongested design has zero shorts.

@@ -1,12 +1,11 @@
 //! Synthetic design generation: floorplan, clustered netlist, compact
 //! reference placement, and routing-capacity calibration.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use rdp_db::{
     Cell, CellId, Design, DesignBuilder, Dir, PgRail, Point, Rect, RoutingLayer, RoutingSpec, Row,
 };
 use rdp_route::{GlobalRouter, RouterConfig};
+use rdp_testkit::Rng;
 
 use crate::params::GenParams;
 
@@ -24,7 +23,7 @@ const CELL_WIDTHS: [(f64, f64); 4] = [(0.8, 0.4), (1.2, 0.3), (1.6, 0.2), (2.4, 
 /// against a trial routing of that placement so every design exhibits the
 /// congestion stress its [`GenParams::congestion_margin`] asks for.
 pub fn generate(name: &str, params: &GenParams) -> Design {
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = Rng::new(params.seed);
 
     // ---- Cell population -------------------------------------------------
     let widths: Vec<f64> = (0..params.num_cells)
@@ -65,7 +64,7 @@ pub fn generate(name: &str, params: &GenParams) -> Design {
         let slot_w = region.width() / g as f64;
         let slot_h = region.height() / g.max(params.num_macros.div_ceil(g)) as f64;
         for i in 0..params.num_macros {
-            let aspect = rng.random_range(0.7..1.4);
+            let aspect = rng.gen_range(0.7f64..1.4);
             let mw = (each * aspect).sqrt().min(slot_w * 0.85);
             let mh = (each / aspect).sqrt().min(slot_h * 0.85);
             let cx = region.lo.x + (i % g) as f64 * slot_w + slot_w / 2.0;
@@ -107,21 +106,21 @@ pub fn generate(name: &str, params: &GenParams) -> Design {
     let n = params.num_cells;
     let cs = params.cluster_size.max(2);
     let n_clusters = n.div_ceil(cs);
-    let cell_of = |cluster: usize, rng: &mut StdRng| -> CellId {
+    let cell_of = |cluster: usize, rng: &mut Rng| -> CellId {
         let lo = cluster * cs;
         let hi = ((cluster + 1) * cs).min(n);
-        CellId::from_index(first_std + rng.random_range(lo..hi))
+        CellId::from_index(first_std + rng.gen_range(lo..hi))
     };
     let num_nets = (params.nets_per_cell * n as f64).round() as usize;
     let mut net_idx = 0usize;
     for _ in 0..num_nets {
-        let anchor = rng.random_range(0..n_clusters);
-        let degree = if rng.random_bool(params.two_pin_frac) {
+        let anchor = rng.gen_range(0..n_clusters);
+        let degree = if rng.gen_bool(params.two_pin_frac) {
             2
         } else {
             // 3 + geometric tail, capped at 8.
             let mut d = 3;
-            while d < 8 && rng.random_bool(0.45) {
+            while d < 8 && rng.gen_bool(0.45) {
                 d += 1;
             }
             d
@@ -131,21 +130,21 @@ pub fn generate(name: &str, params: &GenParams) -> Design {
         let mut guard = 0;
         while members.len() < degree && guard < 50 {
             guard += 1;
-            let cluster = if rng.random_bool(0.72) {
+            let cluster = if rng.gen_bool(0.72) {
                 anchor
-            } else if rng.random_bool(0.8) {
+            } else if rng.gen_bool(0.8) {
                 // A nearby cluster: locality with geometric falloff.
                 let mut step = 1usize;
-                while step < 4 && rng.random_bool(0.4) {
+                while step < 4 && rng.gen_bool(0.4) {
                     step += 1;
                 }
-                if rng.random_bool(0.5) {
+                if rng.gen_bool(0.5) {
                     anchor.saturating_sub(step)
                 } else {
                     (anchor + step).min(n_clusters - 1)
                 }
             } else {
-                rng.random_range(0..n_clusters)
+                rng.gen_range(0..n_clusters)
             };
             let c = cell_of(cluster, &mut rng);
             if !members.contains(&c) {
@@ -161,12 +160,12 @@ pub fn generate(name: &str, params: &GenParams) -> Design {
 
     // High-fanout nets spanning many clusters (global congestion drivers).
     for _ in 0..params.high_fanout_nets {
-        let degree = rng.random_range(12..40);
+        let degree = rng.gen_range(12..40);
         let mut members = Vec::with_capacity(degree);
         let mut guard = 0;
         while members.len() < degree && guard < 200 {
             guard += 1;
-            let c = cell_of(rng.random_range(0..n_clusters), &mut rng);
+            let c = cell_of(rng.gen_range(0..n_clusters), &mut rng);
             if !members.contains(&c) {
                 members.push(c);
             }
@@ -178,10 +177,10 @@ pub fn generate(name: &str, params: &GenParams) -> Design {
     // Terminal nets: each I/O connects into 1–3 random clusters.
     for t in 0..params.io_terminals {
         let io = CellId::from_index(first_term + t);
-        let fanout = rng.random_range(1..=3);
+        let fanout = rng.gen_range(1..=3);
         let mut members = vec![io];
         for _ in 0..fanout {
-            let c = cell_of(rng.random_range(0..n_clusters), &mut rng);
+            let c = cell_of(rng.gen_range(0..n_clusters), &mut rng);
             if !members.contains(&c) {
                 members.push(c);
             }
@@ -206,7 +205,7 @@ pub fn generate(name: &str, params: &GenParams) -> Design {
     for (i, &m) in macro_ids.iter().enumerate() {
         let mut members = vec![m];
         for _ in 0..6 {
-            let c = cell_of(rng.random_range(0..n_clusters), &mut rng);
+            let c = cell_of(rng.gen_range(0..n_clusters), &mut rng);
             if !members.contains(&c) {
                 members.push(c);
             }
@@ -263,7 +262,7 @@ pub fn generate(name: &str, params: &GenParams) -> Design {
 
 fn add_signal_net(
     b: &mut DesignBuilder,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     idx: usize,
     members: &[CellId],
     widths: &[f64],
@@ -276,15 +275,15 @@ fn add_signal_net(
     b.add_net(format!("n{idx}"), pins);
 }
 
-fn pin_offset(rng: &mut StdRng, cell_w: f64) -> Point {
+fn pin_offset(rng: &mut Rng, cell_w: f64) -> Point {
     Point::new(
-        rng.random_range(-0.4 * cell_w..0.4 * cell_w),
-        rng.random_range(-0.4 * ROW_HEIGHT..0.4 * ROW_HEIGHT),
+        rng.gen_range(-0.4 * cell_w..0.4 * cell_w),
+        rng.gen_range(-0.4 * ROW_HEIGHT..0.4 * ROW_HEIGHT),
     )
 }
 
-fn sample_width(rng: &mut StdRng) -> f64 {
-    let r: f64 = rng.random();
+fn sample_width(rng: &mut Rng) -> f64 {
+    let r: f64 = rng.next_f64();
     let mut acc = 0.0;
     for &(w, p) in &CELL_WIDTHS {
         acc += p;
@@ -346,11 +345,7 @@ pub fn tile_placement(design: &mut Design) {
             let y_hi = row.y + row.height;
             let mut moved = false;
             for m in &macro_rects {
-                if m.lo.y < y_hi
-                    && y_lo < m.hi.y
-                    && cursor + cw > m.lo.x
-                    && cursor < m.hi.x
-                {
+                if m.lo.y < y_hi && y_lo < m.hi.y && cursor + cw > m.lo.x && cursor < m.hi.x {
                     cursor = m.hi.x;
                     moved = true;
                 }
@@ -390,7 +385,11 @@ pub fn calibrate_routing(design: &Design, margin: f64) -> RoutingSpec {
     let cap_v = quantile(result.maps.v_demand.as_slice(), margin).max(4.0);
 
     let spec = design.routing();
-    let n_h = spec.layers.iter().filter(|l| l.dir == Dir::Horizontal).count();
+    let n_h = spec
+        .layers
+        .iter()
+        .filter(|l| l.dir == Dir::Horizontal)
+        .count();
     let n_v = spec.layers.len() - n_h;
     let layers = spec
         .layers
@@ -490,10 +489,7 @@ mod tests {
             let pos = d.pos(c);
             assert!(die.contains(pos), "cell {c} at {pos} outside die");
             for m in &macro_rects {
-                assert!(
-                    !m.contains(pos),
-                    "cell {c} at {pos} inside macro {m}"
-                );
+                assert!(!m.contains(pos), "cell {c} at {pos} inside macro {m}");
             }
         }
     }

@@ -1,65 +1,81 @@
-//! Property tests for the benchmark generator.
+//! Property tests for the benchmark generator (rdp-testkit harness).
 
-use proptest::prelude::*;
 use rdp_gen::{generate, GenParams};
+use rdp_testkit::{prop_assert, prop_assert_eq, prop_check, range, PropConfig};
 
-fn arb_params() -> impl Strategy<Value = GenParams> {
+type ParamTuple = (usize, usize, f64, f64, f64, u64);
+
+/// Generator over the parameter space the proptest version explored.
+fn arb_params() -> impl rdp_testkit::Gen<Value = ParamTuple> {
     (
-        50usize..500,
-        0usize..4,
-        0.25f64..0.8,
-        0.5f64..0.99,
-        0.4f64..0.85,
-        1u64..10_000,
+        range(50usize..500),
+        range(0usize..4),
+        range(0.25f64..0.8),
+        range(0.5f64..0.99),
+        range(0.4f64..0.85),
+        range(1u64..10_000),
     )
-        .prop_map(|(cells, macros, util, margin, two_pin, seed)| GenParams {
-            num_cells: cells,
-            num_macros: macros,
-            macro_fraction: if macros == 0 { 0.0 } else { 0.18 },
-            utilization: util,
-            congestion_margin: margin,
-            two_pin_frac: two_pin,
-            io_terminals: 4,
-            high_fanout_nets: 2,
-            rail_pitch: 1.0,
-            seed,
-            ..GenParams::default()
-        })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn params_of((cells, macros, util, margin, two_pin, seed): ParamTuple) -> GenParams {
+    GenParams {
+        num_cells: cells,
+        num_macros: macros,
+        macro_fraction: if macros == 0 { 0.0 } else { 0.18 },
+        utilization: util,
+        congestion_margin: margin,
+        two_pin_frac: two_pin,
+        io_terminals: 4,
+        high_fanout_nets: 2,
+        rail_pitch: 1.0,
+        seed,
+        ..GenParams::default()
+    }
+}
 
-    /// Structure always matches the requested parameters.
-    #[test]
-    fn structure_matches_params(params in arb_params()) {
+/// Structure always matches the requested parameters.
+#[test]
+fn structure_matches_params() {
+    prop_check!(PropConfig::cases(24), arb_params(), |t: ParamTuple| {
+        let params = params_of(t);
         let d = generate("p", &params);
         prop_assert_eq!(d.movable_cells().count(), params.num_cells);
         prop_assert_eq!(d.macros().count(), params.num_macros);
         prop_assert!(d.num_nets() > params.num_cells / 2);
         // Utilization lands near the target.
-        prop_assert!((d.utilization() - params.utilization).abs() < 0.12,
-            "util {} target {}", d.utilization(), params.utilization);
+        prop_assert!(
+            (d.utilization() - params.utilization).abs() < 0.12,
+            "util {} target {}",
+            d.utilization(),
+            params.utilization
+        );
         // Routing grid dims are powers of two (required by the solver).
         prop_assert!(d.routing().gx.is_power_of_two());
         prop_assert!(d.routing().gy.is_power_of_two());
-    }
+        Ok(())
+    });
+}
 
-    /// Determinism: same params → identical design.
-    #[test]
-    fn generation_is_deterministic(params in arb_params()) {
+/// Determinism: same params → identical design.
+#[test]
+fn generation_is_deterministic() {
+    prop_check!(PropConfig::cases(24), arb_params(), |t: ParamTuple| {
+        let params = params_of(t);
         let a = generate("p", &params);
         let b = generate("p", &params);
         prop_assert_eq!(a.positions(), b.positions());
         prop_assert_eq!(a.hpwl(), b.hpwl());
         prop_assert_eq!(a.routing(), b.routing());
-    }
+        Ok(())
+    });
+}
 
-    /// The tile placement keeps every movable cell inside the die and off
-    /// macro footprints.
-    #[test]
-    fn tile_placement_is_clean(params in arb_params()) {
-        let d = generate("p", &params);
+/// The tile placement keeps every movable cell inside the die and off
+/// macro footprints.
+#[test]
+fn tile_placement_is_clean() {
+    prop_check!(PropConfig::cases(24), arb_params(), |t: ParamTuple| {
+        let d = generate("p", &params_of(t));
         let die = d.die();
         let macros: Vec<_> = d.macros().map(|m| d.cell_rect(m)).collect();
         for c in d.movable_cells() {
@@ -69,16 +85,25 @@ proptest! {
                 prop_assert!(!m.contains(p), "{} inside macro {}", p, m);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Two-pin fraction lands near the request (within sampling noise).
-    #[test]
-    fn two_pin_fraction_respected(params in arb_params()) {
+/// Two-pin fraction lands near the request (within sampling noise).
+#[test]
+fn two_pin_fraction_respected() {
+    prop_check!(PropConfig::cases(24), arb_params(), |t: ParamTuple| {
+        let params = params_of(t);
         let d = generate("p", &params);
         let two_pin = d.nets().iter().filter(|n| n.is_two_pin()).count() as f64;
         let frac = two_pin / d.num_nets() as f64;
         // Terminal/macro/high-fanout nets dilute the signal fraction.
-        prop_assert!((frac - params.two_pin_frac).abs() < 0.25,
-            "frac {} target {}", frac, params.two_pin_frac);
-    }
+        prop_assert!(
+            (frac - params.two_pin_frac).abs() < 0.25,
+            "frac {} target {}",
+            frac,
+            params.two_pin_frac
+        );
+        Ok(())
+    });
 }

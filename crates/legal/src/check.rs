@@ -43,9 +43,7 @@ pub fn check_legality(design: &Design) -> LegalityReport {
         {
             report.outside_die += 1;
         }
-        if macro_rects.iter().any(|m| {
-            m.overlap_area(&r) > eps
-        }) {
+        if macro_rects.iter().any(|m| m.overlap_area(&r) > eps) {
             report.on_macro += 1;
         }
         let cy = design.pos(c).y;

@@ -40,11 +40,7 @@ pub fn detailed_place_virtual(
     detailed_impl(design, cfg, Some(virtual_widths))
 }
 
-fn detailed_impl(
-    design: &mut Design,
-    cfg: &DetailedConfig,
-    virtual_widths: Option<&[f64]>,
-) -> f64 {
+fn detailed_impl(design: &mut Design, cfg: &DetailedConfig, virtual_widths: Option<&[f64]>) -> f64 {
     let before = design.hpwl();
     let segments = build_segments(design);
     let eps = 1e-6;
@@ -94,15 +90,12 @@ fn detailed_impl(
 /// that reduces the HPWL of their nets. Returns whether the swap was kept.
 /// Both new footprints stay inside the union of the old ones, so no other
 /// cell can be collided with.
-fn try_swap(
-    design: &mut Design,
-    a: CellId,
-    b: CellId,
-    virtual_widths: Option<&[f64]>,
-) -> bool {
+fn try_swap(design: &mut Design, a: CellId, b: CellId, virtual_widths: Option<&[f64]>) -> bool {
     let width_of = |c: CellId| -> f64 {
         let real = design.cell(c).w;
-        virtual_widths.map(|v| v[c.index()].max(real)).unwrap_or(real)
+        virtual_widths
+            .map(|v| v[c.index()].max(real))
+            .unwrap_or(real)
     };
     let (wa, wb) = (width_of(a), width_of(b));
     let nets = affected_nets(design, a, b);
@@ -136,12 +129,7 @@ fn affected_nets(design: &Design, a: CellId, b: CellId) -> Vec<NetId> {
 /// Order-preserving Abacus shift of a row's cells toward the x that
 /// minimizes each cell's connected-net HPWL (the median of the other pin
 /// positions).
-fn shift_row(
-    design: &mut Design,
-    seg: &Segment,
-    cells: &[CellId],
-    virtual_widths: Option<&[f64]>,
-) {
+fn shift_row(design: &mut Design, seg: &Segment, cells: &[CellId], virtual_widths: Option<&[f64]>) {
     let widths: Vec<f64> = cells
         .iter()
         .map(|&c| {
@@ -231,8 +219,14 @@ mod tests {
         // a wants to be right, b wants to be left — but placed crossed.
         let a = b.add_cell(Cell::std("a", 2.0, 2.0), Point::new(19.0, 1.0));
         let c = b.add_cell(Cell::std("b", 2.0, 2.0), Point::new(21.0, 1.0));
-        b.add_net("na", vec![(a, Point::default()), (right_io, Point::default())]);
-        b.add_net("nb", vec![(c, Point::default()), (left_io, Point::default())]);
+        b.add_net(
+            "na",
+            vec![(a, Point::default()), (right_io, Point::default())],
+        );
+        b.add_net(
+            "nb",
+            vec![(c, Point::default()), (left_io, Point::default())],
+        );
         b.routing(RoutingSpec::uniform(2, 10.0, 4, 4));
         let mut d = b.build().unwrap();
         let improved = detailed_place(&mut d, &DetailedConfig::default());

@@ -114,13 +114,7 @@ fn legalize_impl(
 
     // Tetris assignment in order of global x.
     let mut order: Vec<CellId> = design.movable_cells().collect();
-    order.sort_by(|&a, &b| {
-        design
-            .pos(a)
-            .x
-            .total_cmp(&design.pos(b).x)
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| design.pos(a).x.total_cmp(&design.pos(b).x).then(a.cmp(&b)));
 
     let mut report = LegalizeReport::default();
     let mut displacement_sum = 0.0;
@@ -254,10 +248,7 @@ pub(crate) fn abacus(desired: &[f64], widths: &[f64], x0: f64, x1: f64) -> Vec<f
     let mut out = vec![0.0; n];
     for (ci, c) in clusters.iter().enumerate() {
         let x = (c.q / c.e).clamp(x0, (x1 - c.w).max(x0));
-        let last = clusters
-            .get(ci + 1)
-            .map(|nc| nc.first)
-            .unwrap_or(n);
+        let last = clusters.get(ci + 1).map(|nc| nc.first).unwrap_or(n);
         let mut cursor = x;
         for i in c.first..last {
             out[i] = cursor;
@@ -315,10 +306,7 @@ mod tests {
         let widths = vec![2.0, 1.0, 3.0, 1.0, 2.0, 1.5];
         let lefts = abacus(&desired, &widths, 0.0, 50.0);
         for i in 1..lefts.len() {
-            assert!(
-                lefts[i] >= lefts[i - 1] + widths[i - 1] - 1e-9,
-                "{lefts:?}"
-            );
+            assert!(lefts[i] >= lefts[i - 1] + widths[i - 1] - 1e-9, "{lefts:?}");
         }
     }
 }

@@ -1,8 +1,9 @@
-//! Property tests for legalization on arbitrary inputs.
+//! Property tests for legalization on arbitrary inputs (rdp-testkit
+//! harness).
 
-use proptest::prelude::*;
 use rdp_db::{Cell, CellId, Design, DesignBuilder, Point, Rect, RoutingSpec, Row};
 use rdp_legal::{check_legality, legalize, legalize_virtual, LegalizeConfig};
+use rdp_testkit::{prop_assert, prop_assert_eq, prop_check, range, select, vecs, PropConfig};
 
 /// Builds a design with `n` cells at arbitrary positions in a fixed
 /// 2-row-per-10µm floorplan.
@@ -20,12 +21,7 @@ fn design_with(positions: Vec<(f64, f64, f64)>) -> Design {
     let ids: Vec<CellId> = positions
         .iter()
         .enumerate()
-        .map(|(i, &(x, y, w))| {
-            b.add_cell(
-                Cell::std(format!("c{i}"), w, 2.0),
-                Point::new(x, y),
-            )
-        })
+        .map(|(i, &(x, y, w))| b.add_cell(Cell::std(format!("c{i}"), w, 2.0), Point::new(x, y)))
         .collect();
     for pair in ids.chunks(2) {
         if let [a, c] = pair {
@@ -39,49 +35,66 @@ fn design_with(positions: Vec<(f64, f64, f64)>) -> Design {
     b.build().unwrap()
 }
 
-fn arb_cells() -> impl Strategy<Value = Vec<(f64, f64, f64)>> {
-    prop::collection::vec(
+/// Cells with x/y possibly outside the die and realistic widths.
+fn arb_cells() -> impl rdp_testkit::Gen<Value = Vec<(f64, f64, f64)>> {
+    vecs(
         (
-            -5.0f64..65.0,       // x, possibly outside the die
-            -3.0f64..23.0,       // y, possibly off-row
-            prop::sample::select(vec![0.8, 1.2, 1.6, 2.4]),
+            range(-5.0f64..65.0), // x, possibly outside the die
+            range(-3.0f64..23.0), // y, possibly off-row
+            select(vec![0.8, 1.2, 1.6, 2.4]),
         ),
         2..120,
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Any input — including cells far outside the die — legalizes to a
-    /// clean placement.
-    #[test]
-    fn legalize_handles_arbitrary_positions(cells in arb_cells()) {
+/// Any input — including cells far outside the die — legalizes to a
+/// clean placement.
+#[test]
+fn legalize_handles_arbitrary_positions() {
+    prop_check!(PropConfig::cases(48), arb_cells(), |cells: Vec<(
+        f64,
+        f64,
+        f64
+    )>| {
         let mut d = design_with(cells);
         let report = legalize(&mut d, &LegalizeConfig::default());
         prop_assert_eq!(report.failed, 0);
         let check = check_legality(&d);
         prop_assert!(check.is_legal(), "{:?}", check);
-    }
+        Ok(())
+    });
+}
 
-    /// Virtual-width legalization is legal for the real widths and keeps
-    /// at least the virtual spacing between same-row neighbors.
-    #[test]
-    fn legalize_virtual_keeps_spacing(cells in arb_cells(), extra in 1.0f64..1.4) {
-        let mut d = design_with(cells);
-        let widths: Vec<f64> = d.cells().iter().map(|c| c.w * extra).collect();
-        let report = legalize_virtual(&mut d, &LegalizeConfig::default(), &widths);
-        prop_assert_eq!(report.failed, 0);
-        let check = check_legality(&d);
-        prop_assert!(check.is_legal(), "{:?}", check);
-    }
+/// Virtual-width legalization is legal for the real widths and keeps
+/// at least the virtual spacing between same-row neighbors.
+#[test]
+fn legalize_virtual_keeps_spacing() {
+    prop_check!(
+        PropConfig::cases(48),
+        (arb_cells(), range(1.0f64..1.4)),
+        |(cells, extra): (Vec<(f64, f64, f64)>, f64)| {
+            let mut d = design_with(cells);
+            let widths: Vec<f64> = d.cells().iter().map(|c| c.w * extra).collect();
+            let report = legalize_virtual(&mut d, &LegalizeConfig::default(), &widths);
+            prop_assert_eq!(report.failed, 0);
+            let check = check_legality(&d);
+            prop_assert!(check.is_legal(), "{:?}", check);
+            Ok(())
+        }
+    );
+}
 
-    /// Re-legalizing an already-legal placement is cheap: the second run
-    /// stays legal and moves cells far less on average than a typical
-    /// from-scratch run (individual cells may still hop a row when the
-    /// crowding heuristic re-balances).
-    #[test]
-    fn relegalization_is_cheap(cells in arb_cells()) {
+/// Re-legalizing an already-legal placement is cheap: the second run
+/// stays legal and moves cells far less on average than a typical
+/// from-scratch run (individual cells may still hop a row when the
+/// crowding heuristic re-balances).
+#[test]
+fn relegalization_is_cheap() {
+    prop_check!(PropConfig::cases(48), arb_cells(), |cells: Vec<(
+        f64,
+        f64,
+        f64
+    )>| {
         let mut d = design_with(cells);
         legalize(&mut d, &LegalizeConfig::default());
         let report = legalize(&mut d, &LegalizeConfig::default());
@@ -92,5 +105,6 @@ proptest! {
             "avg displacement {}",
             report.avg_displacement
         );
-    }
+        Ok(())
+    });
 }

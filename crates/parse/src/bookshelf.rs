@@ -56,11 +56,7 @@ pub fn write_bookshelf(design: &Design) -> BookshelfFiles {
     nets.push_str(&format!("NumNets : {}\n", design.num_nets()));
     nets.push_str(&format!("NumPins : {}\n", design.num_pins()));
     for net in design.nets() {
-        nets.push_str(&format!(
-            "NetDegree : {} {}\n",
-            net.pins.len(),
-            net.name
-        ));
+        nets.push_str(&format!("NetDegree : {} {}\n", net.pins.len(), net.name));
         for &p in &net.pins {
             let pin = design.pin(p);
             let cell = design.cell(pin.cell);
@@ -228,12 +224,11 @@ pub fn read_bookshelf(name: &str, files: &BookshelfFiles) -> Result<Design, Pars
 
     // --- nets -----------------------------------------------------------------
     let mut current: Option<(String, Vec<(CellId, Point)>)> = None;
-    let flush =
-        |b: &mut DesignBuilder, cur: &mut Option<(String, Vec<(CellId, Point)>)>| {
-            if let Some((name, pins)) = cur.take() {
-                b.add_net(name, pins);
-            }
-        };
+    let flush = |b: &mut DesignBuilder, cur: &mut Option<(String, Vec<(CellId, Point)>)>| {
+        if let Some((name, pins)) = cur.take() {
+            b.add_net(name, pins);
+        }
+    };
     for (ln, line) in files.nets.lines().enumerate() {
         let toks: Vec<&str> = line.split_whitespace().collect();
         match toks.as_slice() {
@@ -259,9 +254,9 @@ pub fn read_bookshelf(name: &str, files: &BookshelfFiles) -> Result<Design, Pars
         let toks: Vec<&str> = line.split_whitespace().collect();
         if let ["Rail", layer, dir, a, c, d, e] = toks.as_slice() {
             b.add_rail(PgRail {
-                layer: layer.parse().map_err(|_| {
-                    ParseDesignError::new("pg", Some(ln + 1), "bad layer index")
-                })?,
+                layer: layer
+                    .parse()
+                    .map_err(|_| ParseDesignError::new("pg", Some(ln + 1), "bad layer index"))?,
                 dir: parse_dir("pg", ln, dir)?,
                 rect: Rect::new(
                     num("pg", ln, a)?,
@@ -281,12 +276,12 @@ pub fn read_bookshelf(name: &str, files: &BookshelfFiles) -> Result<Design, Pars
         let toks: Vec<&str> = line.split_whitespace().collect();
         match toks.as_slice() {
             ["Grid", ":", a, bb] => {
-                gx = a.parse().map_err(|_| {
-                    ParseDesignError::new("route", Some(ln + 1), "bad grid x")
-                })?;
-                gy = bb.parse().map_err(|_| {
-                    ParseDesignError::new("route", Some(ln + 1), "bad grid y")
-                })?;
+                gx = a
+                    .parse()
+                    .map_err(|_| ParseDesignError::new("route", Some(ln + 1), "bad grid x"))?;
+                gy = bb
+                    .parse()
+                    .map_err(|_| ParseDesignError::new("route", Some(ln + 1), "bad grid y"))?;
             }
             ["Layer", name, dir, cap] => layers.push(RoutingLayer {
                 name: (*name).to_string(),
@@ -327,11 +322,7 @@ fn parse_dir(ctx: &str, line: usize, tok: &str) -> Result<Dir, ParseDesignError>
 /// # Errors
 ///
 /// Propagates I/O errors.
-pub fn save_bookshelf(
-    design: &Design,
-    dir: &std::path::Path,
-    base: &str,
-) -> std::io::Result<()> {
+pub fn save_bookshelf(design: &Design, dir: &std::path::Path, base: &str) -> std::io::Result<()> {
     let files = write_bookshelf(design);
     std::fs::create_dir_all(dir)?;
     let w = |ext: &str, content: &str| std::fs::write(dir.join(format!("{base}.{ext}")), content);
@@ -432,7 +423,9 @@ mod tests {
     fn unknown_cell_in_net_is_an_error() {
         let d = sample();
         let mut files = write_bookshelf(&d);
-        files.nets.push_str("NetDegree : 2 broken\n  ghost B : 0 0\n  u0 B : 0 0\n");
+        files
+            .nets
+            .push_str("NetDegree : 2 broken\n  ghost B : 0 0\n  u0 B : 0 0\n");
         let err = read_bookshelf("bk", &files).unwrap_err();
         assert!(err.to_string().contains("ghost"), "{err}");
     }

@@ -96,7 +96,11 @@ pub fn write_lefdef(design: &Design) -> LefDefFiles {
             dbu(r.site_w)
         ));
     }
-    def.push_str(&format!("GCELLGRID {} {} ;\n", design.routing().gx, design.routing().gy));
+    def.push_str(&format!(
+        "GCELLGRID {} {} ;\n",
+        design.routing().gx,
+        design.routing().gy
+    ));
     for l in &design.routing().layers {
         def.push_str(&format!("LAYERCAP {} {} {} ;\n", l.name, l.dir, l.capacity));
     }
@@ -231,9 +235,9 @@ pub fn read_lefdef(files: &LefDefFiles) -> Result<Design, ParseDesignError> {
             ["ROW", _name, _site, x, y, "N", "DO", n, "BY", "1", "STEP", sw, "0", ";"] => {
                 let x0 = from_dbu(int("def", ln, x)?);
                 let site_w = from_dbu(int("def", ln, sw)?);
-                let sites: usize = n.parse().map_err(|_| {
-                    ParseDesignError::new("def", Some(ln + 1), "bad site count")
-                })?;
+                let sites: usize = n
+                    .parse()
+                    .map_err(|_| ParseDesignError::new("def", Some(ln + 1), "bad site count"))?;
                 rows.push(Row {
                     y: from_dbu(int("def", ln, y)?),
                     height: 0.0, // filled below from the row pitch
@@ -243,12 +247,12 @@ pub fn read_lefdef(files: &LefDefFiles) -> Result<Design, ParseDesignError> {
                 });
             }
             ["GCELLGRID", a, b, ";"] => {
-                gx = a.parse().map_err(|_| {
-                    ParseDesignError::new("def", Some(ln + 1), "bad gcell x")
-                })?;
-                gy = b.parse().map_err(|_| {
-                    ParseDesignError::new("def", Some(ln + 1), "bad gcell y")
-                })?;
+                gx = a
+                    .parse()
+                    .map_err(|_| ParseDesignError::new("def", Some(ln + 1), "bad gcell x"))?;
+                gy = b
+                    .parse()
+                    .map_err(|_| ParseDesignError::new("def", Some(ln + 1), "bad gcell y"))?;
             }
             ["LAYERCAP", name, dir, cap, ";"] => layers.push(RoutingLayer {
                 name: (*name).to_string(),
@@ -315,13 +319,10 @@ pub fn read_lefdef(files: &LefDefFiles) -> Result<Design, ParseDesignError> {
                 "specialnets" => {
                     // - PG M<k> <dir> RECT ( a b ) ( c d ) ;
                     if toks.len() >= 13 {
-                        let layer: u8 = toks[2]
-                            .trim_start_matches('M')
-                            .parse::<u8>()
-                            .map_err(|_| {
+                        let layer: u8 =
+                            toks[2].trim_start_matches('M').parse::<u8>().map_err(|_| {
                                 ParseDesignError::new("def", Some(ln + 1), "bad rail layer")
-                            })?
-                            - 1;
+                            })? - 1;
                         let dir = match toks[3] {
                             "H" => Dir::Horizontal,
                             _ => Dir::Vertical,
@@ -359,9 +360,9 @@ pub fn read_lefdef(files: &LefDefFiles) -> Result<Design, ParseDesignError> {
     let mut b = DesignBuilder::new(design_name, die);
     let mut ids: HashMap<String, CellId> = HashMap::new();
     for (name, ty, ll, fixed) in comps {
-        let rec = types.get(&ty).ok_or_else(|| {
-            ParseDesignError::new("def", None, format!("unknown type `{ty}`"))
-        })?;
+        let rec = types
+            .get(&ty)
+            .ok_or_else(|| ParseDesignError::new("def", None, format!("unknown type `{ty}`")))?;
         let center = Point::new(ll.x + rec.w / 2.0, ll.y + rec.h / 2.0);
         let cell = Cell {
             name: name.clone(),

@@ -91,7 +91,8 @@ mod tests {
             .map(|k| {
                 let mut acc = Complex::ZERO;
                 for (i, &v) in x.iter().enumerate() {
-                    acc = acc + v * Complex::cis(-std::f64::consts::TAU * (k * i) as f64 / n as f64);
+                    acc =
+                        acc + v * Complex::cis(-std::f64::consts::TAU * (k * i) as f64 / n as f64);
                 }
                 acc
             })

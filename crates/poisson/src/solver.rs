@@ -70,7 +70,10 @@ impl PoissonSolver {
             is_power_of_two(nx) && is_power_of_two(ny) && nx >= 2 && ny >= 2,
             "grid dims must be powers of two >= 2, got {nx}x{ny}"
         );
-        assert!(width > 0.0 && height > 0.0, "region must have positive size");
+        assert!(
+            width > 0.0 && height > 0.0,
+            "region must have positive size"
+        );
         let wx = (0..nx)
             .map(|u| std::f64::consts::PI * u as f64 / width)
             .collect();
@@ -273,8 +276,16 @@ mod tests {
         // Right of the blob, Ex must be positive (pointing right/away);
         // left of the blob, negative.
         let m = 16;
-        assert!(sol.ex[m * nx + 16] > 0.0, "ex right of blob: {}", sol.ex[m * nx + 16]);
-        assert!(sol.ex[m * nx + 4] < 0.0, "ex left of blob: {}", sol.ex[m * nx + 4]);
+        assert!(
+            sol.ex[m * nx + 16] > 0.0,
+            "ex right of blob: {}",
+            sol.ex[m * nx + 16]
+        );
+        assert!(
+            sol.ex[m * nx + 4] < 0.0,
+            "ex left of blob: {}",
+            sol.ex[m * nx + 4]
+        );
         // Above the blob Ey > 0, below Ey < 0.
         let n = 10;
         assert!(sol.ey[22 * nx + n] > 0.0);
@@ -305,10 +316,8 @@ mod tests {
         let mut max_rel = 0.0f64;
         for m in 2..ny - 2 {
             for n in 2..nx - 2 {
-                let dpsi_dx =
-                    (sol.psi[m * nx + n + 1] - sol.psi[m * nx + n - 1]) / (2.0 * hx);
-                let dpsi_dy =
-                    (sol.psi[(m + 1) * nx + n] - sol.psi[(m - 1) * nx + n]) / (2.0 * hy);
+                let dpsi_dx = (sol.psi[m * nx + n + 1] - sol.psi[m * nx + n - 1]) / (2.0 * hx);
+                let dpsi_dy = (sol.psi[(m + 1) * nx + n] - sol.psi[(m - 1) * nx + n]) / (2.0 * hy);
                 let scale = sol.ex[m * nx + n].abs().max(0.05);
                 max_rel = max_rel.max(((sol.ex[m * nx + n] + dpsi_dx) / scale).abs());
                 let scale_y = sol.ey[m * nx + n].abs().max(0.05);
@@ -337,7 +346,8 @@ mod tests {
         let hx = w / nx as f64;
         for m in 1..ny - 1 {
             for n in 1..nx - 1 {
-                let lap = (sol.psi[m * nx + n + 1] + sol.psi[m * nx + n - 1]
+                let lap = (sol.psi[m * nx + n + 1]
+                    + sol.psi[m * nx + n - 1]
                     + sol.psi[(m + 1) * nx + n]
                     + sol.psi[(m - 1) * nx + n]
                     - 4.0 * sol.psi[m * nx + n])

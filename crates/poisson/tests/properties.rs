@@ -1,104 +1,160 @@
-//! Property-based tests for the FFT/DCT kernels and the Poisson solver.
+//! Property-based tests for the FFT/DCT kernels and the Poisson solver
+//! (rdp-testkit harness).
 
-use proptest::prelude::*;
 use rdp_poisson::{dct2, fft_in_place, idct, idxst, ifft_in_place, Complex, PoissonSolver};
+use rdp_testkit::{prop_assert, prop_check, range, vecs, PropConfig};
 
-fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-100.0f64..100.0, len)
+fn finite_vec(len: usize) -> impl rdp_testkit::Gen<Value = Vec<f64>> {
+    vecs(range(-100.0f64..100.0), len..len + 1)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn fft_roundtrip_is_identity(re in finite_vec(32), im in finite_vec(32)) {
-        let x: Vec<Complex> = re.iter().zip(&im).map(|(&r, &i)| Complex::new(r, i)).collect();
-        let mut y = x.clone();
-        fft_in_place(&mut y);
-        ifft_in_place(&mut y);
-        for (a, b) in y.iter().zip(&x) {
-            prop_assert!((a.re - b.re).abs() < 1e-8);
-            prop_assert!((a.im - b.im).abs() < 1e-8);
+#[test]
+fn fft_roundtrip_is_identity() {
+    prop_check!(
+        PropConfig::cases(64),
+        (finite_vec(32), finite_vec(32)),
+        |(re, im): (Vec<f64>, Vec<f64>)| {
+            let x: Vec<Complex> = re
+                .iter()
+                .zip(&im)
+                .map(|(&r, &i)| Complex::new(r, i))
+                .collect();
+            let mut y = x.clone();
+            fft_in_place(&mut y);
+            ifft_in_place(&mut y);
+            for (a, b) in y.iter().zip(&x) {
+                prop_assert!((a.re - b.re).abs() < 1e-8);
+                prop_assert!((a.im - b.im).abs() < 1e-8);
+            }
+            Ok(())
         }
-    }
+    );
+}
 
-    #[test]
-    fn fft_is_linear(a in finite_vec(16), b in finite_vec(16), s in -3.0f64..3.0) {
-        let xa: Vec<Complex> = a.iter().map(|&r| Complex::new(r, 0.0)).collect();
-        let xb: Vec<Complex> = b.iter().map(|&r| Complex::new(r, 0.0)).collect();
-        let mut fa = xa.clone();
-        let mut fb = xb.clone();
-        fft_in_place(&mut fa);
-        fft_in_place(&mut fb);
-        let mut combined: Vec<Complex> = xa
-            .iter()
-            .zip(&xb)
-            .map(|(&u, &v)| u.scale(s) + v)
-            .collect();
-        fft_in_place(&mut combined);
-        for i in 0..16 {
-            let expect = fa[i].scale(s) + fb[i];
-            prop_assert!((combined[i].re - expect.re).abs() < 1e-7);
-            prop_assert!((combined[i].im - expect.im).abs() < 1e-7);
+#[test]
+fn fft_is_linear() {
+    prop_check!(
+        PropConfig::cases(64),
+        (finite_vec(16), finite_vec(16), range(-3.0f64..3.0)),
+        |(a, b, s): (Vec<f64>, Vec<f64>, f64)| {
+            let xa: Vec<Complex> = a.iter().map(|&r| Complex::new(r, 0.0)).collect();
+            let xb: Vec<Complex> = b.iter().map(|&r| Complex::new(r, 0.0)).collect();
+            let mut fa = xa.clone();
+            let mut fb = xb.clone();
+            fft_in_place(&mut fa);
+            fft_in_place(&mut fb);
+            let mut combined: Vec<Complex> =
+                xa.iter().zip(&xb).map(|(&u, &v)| u.scale(s) + v).collect();
+            fft_in_place(&mut combined);
+            for i in 0..16 {
+                let expect = fa[i].scale(s) + fb[i];
+                prop_assert!((combined[i].re - expect.re).abs() < 1e-7);
+                prop_assert!((combined[i].im - expect.im).abs() < 1e-7);
+            }
+            Ok(())
         }
-    }
+    );
+}
 
-    #[test]
-    fn fft_parseval(re in finite_vec(64)) {
+#[test]
+fn fft_parseval() {
+    prop_check!(PropConfig::cases(64), finite_vec(64), |re: Vec<f64>| {
         let x: Vec<Complex> = re.iter().map(|&r| Complex::new(r, 0.0)).collect();
         let time: f64 = x.iter().map(|v| v.norm_sqr()).sum();
         let mut y = x;
         fft_in_place(&mut y);
         let freq: f64 = y.iter().map(|v| v.norm_sqr()).sum::<f64>() / 64.0;
         prop_assert!((time - freq).abs() < 1e-6 * time.max(1.0));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn dct_roundtrip_scales_by_half_n(x in finite_vec(32)) {
+#[test]
+fn dct_roundtrip_scales_by_half_n() {
+    prop_check!(PropConfig::cases(64), finite_vec(32), |x: Vec<f64>| {
         let y = idct(&dct2(&x));
         for (a, b) in y.iter().zip(&x) {
             prop_assert!((a - b * 16.0).abs() < 1e-7);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn idxst_matches_direct_sum(c in finite_vec(16)) {
+/// Normalized DCT round trip: `idct(dct2(x)) * 2/n` recovers `x` exactly
+/// (forward ∘ inverse ≈ identity) at several transform sizes.
+#[test]
+fn dct_normalized_roundtrip_is_identity() {
+    for n in [4usize, 16, 64, 256] {
+        prop_check!(PropConfig::cases(16), finite_vec(n), |x: Vec<f64>| {
+            let y = idct(&dct2(&x));
+            let scale = 2.0 / n as f64;
+            for (i, (a, b)) in y.iter().zip(&x).enumerate() {
+                prop_assert!(
+                    (a * scale - b).abs() < 1e-7 * b.abs().max(1.0),
+                    "n={} i={} got {} want {}",
+                    n,
+                    i,
+                    a * scale,
+                    b
+                );
+            }
+            Ok(())
+        });
+    }
+}
+
+#[test]
+fn idxst_matches_direct_sum() {
+    prop_check!(PropConfig::cases(64), finite_vec(16), |c: Vec<f64>| {
         let fast = idxst(&c);
         for n in 0..16 {
             let direct: f64 = (0..16)
-                .map(|k| {
-                    c[k] * (std::f64::consts::PI * k as f64 * (n as f64 + 0.5) / 16.0).sin()
-                })
+                .map(|k| c[k] * (std::f64::consts::PI * k as f64 * (n as f64 + 0.5) / 16.0).sin())
                 .sum();
             prop_assert!((fast[n] - direct).abs() < 1e-8);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn solver_zero_mean_psi_and_linearity(rho in finite_vec(64), s in 0.1f64..4.0) {
-        let solver = PoissonSolver::new(8, 8, 20.0, 10.0);
-        let sol = solver.solve(&rho);
-        let mean: f64 = sol.psi.iter().sum::<f64>() / 64.0;
-        prop_assert!(mean.abs() < 1e-7);
+#[test]
+fn solver_zero_mean_psi_and_linearity() {
+    prop_check!(
+        PropConfig::cases(64),
+        (finite_vec(64), range(0.1f64..4.0)),
+        |(rho, s): (Vec<f64>, f64)| {
+            let solver = PoissonSolver::new(8, 8, 20.0, 10.0);
+            let sol = solver.solve(&rho);
+            let mean: f64 = sol.psi.iter().sum::<f64>() / 64.0;
+            prop_assert!(mean.abs() < 1e-7);
 
-        let scaled: Vec<f64> = rho.iter().map(|v| v * s).collect();
-        let sol2 = solver.solve(&scaled);
-        for i in 0..64 {
-            prop_assert!((sol2.psi[i] - s * sol.psi[i]).abs() < 1e-6);
-            prop_assert!((sol2.ex[i] - s * sol.ex[i]).abs() < 1e-6);
-            prop_assert!((sol2.ey[i] - s * sol.ey[i]).abs() < 1e-6);
+            let scaled: Vec<f64> = rho.iter().map(|v| v * s).collect();
+            let sol2 = solver.solve(&scaled);
+            for i in 0..64 {
+                prop_assert!((sol2.psi[i] - s * sol.psi[i]).abs() < 1e-6);
+                prop_assert!((sol2.ex[i] - s * sol.ex[i]).abs() < 1e-6);
+                prop_assert!((sol2.ey[i] - s * sol.ey[i]).abs() < 1e-6);
+            }
+            Ok(())
         }
-    }
+    );
+}
 
-    #[test]
-    fn solver_ignores_dc_offset(rho in finite_vec(64), dc in -50.0f64..50.0) {
-        let solver = PoissonSolver::new(8, 8, 16.0, 16.0);
-        let shifted: Vec<f64> = rho.iter().map(|v| v + dc).collect();
-        let a = solver.solve(&rho);
-        let b = solver.solve(&shifted);
-        for i in 0..64 {
-            prop_assert!((a.psi[i] - b.psi[i]).abs() < 1e-7);
-            prop_assert!((a.ex[i] - b.ex[i]).abs() < 1e-7);
+#[test]
+fn solver_ignores_dc_offset() {
+    prop_check!(
+        PropConfig::cases(64),
+        (finite_vec(64), range(-50.0f64..50.0)),
+        |(rho, dc): (Vec<f64>, f64)| {
+            let solver = PoissonSolver::new(8, 8, 16.0, 16.0);
+            let shifted: Vec<f64> = rho.iter().map(|v| v + dc).collect();
+            let a = solver.solve(&rho);
+            let b = solver.solve(&shifted);
+            for i in 0..64 {
+                prop_assert!((a.psi[i] - b.psi[i]).abs() < 1e-7);
+                prop_assert!((a.ex[i] - b.ex[i]).abs() < 1e-7);
+            }
+            Ok(())
         }
-    }
+    );
 }

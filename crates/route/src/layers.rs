@@ -146,8 +146,8 @@ pub fn assign_layers(design: &Design, maps: &RouteMaps, grid: &GridSpec) -> Laye
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rdp_db::{Cell, DesignBuilder, Point, Rect, RoutingSpec};
     use crate::router::GlobalRouter;
+    use rdp_db::{Cell, DesignBuilder, Point, Rect, RoutingSpec};
 
     fn routed_design(with_macro: bool) -> (Design, crate::router::RouteResult) {
         let mut b = DesignBuilder::new("l", Rect::new(0.0, 0.0, 80.0, 80.0));
@@ -200,7 +200,10 @@ mod tests {
             .filter(|&l| asg.dirs[l] == Dir::Horizontal)
             .map(|l| asg.demand[l][cell])
             .collect();
-        assert!(shares.iter().all(|&s| (s - shares[0]).abs() < 1e-9), "{shares:?}");
+        assert!(
+            shares.iter().all(|&s| (s - shares[0]).abs() < 1e-9),
+            "{shares:?}"
+        );
     }
 
     #[test]

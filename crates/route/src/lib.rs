@@ -38,10 +38,10 @@
 
 mod capacity;
 mod layers;
-mod maze;
 mod maps;
-pub mod rsmt;
+mod maze;
 mod router;
+pub mod rsmt;
 mod rudy;
 
 pub use capacity::{CapacityMaps, CapacityOptions};

@@ -48,7 +48,9 @@ impl RouteMaps {
     /// Total demand `Dmd_{m,n}` of one G-cell (wire + weighted vias).
     #[inline]
     pub fn demand_at(&self, ix: usize, iy: usize) -> f64 {
-        self.h_demand[(ix, iy)] + self.v_demand[(ix, iy)] + self.via_weight * self.via_demand[(ix, iy)]
+        self.h_demand[(ix, iy)]
+            + self.v_demand[(ix, iy)]
+            + self.via_weight * self.via_demand[(ix, iy)]
     }
 
     /// Total capacity `Cap_{m,n}` of one G-cell.

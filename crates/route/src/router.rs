@@ -174,11 +174,7 @@ impl GlobalRouter {
             }
         }
 
-        let mut bend_vias: f64 = committed
-            .iter()
-            .flatten()
-            .map(|p| p.bends as f64)
-            .sum();
+        let mut bend_vias: f64 = committed.iter().flatten().map(|p| p.bends as f64).sum();
 
         // Maze phase: rip up the worst overflow-crossing segments and let
         // A* find detours.
@@ -277,8 +273,7 @@ impl GlobalRouter {
             (maps.v_demand[(ix, iy)], maps.caps.v[(ix, iy)])
         };
         let u = (dem + 1.0 + maps.via_weight * maps.via_demand[(ix, iy)]) / cap;
-        1.0 + self.cfg.cost_amplitude
-            / (1.0 + (-self.cfg.cost_sharpness * (u - 1.0)).exp())
+        1.0 + self.cfg.cost_amplitude / (1.0 + (-self.cfg.cost_sharpness * (u - 1.0)).exp())
     }
 
     fn run_cost(&self, maps: &RouteMaps, run: &Run) -> f64 {
@@ -295,7 +290,10 @@ impl GlobalRouter {
     }
 
     fn path_cost(&self, maps: &RouteMaps, path: &Path) -> f64 {
-        path.runs.iter().map(|r| self.run_cost(maps, r)).sum::<f64>()
+        path.runs
+            .iter()
+            .map(|r| self.run_cost(maps, r))
+            .sum::<f64>()
             + self.cfg.via_cost * path.bends as f64
     }
 
@@ -510,11 +508,17 @@ mod tests {
         for i in 0..40 {
             let y = 35.0 + (i % 4) as f64;
             let a = db.add_cell(Cell::std(format!("a{i}"), 1.0, 1.0), Point::new(5.0, y));
-            let b = db.add_cell(Cell::std(format!("b{i}"), 1.0, 1.0), Point::new(75.0, 75.0 - y));
+            let b = db.add_cell(
+                Cell::std(format!("b{i}"), 1.0, 1.0),
+                Point::new(75.0, 75.0 - y),
+            );
             ids.push((a, b));
         }
         for (i, (a, b)) in ids.iter().enumerate() {
-            db.add_net(format!("n{i}"), vec![(*a, Point::default()), (*b, Point::default())]);
+            db.add_net(
+                format!("n{i}"),
+                vec![(*a, Point::default()), (*b, Point::default())],
+            );
         }
         db.routing(RoutingSpec::uniform(4, 3.0, 8, 8));
         let d = db.build().unwrap();

@@ -37,7 +37,11 @@ pub fn rudy_map(design: &Design, grid: &GridSpec) -> Map2d<f64> {
             for ix in x0..=x1 {
                 let ov = grid.bin_rect(ix, iy).overlap_area(&bbox).max(
                     // degenerate boxes still deposit on the bins they touch
-                    if bbox.area() == 0.0 { bin_area * 0.25 } else { 0.0 },
+                    if bbox.area() == 0.0 {
+                        bin_area * 0.25
+                    } else {
+                        0.0
+                    },
                 );
                 map[(ix, iy)] += density * ov / bin_area;
             }
@@ -58,10 +62,7 @@ mod tests {
             .enumerate()
             .map(|(i, &(x, y))| b.add_cell(Cell::std(format!("c{i}"), 1.0, 1.0), Point::new(x, y)))
             .collect();
-        b.add_net(
-            "n",
-            ids.iter().map(|&c| (c, Point::default())).collect(),
-        );
+        b.add_net("n", ids.iter().map(|&c| (c, Point::default())).collect());
         b.routing(RoutingSpec::uniform(2, 10.0, 4, 4));
         b.build().unwrap()
     }

@@ -1,0 +1,160 @@
+//! Capacity-accounting properties of [`RouteMaps`]: overflow and
+//! congestion are never negative, and the aggregate metrics agree with
+//! direct per-G-cell computation — for arbitrary demand/capacity fills.
+
+use rdp_db::Map2d;
+use rdp_route::{CapacityMaps, RouteMaps};
+use rdp_testkit::{prop_assert, prop_assert_eq, prop_check, range, PropConfig};
+
+/// Builds RouteMaps with random capacities and demands (including
+/// G-cells far over and far under capacity).
+fn random_maps(nx: usize, ny: usize, via_weight: f64, seed: u64) -> RouteMaps {
+    let mut rng = rdp_testkit::Rng::new(seed);
+    let mut fill = |lo: f64, hi: f64| {
+        Map2d::from_vec(
+            nx,
+            ny,
+            (0..nx * ny).map(|_| rng.gen_range(lo..hi)).collect(),
+        )
+    };
+    let caps = CapacityMaps {
+        h: fill(0.5, 10.0),
+        v: fill(0.5, 10.0),
+    };
+    let mut maps = RouteMaps::new(caps, via_weight);
+    maps.h_demand = fill(0.0, 15.0);
+    maps.v_demand = fill(0.0, 15.0);
+    maps.via_demand = fill(0.0, 8.0);
+    maps
+}
+
+fn arb_maps() -> impl rdp_testkit::Gen<Value = (usize, usize, f64, u64)> {
+    (
+        range(1usize..12),
+        range(1usize..12),
+        range(0.0f64..2.0),
+        range(0u64..1 << 32),
+    )
+}
+
+/// Overflow is never negative, zero-demand maps have zero overflow, and
+/// the total equals the per-G-cell sum of `max(Dmd − Cap, 0)`.
+#[test]
+fn overflow_never_negative_and_sums_per_gcell() {
+    prop_check!(PropConfig::cases(64), arb_maps(), |(nx, ny, vw, seed): (
+        usize,
+        usize,
+        f64,
+        u64
+    )| {
+        let maps = random_maps(nx, ny, vw, seed);
+        let total = maps.total_overflow();
+        prop_assert!(total >= 0.0, "negative overflow {total}");
+
+        let mut direct = 0.0;
+        let mut over_cells = 0usize;
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let dmd = maps.demand_at(ix, iy);
+                let cap = maps.capacity_at(ix, iy);
+                prop_assert!(dmd >= 0.0);
+                prop_assert!(cap > 0.0);
+                direct += (dmd - cap).max(0.0);
+                if dmd > cap {
+                    over_cells += 1;
+                }
+            }
+        }
+        prop_assert!(
+            (total - direct).abs() < 1e-9,
+            "total {total} direct {direct}"
+        );
+        prop_assert_eq!(maps.overflowed_gcells(), over_cells);
+        Ok(())
+    });
+}
+
+/// The Eq. (3) congestion map is non-negative everywhere, zero exactly
+/// on under-capacity G-cells, and consistent with the charge density.
+#[test]
+fn congestion_map_nonnegative_and_consistent() {
+    prop_check!(PropConfig::cases(64), arb_maps(), |(nx, ny, vw, seed): (
+        usize,
+        usize,
+        f64,
+        u64
+    )| {
+        let maps = random_maps(nx, ny, vw, seed);
+        let cong = maps.congestion_eq3();
+        let rho = maps.charge_density();
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let c = cong[(ix, iy)];
+                prop_assert!(c >= 0.0, "negative congestion {c} at ({ix},{iy})");
+                let util = rho[(ix, iy)];
+                prop_assert!(util >= 0.0);
+                prop_assert!((c - (util - 1.0).max(0.0)).abs() < 1e-9);
+                if maps.demand_at(ix, iy) <= maps.capacity_at(ix, iy) {
+                    prop_assert_eq!(c, 0.0);
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Empty demand ⇒ zero overflow, zero congestion, zero vias — for any
+/// capacity model.
+#[test]
+fn empty_demand_has_zero_overflow() {
+    prop_check!(PropConfig::cases(64), arb_maps(), |(nx, ny, vw, seed): (
+        usize,
+        usize,
+        f64,
+        u64
+    )| {
+        let mut rng = rdp_testkit::Rng::new(seed);
+        let caps = CapacityMaps {
+            h: Map2d::from_vec(
+                nx,
+                ny,
+                (0..nx * ny).map(|_| rng.gen_range(0.5f64..10.0)).collect(),
+            ),
+            v: Map2d::from_vec(
+                nx,
+                ny,
+                (0..nx * ny).map(|_| rng.gen_range(0.5f64..10.0)).collect(),
+            ),
+        };
+        let maps = RouteMaps::new(caps, vw);
+        prop_assert_eq!(maps.total_overflow(), 0.0);
+        prop_assert_eq!(maps.overflowed_gcells(), 0);
+        prop_assert_eq!(maps.total_vias(), 0.0);
+        prop_assert_eq!(maps.congestion_eq3().max(), 0.0);
+        Ok(())
+    });
+}
+
+/// Adding demand anywhere can only grow (or keep) the total overflow:
+/// capacity accounting is monotone in demand.
+#[test]
+fn overflow_monotone_in_demand() {
+    prop_check!(
+        PropConfig::cases(64),
+        (arb_maps(), range(0.0f64..20.0)),
+        |((nx, ny, vw, seed), extra): ((usize, usize, f64, u64), f64)| {
+            let maps = random_maps(nx, ny, vw, seed);
+            let before = maps.total_overflow();
+            let mut rng = rdp_testkit::Rng::new(seed ^ 0xDEAD_BEEF);
+            let ix = rng.gen_range(0..nx);
+            let iy = rng.gen_range(0..ny);
+            let mut bumped = maps.clone();
+            bumped.h_demand[(ix, iy)] += extra;
+            prop_assert!(
+                bumped.total_overflow() >= before - 1e-12,
+                "overflow shrank after adding demand"
+            );
+            Ok(())
+        }
+    );
+}

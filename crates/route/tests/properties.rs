@@ -1,8 +1,8 @@
-//! Property tests for the global router.
+//! Property tests for the global router (rdp-testkit harness).
 
-use proptest::prelude::*;
 use rdp_db::{Cell, Design, DesignBuilder, Point, Rect, RoutingSpec};
 use rdp_route::{astar, CapacityMaps, GlobalRouter, RouteMaps, RouterConfig};
+use rdp_testkit::{prop_assert, prop_assert_eq, prop_check, range, vecs, PropConfig};
 
 fn design_with(pins: Vec<(f64, f64)>, capacity: f64) -> Design {
     let mut b = DesignBuilder::new("p", Rect::new(0.0, 0.0, 80.0, 80.0));
@@ -13,7 +13,10 @@ fn design_with(pins: Vec<(f64, f64)>, capacity: f64) -> Design {
         .collect();
     for (i, pair) in ids.chunks(2).enumerate() {
         if let [a, c] = pair {
-            b.add_net(format!("n{i}"), vec![(*a, Point::default()), (*c, Point::default())]);
+            b.add_net(
+                format!("n{i}"),
+                vec![(*a, Point::default()), (*c, Point::default())],
+            );
         }
     }
     // Occasionally a multi-pin net.
@@ -27,36 +30,44 @@ fn design_with(pins: Vec<(f64, f64)>, capacity: f64) -> Design {
     b.build().unwrap()
 }
 
-fn arb_pins() -> impl Strategy<Value = Vec<(f64, f64)>> {
-    prop::collection::vec((0.5f64..79.5, 0.5f64..79.5), 4..60)
+fn arb_pins() -> impl rdp_testkit::Gen<Value = Vec<(f64, f64)>> {
+    vecs((range(0.5f64..79.5), range(0.5f64..79.5)), 4..60)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Routing is deterministic and all outputs are self-consistent.
-    #[test]
-    fn route_is_deterministic_and_consistent(pins in arb_pins(), cap in 1.0f64..20.0) {
-        let d = design_with(pins, cap);
-        let router = GlobalRouter::default();
-        let a = router.route(&d);
-        let b = router.route(&d);
-        prop_assert_eq!(a.wirelength, b.wirelength);
-        prop_assert_eq!(a.vias, b.vias);
-        prop_assert_eq!(a.maps.total_overflow(), b.maps.total_overflow());
-        // Congestion map identity with the demand/capacity maps.
-        for iy in 0..a.congestion.ny() {
-            for ix in 0..a.congestion.nx() {
-                let expect = (a.maps.demand_at(ix, iy) / a.maps.capacity_at(ix, iy) - 1.0)
-                    .max(0.0);
-                prop_assert!((a.congestion[(ix, iy)] - expect).abs() < 1e-9);
+/// Routing is deterministic and all outputs are self-consistent.
+#[test]
+fn route_is_deterministic_and_consistent() {
+    prop_check!(
+        PropConfig::cases(32),
+        (arb_pins(), range(1.0f64..20.0)),
+        |(pins, cap): (Vec<(f64, f64)>, f64)| {
+            let d = design_with(pins, cap);
+            let router = GlobalRouter::default();
+            let a = router.route(&d);
+            let b = router.route(&d);
+            prop_assert_eq!(a.wirelength, b.wirelength);
+            prop_assert_eq!(a.vias, b.vias);
+            prop_assert_eq!(a.maps.total_overflow(), b.maps.total_overflow());
+            // Congestion map identity with the demand/capacity maps.
+            for iy in 0..a.congestion.ny() {
+                for ix in 0..a.congestion.nx() {
+                    let expect =
+                        (a.maps.demand_at(ix, iy) / a.maps.capacity_at(ix, iy) - 1.0).max(0.0);
+                    prop_assert!((a.congestion[(ix, iy)] - expect).abs() < 1e-9);
+                }
             }
+            Ok(())
         }
-    }
+    );
+}
 
-    /// The maze phase can only reduce (or keep) the total overflow.
-    #[test]
-    fn maze_phase_never_increases_overflow(pins in arb_pins()) {
+/// The maze phase can only reduce (or keep) the total overflow.
+#[test]
+fn maze_phase_never_increases_overflow() {
+    prop_check!(PropConfig::cases(32), arb_pins(), |pins: Vec<(
+        f64,
+        f64
+    )>| {
         let d = design_with(pins, 1.5);
         let plain = GlobalRouter::new(RouterConfig {
             maze_rip_up: 0,
@@ -77,50 +88,77 @@ proptest! {
         // Detours are recorded whenever the maze found longer routes.
         prop_assert!(mazed.wirelength >= plain.wirelength - 1e-9);
         prop_assert!(mazed.detour_wirelength >= 0.0);
-    }
+        Ok(())
+    });
+}
 
-    /// MST decomposition invariants: k−1 edges, total length at least the
-    /// bounding-box half-perimeter and at most the sorted-chain length.
-    #[test]
-    fn mst_decomposition_bounds(pins in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 2..40)) {
-        use rdp_route::rsmt;
-        let pts: Vec<rdp_db::Point> = pins.iter().map(|&(x, y)| rdp_db::Point::new(x, y)).collect();
-        let segs = rsmt::decompose(&pts);
-        prop_assert_eq!(segs.len(), pts.len() - 1);
-        let total = rsmt::total_length(&segs);
-        // Lower bound: bbox half-perimeter.
-        let (mut x0, mut y0, mut x1, mut y1) = (f64::MAX, f64::MAX, f64::MIN, f64::MIN);
-        for p in &pts {
-            x0 = x0.min(p.x); y0 = y0.min(p.y);
-            x1 = x1.max(p.x); y1 = y1.max(p.y);
+/// MST decomposition invariants: k−1 edges, total length at least the
+/// bounding-box half-perimeter and at most the sorted-chain length.
+#[test]
+fn mst_decomposition_bounds() {
+    prop_check!(
+        PropConfig::cases(32),
+        vecs((range(0.0f64..100.0), range(0.0f64..100.0)), 2..40),
+        |pins: Vec<(f64, f64)>| {
+            use rdp_route::rsmt;
+            let pts: Vec<rdp_db::Point> = pins
+                .iter()
+                .map(|&(x, y)| rdp_db::Point::new(x, y))
+                .collect();
+            let segs = rsmt::decompose(&pts);
+            prop_assert_eq!(segs.len(), pts.len() - 1);
+            let total = rsmt::total_length(&segs);
+            // Lower bound: bbox half-perimeter.
+            let (mut x0, mut y0, mut x1, mut y1) = (f64::MAX, f64::MAX, f64::MIN, f64::MIN);
+            for p in &pts {
+                x0 = x0.min(p.x);
+                y0 = y0.min(p.y);
+                x1 = x1.max(p.x);
+                y1 = y1.max(p.y);
+            }
+            prop_assert!(total >= (x1 - x0) + (y1 - y0) - 1e-9);
+            // Upper bound: visiting pins in x order (a valid spanning chain).
+            let mut sorted = pts.clone();
+            sorted.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
+            let chain: f64 = sorted
+                .windows(2)
+                .map(|w| (w[0].x - w[1].x).abs() + (w[0].y - w[1].y).abs())
+                .sum();
+            prop_assert!(total <= chain + 1e-9, "mst {} > chain {}", total, chain);
+            Ok(())
         }
-        prop_assert!(total >= (x1 - x0) + (y1 - y0) - 1e-9);
-        // Upper bound: visiting pins in x order (a valid spanning chain).
-        let mut sorted = pts.clone();
-        sorted.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
-        let chain: f64 = sorted
-            .windows(2)
-            .map(|w| (w[0].x - w[1].x).abs() + (w[0].y - w[1].y).abs())
-            .sum();
-        prop_assert!(total <= chain + 1e-9, "mst {} > chain {}", total, chain);
-    }
+    );
+}
 
-    /// A* cost never beats the Manhattan lower bound and respects the
-    /// cost floor of 1 per cell.
-    #[test]
-    fn astar_respects_lower_bound(
-        sx in 0usize..16, sy in 0usize..16, tx in 0usize..16, ty in 0usize..16
-    ) {
-        let maps = RouteMaps::new(
-            CapacityMaps {
-                h: rdp_db::Map2d::filled(16, 16, 5.0),
-                v: rdp_db::Map2d::filled(16, 16, 5.0),
-            },
-            0.5,
-        );
-        let p = astar(&maps, (sx, sy), (tx, ty), &|_, _, _| 1.0, 0.7).unwrap();
-        let manhattan = (sx as f64 - tx as f64).abs() + (sy as f64 - ty as f64).abs();
-        prop_assert!(p.cost >= manhattan - 1e-9);
-        prop_assert_eq!(p.steps.len() as f64, manhattan, "uncongested path is monotone");
-    }
+/// A* cost never beats the Manhattan lower bound and respects the
+/// cost floor of 1 per cell.
+#[test]
+fn astar_respects_lower_bound() {
+    prop_check!(
+        PropConfig::cases(32),
+        (
+            range(0usize..16),
+            range(0usize..16),
+            range(0usize..16),
+            range(0usize..16),
+        ),
+        |(sx, sy, tx, ty): (usize, usize, usize, usize)| {
+            let maps = RouteMaps::new(
+                CapacityMaps {
+                    h: rdp_db::Map2d::filled(16, 16, 5.0),
+                    v: rdp_db::Map2d::filled(16, 16, 5.0),
+                },
+                0.5,
+            );
+            let p = astar(&maps, (sx, sy), (tx, ty), &|_, _, _| 1.0, 0.7).unwrap();
+            let manhattan = (sx as f64 - tx as f64).abs() + (sy as f64 - ty as f64).abs();
+            prop_assert!(p.cost >= manhattan - 1e-9);
+            prop_assert_eq!(
+                p.steps.len() as f64,
+                manhattan,
+                "uncongested path is monotone"
+            );
+            Ok(())
+        }
+    );
 }

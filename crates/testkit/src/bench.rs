@@ -1,0 +1,328 @@
+//! Micro-benchmark harness (in-repo `criterion` replacement).
+//!
+//! [`BenchHarness`] mirrors the slice of the criterion API the workspace
+//! uses — `bench_function(name, |b| b.iter(|| …))` — with a much simpler
+//! measurement model: a calibration/warmup phase sizes the per-sample
+//! iteration count so one sample takes roughly
+//! [`BenchHarness::target_sample_ms`], then `samples` timed samples are
+//! collected and summarized as mean / median / p95 / min / max
+//! nanoseconds per iteration.
+//!
+//! [`BenchHarness::finish`] prints a summary table and writes
+//! `BENCH_<suite>.json` (machine-readable, schema below) into the
+//! current directory, or `$RDP_BENCH_DIR` when set:
+//!
+//! ```json
+//! {
+//!   "suite": "kernels",
+//!   "results": [
+//!     { "name": "fft_1024", "samples": 20, "iters_per_sample": 512,
+//!       "mean_ns": 1834.2, "median_ns": 1820.0, "p95_ns": 1910.4,
+//!       "min_ns": 1799.1, "max_ns": 2012.7 }
+//!   ]
+//! }
+//! ```
+//!
+//! Running a bench binary with `--test` (as `cargo test --benches` does)
+//! executes every benchmark exactly once without timing or JSON output,
+//! keeping the tier-1 test gate fast.
+
+use std::time::Instant;
+
+/// Per-sample timing context handed to the benchmark closure.
+///
+/// The closure must call [`Bencher::iter`] exactly once; the harness
+/// decides the iteration count.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `f` the harness-chosen number of times and records the
+    /// wall-clock total. The closure's return value is passed through
+    /// [`std::hint::black_box`] so the work is not optimized away.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos() as f64;
+    }
+}
+
+/// Summary statistics of one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample (fixed after calibration).
+    pub iters_per_sample: u64,
+    /// Mean ns/iter across samples.
+    pub mean_ns: f64,
+    /// Median ns/iter.
+    pub median_ns: f64,
+    /// 95th-percentile ns/iter.
+    pub p95_ns: f64,
+    /// Fastest sample ns/iter.
+    pub min_ns: f64,
+    /// Slowest sample ns/iter.
+    pub max_ns: f64,
+}
+
+/// Collects benchmarks of one suite and reports them on [`finish`](BenchHarness::finish).
+pub struct BenchHarness {
+    suite: String,
+    /// Timed samples per benchmark.
+    pub samples: usize,
+    /// Calibration target for one sample's duration, in milliseconds.
+    pub target_sample_ms: f64,
+    /// Smoke mode (`--test`): run each benchmark once, skip reporting.
+    pub test_mode: bool,
+    /// Whether `RDP_BENCH_SAMPLES` fixed the sample count (the env var
+    /// wins over [`sample_size`](BenchHarness::sample_size)).
+    samples_from_env: bool,
+    results: Vec<BenchResult>,
+}
+
+impl BenchHarness {
+    /// Creates a harness for `suite`, reading CLI args: `--test` (or
+    /// `RDP_BENCH_SMOKE=1`) enables smoke mode, `RDP_BENCH_SAMPLES`
+    /// overrides the sample count.
+    pub fn new(suite: &str) -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let test_mode = args.iter().any(|a| a == "--test")
+            || std::env::var("RDP_BENCH_SMOKE").map_or(false, |v| v == "1");
+        let env_samples: Option<usize> = std::env::var("RDP_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok());
+        BenchHarness {
+            suite: suite.to_string(),
+            samples: env_samples.unwrap_or(20),
+            target_sample_ms: 25.0,
+            test_mode,
+            samples_from_env: env_samples.is_some(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Sets the number of timed samples (criterion's `sample_size`).
+    /// A run-time `RDP_BENCH_SAMPLES` override takes precedence.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        if !self.samples_from_env {
+            self.samples = samples.max(2);
+        }
+        self
+    }
+
+    /// Measures one benchmark. The closure receives a [`Bencher`] and
+    /// must call [`Bencher::iter`] with the code under test.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, mut f: F) {
+        let name = name.as_ref();
+        if self.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed_ns: 0.0,
+            };
+            f(&mut b);
+            println!("bench {name}: ok (smoke)");
+            return;
+        }
+
+        // Calibration: double the iteration count until one sample takes
+        // at least a quarter of the target, then scale to the target.
+        let mut iters = 1u64;
+        let per_iter_ns = loop {
+            let mut b = Bencher {
+                iters,
+                elapsed_ns: 0.0,
+            };
+            f(&mut b);
+            let per = b.elapsed_ns / iters as f64;
+            if b.elapsed_ns >= self.target_sample_ms * 1e6 / 4.0 || iters >= 1 << 20 {
+                break per.max(0.1);
+            }
+            iters *= 2;
+        };
+        let iters = ((self.target_sample_ms * 1e6 / per_iter_ns).ceil() as u64).clamp(1, 1 << 24);
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let mut b = Bencher {
+                iters,
+                elapsed_ns: 0.0,
+            };
+            f(&mut b);
+            per_iter.push(b.elapsed_ns / iters as f64);
+        }
+        per_iter.sort_by(f64::total_cmp);
+
+        let result = BenchResult {
+            name: name.to_string(),
+            samples: self.samples,
+            iters_per_sample: iters,
+            mean_ns: per_iter.iter().sum::<f64>() / per_iter.len() as f64,
+            median_ns: percentile(&per_iter, 0.5),
+            p95_ns: percentile(&per_iter, 0.95),
+            min_ns: per_iter[0],
+            max_ns: per_iter[per_iter.len() - 1],
+        };
+        println!(
+            "bench {:<32} median {:>12} p95 {:>12} ({} iters × {} samples)",
+            result.name,
+            fmt_ns(result.median_ns),
+            fmt_ns(result.p95_ns),
+            iters,
+            self.samples
+        );
+        self.results.push(result);
+    }
+
+    /// Prints the summary table, writes `BENCH_<suite>.json`, and
+    /// returns the collected results.
+    pub fn finish(self) -> Vec<BenchResult> {
+        if self.test_mode {
+            println!("suite {}: smoke mode, no report written", self.suite);
+            return self.results;
+        }
+        let path = match std::env::var("RDP_BENCH_DIR") {
+            Ok(dir) => format!("{dir}/BENCH_{}.json", self.suite),
+            Err(_) => format!("BENCH_{}.json", self.suite),
+        };
+        let json = render_json(&self.suite, &self.results);
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+        self.results
+    }
+}
+
+/// Percentile of an ascending-sorted slice (nearest-rank interpolation).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn render_json(suite: &str, results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"suite\": \"{}\",\n", escape_json(suite)));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"samples\": {}, \"iters_per_sample\": {}, \
+             \"mean_ns\": {:.3}, \"median_ns\": {:.3}, \"p95_ns\": {:.3}, \
+             \"min_ns\": {:.3}, \"max_ns\": {:.3} }}{}\n",
+            escape_json(&r.name),
+            r.samples,
+            r.iters_per_sample,
+            r.mean_ns,
+            r.median_ns,
+            r.p95_ns,
+            r.min_ns,
+            r.max_ns,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_harness(suite: &str) -> BenchHarness {
+        BenchHarness {
+            suite: suite.to_string(),
+            samples: 5,
+            target_sample_ms: 0.05,
+            test_mode: false,
+            samples_from_env: false,
+            results: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn measures_and_summarizes() {
+        let mut h = quiet_harness("unit");
+        h.bench_function("sum_1k", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        assert_eq!(h.results.len(), 1);
+        let r = &h.results[0];
+        assert_eq!(r.name, "sum_1k");
+        assert!(r.mean_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert!(r.median_ns <= r.p95_ns + 1e-9);
+    }
+
+    #[test]
+    fn test_mode_runs_once_without_results() {
+        let mut h = quiet_harness("unit");
+        h.test_mode = true;
+        let mut calls = 0u32;
+        h.bench_function("noop", |b| {
+            calls += 1;
+            b.iter(|| 1 + 1)
+        });
+        assert_eq!(calls, 1);
+        assert!(h.results.is_empty());
+    }
+
+    #[test]
+    fn json_is_wellformed_and_escaped() {
+        let results = vec![BenchResult {
+            name: "a\"b".into(),
+            samples: 3,
+            iters_per_sample: 7,
+            mean_ns: 1.0,
+            median_ns: 1.0,
+            p95_ns: 2.0,
+            min_ns: 0.5,
+            max_ns: 2.0,
+        }];
+        let json = render_json("suite", &results);
+        assert!(json.contains("\"suite\": \"suite\""));
+        assert!(json.contains("a\\\"b"));
+        assert!(json.contains("\"iters_per_sample\": 7"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn percentile_basics() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 0.5), 3.0);
+        assert_eq!(percentile(&v, 1.0), 5.0);
+    }
+}

@@ -1,0 +1,334 @@
+//! Deterministic, seedable PRNG: a SplitMix64-seeded xoshiro256++ core
+//! with the sampling helpers the workspace needs (`gen_range`,
+//! `gen_bool`, `shuffle`, normal deviates).
+//!
+//! The generator is defined purely over wrapping 64-bit integer
+//! arithmetic, so a given seed yields a bit-identical stream on every
+//! platform — the property the benchmark generator's *same seed → same
+//! design* contract rests on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Advances a SplitMix64 state and returns the next output.
+///
+/// Used to expand a single `u64` seed into the 256-bit xoshiro state and
+/// to derive independent per-case seeds in the property harness.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A xoshiro256++ pseudo-random generator seeded via SplitMix64.
+///
+/// Not cryptographic — this is a *reproducibility* tool for benchmark
+/// generation and property-based tests, chosen for its tiny state,
+/// excellent statistical quality, and platform-independent definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+    /// Cached second Box–Muller deviate (see [`Rng::normal`]).
+    spare_normal: Option<u64>,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// The seed is expanded through SplitMix64 so that nearby seeds
+    /// (0, 1, 2, …) still produce uncorrelated streams.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng {
+            s,
+            spare_normal: None,
+        }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++ step).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, span)` (`span > 0`).
+    ///
+    /// Uses the widening-multiply bound (Lemire's method without the
+    /// rejection step): deterministic, branch-free, and with bias below
+    /// `span / 2^64` — negligible for test-generation purposes.
+    #[inline]
+    pub fn bounded(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0, "bounded(0)");
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    /// Uniform sample from `range` (half-open `a..b` or inclusive
+    /// `a..=b`; integer or `f64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Standard-normal deviate scaled to `mean + std_dev·N(0,1)`,
+    /// via Box–Muller (the second deviate of each pair is cached).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        if let Some(bits) = self.spare_normal.take() {
+            return mean + std_dev * f64::from_bits(bits);
+        }
+        // Box–Muller: u1 ∈ (0,1] so ln(u1) is finite.
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some((r * theta.sin()).to_bits());
+        mean + std_dev * r * theta.cos()
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.bounded(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Uniformly chosen reference into `slice` (`None` when empty).
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.bounded(slice.len() as u64) as usize])
+        }
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut Rng) -> T;
+}
+
+macro_rules! impl_sample_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.bounded(span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.bounded(span + 1) as $t
+            }
+        }
+    )*};
+}
+impl_sample_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_signed {
+    ($($t:ty : $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.bounded(span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                if span == u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.bounded(span as u64 + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_signed!(i8: u8, i16: u16, i32: u32, i64: u64, isize: usize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let v = self.start + rng.next_f64() * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> f32 {
+        let v: f64 = (self.start as f64..self.end as f64).sample(rng);
+        v as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn reference_vector_xoshiro256pp() {
+        // State seeded directly (SplitMix64 of seed 0), first outputs must
+        // be stable forever: this pins the generator definition so the
+        // suite's generated designs can never silently change.
+        let mut r = Rng::new(0);
+        let first: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                5987356902031041503,
+                7051070477665621255,
+                6633766593972829180,
+                211316841551650330
+            ]
+        );
+    }
+
+    #[test]
+    fn nearby_seeds_decorrelate() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..1000).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = Rng::new(9);
+        for _ in 0..10_000 {
+            let a = r.gen_range(3usize..17);
+            assert!((3..17).contains(&a));
+            let b = r.gen_range(1u64..=3);
+            assert!((1..=3).contains(&b));
+            let c = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&c));
+            let d = r.gen_range(0.25f64..0.5);
+            assert!((0.25..0.5).contains(&d));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut r = Rng::new(11);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut r = Rng::new(13);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+        let freq = hits as f64 / 100_000.0;
+        assert!((freq - 0.3).abs() < 0.01, "{freq}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = Rng::new(17);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(2.0, 3.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation_and_deterministic() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b = a.clone();
+        Rng::new(23).shuffle(&mut a);
+        Rng::new(23).shuffle(&mut b);
+        assert_eq!(a, b);
+        assert_ne!(a, (0..50).collect::<Vec<u32>>());
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn choose_stays_in_slice() {
+        let mut r = Rng::new(29);
+        let v = [1, 2, 3];
+        for _ in 0..100 {
+            assert!(v.contains(r.choose(&v).unwrap()));
+        }
+        assert_eq!(r.choose::<u8>(&[]), None);
+    }
+}

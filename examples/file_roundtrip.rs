@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let from_bookshelf = load_bookshelf(&dir, "roundtrip")?;
     assert_eq!(from_bookshelf.num_cells(), design.num_cells());
     assert!((from_bookshelf.hpwl() - design.hpwl()).abs() < 1e-6);
-    println!("bookshelf round trip ✓ (HPWL {:.1} um preserved)", design.hpwl());
+    println!(
+        "bookshelf round trip ✓ (HPWL {:.1} um preserved)",
+        design.hpwl()
+    );
 
     // LEF/DEF-lite in memory.
     let lefdef = write_lefdef(&design);

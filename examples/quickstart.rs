@@ -56,6 +56,9 @@ fn main() {
     );
 
     let legality = rdp::legal::check_legality(&design);
-    assert!(legality.is_legal(), "final placement not legal: {legality:?}");
+    assert!(
+        legality.is_legal(),
+        "final placement not legal: {legality:?}"
+    );
     println!("\nfinal placement is legal ✓");
 }

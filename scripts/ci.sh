@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the rdp workspace. Must pass fully offline: the
+# workspace has no external dependencies (see crates/testkit), so a
+# clean checkout builds and tests without touching a registry.
+#
+# Usage: scripts/ci.sh [--workspace]
+#   default      gate scope: root package tests only (tier-1)
+#   --workspace  also run every member crate's tests and smoke-run
+#                the bench binaries (slower, recommended before merge)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+scope=""
+if [[ "${1:-}" == "--workspace" ]]; then
+    scope="--workspace"
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline ${scope}"
+cargo test -q --offline ${scope}
+
+if [[ -n "${scope}" ]]; then
+    echo "==> bench smoke (cargo test --benches)"
+    RDP_BENCH_SMOKE=1 cargo test -q --offline -p rdp-bench --benches
+fi
+
+echo "ci: all gates passed"

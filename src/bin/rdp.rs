@@ -114,7 +114,11 @@ fn save_output(design: &Design, dir: &Path, format: &str) -> Result<(), String> 
     match format {
         "bookshelf" => {
             rdp::parse::save_bookshelf(design, dir, design.name()).map_err(|e| e.to_string())?;
-            println!("wrote {}/{}.{{nodes,nets,pl,scl,route,pg,aux}}", dir.display(), design.name());
+            println!(
+                "wrote {}/{}.{{nodes,nets,pl,scl,route,pg,aux}}",
+                dir.display(),
+                design.name()
+            );
         }
         "lefdef" => {
             let files = rdp::parse::write_lefdef(design);
@@ -166,7 +170,9 @@ fn cmd_stats(rest: &[String]) -> Result<(), String> {
 
 fn cmd_generate(rest: &[String]) -> Result<(), String> {
     let name = rest.first().ok_or("generate needs a suite design name")?;
-    let out: PathBuf = flag(rest, "--out").ok_or("generate needs --out DIR")?.into();
+    let out: PathBuf = flag(rest, "--out")
+        .ok_or("generate needs --out DIR")?
+        .into();
     let format = flag(rest, "--format").unwrap_or("bookshelf");
     let design =
         rdp::gen::generate_named(name).ok_or_else(|| format!("unknown design `{name}`"))?;

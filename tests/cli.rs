@@ -58,7 +58,11 @@ fn generate_convert_roundtrip_via_cli() {
         ])
         .output()
         .expect("run generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(dir.join("pci_bridge32_b.nodes").exists());
     assert!(dir.join("pci_bridge32_b.aux").exists());
 
@@ -81,7 +85,11 @@ fn generate_convert_roundtrip_via_cli() {
         ])
         .output()
         .expect("run convert");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(dir.join("pci_bridge32_b.lef").exists());
     assert!(dir.join("pci_bridge32_b.def").exists());
 
@@ -95,7 +103,11 @@ fn render_writes_svg() {
         .args(["render", "fft_a", "--out", svg_path.to_str().unwrap()])
         .output()
         .expect("run render");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let svg = std::fs::read_to_string(&svg_path).expect("svg written");
     assert!(svg.starts_with("<svg"));
     std::fs::remove_file(&svg_path).ok();

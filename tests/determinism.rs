@@ -1,0 +1,101 @@
+//! End-to-end determinism: the workspace-wide contract *same seed →
+//! same design → same placement metrics*, enforced on the smallest
+//! design of the synthetic suite.
+//!
+//! Every future performance or robustness PR regresses against this
+//! test: any change that breaks bit-reproducibility of generation or
+//! placement must be intentional and update the contract here.
+
+use rdp::core::GlobalPlacer;
+use rdp::db::DesignStats;
+use rdp::gen::{generate, ispd2015_suite, GenParams, SuiteEntry};
+use rdp::parse::write_bookshelf;
+
+/// The smallest design of the 20-entry suite (by movable-cell count).
+fn smallest_entry() -> SuiteEntry {
+    ispd2015_suite()
+        .into_iter()
+        .min_by_key(|e| e.params.num_cells)
+        .expect("suite is non-empty")
+}
+
+/// Same-seed generation is **byte-identical** across two runs: the full
+/// Bookshelf serialization (nodes, nets, placements, rows, routing
+/// grid, PG rails) of two independent generations compares equal.
+#[test]
+fn same_seed_generation_is_byte_identical() {
+    let entry = smallest_entry();
+    let a = generate(entry.name, &entry.params);
+    let b = generate(entry.name, &entry.params);
+
+    let fa = write_bookshelf(&a);
+    let fb = write_bookshelf(&b);
+    assert_eq!(fa.nodes, fb.nodes);
+    assert_eq!(fa.nets, fb.nets);
+    assert_eq!(fa.pl, fb.pl);
+    assert_eq!(fa.scl, fb.scl);
+    assert_eq!(fa.route, fb.route);
+    assert_eq!(fa.pg, fb.pg);
+}
+
+/// Netlist statistics and post-global-placement HPWL/overflow agree to
+/// the last ULP between two same-seed runs.
+#[test]
+fn same_seed_placement_metrics_identical_to_last_ulp() {
+    let entry = smallest_entry();
+    let mut a = generate(entry.name, &entry.params);
+    let mut b = generate(entry.name, &entry.params);
+
+    // Identical netlist stats before placement.
+    assert_eq!(DesignStats::of(&a), DesignStats::of(&b));
+
+    let sa = GlobalPlacer::default().place(&mut a);
+    let sb = GlobalPlacer::default().place(&mut b);
+
+    assert_eq!(sa.iterations, sb.iterations);
+    // Bitwise comparison: `to_bits` distinguishes even -0.0 from 0.0, so
+    // equality here means identical to the last ULP.
+    assert_eq!(sa.hpwl.to_bits(), sb.hpwl.to_bits(), "hpwl differs");
+    assert_eq!(
+        sa.overflow.to_bits(),
+        sb.overflow.to_bits(),
+        "overflow differs"
+    );
+    assert_eq!(a.positions(), b.positions());
+    assert_eq!(a.hpwl().to_bits(), b.hpwl().to_bits());
+}
+
+/// A different seed must actually change the generated design (guards
+/// against the RNG being ignored).
+#[test]
+fn different_seed_changes_the_design() {
+    let entry = smallest_entry();
+    let a = generate(entry.name, &entry.params);
+    let mut params2 = entry.params.clone();
+    params2.seed ^= 0x5eed;
+    let b = generate(entry.name, &params2);
+    assert_ne!(a.hpwl().to_bits(), b.hpwl().to_bits());
+}
+
+/// The determinism contract also holds for hand-rolled parameters (not
+/// just suite entries), at a size small enough to exercise quickly.
+#[test]
+fn tiny_design_determinism() {
+    let params = GenParams {
+        num_cells: 250,
+        num_macros: 1,
+        macro_fraction: 0.1,
+        utilization: 0.55,
+        io_terminals: 6,
+        rail_pitch: 1.0,
+        seed: 0xD5,
+        ..GenParams::default()
+    };
+    let mut a = generate("tiny", &params);
+    let mut b = generate("tiny", &params);
+    let sa = GlobalPlacer::default().place(&mut a);
+    let sb = GlobalPlacer::default().place(&mut b);
+    assert_eq!(sa.hpwl.to_bits(), sb.hpwl.to_bits());
+    assert_eq!(sa.overflow.to_bits(), sb.overflow.to_bits());
+    assert_eq!(a.positions(), b.positions());
+}

@@ -53,7 +53,10 @@ fn lefdef_roundtrip_preserves_routing_environment() {
     let parsed = read_lefdef(&write_lefdef(&original)).expect("parse");
     assert_eq!(parsed.routing().gx, original.routing().gx);
     assert_eq!(parsed.routing().gy, original.routing().gy);
-    assert_eq!(parsed.routing().num_layers(), original.routing().num_layers());
+    assert_eq!(
+        parsed.routing().num_layers(),
+        original.routing().num_layers()
+    );
     for (a, b) in original
         .routing()
         .layers

@@ -1,42 +1,45 @@
 //! Property-based integration tests across the crates: arbitrary small
 //! designs must always legalize cleanly, route consistently, and keep the
-//! paper's invariants.
+//! paper's invariants. (rdp-testkit harness.)
 
-use proptest::prelude::*;
 use rdp::gen::{generate, GenParams};
 use rdp::legal::{check_legality, detailed_place, legalize, DetailedConfig, LegalizeConfig};
 use rdp::route::GlobalRouter;
+use rdp_testkit::{prop_assert, prop_assert_eq, prop_check, range, PropConfig};
 
-fn arb_params() -> impl Strategy<Value = GenParams> {
+type ParamTuple = (usize, usize, f64, f64, u64);
+
+fn arb_params() -> impl rdp_testkit::Gen<Value = ParamTuple> {
     (
-        100usize..400,
-        0usize..3,
-        0.3f64..0.75,
-        0.6f64..0.95,
-        1u64..1000,
+        range(100usize..400),
+        range(0usize..3),
+        range(0.3f64..0.75),
+        range(0.6f64..0.95),
+        range(1u64..1000),
     )
-        .prop_map(|(cells, macros, util, margin, seed)| GenParams {
-            num_cells: cells,
-            num_macros: macros,
-            macro_fraction: if macros == 0 { 0.0 } else { 0.15 },
-            utilization: util,
-            congestion_margin: margin,
-            io_terminals: 6,
-            high_fanout_nets: 2,
-            rail_pitch: 1.0,
-            seed,
-            ..GenParams::default()
-        })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+fn params_of((cells, macros, util, margin, seed): ParamTuple) -> GenParams {
+    GenParams {
+        num_cells: cells,
+        num_macros: macros,
+        macro_fraction: if macros == 0 { 0.0 } else { 0.15 },
+        utilization: util,
+        congestion_margin: margin,
+        io_terminals: 6,
+        high_fanout_nets: 2,
+        rail_pitch: 1.0,
+        seed,
+        ..GenParams::default()
+    }
+}
 
-    /// Any generated design legalizes with zero failures and passes the
-    /// legality checker, and detailed placement never degrades HPWL.
-    #[test]
-    fn legalization_always_succeeds(params in arb_params()) {
-        let mut d = generate("prop", &params);
+/// Any generated design legalizes with zero failures and passes the
+/// legality checker, and detailed placement never degrades HPWL.
+#[test]
+fn legalization_always_succeeds() {
+    prop_check!(PropConfig::cases(12), arb_params(), |t: ParamTuple| {
+        let mut d = generate("prop", &params_of(t));
         let report = legalize(&mut d, &LegalizeConfig::default());
         prop_assert_eq!(report.failed, 0);
         let check = check_legality(&d);
@@ -46,13 +49,16 @@ proptest! {
         prop_assert!(gain >= -1e-6);
         prop_assert!(d.hpwl() <= before + 1e-6);
         prop_assert!(check_legality(&d).is_legal());
-    }
+        Ok(())
+    });
+}
 
-    /// Routing invariants: wirelength lower-bounded by the sum of net
-    /// spans, congestion map non-negative, demand non-negative.
-    #[test]
-    fn routing_invariants(params in arb_params()) {
-        let d = generate("prop", &params);
+/// Routing invariants: wirelength lower-bounded by the sum of net
+/// spans, congestion map non-negative, demand non-negative.
+#[test]
+fn routing_invariants() {
+    prop_check!(PropConfig::cases(12), arb_params(), |t: ParamTuple| {
+        let d = generate("prop", &params_of(t));
         let r = GlobalRouter::default().route(&d);
         // Routed (pattern) wirelength equals the RSMT decomposition's
         // Manhattan length, which upper-bounds the sum of net HPWLs.
@@ -63,23 +69,34 @@ proptest! {
         prop_assert!(r.maps.v_demand.min() >= 0.0);
         prop_assert!(r.vias >= 0.0);
         prop_assert!(r.maps.total_overflow() >= 0.0);
-    }
+        Ok(())
+    });
+}
 
-    /// Bookshelf round trip is exact for arbitrary generated designs.
-    #[test]
-    fn bookshelf_roundtrip(params in arb_params()) {
-        let d = generate("prop", &params);
+/// Bookshelf round trip is exact for arbitrary generated designs.
+#[test]
+fn bookshelf_roundtrip() {
+    prop_check!(PropConfig::cases(12), arb_params(), |t: ParamTuple| {
+        let d = generate("prop", &params_of(t));
         let back = rdp::parse::read_bookshelf("prop", &rdp::parse::write_bookshelf(&d)).unwrap();
         prop_assert_eq!(back.num_cells(), d.num_cells());
         prop_assert_eq!(back.num_pins(), d.num_pins());
         prop_assert!((back.hpwl() - d.hpwl()).abs() < 1e-6 * d.hpwl().max(1.0));
-    }
+        Ok(())
+    });
+}
 
-    /// The WA wirelength lower-bounds HPWL on generated designs at any γ.
-    #[test]
-    fn wa_bounds_hpwl(params in arb_params(), gamma in 0.1f64..8.0) {
-        let d = generate("prop", &params);
-        let wa = rdp::core::WaModel::new(gamma).wirelength(&d);
-        prop_assert!(wa <= d.hpwl() + 1e-6, "wa {} > hpwl {}", wa, d.hpwl());
-    }
+/// The WA wirelength lower-bounds HPWL on generated designs at any γ.
+#[test]
+fn wa_bounds_hpwl() {
+    prop_check!(
+        PropConfig::cases(12),
+        (arb_params(), range(0.1f64..8.0)),
+        |(t, gamma): (ParamTuple, f64)| {
+            let d = generate("prop", &params_of(t));
+            let wa = rdp::core::WaModel::new(gamma).wirelength(&d);
+            prop_assert!(wa <= d.hpwl() + 1e-6, "wa {} > hpwl {}", wa, d.hpwl());
+            Ok(())
+        }
+    );
 }
