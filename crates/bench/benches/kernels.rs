@@ -5,11 +5,14 @@
 use rdp_testkit::BenchHarness;
 use std::hint::black_box;
 
-use rdp_core::{congestion_gradients, CongestionField, DensityModel, NetMoveConfig, WaModel};
+use rdp_core::{
+    congestion_gradients, CongestionField, DensityModel, NetMoveConfig, WaModel, WaScratch,
+};
 use rdp_db::Point;
 use rdp_gen::{generate, GenParams};
+use rdp_par::Pool;
 use rdp_poisson::{dct2, fft_in_place, Complex, PoissonSolver};
-use rdp_route::{rudy_map, GlobalRouter};
+use rdp_route::{rudy_map, rudy_map_with, GlobalRouter};
 
 fn bench_design() -> rdp_db::Design {
     generate(
@@ -22,6 +25,24 @@ fn bench_design() -> rdp_db::Design {
             congestion_margin: 0.85,
             rail_pitch: 1.0,
             seed: 42,
+            ..GenParams::default()
+        },
+    )
+}
+
+/// Larger design for the serial-vs-parallel comparisons, where the
+/// per-chunk work is big enough for threading to pay off.
+fn large_design() -> rdp_db::Design {
+    generate(
+        "bench_large",
+        &GenParams {
+            num_cells: 20_000,
+            num_macros: 4,
+            macro_fraction: 0.12,
+            utilization: 0.65,
+            congestion_margin: 0.85,
+            rail_pitch: 1.0,
+            seed: 43,
             ..GenParams::default()
         },
     )
@@ -97,8 +118,62 @@ fn kernels(c: &mut BenchHarness) {
     });
 }
 
+/// Serial (1-thread) vs parallel (4-thread) runs of the ported kernels
+/// on the 20k-cell design. Both variants produce bit-identical results;
+/// the comparison measures wall-clock only.
+fn parallel_kernels(c: &mut BenchHarness) {
+    let design = large_design();
+    let pools = [("t1", Pool::serial()), ("t4", Pool::new(4))];
+
+    let wa = WaModel::new(2.0);
+    for (tag, pool) in pools {
+        let mut grad = vec![Point::default(); design.num_cells()];
+        let mut scratch = WaScratch::new();
+        c.bench_function(&format!("wa_gradient_20k_cells_{tag}"), |b| {
+            b.iter(|| {
+                grad.iter_mut().for_each(|p| *p = Point::default());
+                wa.accumulate_gradient_with(&design, &mut grad, pool, &mut scratch);
+                black_box(grad[0].x)
+            })
+        });
+    }
+
+    let model = DensityModel::new(&design);
+    for (tag, pool) in pools {
+        c.bench_function(&format!("density_field_20k_cells_{tag}"), |b| {
+            b.iter(|| black_box(model.compute_with(&design, None, None, 0.9, pool).penalty))
+        });
+    }
+
+    let solver = PoissonSolver::new(256, 256, 100.0, 100.0);
+    let rho: Vec<f64> = (0..256 * 256).map(|i| ((i * 31) % 17) as f64).collect();
+    for (tag, pool) in pools {
+        c.bench_function(&format!("poisson_solve_256x256_{tag}"), |b| {
+            b.iter(|| black_box(solver.solve_with(black_box(&rho), pool).psi[0]))
+        });
+    }
+
+    let grid = design.gcell_grid();
+    for (tag, pool) in pools {
+        c.bench_function(&format!("rudy_20k_cells_{tag}"), |b| {
+            b.iter(|| black_box(rudy_map_with(&design, &grid, pool).sum()))
+        });
+    }
+
+    // The router reads the global pool internally.
+    let router = GlobalRouter::default();
+    for (tag, threads) in [("t1", 1), ("t4", 4)] {
+        rdp_par::set_global_threads(threads);
+        c.bench_function(&format!("route_20k_cells_{tag}"), |b| {
+            b.iter(|| black_box(router.route(&design).wirelength))
+        });
+    }
+    rdp_par::set_global_threads(1);
+}
+
 fn main() {
     let mut harness = BenchHarness::new("kernels").sample_size(20);
     kernels(&mut harness);
+    parallel_kernels(&mut harness);
     harness.finish();
 }

@@ -4,7 +4,14 @@
 //! `D = ½·Σ Aᵢψᵢ`, and its gradient `∇ᵢD = −Aᵢ·E(xᵢ)`.
 
 use rdp_db::{CellKind, Design, GridSpec, Map2d, Point};
+use rdp_par::{chunk_len, Pool};
 use rdp_poisson::PoissonSolver;
+
+/// Cells per binning chunk: at most 16 chunks bound the per-chunk bin
+/// maps' memory; the floor keeps scheduling overhead negligible.
+fn cell_chunk(num_cells: usize) -> usize {
+    chunk_len(num_cells, 16, 128)
+}
 
 /// Electro-density state for one gradient evaluation.
 #[derive(Debug, Clone)]
@@ -63,44 +70,84 @@ impl DensityModel {
         extra_density: Option<&Map2d<f64>>,
         target: f64,
     ) -> DensityField {
-        let mut density = Map2d::new(self.grid.nx(), self.grid.ny());
-        let bin_area = self.grid.bin_area();
+        self.compute_with(design, inflation, extra_density, target, Pool::global())
+    }
 
-        for (i, cell) in design.cells().iter().enumerate() {
-            if cell.kind == CellKind::Terminal {
-                continue;
-            }
-            let scale = match inflation {
-                Some(r) if cell.is_movable() => r[i].max(0.0).sqrt(),
-                _ => 1.0,
-            };
-            let rect =
-                rdp_db::Rect::centered(design.positions()[i], cell.w * scale, cell.h * scale);
-            let Some((x0, y0, x1, y1)) = self.grid.bins_overlapping(&rect) else {
-                continue;
-            };
-            for iy in y0..=y1 {
-                for ix in x0..=x1 {
-                    density[(ix, iy)] += self.grid.bin_rect(ix, iy).overlap_area(&rect) / bin_area;
+    /// [`compute`](DensityModel::compute) on an explicit pool.
+    ///
+    /// Cells are binned into per-chunk density maps (fixed chunking over
+    /// the cell array) that are merged in chunk order, and the penalty
+    /// is a chunk-ordered reduction, so the entire field is bit-identical
+    /// for any thread count.
+    pub fn compute_with(
+        &self,
+        design: &Design,
+        inflation: Option<&[f64]>,
+        extra_density: Option<&Map2d<f64>>,
+        target: f64,
+        pool: Pool,
+    ) -> DensityField {
+        let (nx, ny) = (self.grid.nx(), self.grid.ny());
+        let bin_area = self.grid.bin_area();
+        let n = design.num_cells();
+        let chunk = cell_chunk(n);
+
+        let parts = pool.map_chunks(n, chunk, |_ci, range| {
+            let mut local = Map2d::new(nx, ny);
+            for i in range {
+                let cell = &design.cells()[i];
+                if cell.kind == CellKind::Terminal {
+                    continue;
+                }
+                let scale = match inflation {
+                    Some(r) if cell.is_movable() => r[i].max(0.0).sqrt(),
+                    _ => 1.0,
+                };
+                let rect =
+                    rdp_db::Rect::centered(design.positions()[i], cell.w * scale, cell.h * scale);
+                let Some((x0, y0, x1, y1)) = self.grid.bins_overlapping(&rect) else {
+                    continue;
+                };
+                for iy in y0..=y1 {
+                    for ix in x0..=x1 {
+                        local[(ix, iy)] +=
+                            self.grid.bin_rect(ix, iy).overlap_area(&rect) / bin_area;
+                    }
                 }
             }
+            local
+        });
+        // Ordered merge: chunk 0 first, chunk k last.
+        let mut density = Map2d::new(nx, ny);
+        for part in &parts {
+            density.add_assign_map(part);
         }
         if let Some(extra) = extra_density {
             density.add_assign_map(extra);
         }
 
-        let sol = self.solver.solve(density.as_slice());
-        let psi = Map2d::from_vec(self.grid.nx(), self.grid.ny(), sol.psi);
-        let ex = Map2d::from_vec(self.grid.nx(), self.grid.ny(), sol.ex);
-        let ey = Map2d::from_vec(self.grid.nx(), self.grid.ny(), sol.ey);
+        let sol = self.solver.solve_with(density.as_slice(), pool);
+        let psi = Map2d::from_vec(nx, ny, sol.psi);
+        let ex = Map2d::from_vec(nx, ny, sol.ex);
+        let ey = Map2d::from_vec(nx, ny, sol.ey);
 
-        // Penalty over movable cells (the optimization variables).
-        let mut penalty = 0.0;
-        for c in design.movable_cells() {
-            let cell = design.cell(c);
-            let a = cell.area() * inflation.map(|r| r[c.index()]).unwrap_or(1.0);
-            penalty += a * self.grid.sample_bilinear(&psi, design.pos(c));
-        }
+        // Penalty over movable cells (the optimization variables):
+        // per-chunk partial sums folded in chunk order.
+        let mut penalty: f64 = pool
+            .map_chunks(n, chunk, |_ci, range| {
+                let mut acc = 0.0;
+                for i in range {
+                    let cell = &design.cells()[i];
+                    if !cell.is_movable() {
+                        continue;
+                    }
+                    let a = cell.area() * inflation.map(|r| r[i]).unwrap_or(1.0);
+                    acc += a * self.grid.sample_bilinear(&psi, design.positions()[i]);
+                }
+                acc
+            })
+            .into_iter()
+            .sum();
         penalty *= 0.5;
 
         // Overflow against the target utilization.
@@ -131,17 +178,45 @@ impl DensityModel {
         lambda: f64,
         grad: &mut [Point],
     ) {
-        for c in design.movable_cells() {
-            let cell = design.cell(c);
-            let a = cell.area() * inflation.map(|r| r[c.index()]).unwrap_or(1.0);
-            let p = design.pos(c);
-            let e = Point::new(
-                self.grid.sample_bilinear(&field.ex, p),
-                self.grid.sample_bilinear(&field.ey, p),
-            );
-            grad[c.index()].x -= lambda * a * e.x;
-            grad[c.index()].y -= lambda * a * e.y;
-        }
+        self.accumulate_gradient_with(design, field, inflation, lambda, grad, Pool::global());
+    }
+
+    /// [`accumulate_gradient`](DensityModel::accumulate_gradient) on an
+    /// explicit pool. Each cell's entry is updated exactly once from a
+    /// disjoint chunk of the gradient buffer, so the result is
+    /// bit-identical for any thread count.
+    pub fn accumulate_gradient_with(
+        &self,
+        design: &Design,
+        field: &DensityField,
+        inflation: Option<&[f64]>,
+        lambda: f64,
+        grad: &mut [Point],
+        pool: Pool,
+    ) {
+        let chunk = chunk_len(grad.len(), 64, 256);
+        pool.for_chunks_mut(
+            grad,
+            chunk,
+            || (),
+            |(), _ci, offset, window| {
+                for (k, g) in window.iter_mut().enumerate() {
+                    let i = offset + k;
+                    let cell = &design.cells()[i];
+                    if !cell.is_movable() {
+                        continue;
+                    }
+                    let a = cell.area() * inflation.map(|r| r[i]).unwrap_or(1.0);
+                    let p = design.positions()[i];
+                    let e = Point::new(
+                        self.grid.sample_bilinear(&field.ex, p),
+                        self.grid.sample_bilinear(&field.ey, p),
+                    );
+                    g.x -= lambda * a * e.x;
+                    g.y -= lambda * a * e.y;
+                }
+            },
+        );
     }
 }
 

@@ -55,4 +55,4 @@ pub use netmove::{
     VirtualCellInfo,
 };
 pub use placer::{GlobalPlacer, GpSession, PlaceStats, PlacerConfig, StepExtras, StepReport};
-pub use wirelength::WaModel;
+pub use wirelength::{WaModel, WaScratch};

@@ -16,6 +16,7 @@ pub struct NesterovSolver {
     prev_v: Vec<Point>,
     prev_grad: Vec<Point>,
     grad: Vec<Point>,
+    u_next: Vec<Point>,
     a: f64,
     iter: usize,
     /// Reference length used for the first step: the first update moves
@@ -33,6 +34,7 @@ impl NesterovSolver {
             prev_v: vec![Point::default(); n],
             prev_grad: vec![Point::default(); n],
             grad: vec![Point::default(); n],
+            u_next: vec![Point::default(); n],
             a: 1.0,
             iter: 0,
             first_step_distance,
@@ -111,10 +113,10 @@ impl NesterovSolver {
             }
         };
 
-        // u_{k+1} = v_k − α∇f(v_k)
-        let mut u_next = vec![Point::default(); self.u.len()];
+        // u_{k+1} = v_k − α∇f(v_k)  (into the persistent scratch buffer;
+        // no per-iteration allocation).
         for i in 0..self.u.len() {
-            u_next[i] = project(self.v[i] - self.grad[i].scale(alpha));
+            self.u_next[i] = project(self.v[i] - self.grad[i].scale(alpha));
         }
         // Acceleration.
         let a_next = (1.0 + (4.0 * self.a * self.a + 1.0).sqrt()) / 2.0;
@@ -122,10 +124,10 @@ impl NesterovSolver {
         self.prev_v.copy_from_slice(&self.v);
         self.prev_grad.copy_from_slice(&self.grad);
         for i in 0..self.u.len() {
-            let vi = u_next[i] + (u_next[i] - self.u[i]).scale(coef);
+            let vi = self.u_next[i] + (self.u_next[i] - self.u[i]).scale(coef);
             self.v[i] = project(vi);
         }
-        self.u = u_next;
+        std::mem::swap(&mut self.u, &mut self.u_next);
         self.a = a_next;
         self.iter += 1;
     }

@@ -12,7 +12,8 @@ use rdp_db::{CellId, Design, Map2d, Point};
 
 use crate::density::{DensityField, DensityModel};
 use crate::nesterov::NesterovSolver;
-use crate::wirelength::WaModel;
+use crate::wirelength::{WaModel, WaScratch};
+use rdp_par::Pool;
 
 /// Configuration of the global-placement engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,6 +83,10 @@ pub struct GpSession {
     lambda1: f64,
     base_gamma: f64,
     last_overflow: f64,
+    /// Full-design gradient scratch reused across iterations.
+    full_grad: Vec<Point>,
+    /// WA per-pin scratch reused across iterations.
+    wa_scratch: WaScratch,
 }
 
 impl GpSession {
@@ -120,6 +125,7 @@ impl GpSession {
         let first_step = grid.bin_w().min(grid.bin_h());
         let last_overflow = field.overflow;
 
+        let num_cells = design.num_cells();
         GpSession {
             cfg,
             model,
@@ -128,6 +134,8 @@ impl GpSession {
             lambda1,
             base_gamma,
             last_overflow,
+            full_grad: vec![Point::default(); num_cells],
+            wa_scratch: WaScratch::new(),
         }
     }
 
@@ -193,11 +201,18 @@ impl GpSession {
 
         let mut overflow = self.last_overflow;
         let mut density_penalty = 0.0;
-        let model = &self.model;
-        let movable = &self.movable;
         let lambda1 = self.lambda1;
+        let pool = Pool::global();
+        let GpSession {
+            model,
+            movable,
+            solver,
+            full_grad,
+            wa_scratch,
+            ..
+        } = self;
 
-        self.solver.step(
+        solver.step(
             |v, g| {
                 // Scatter reference positions into the design.
                 for (k, &id) in movable.iter().enumerate() {
@@ -208,17 +223,17 @@ impl GpSession {
                 overflow = field.overflow;
                 density_penalty = field.penalty;
 
-                let mut full = vec![Point::default(); design.num_cells()];
-                wa.accumulate_gradient(design, &mut full);
-                model.accumulate_gradient(design, &field, extras.inflation, lambda1, &mut full);
+                full_grad.iter_mut().for_each(|p| *p = Point::default());
+                wa.accumulate_gradient_with(design, full_grad, pool, wa_scratch);
+                model.accumulate_gradient(design, &field, extras.inflation, lambda1, full_grad);
                 if let Some((cgrad, lambda2)) = extras.congestion_grad {
                     for &id in movable.iter() {
-                        full[id.index()].x += lambda2 * cgrad[id.index()].x;
-                        full[id.index()].y += lambda2 * cgrad[id.index()].y;
+                        full_grad[id.index()].x += lambda2 * cgrad[id.index()].x;
+                        full_grad[id.index()].y += lambda2 * cgrad[id.index()].y;
                     }
                 }
                 for (k, &id) in movable.iter().enumerate() {
-                    g[k] = full[id.index()];
+                    g[k] = full_grad[id.index()];
                 }
             },
             |p| die.clamp_point(p),

@@ -11,6 +11,31 @@
 //! computed on max-shifted coordinates for numerical stability.
 
 use rdp_db::{Design, NetId, Point};
+use rdp_par::{chunk_len, Pool};
+
+/// Reusable buffers for WA evaluations. One instance amortizes every
+/// allocation of [`WaModel::accumulate_gradient_with`] across Nesterov
+/// iterations: `pin_grad` holds one gradient contribution per pin, the
+/// small vectors hold per-net coordinates and 1-D gradients.
+#[derive(Debug, Clone, Default)]
+pub struct WaScratch {
+    /// Per-pin ∂WA/∂pin contributions (net weight folded in).
+    pin_grad: Vec<Point>,
+}
+
+impl WaScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        WaScratch::default()
+    }
+}
+
+/// Nets per chunk: at most 128 chunks, at least 32 nets per chunk, so
+/// chunk boundaries (and the partial-sum grouping) depend only on the
+/// net count.
+fn net_chunk(num_nets: usize) -> usize {
+    chunk_len(num_nets, 128, 32)
+}
 
 /// The WA wirelength model with a fixed smoothing parameter γ.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,20 +57,43 @@ impl WaModel {
 
     /// Smooth wirelength of one net.
     pub fn net_wirelength(&self, design: &Design, net: NetId) -> f64 {
+        let mut coords = Vec::new();
+        self.net_wirelength_scratch(design, net, &mut coords)
+    }
+
+    /// [`net_wirelength`](WaModel::net_wirelength) with a caller-owned
+    /// coordinate buffer (no per-call allocation).
+    fn net_wirelength_scratch(&self, design: &Design, net: NetId, coords: &mut Vec<f64>) -> f64 {
         let pins = &design.net(net).pins;
         if pins.len() < 2 {
             return 0.0;
         }
-        let xs: Vec<f64> = pins.iter().map(|&p| design.pin_position(p).x).collect();
-        let ys: Vec<f64> = pins.iter().map(|&p| design.pin_position(p).y).collect();
-        (wa_1d(&xs, self.gamma) + wa_1d(&ys, self.gamma)) * design.net(net).weight
+        coords.clear();
+        coords.extend(pins.iter().map(|&p| design.pin_position(p).x));
+        let wx = wa_1d(coords, self.gamma);
+        coords.clear();
+        coords.extend(pins.iter().map(|&p| design.pin_position(p).y));
+        let wy = wa_1d(coords, self.gamma);
+        (wx + wy) * design.net(net).weight
     }
 
-    /// Total smooth wirelength Σₑ WAₑ.
+    /// Total smooth wirelength Σₑ WAₑ on the global pool.
     pub fn wirelength(&self, design: &Design) -> f64 {
-        (0..design.num_nets())
-            .map(|i| self.net_wirelength(design, NetId::from_index(i)))
-            .sum()
+        self.wirelength_with(design, Pool::global())
+    }
+
+    /// Total smooth wirelength on an explicit pool. Per-net values are
+    /// summed within fixed chunks and the partial sums are folded in
+    /// chunk order, so the result is bit-identical for any thread count.
+    pub fn wirelength_with(&self, design: &Design, pool: Pool) -> f64 {
+        let n = design.num_nets();
+        pool.map_chunks_scratch(n, net_chunk(n), Vec::new, |coords, _ci, range| {
+            range
+                .map(|ni| self.net_wirelength_scratch(design, NetId::from_index(ni), coords))
+                .sum::<f64>()
+        })
+        .into_iter()
+        .sum()
     }
 
     /// Accumulates ∂WA/∂(cell position) into `grad` (one entry per cell,
@@ -55,32 +103,101 @@ impl WaModel {
     ///
     /// Panics if `grad.len() != design.num_cells()`.
     pub fn accumulate_gradient(&self, design: &Design, grad: &mut [Point]) {
+        let mut scratch = WaScratch::new();
+        self.accumulate_gradient_with(design, grad, Pool::global(), &mut scratch);
+    }
+
+    /// [`accumulate_gradient`](WaModel::accumulate_gradient) on an
+    /// explicit pool with reusable scratch.
+    ///
+    /// The fan-out phase computes every pin's contribution in parallel
+    /// (pins of one net are contiguous, so net chunks map to disjoint
+    /// windows of the pin buffer); a sequential scatter then folds the
+    /// contributions into `grad` in pin order. Because each pin value is
+    /// computed independently and the scatter order is fixed, the result
+    /// is bit-identical to the serial evaluation for any thread count.
+    pub fn accumulate_gradient_with(
+        &self,
+        design: &Design,
+        grad: &mut [Point],
+        pool: Pool,
+        scratch: &mut WaScratch,
+    ) {
         assert_eq!(grad.len(), design.num_cells(), "gradient buffer size");
-        let mut xs: Vec<f64> = Vec::new();
-        let mut gx: Vec<f64> = Vec::new();
-        for ni in 0..design.num_nets() {
+        let num_nets = design.num_nets();
+        let num_pins = design.num_pins();
+        scratch.pin_grad.clear();
+        scratch.pin_grad.resize(num_pins, Point::default());
+
+        // Chunk boundaries over nets, expressed as pin offsets. Pins are
+        // created net-by-net (see `DesignBuilder::build`), so every
+        // net's pins occupy one contiguous ascending id range.
+        let chunk = net_chunk(num_nets);
+        let nchunks = num_nets.div_ceil(chunk);
+        let bounds: Vec<usize> = (0..=nchunks)
+            .map(|ci| {
+                let net = (ci * chunk).min(num_nets);
+                if net == num_nets {
+                    num_pins
+                } else {
+                    design.net(NetId::from_index(net)).pins[0].index()
+                }
+            })
+            .collect();
+
+        let gamma = self.gamma;
+        pool.for_uneven_chunks_mut(
+            &mut scratch.pin_grad,
+            &bounds,
+            || (Vec::new(), Vec::new()),
+            |(coords, grads), ci, offset, window| {
+                let net_end = ((ci + 1) * chunk).min(num_nets);
+                for ni in ci * chunk..net_end {
+                    let net = design.net(NetId::from_index(ni));
+                    if net.pins.len() < 2 {
+                        continue;
+                    }
+                    let w = net.weight;
+                    let start = net.pins[0].index() - offset;
+                    debug_assert!(net
+                        .pins
+                        .iter()
+                        .enumerate()
+                        .all(|(k, p)| p.index() == offset + start + k));
+                    // x axis
+                    coords.clear();
+                    coords.extend(net.pins.iter().map(|&p| design.pin_position(p).x));
+                    grads.clear();
+                    grads.resize(coords.len(), 0.0);
+                    wa_grad_1d(coords, gamma, grads);
+                    for (k, g) in grads.iter().enumerate() {
+                        window[start + k].x = w * g;
+                    }
+                    // y axis
+                    coords.clear();
+                    coords.extend(net.pins.iter().map(|&p| design.pin_position(p).y));
+                    grads.clear();
+                    grads.resize(coords.len(), 0.0);
+                    wa_grad_1d(coords, gamma, grads);
+                    for (k, g) in grads.iter().enumerate() {
+                        window[start + k].y = w * g;
+                    }
+                }
+            },
+        );
+
+        // Sequential deterministic scatter: pin order matches the serial
+        // per-net accumulation order exactly.
+        for ni in 0..num_nets {
             let net = design.net(NetId::from_index(ni));
             if net.pins.len() < 2 {
                 continue;
             }
-            let w = net.weight;
-            // x axis
-            xs.clear();
-            xs.extend(net.pins.iter().map(|&p| design.pin_position(p).x));
-            gx.clear();
-            gx.resize(xs.len(), 0.0);
-            wa_grad_1d(&xs, self.gamma, &mut gx);
-            for (k, &p) in net.pins.iter().enumerate() {
-                grad[design.pin(p).cell.index()].x += w * gx[k];
-            }
-            // y axis
-            xs.clear();
-            xs.extend(net.pins.iter().map(|&p| design.pin_position(p).y));
-            gx.clear();
-            gx.resize(xs.len(), 0.0);
-            wa_grad_1d(&xs, self.gamma, &mut gx);
-            for (k, &p) in net.pins.iter().enumerate() {
-                grad[design.pin(p).cell.index()].y += w * gx[k];
+            for &p in &net.pins {
+                let cell = design.pin(p).cell.index();
+                let pg = scratch.pin_grad[p.index()];
+                grad[cell].x += pg.x;
+                grad[cell].y += pg.y;
             }
         }
     }

@@ -1,0 +1,47 @@
+//! # rdp-par — deterministic data parallelism for the placement stack
+//!
+//! A zero-dependency scoped thread pool with a **deterministic**
+//! parallel-map/reduce API. The workspace's hermetic-build policy rules
+//! out `rayon`; more importantly, rayon's reductions associate partial
+//! results in scheduling order, which breaks the workspace contract that
+//! every kernel is bit-reproducible. This crate makes determinism
+//! structural instead of accidental:
+//!
+//! * **Fixed chunking** — work is split into chunks whose boundaries
+//!   depend only on the item count (never on the thread count or on
+//!   runtime timing), so the floating-point grouping of every partial
+//!   result is invariant.
+//! * **Per-chunk / per-worker scratch** — each worker owns its scratch
+//!   buffers; nothing scratch-dependent leaks into results.
+//! * **Ordered reduction** — per-chunk results are returned (and must be
+//!   folded) in chunk order, regardless of which thread computed them or
+//!   when it finished.
+//!
+//! Under this contract `RDP_THREADS=1` and `RDP_THREADS=64` produce
+//! bit-identical outputs; the single-thread path is a plain inline loop
+//! over the same chunks (an exact serial fallback with zero spawn cost).
+//!
+//! Workers are spawned per parallel region with [`std::thread::scope`],
+//! which is what keeps the crate free of `unsafe` while still borrowing
+//! the caller's data. The spawn cost (a few µs per worker) is amortized
+//! over kernel-sized regions — per-net wirelength fan-outs, per-cell
+//! density binning, DCT passes — not per item.
+//!
+//! ```
+//! use rdp_par::Pool;
+//!
+//! let pool = Pool::new(4);
+//! // Ordered chunked sum: bit-identical for any thread count.
+//! let parts = pool.map_chunks(1000, 64, |_chunk, range| {
+//!     range.map(|i| i as f64).sum::<f64>()
+//! });
+//! let total: f64 = parts.into_iter().sum();
+//! assert_eq!(total, 499_500.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pool;
+
+pub use pool::{chunk_len, global_threads, set_global_threads, Pool};

@@ -1,0 +1,108 @@
+//! Property tests of the deterministic pool contract: full coverage
+//! (every item visited exactly once), chunk-order invariance across
+//! thread counts, and panic propagation out of parallel regions.
+
+use rdp_par::Pool;
+use rdp_testkit::{prop_assert, prop_check, range, PropConfig};
+
+#[test]
+fn every_item_visited_exactly_once() {
+    prop_check!(
+        PropConfig::cases(64),
+        (range(0usize..5000), range(1usize..257), range(1usize..9)),
+        |(n, chunk, threads): (usize, usize, usize)| {
+            let mut seen = vec![0u8; n];
+            Pool::new(threads).for_chunks_mut(
+                &mut seen,
+                chunk,
+                || (),
+                |(), _, _, slice| {
+                    for v in slice.iter_mut() {
+                        *v += 1;
+                    }
+                },
+            );
+            prop_assert!(seen.iter().all(|&c| c == 1), "coverage gap or overlap");
+            Ok(())
+        }
+    );
+}
+
+#[test]
+fn map_chunks_covers_input_in_order() {
+    prop_check!(
+        PropConfig::cases(64),
+        (range(0usize..5000), range(1usize..257), range(1usize..9)),
+        |(n, chunk, threads): (usize, usize, usize)| {
+            let ranges = Pool::new(threads).map_chunks(n, chunk, |_, r| r);
+            let mut next = 0usize;
+            for r in &ranges {
+                prop_assert!(r.start == next, "chunk out of order or gapped");
+                prop_assert!(r.end > r.start || n == 0, "empty chunk");
+                next = r.end;
+            }
+            prop_assert!(next == n, "input not fully covered");
+            Ok(())
+        }
+    );
+}
+
+#[test]
+fn chunked_reduction_is_thread_count_invariant() {
+    prop_check!(
+        PropConfig::cases(48),
+        (range(1usize..3000), range(1usize..129), range(2usize..9)),
+        |(n, chunk, threads): (usize, usize, usize)| {
+            let data: Vec<f64> = (0..n)
+                .map(|i| (((i * 2654435761) % 1000) as f64 - 500.0) * 1e-3)
+                .collect();
+            let sum = |t: usize| -> f64 {
+                Pool::new(t)
+                    .map_chunks(n, chunk, |_, r| data[r].iter().sum::<f64>())
+                    .into_iter()
+                    .sum()
+            };
+            prop_assert!(
+                sum(1).to_bits() == sum(threads).to_bits(),
+                "reduction differs between 1 and {threads} threads"
+            );
+            Ok(())
+        }
+    );
+}
+
+#[test]
+fn panic_in_any_chunk_propagates() {
+    prop_check!(
+        PropConfig::cases(16),
+        (range(1usize..64), range(1usize..9)),
+        |(bad_chunk, threads): (usize, usize)| {
+            let result = std::panic::catch_unwind(|| {
+                Pool::new(threads).map_chunks(64 * 4, 4, |ci, _| {
+                    assert!(ci != bad_chunk, "deliberate failure");
+                    ci
+                });
+            });
+            prop_assert!(result.is_err(), "panic was swallowed");
+            Ok(())
+        }
+    );
+}
+
+#[test]
+fn nested_parallel_regions_compose() {
+    prop_check!(
+        PropConfig::cases(16),
+        (range(1usize..5), range(1usize..5)),
+        |(outer_threads, inner_threads): (usize, usize)| {
+            let out = Pool::new(outer_threads).map_chunks(16, 4, |_, range| {
+                Pool::new(inner_threads)
+                    .map_chunks(range.len(), 1, |_, r| r.len())
+                    .into_iter()
+                    .sum::<usize>()
+            });
+            prop_assert!(out == vec![4, 4, 4, 4], "nested totals wrong: {out:?}");
+            Ok(())
+        }
+    );
+}

@@ -11,6 +11,24 @@
 
 use crate::complex::Complex;
 use crate::fft::{fft_in_place, ifft_unnormalized_in_place, is_power_of_two};
+use rdp_par::{chunk_len, Pool};
+
+/// Reusable buffers for the scratch-based transform variants
+/// ([`dct2_with`], [`idct_with`], [`idxst_with`]): one complex FFT
+/// buffer plus a real staging buffer. A worker allocates one scratch
+/// and reuses it across every row/column it transforms.
+#[derive(Debug, Clone, Default)]
+pub struct DctScratch {
+    v: Vec<Complex>,
+    tmp: Vec<f64>,
+}
+
+impl DctScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        DctScratch::default()
+    }
+}
 
 /// DCT-II of `x`: `X[k] = Σ_n x[n]·cos(πk(n+½)/N)`.
 ///
@@ -18,13 +36,29 @@ use crate::fft::{fft_in_place, ifft_unnormalized_in_place, is_power_of_two};
 ///
 /// Panics if `x.len()` is not a power of two.
 pub fn dct2(x: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; x.len()];
+    dct2_with(x, &mut out, &mut DctScratch::new());
+    out
+}
+
+/// [`dct2`] into a caller-owned output slice with reusable scratch
+/// (no per-call allocation once the scratch has grown).
+///
+/// # Panics
+///
+/// Panics if `x.len()` is not a power of two or `out.len() != x.len()`.
+pub fn dct2_with(x: &[f64], out: &mut [f64], scratch: &mut DctScratch) {
     let n = x.len();
     assert!(is_power_of_two(n), "DCT length {n} is not a power of two");
+    assert_eq!(out.len(), n, "output buffer size");
     if n == 1 {
-        return vec![x[0]];
+        out[0] = x[0];
+        return;
     }
     // Makhoul reordering: evens ascending then odds descending.
-    let mut v = vec![Complex::ZERO; n];
+    let v = &mut scratch.v;
+    v.clear();
+    v.resize(n, Complex::ZERO);
     let half = n.div_ceil(2);
     for i in 0..half {
         v[i] = Complex::new(x[2 * i], 0.0);
@@ -32,13 +66,11 @@ pub fn dct2(x: &[f64]) -> Vec<f64> {
     for i in 0..n / 2 {
         v[n - 1 - i] = Complex::new(x[2 * i + 1], 0.0);
     }
-    fft_in_place(&mut v);
-    let mut out = Vec::with_capacity(n);
+    fft_in_place(v);
     for (k, vk) in v.iter().enumerate() {
         let w = Complex::cis(-std::f64::consts::PI * k as f64 / (2.0 * n as f64));
-        out.push((*vk * w).re);
+        out[k] = (*vk * w).re;
     }
-    out
 }
 
 /// Cosine-series evaluation (DCT-III):
@@ -50,24 +82,38 @@ pub fn dct2(x: &[f64]) -> Vec<f64> {
 ///
 /// Panics if `x.len()` is not a power of two.
 pub fn idct(coeffs: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; coeffs.len()];
+    idct_with(coeffs, &mut out, &mut DctScratch::new());
+    out
+}
+
+/// [`idct`] into a caller-owned output slice with reusable scratch.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two or `out.len()` mismatches.
+pub fn idct_with(coeffs: &[f64], out: &mut [f64], scratch: &mut DctScratch) {
     let n = coeffs.len();
     assert!(is_power_of_two(n), "IDCT length {n} is not a power of two");
+    assert_eq!(out.len(), n, "output buffer size");
     if n == 1 {
-        return vec![coeffs[0] / 2.0];
+        out[0] = coeffs[0] / 2.0;
+        return;
     }
     // Rebuild the spectrum of the Makhoul-reordered sequence:
     // V[k] = e^{iπk/2N}·(C[k] − i·C[N−k]), with C[N] = 0.
-    let mut v = vec![Complex::ZERO; n];
+    let v = &mut scratch.v;
+    v.clear();
+    v.resize(n, Complex::ZERO);
     for k in 0..n {
         let c_k = coeffs[k];
         let c_nk = if k == 0 { 0.0 } else { coeffs[n - k] };
         let w = Complex::cis(std::f64::consts::PI * k as f64 / (2.0 * n as f64));
         v[k] = w * Complex::new(c_k, -c_nk);
     }
-    ifft_unnormalized_in_place(&mut v);
+    ifft_unnormalized_in_place(v);
     // The unnormalized inverse yields N·v; the exact inverse of dct2 is
     // x[n] = (2/N)(C[0]/2 + Σ …), so the series value is (N/2)·x = v/2.
-    let mut out = vec![0.0; n];
     let half = n.div_ceil(2);
     for i in 0..half {
         out[2 * i] = v[i].re / 2.0;
@@ -75,7 +121,6 @@ pub fn idct(coeffs: &[f64]) -> Vec<f64> {
     for i in 0..n / 2 {
         out[2 * i + 1] = v[n - 1 - i].re / 2.0;
     }
-    out
 }
 
 /// Shifted sine-series evaluation:
@@ -88,19 +133,33 @@ pub fn idct(coeffs: &[f64]) -> Vec<f64> {
 ///
 /// Panics if `x.len()` is not a power of two.
 pub fn idxst(coeffs: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; coeffs.len()];
+    idxst_with(coeffs, &mut out, &mut DctScratch::new());
+    out
+}
+
+/// [`idxst`] into a caller-owned output slice with reusable scratch.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two or `out.len()` mismatches.
+pub fn idxst_with(coeffs: &[f64], out: &mut [f64], scratch: &mut DctScratch) {
     let n = coeffs.len();
     assert!(is_power_of_two(n), "IDXST length {n} is not a power of two");
-    let mut flipped = vec![0.0; n];
+    assert_eq!(out.len(), n, "output buffer size");
+    let mut flipped = std::mem::take(&mut scratch.tmp);
+    flipped.clear();
+    flipped.resize(n, 0.0);
     for k in 1..n {
         flipped[k] = coeffs[n - k];
     }
-    let mut y = idct(&flipped);
-    for (i, v) in y.iter_mut().enumerate() {
+    idct_with(&flipped, out, scratch);
+    scratch.tmp = flipped;
+    for (i, v) in out.iter_mut().enumerate() {
         if i % 2 == 1 {
             *v = -*v;
         }
     }
-    y
 }
 
 /// 2-D DCT-II of a row-major `nx × ny` grid:
@@ -112,21 +171,49 @@ pub fn idxst(coeffs: &[f64]) -> Vec<f64> {
 /// Panics if either dimension is not a power of two or the buffer size is
 /// inconsistent.
 pub fn dct2_2d(data: &[f64], nx: usize, ny: usize) -> Vec<f64> {
+    dct2_2d_with(data, nx, ny, Pool::global())
+}
+
+/// [`dct2_2d`] on an explicit pool. Rows and columns are independent
+/// 1-D transforms written to disjoint output windows, so the result is
+/// bit-identical for any thread count.
+pub fn dct2_2d_with(data: &[f64], nx: usize, ny: usize, pool: Pool) -> Vec<f64> {
     assert_eq!(data.len(), nx * ny);
-    let mut rows: Vec<f64> = Vec::with_capacity(nx * ny);
-    for iy in 0..ny {
-        rows.extend(dct2(&data[iy * nx..(iy + 1) * nx]));
-    }
-    // Columns.
+    // Row pass: transform each row into its own window.
+    let mut rows = vec![0.0; nx * ny];
+    let row_chunk = chunk_len(ny, 32, 4);
+    pool.for_chunks_mut(
+        &mut rows,
+        row_chunk * nx,
+        DctScratch::new,
+        |scratch, _ci, offset, window| {
+            for (r, out_row) in window.chunks_mut(nx).enumerate() {
+                let iy = offset / nx + r;
+                dct2_with(&data[iy * nx..(iy + 1) * nx], out_row, scratch);
+            }
+        },
+    );
+    // Column pass into a column-major staging buffer, then transpose.
+    let mut cols = vec![0.0; nx * ny];
+    let col_chunk = chunk_len(nx, 32, 4);
+    pool.for_chunks_mut(
+        &mut cols,
+        col_chunk * ny,
+        || (DctScratch::new(), vec![0.0; ny]),
+        |(scratch, col), _ci, offset, window| {
+            for (c, out_col) in window.chunks_mut(ny).enumerate() {
+                let u = offset / ny + c;
+                for iy in 0..ny {
+                    col[iy] = rows[iy * nx + u];
+                }
+                dct2_with(col, out_col, scratch);
+            }
+        },
+    );
     let mut out = vec![0.0; nx * ny];
-    let mut col = vec![0.0; ny];
     for u in 0..nx {
-        for iy in 0..ny {
-            col[iy] = rows[iy * nx + u];
-        }
-        let t = dct2(&col);
         for v in 0..ny {
-            out[v * nx + u] = t[v];
+            out[v * nx + u] = cols[u * ny + v];
         }
     }
     out

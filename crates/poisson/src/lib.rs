@@ -10,8 +10,11 @@
 //! * the Neumann-boundary [`PoissonSolver`] returning potential ψ and field
 //!   `E = −∇ψ` on the bin grid.
 //!
-//! The crate is dependency-free and operates on plain `&[f64]` row-major
-//! buffers so it can be reused outside the placement stack.
+//! The crate operates on plain `&[f64]` row-major buffers so it can be
+//! reused outside the placement stack. Transforms and solves accept an
+//! optional [`rdp_par::Pool`] (`*_with` variants); results are
+//! bit-identical for any thread count — see the `rdp-par` crate docs for
+//! the determinism contract.
 //!
 //! ```
 //! use rdp_poisson::PoissonSolver;
@@ -32,6 +35,8 @@ mod fft;
 mod solver;
 
 pub use complex::Complex;
-pub use dct::{dct2, dct2_2d, idct, idxst};
+pub use dct::{
+    dct2, dct2_2d, dct2_2d_with, dct2_with, idct, idct_with, idxst, idxst_with, DctScratch,
+};
 pub use fft::{fft_in_place, ifft_in_place, ifft_unnormalized_in_place, is_power_of_two};
 pub use solver::{PoissonSolution, PoissonSolver};

@@ -17,8 +17,9 @@
 //! cell area, Section II-A) and routing congestion (charge = demand ÷
 //! capacity, Section II-B).
 
-use crate::dct::{idct, idxst};
+use crate::dct::{idct_with, idxst_with, DctScratch};
 use crate::fft::is_power_of_two;
+use rdp_par::{chunk_len, Pool};
 
 /// Potential and field returned by [`PoissonSolver::solve`], all row-major
 /// `nx × ny` grids sampled at bin centers.
@@ -102,11 +103,23 @@ impl PoissonSolver {
     ///
     /// Panics if `rho.len() != nx * ny`.
     pub fn solve(&self, rho: &[f64]) -> PoissonSolution {
+        self.solve_with(rho, Pool::global())
+    }
+
+    /// [`PoissonSolver::solve`] on an explicit pool.
+    ///
+    /// Every 1-D transform inside the solve operates on its own row or
+    /// column window, so the result is bit-identical for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho.len() != nx * ny`.
+    pub fn solve_with(&self, rho: &[f64], pool: Pool) -> PoissonSolution {
         let (nx, ny) = (self.nx, self.ny);
         assert_eq!(rho.len(), nx * ny, "density buffer size mismatch");
 
         // Forward analysis: A[u,v] = Σ ρ cos·cos  (row-major, u along x).
-        let a = crate::dct::dct2_2d(rho, nx, ny);
+        let a = crate::dct::dct2_2d_with(rho, nx, ny, pool);
 
         // Series coefficients of ψ: the inverse-DCT normalization 4/(nx·ny)
         // and the ½ weights at u=0 / v=0 cancel against the full-weight
@@ -123,9 +136,9 @@ impl PoissonSolver {
             }
         }
 
-        let psi = self.eval_series(&q, Basis::Cos, Basis::Cos, None, None);
-        let ex = self.eval_series(&q, Basis::Sin, Basis::Cos, Some(&self.wx), None);
-        let ey = self.eval_series(&q, Basis::Cos, Basis::Sin, None, Some(&self.wy));
+        let psi = self.eval_series(&q, Basis::Cos, Basis::Cos, None, None, pool);
+        let ex = self.eval_series(&q, Basis::Sin, Basis::Cos, Some(&self.wx), None, pool);
+        let ey = self.eval_series(&q, Basis::Cos, Basis::Sin, None, Some(&self.wy), pool);
         PoissonSolution { psi, ex, ey }
     }
 
@@ -139,44 +152,67 @@ impl PoissonSolver {
         by: Basis,
         weight_x: Option<&[f64]>,
         weight_y: Option<&[f64]>,
+        pool: Pool,
     ) -> Vec<f64> {
         let (nx, ny) = (self.nx, self.ny);
-        // Pass 1: transform along u for every v.
+        // Pass 1: transform along u for every v. Each row of `t` is an
+        // independent 1-D inverse transform, so rows parallelize with no
+        // change to per-element arithmetic.
         let mut t = vec![0.0; nx * ny];
-        let mut row = vec![0.0; nx];
-        for v in 0..ny {
-            for u in 0..nx {
-                let mut c = q[v * nx + u];
-                if let Some(w) = weight_x {
-                    c *= w[u];
+        let row_chunk = chunk_len(ny, 32, 4);
+        pool.for_chunks_mut(
+            &mut t,
+            row_chunk * nx,
+            || (DctScratch::new(), vec![0.0; nx]),
+            |(scratch, row), _ci, offset, window| {
+                for (r, out_row) in window.chunks_mut(nx).enumerate() {
+                    let v = offset / nx + r;
+                    for u in 0..nx {
+                        let mut c = q[v * nx + u];
+                        if let Some(w) = weight_x {
+                            c *= w[u];
+                        }
+                        if let Some(w) = weight_y {
+                            c *= w[v];
+                        }
+                        // `idct` halves its k = 0 term; that halving is
+                        // exactly the c₀ = ½ factor of the inverse-DCT
+                        // normalization, so the coefficients are passed
+                        // through unmodified.
+                        row[u] = c;
+                    }
+                    match bx {
+                        Basis::Cos => idct_with(row, out_row, scratch),
+                        Basis::Sin => idxst_with(row, out_row, scratch),
+                    }
                 }
-                if let Some(w) = weight_y {
-                    c *= w[v];
+            },
+        );
+        // Pass 2: transform along v for every n, into a column-major
+        // staging buffer, then transpose back to row-major.
+        let mut cols = vec![0.0; nx * ny];
+        let col_chunk = chunk_len(nx, 32, 4);
+        pool.for_chunks_mut(
+            &mut cols,
+            col_chunk * ny,
+            || (DctScratch::new(), vec![0.0; ny]),
+            |(scratch, col), _ci, offset, window| {
+                for (c, out_col) in window.chunks_mut(ny).enumerate() {
+                    let n = offset / ny + c;
+                    for v in 0..ny {
+                        col[v] = t[v * nx + n];
+                    }
+                    match by {
+                        Basis::Cos => idct_with(col, out_col, scratch),
+                        Basis::Sin => idxst_with(col, out_col, scratch),
+                    }
                 }
-                // `idct` halves its k = 0 term; that halving is exactly the
-                // c₀ = ½ factor of the inverse-DCT normalization, so the
-                // coefficients are passed through unmodified.
-                row[u] = c;
-            }
-            let vals = match bx {
-                Basis::Cos => idct(&row),
-                Basis::Sin => idxst(&row),
-            };
-            t[v * nx..(v + 1) * nx].copy_from_slice(&vals);
-        }
-        // Pass 2: transform along v for every n.
+            },
+        );
         let mut out = vec![0.0; nx * ny];
-        let mut col = vec![0.0; ny];
         for n in 0..nx {
-            for v in 0..ny {
-                col[v] = t[v * nx + n];
-            }
-            let vals = match by {
-                Basis::Cos => idct(&col),
-                Basis::Sin => idxst(&col),
-            };
             for m in 0..ny {
-                out[m * nx + n] = vals[m];
+                out[m * nx + n] = cols[n * ny + m];
             }
         }
         out

@@ -49,4 +49,4 @@ pub use layers::{assign_layers, LayerAssignment};
 pub use maps::RouteMaps;
 pub use maze::{astar, MazePath, MazeStep};
 pub use router::{GlobalRouter, RouteResult, RouterConfig};
-pub use rudy::rudy_map;
+pub use rudy::{rudy_map, rudy_map_with};

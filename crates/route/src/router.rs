@@ -12,6 +12,7 @@ use crate::capacity::{CapacityMaps, CapacityOptions};
 use crate::maps::RouteMaps;
 use crate::rsmt;
 use rdp_db::{Design, GridSpec, Map2d, NetId};
+use rdp_par::{chunk_len, Pool};
 
 /// Configuration for [`GlobalRouter`].
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +38,11 @@ pub struct RouterConfig {
     /// (0 disables the maze phase; the evaluation flow enables it to let
     /// congested placements pay real detours).
     pub maze_rip_up: usize,
+    /// Upper bound on the number of segments whose candidate paths are
+    /// evaluated concurrently. Batches only group segments whose effect
+    /// regions are pairwise disjoint, so any value (including 1, which
+    /// forces fully serial routing) produces bit-identical results.
+    pub parallel_batch: usize,
     /// Capacity derivation options.
     pub capacity: CapacityOptions,
 }
@@ -52,6 +58,7 @@ impl Default for RouterConfig {
             passes: 2,
             pin_via: 0.5,
             maze_rip_up: 0,
+            parallel_batch: 64,
             capacity: CapacityOptions::default(),
         }
     }
@@ -101,6 +108,56 @@ struct Path {
     bends: usize,
 }
 
+/// Inclusive G-cell rectangle used for batch-conflict tests.
+#[derive(Debug, Clone, Copy)]
+struct BinRect {
+    x0: usize,
+    x1: usize,
+    y0: usize,
+    y1: usize,
+}
+
+impl BinRect {
+    fn of(a: (usize, usize), b: (usize, usize)) -> Self {
+        BinRect {
+            x0: a.0.min(b.0),
+            x1: a.0.max(b.0),
+            y0: a.1.min(b.1),
+            y1: a.1.max(b.1),
+        }
+    }
+
+    fn union(self, o: BinRect) -> BinRect {
+        BinRect {
+            x0: self.x0.min(o.x0),
+            x1: self.x1.max(o.x1),
+            y0: self.y0.min(o.y0),
+            y1: self.y1.max(o.y1),
+        }
+    }
+
+    fn intersects(&self, o: &BinRect) -> bool {
+        self.x0 <= o.x1 && o.x0 <= self.x1 && self.y0 <= o.y1 && o.y0 <= self.y1
+    }
+}
+
+/// One two-pin routing task in the flattened per-pass work list.
+#[derive(Debug, Clone, Copy)]
+struct SegTask {
+    /// Net (request) index.
+    ri: usize,
+    /// Segment index within the net.
+    si: usize,
+    a: (usize, usize),
+    b: (usize, usize),
+    /// Bounding box of `a`/`b`: every straight/L/Z candidate lies inside.
+    seg_rect: BinRect,
+    /// For the first segment of a net: the net's overall segment bbox,
+    /// covering every cell its rip-up can touch (pattern paths never leave
+    /// their segment bbox).
+    rip_rect: Option<BinRect>,
+}
+
 /// Congestion-aware pattern router.
 #[derive(Debug, Clone, Default)]
 pub struct GlobalRouter {
@@ -126,51 +183,158 @@ impl GlobalRouter {
 
     /// Routes the design on an arbitrary grid (used by the evaluation flow
     /// at finer granularity).
+    ///
+    /// Net decomposition and candidate-path evaluation run on the global
+    /// [`Pool`]; demand commits stay sequential in net order, and parallel
+    /// batches only group segments with disjoint effect regions, so the
+    /// result is bit-identical to a fully serial route for any thread
+    /// count.
     pub fn route_on_grid(&self, design: &Design, grid: &GridSpec) -> RouteResult {
+        let pool = Pool::global();
         let caps = CapacityMaps::build_on_grid(design, grid, &self.cfg.capacity);
         let mut maps = RouteMaps::new(caps, self.cfg.via_weight);
 
-        // Decompose all nets into G-cell segment requests.
+        // Decompose all nets into G-cell segment requests. Decomposition is
+        // pure per-net work; the per-net results are folded in net order
+        // below so the wirelength sum and via commits match a serial run.
+        let num_nets = design.num_nets();
+        struct NetDecomp {
+            cells: Vec<((usize, usize), (usize, usize))>,
+            pin_bins: Vec<(usize, usize)>,
+            pin_vias: f64,
+            net_len: f64,
+        }
+        let net_chunk = chunk_len(num_nets, 64, 32);
+        let decomposed: Vec<NetDecomp> = pool
+            .map_chunks(num_nets, net_chunk, |_ci, range| {
+                let mut out = Vec::with_capacity(range.len());
+                for ni in range {
+                    let pins: Vec<_> = design
+                        .net(NetId::from_index(ni))
+                        .pins
+                        .iter()
+                        .map(|&p| design.pin_position(p))
+                        .collect();
+                    let segs = rsmt::decompose(&pins);
+                    let net_len = rsmt::total_length(&segs);
+                    let cells: Vec<_> = segs
+                        .iter()
+                        .map(|s| (grid.bin_of(s.a), grid.bin_of(s.b)))
+                        .collect();
+                    let pin_bins: Vec<_> = pins.iter().map(|p| grid.bin_of(*p)).collect();
+                    out.push(NetDecomp {
+                        cells,
+                        pin_vias: self.cfg.pin_via * pins.len() as f64,
+                        pin_bins,
+                        net_len,
+                    });
+                }
+                out
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+
         let mut requests: Vec<(NetId, Vec<((usize, usize), (usize, usize))>, f64)> = Vec::new();
         let mut wirelength = 0.0;
-        for ni in 0..design.num_nets() {
-            let net_id = NetId::from_index(ni);
-            let pins: Vec<_> = design
-                .net(net_id)
-                .pins
-                .iter()
-                .map(|&p| design.pin_position(p))
-                .collect();
-            let segs = rsmt::decompose(&pins);
-            wirelength += rsmt::total_length(&segs);
-            let cells: Vec<_> = segs
-                .iter()
-                .map(|s| (grid.bin_of(s.a), grid.bin_of(s.b)))
-                .collect();
-            let pin_vias = self.cfg.pin_via * pins.len() as f64;
+        for (ni, d) in decomposed.into_iter().enumerate() {
+            wirelength += d.net_len;
             // Commit pin vias once, independent of pass structure.
-            for p in &pins {
-                let (ix, iy) = grid.bin_of(*p);
+            for &(ix, iy) in &d.pin_bins {
                 maps.via_demand[(ix, iy)] += self.cfg.pin_via;
             }
-            requests.push((net_id, cells, pin_vias));
+            requests.push((NetId::from_index(ni), d.cells, d.pin_vias));
+        }
+
+        // Flatten the segment work list once; each pass walks it in order.
+        let mut tasks: Vec<SegTask> = Vec::new();
+        for (ri, (_net, cells, _)) in requests.iter().enumerate() {
+            let net_rect = cells
+                .iter()
+                .map(|&(a, b)| BinRect::of(a, b))
+                .reduce(BinRect::union);
+            for (si, &(a, b)) in cells.iter().enumerate() {
+                tasks.push(SegTask {
+                    ri,
+                    si,
+                    a,
+                    b,
+                    seg_rect: BinRect::of(a, b),
+                    rip_rect: if si == 0 { net_rect } else { None },
+                });
+            }
         }
 
         // Pass 1: route in net order. Passes 2..n: rip-up and reroute.
         let mut committed: Vec<Vec<Path>> = vec![Vec::new(); requests.len()];
+        let batch_cap = self.cfg.parallel_batch.max(1);
         for pass in 0..self.cfg.passes.max(1) {
-            for (ri, (_net, cells, _)) in requests.iter().enumerate() {
-                if pass > 0 {
-                    for path in &committed[ri] {
-                        self.apply_path(&mut maps, path, -1.0);
+            let mut i = 0;
+            while i < tasks.len() {
+                // Grow a batch of segments whose effect regions (candidate
+                // bbox, plus this pass's rip-up region for a net's first
+                // segment) are pairwise disjoint. Disjointness means no
+                // batch member's commit or rip-up can change another
+                // member's candidate costs, so evaluating the whole batch
+                // against the frozen maps is exactly the serial result.
+                let mut rects: Vec<BinRect> = Vec::new();
+                let mut j = i;
+                'grow: while j < tasks.len() && j - i < batch_cap {
+                    let t = &tasks[j];
+                    let mut own: Vec<BinRect> = vec![t.seg_rect];
+                    if pass > 0 {
+                        if let Some(r) = t.rip_rect {
+                            own.push(r);
+                        }
                     }
-                    committed[ri].clear();
+                    if j > i {
+                        for r in &rects {
+                            if own.iter().any(|o| o.intersects(r)) {
+                                break 'grow;
+                            }
+                        }
+                    }
+                    rects.extend(own);
+                    j += 1;
                 }
-                for &(a, b) in cells {
-                    let path = self.best_path(&maps, a, b);
+
+                // Rip up batch nets in order (first-segment tasks only).
+                if pass > 0 {
+                    for t in &tasks[i..j] {
+                        if t.si == 0 {
+                            for path in &committed[t.ri] {
+                                self.apply_path(&mut maps, path, -1.0);
+                            }
+                            committed[t.ri].clear();
+                        }
+                    }
+                }
+
+                // Evaluate candidate paths against the frozen maps.
+                let batch = &tasks[i..j];
+                let paths: Vec<Path> = if batch.len() >= 16 && pool.threads() > 1 {
+                    pool.map_chunks(batch.len(), chunk_len(batch.len(), 8, 4), |_ci, range| {
+                        range
+                            .map(|k| self.best_path(&maps, batch[k].a, batch[k].b))
+                            .collect::<Vec<_>>()
+                    })
+                    .into_iter()
+                    .flatten()
+                    .collect()
+                } else {
+                    batch
+                        .iter()
+                        .map(|t| self.best_path(&maps, t.a, t.b))
+                        .collect()
+                };
+
+                // Commit sequentially in flat (net, segment) order.
+                for (t, path) in batch.iter().zip(paths) {
                     self.apply_path(&mut maps, &path, 1.0);
-                    committed[ri].push(path);
+                    debug_assert_eq!(committed[t.ri].len(), t.si);
+                    committed[t.ri].push(path);
                 }
+                i = j;
             }
         }
 

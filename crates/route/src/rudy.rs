@@ -8,46 +8,70 @@
 //! (the Fig. 1(b) overreach this paper fixes).
 
 use rdp_db::{Design, GridSpec, Map2d, NetId};
+use rdp_par::{chunk_len, Pool};
 
 /// Computes the RUDY map of a design on the given grid.
 ///
 /// Returns wire density in demand units per G-cell area; comparable in
 /// spirit (not in absolute units) to the router's demand maps.
 pub fn rudy_map(design: &Design, grid: &GridSpec) -> Map2d<f64> {
+    rudy_map_with(design, grid, Pool::global())
+}
+
+/// [`rudy_map`] on an explicit pool.
+///
+/// Nets are binned into per-chunk partial maps (chunk boundaries depend
+/// only on the net count) merged in chunk order, so the result is
+/// bit-identical for any thread count.
+pub fn rudy_map_with(design: &Design, grid: &GridSpec, pool: Pool) -> Map2d<f64> {
+    let num_nets = design.num_nets();
+    let chunk = chunk_len(num_nets, 16, 128);
+    let partials = pool.map_chunks(num_nets, chunk, |_ci, range| {
+        let mut map = Map2d::new(grid.nx(), grid.ny());
+        for ni in range {
+            rudy_net(design, grid, ni, &mut map);
+        }
+        map
+    });
     let mut map = Map2d::new(grid.nx(), grid.ny());
-    let bin_area = grid.bin_area();
-    for ni in 0..design.num_nets() {
-        let id = NetId::from_index(ni);
-        let Some(bbox) = design.net_bbox(id) else {
-            continue;
-        };
-        let hpwl = bbox.width() + bbox.height();
-        if hpwl <= 0.0 {
-            continue;
-        }
-        // Uniform wire density: wirelength spread over the bbox area.
-        // Degenerate (zero-area) boxes get a one-bin-thick extent.
-        let w = bbox.width().max(grid.bin_w() * 0.5);
-        let h = bbox.height().max(grid.bin_h() * 0.5);
-        let density = hpwl / (w * h);
-        let Some((x0, y0, x1, y1)) = grid.bins_overlapping(&bbox) else {
-            continue;
-        };
-        for iy in y0..=y1 {
-            for ix in x0..=x1 {
-                let ov = grid.bin_rect(ix, iy).overlap_area(&bbox).max(
-                    // degenerate boxes still deposit on the bins they touch
-                    if bbox.area() == 0.0 {
-                        bin_area * 0.25
-                    } else {
-                        0.0
-                    },
-                );
-                map[(ix, iy)] += density * ov / bin_area;
-            }
-        }
+    for part in &partials {
+        map.add_assign_map(part);
     }
     map
+}
+
+/// Deposits one net's RUDY contribution onto `map`.
+fn rudy_net(design: &Design, grid: &GridSpec, ni: usize, map: &mut Map2d<f64>) {
+    let bin_area = grid.bin_area();
+    let id = NetId::from_index(ni);
+    let Some(bbox) = design.net_bbox(id) else {
+        return;
+    };
+    let hpwl = bbox.width() + bbox.height();
+    if hpwl <= 0.0 {
+        return;
+    }
+    // Uniform wire density: wirelength spread over the bbox area.
+    // Degenerate (zero-area) boxes get a one-bin-thick extent.
+    let w = bbox.width().max(grid.bin_w() * 0.5);
+    let h = bbox.height().max(grid.bin_h() * 0.5);
+    let density = hpwl / (w * h);
+    let Some((x0, y0, x1, y1)) = grid.bins_overlapping(&bbox) else {
+        return;
+    };
+    for iy in y0..=y1 {
+        for ix in x0..=x1 {
+            let ov = grid.bin_rect(ix, iy).overlap_area(&bbox).max(
+                // degenerate boxes still deposit on the bins they touch
+                if bbox.area() == 0.0 {
+                    bin_area * 0.25
+                } else {
+                    0.0
+                },
+            );
+            map[(ix, iy)] += density * ov / bin_area;
+        }
+    }
 }
 
 #[cfg(test)]

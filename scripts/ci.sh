@@ -21,8 +21,14 @@ cargo fmt --check
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
-echo "==> cargo test -q --offline ${scope}"
-cargo test -q --offline ${scope}
+# The parallelism contract (crates/par) promises bit-identical results
+# for any worker count, so the whole test pass runs twice: once serial,
+# once on 4 workers. A divergence fails the determinism suite.
+echo "==> cargo test -q --offline ${scope}  (RDP_THREADS=1)"
+RDP_THREADS=1 cargo test -q --offline ${scope}
+
+echo "==> cargo test -q --offline ${scope}  (RDP_THREADS=4)"
+RDP_THREADS=4 cargo test -q --offline ${scope}
 
 if [[ -n "${scope}" ]]; then
     echo "==> bench smoke (cargo test --benches)"

@@ -9,6 +9,7 @@
 //! | [`db`] | design database: netlist, floorplan, grids, maps |
 //! | [`gen`] | synthetic ISPD-2015-like benchmark suite |
 //! | [`parse`] | Bookshelf-lite and LEF/DEF-lite readers/writers |
+//! | [`par`] | zero-dependency deterministic scoped thread pool |
 //! | [`poisson`] | FFT/DCT spectral Poisson solver (ePlace numerics) |
 //! | [`route`] | congestion-aware L/Z pattern global router + RUDY |
 //! | [`core`] | the paper: electrostatic GP, net moving (DC), momentum inflation (MCI), pin-accessibility density (DPA) |
@@ -42,6 +43,7 @@ pub use rdp_db as db;
 pub use rdp_drc as drc;
 pub use rdp_gen as gen;
 pub use rdp_legal as legal;
+pub use rdp_par as par;
 pub use rdp_parse as parse;
 pub use rdp_poisson as poisson;
 pub use rdp_route as route;

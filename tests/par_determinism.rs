@@ -1,0 +1,161 @@
+//! Thread-count invariance: every parallel kernel must produce results
+//! **bit-identical** to its serial evaluation, for any worker count.
+//!
+//! This is the workspace's parallelism contract (see `crates/par`): fixed
+//! chunking, per-chunk scratch, and ordered reduction make the FP
+//! operation sequence independent of how many threads execute it. The
+//! kernel tests compare explicit 1-thread vs 4-thread pools; the
+//! end-to-end test flips the process-global pool (`RDP_THREADS`
+//! override) around whole placements.
+
+use rdp::core::{DensityModel, GlobalPlacer, WaModel, WaScratch};
+use rdp::db::Point;
+use rdp::gen::{generate, GenParams};
+use rdp::par::{set_global_threads, Pool};
+use rdp::poisson::PoissonSolver;
+use rdp::route::{rudy_map_with, GlobalRouter};
+
+fn test_design() -> rdp::db::Design {
+    generate(
+        "pardet",
+        &GenParams {
+            num_cells: 600,
+            num_macros: 1,
+            macro_fraction: 0.1,
+            utilization: 0.6,
+            io_terminals: 12,
+            high_fanout_nets: 3,
+            rail_pitch: 1.0,
+            seed: 0x7a11,
+            ..GenParams::default()
+        },
+    )
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn point_bits(v: &[Point]) -> Vec<(u64, u64)> {
+    v.iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect()
+}
+
+#[test]
+fn wa_wirelength_and_gradient_thread_invariant() {
+    let design = test_design();
+    let wa = WaModel::new(2.0);
+    let serial = Pool::serial();
+    let par = Pool::new(4);
+
+    assert_eq!(
+        wa.wirelength_with(&design, serial).to_bits(),
+        wa.wirelength_with(&design, par).to_bits(),
+        "WA wirelength differs between 1 and 4 threads"
+    );
+
+    let mut g1 = vec![Point::default(); design.num_cells()];
+    let mut g4 = vec![Point::default(); design.num_cells()];
+    let mut scratch = WaScratch::new();
+    wa.accumulate_gradient_with(&design, &mut g1, serial, &mut scratch);
+    wa.accumulate_gradient_with(&design, &mut g4, par, &mut scratch);
+    assert_eq!(
+        point_bits(&g1),
+        point_bits(&g4),
+        "WA gradient differs between 1 and 4 threads"
+    );
+}
+
+#[test]
+fn density_field_and_gradient_thread_invariant() {
+    let design = test_design();
+    let model = DensityModel::new(&design);
+    let serial = Pool::serial();
+    let par = Pool::new(4);
+
+    let f1 = model.compute_with(&design, None, None, 0.9, serial);
+    let f4 = model.compute_with(&design, None, None, 0.9, par);
+    assert_eq!(bits(f1.density.as_slice()), bits(f4.density.as_slice()));
+    assert_eq!(bits(f1.psi.as_slice()), bits(f4.psi.as_slice()));
+    assert_eq!(bits(f1.ex.as_slice()), bits(f4.ex.as_slice()));
+    assert_eq!(bits(f1.ey.as_slice()), bits(f4.ey.as_slice()));
+    assert_eq!(f1.penalty.to_bits(), f4.penalty.to_bits());
+    assert_eq!(f1.overflow.to_bits(), f4.overflow.to_bits());
+
+    let mut g1 = vec![Point::default(); design.num_cells()];
+    let mut g4 = vec![Point::default(); design.num_cells()];
+    model.accumulate_gradient_with(&design, &f1, None, 1.7, &mut g1, serial);
+    model.accumulate_gradient_with(&design, &f4, None, 1.7, &mut g4, par);
+    assert_eq!(point_bits(&g1), point_bits(&g4));
+}
+
+#[test]
+fn poisson_solution_thread_invariant() {
+    let solver = PoissonSolver::new(64, 32, 120.0, 60.0);
+    let rho: Vec<f64> = (0..64 * 32)
+        .map(|i| (((i * 37) % 23) as f64) - 11.0)
+        .collect();
+    let s1 = solver.solve_with(&rho, Pool::serial());
+    for threads in [2, 4, 7] {
+        let sn = solver.solve_with(&rho, Pool::new(threads));
+        assert_eq!(bits(&s1.psi), bits(&sn.psi), "psi @ {threads} threads");
+        assert_eq!(bits(&s1.ex), bits(&sn.ex), "ex @ {threads} threads");
+        assert_eq!(bits(&s1.ey), bits(&sn.ey), "ey @ {threads} threads");
+    }
+}
+
+#[test]
+fn rudy_map_thread_invariant() {
+    let design = test_design();
+    let grid = design.gcell_grid();
+    let m1 = rudy_map_with(&design, &grid, Pool::serial());
+    let m4 = rudy_map_with(&design, &grid, Pool::new(4));
+    assert_eq!(bits(m1.as_slice()), bits(m4.as_slice()));
+}
+
+/// The route and full global placement use the process-global pool, so
+/// this test flips it around complete runs. Safe even under the parallel
+/// test harness: every kernel is thread-count invariant, so concurrent
+/// tests observing the flipped global still produce identical results.
+#[test]
+fn route_and_placement_thread_invariant_end_to_end() {
+    let route_of = |d: &rdp::db::Design| GlobalRouter::default().route(d);
+
+    set_global_threads(1);
+    let mut d1 = test_design();
+    let stats1 = GlobalPlacer::default().place(&mut d1);
+    let r1 = route_of(&d1);
+
+    set_global_threads(4);
+    let mut d4 = test_design();
+    let stats4 = GlobalPlacer::default().place(&mut d4);
+    let r4 = route_of(&d4);
+    set_global_threads(1);
+
+    assert_eq!(stats1.iterations, stats4.iterations);
+    assert_eq!(
+        stats1.hpwl.to_bits(),
+        stats4.hpwl.to_bits(),
+        "post-GP HPWL differs between 1 and 4 threads"
+    );
+    assert_eq!(
+        stats1.overflow.to_bits(),
+        stats4.overflow.to_bits(),
+        "post-GP overflow differs between 1 and 4 threads"
+    );
+    assert_eq!(d1.positions(), d4.positions());
+
+    assert_eq!(r1.wirelength.to_bits(), r4.wirelength.to_bits());
+    assert_eq!(r1.vias.to_bits(), r4.vias.to_bits());
+    assert_eq!(
+        bits(r1.maps.h_demand.as_slice()),
+        bits(r4.maps.h_demand.as_slice())
+    );
+    assert_eq!(
+        bits(r1.maps.v_demand.as_slice()),
+        bits(r4.maps.v_demand.as_slice())
+    );
+    assert_eq!(
+        bits(r1.congestion.as_slice()),
+        bits(r4.congestion.as_slice())
+    );
+}
