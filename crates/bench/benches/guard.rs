@@ -1,0 +1,56 @@
+//! rdp-guard overhead micro-benchmark: one Nesterov GP step on a
+//! 20k-cell design with the numerical-health sentinels enabled (the
+//! default [`HealthPolicy`]) against the same step with monitoring
+//! disabled. The sentinels are O(n) scans over quantities the step
+//! already produced, so the guarded step must stay within 2 % of the
+//! unguarded one — `BENCH_guard.json` records both.
+
+use rdp_testkit::BenchHarness;
+use std::hint::black_box;
+
+use rdp_core::{GpSession, HealthPolicy, PlacerConfig, StepExtras};
+use rdp_gen::{generate, GenParams};
+
+fn design_20k() -> rdp_db::Design {
+    generate(
+        "bench-guard",
+        &GenParams {
+            num_cells: 20_000,
+            num_macros: 4,
+            macro_fraction: 0.12,
+            utilization: 0.6,
+            congestion_margin: 0.85,
+            rail_pitch: 1.0,
+            seed: 77,
+            ..GenParams::default()
+        },
+    )
+}
+
+fn guard(c: &mut BenchHarness) {
+    c.bench_function("gp_step_20k_guarded", |b| {
+        let mut design = design_20k();
+        let mut session = GpSession::new(&mut design, PlacerConfig::default());
+        b.iter(|| {
+            let r = session.step(&mut design, &StepExtras::default()).unwrap();
+            black_box(r.overflow)
+        })
+    });
+
+    c.bench_function("gp_step_20k_unguarded", |b| {
+        let mut design = design_20k();
+        let mut cfg = PlacerConfig::default();
+        cfg.health = HealthPolicy::disabled();
+        let mut session = GpSession::new(&mut design, cfg);
+        b.iter(|| {
+            let r = session.step(&mut design, &StepExtras::default()).unwrap();
+            black_box(r.overflow)
+        })
+    });
+}
+
+fn main() {
+    let mut harness = BenchHarness::new("guard").sample_size(20);
+    guard(&mut harness);
+    harness.finish();
+}

@@ -34,7 +34,7 @@ fn placement(c: &mut BenchHarness) {
         let mut design = small_design();
         let mut session = GpSession::new(&mut design, PlacerConfig::default());
         b.iter(|| {
-            let r = session.step(&mut design, &StepExtras::default());
+            let r = session.step(&mut design, &StepExtras::default()).unwrap();
             black_box(r.overflow)
         })
     });
@@ -43,7 +43,7 @@ fn placement(c: &mut BenchHarness) {
     c.bench_function("global_place_1k_cells", |b| {
         b.iter(|| {
             let mut design = small_design();
-            let stats = GlobalPlacer::default().place(&mut design);
+            let stats = GlobalPlacer::default().place(&mut design).unwrap();
             black_box(stats.hpwl)
         })
     });
@@ -51,7 +51,7 @@ fn placement(c: &mut BenchHarness) {
     // Legalization + detailed placement of a placed design.
     c.bench_function("legalize_and_dp_1k_cells", |b| {
         let mut placed = small_design();
-        GlobalPlacer::default().place(&mut placed);
+        GlobalPlacer::default().place(&mut placed).unwrap();
         b.iter(|| {
             let mut d = placed.clone();
             legalize(&mut d, &LegalizeConfig::default());
@@ -63,7 +63,7 @@ fn placement(c: &mut BenchHarness) {
     c.bench_function("full_flow_ours_1k_cells", |b| {
         b.iter(|| {
             let mut design = small_design();
-            let r = run_flow(&mut design, &RoutabilityConfig::preset(PlacerPreset::Ours));
+            let r = run_flow(&mut design, &RoutabilityConfig::preset(PlacerPreset::Ours)).unwrap();
             black_box(r.route_iterations)
         })
     });
@@ -71,7 +71,7 @@ fn placement(c: &mut BenchHarness) {
     // Evaluation routing + DRV proxy.
     c.bench_function("evaluate_1k_cells", |b| {
         let mut placed = small_design();
-        GlobalPlacer::default().place(&mut placed);
+        GlobalPlacer::default().place(&mut placed).unwrap();
         legalize(&mut placed, &LegalizeConfig::default());
         b.iter(|| black_box(evaluate(&placed, &EvalConfig::default()).drvs))
     });

@@ -55,7 +55,8 @@ fn main() {
         run_flow(
             &mut placed,
             &RoutabilityConfig::preset(PlacerPreset::Xplace),
-        );
+        )
+        .expect("baseline placement diverged");
         legalize(&mut placed, &LegalizeConfig::default());
         detailed_place(&mut placed, &DetailedConfig::default());
 

@@ -27,7 +27,7 @@ fn main() {
 
     println!("[2] wirelength-driven global placement (Xplace engine)");
     let cfg = RoutabilityConfig::preset(PlacerPreset::Ours);
-    let report = run_flow(&mut design, &cfg);
+    let report = run_flow(&mut design, &cfg).expect("flow diverged");
     println!(
         "    {} Nesterov iterations → HPWL {:.0} um, density overflow {:.3}",
         report.gp_iterations, report.hpwl, report.density_overflow

@@ -13,7 +13,8 @@ fn main() {
             .unwrap();
         let base = rdp_bench::prepare_design(&entry);
         let mut d = base.clone();
-        let flow = run_flow(&mut d, &RoutabilityConfig::preset(PlacerPreset::Ours));
+        let flow =
+            run_flow(&mut d, &RoutabilityConfig::preset(PlacerPreset::Ours)).expect("diverged");
         let e_global = evaluate(&d, &EvalConfig::default());
 
         let widths = rdp_bench::virtual_widths(&d, &flow).expect("ours inflates");

@@ -17,7 +17,7 @@ fn main() {
         ("Ours", PlacerPreset::Ours),
     ] {
         let mut d = rdp_bench::prepare_design(&entry);
-        run_flow(&mut d, &RoutabilityConfig::preset(preset));
+        run_flow(&mut d, &RoutabilityConfig::preset(preset)).expect("flow diverged");
         let refine: usize = std::env::args()
             .nth(2)
             .and_then(|s| s.parse().ok())

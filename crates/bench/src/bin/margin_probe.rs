@@ -35,7 +35,7 @@ fn main() {
                     ..base.clone()
                 },
             );
-            run_flow(&mut d, &RoutabilityConfig::preset(preset));
+            run_flow(&mut d, &RoutabilityConfig::preset(preset)).expect("flow diverged");
             legalize(&mut d, &LegalizeConfig::default());
             detailed_place(&mut d, &DetailedConfig::default());
             let e = evaluate(&d, &EvalConfig::default());

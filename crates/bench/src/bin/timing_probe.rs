@@ -13,7 +13,8 @@ fn main() {
         design.num_nets()
     );
     let t1 = std::time::Instant::now();
-    let report = run_flow(&mut design, &RoutabilityConfig::preset(PlacerPreset::Ours));
+    let report =
+        run_flow(&mut design, &RoutabilityConfig::preset(PlacerPreset::Ours)).expect("diverged");
     println!(
         "flow: {:.2}s (gp {} iters, route {} iters, hpwl {:.0})",
         t1.elapsed().as_secs_f64(),

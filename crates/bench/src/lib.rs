@@ -33,7 +33,8 @@ use rdp_legal::{detailed_place, legalize, DetailedConfig, LegalizeConfig};
 pub fn prepare_design(entry: &SuiteEntry) -> Design {
     let mut design = rdp_gen::generate(entry.name, &entry.params);
     let mut probe = design.clone();
-    run_flow(&mut probe, &RoutabilityConfig::preset(PlacerPreset::Xplace));
+    run_flow(&mut probe, &RoutabilityConfig::preset(PlacerPreset::Xplace))
+        .expect("calibration probe placement diverged");
     legalize(&mut probe, &LegalizeConfig::default());
     detailed_place(&mut probe, &DetailedConfig::default());
     let spec = rdp_gen::calibrate_routing(&probe, entry.params.congestion_margin);
@@ -67,7 +68,7 @@ pub fn run_pipeline(
     cfg: &RoutabilityConfig,
     eval_cfg: &EvalConfig,
 ) -> RowResult {
-    let flow = run_flow(design, cfg);
+    let flow = run_flow(design, cfg).expect("flow diverged beyond recovery");
     // Routability-driven legalization/DP: preserve the inflation spacing
     // by legalizing with virtual (inflated) widths when the flow produced
     // ratios (the paper adopts Xplace-Route's routability-driven LG/DP).

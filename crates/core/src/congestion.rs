@@ -4,6 +4,7 @@
 //! machinery ([`crate::netmove`]) turns into cell gradients.
 
 use rdp_db::{Design, GridSpec, Map2d, Point};
+use rdp_guard::{HealthPolicy, RdpError, Stage};
 use rdp_poisson::PoissonSolver;
 use rdp_route::RouteResult;
 
@@ -55,12 +56,87 @@ impl CongestionField {
         }
     }
 
+    /// Checked variant of [`CongestionField::from_route`]: grid mismatch
+    /// becomes a typed [`RdpError::Config`] instead of a panic, the
+    /// router's charge density is screened for NaN/Inf before the Poisson
+    /// solve, and the solve itself runs through
+    /// [`rdp_poisson::PoissonSolver::solve_checked`]. This is the entry
+    /// point the guarded flow uses so that a pathological routing result
+    /// (e.g. zero-capacity layers driving Eq. (3) to +∞) degrades to the
+    /// RUDY fallback rather than poisoning the placement gradients.
+    pub fn try_from_route(
+        design: &Design,
+        route: &RouteResult,
+        health: &HealthPolicy,
+    ) -> Result<Self, RdpError> {
+        let grid = design.gcell_grid();
+        if route.congestion.nx() != grid.nx() || route.congestion.ny() != grid.ny() {
+            return Err(RdpError::Config {
+                detail: format!(
+                    "route congestion grid {}x{} does not match the design G-cell grid {}x{}",
+                    route.congestion.nx(),
+                    route.congestion.ny(),
+                    grid.nx(),
+                    grid.ny()
+                ),
+            });
+        }
+        health.check_map(Stage::Routing, "congestion map", None, &route.congestion)?;
+        let charge = route.maps.charge_density();
+        health.check_slice(Stage::Routing, "charge density", None, charge.as_slice())?;
+        let solver = PoissonSolver::try_new(
+            grid.nx(),
+            grid.ny(),
+            grid.region().width(),
+            grid.region().height(),
+        )?;
+        let sol = solver.solve_checked(charge.as_slice(), health)?;
+        let cmap = route.congestion.clone();
+        let mean_congestion = cmap.mean();
+        Ok(CongestionField {
+            grid,
+            cmap,
+            psi: Map2d::from_vec(grid.nx(), grid.ny(), sol.psi),
+            ex: Map2d::from_vec(grid.nx(), grid.ny(), sol.ex),
+            ey: Map2d::from_vec(grid.nx(), grid.ny(), sol.ey),
+            mean_congestion,
+        })
+    }
+
+    /// Checked variant of [`CongestionField::from_rudy`] with the same
+    /// sentinel screening as [`CongestionField::try_from_route`]. RUDY
+    /// clamps capacity away from zero, so this succeeds on designs whose
+    /// routed congestion is unusable — it is the degraded-mode fallback.
+    ///
+    /// The utilization charge is saturated at [`Self::RUDY_CHARGE_CEIL`]:
+    /// a G-cell at 8× capacity is already maximally repulsive, and the
+    /// near-zero-capacity ratios RUDY's clamp produces (∼10⁹) would
+    /// otherwise drive the Poisson potential — and through it the DC
+    /// gradients — far past what the placer can follow, turning a
+    /// degraded run into a divergent one.
+    pub fn try_from_rudy(design: &Design, health: &HealthPolicy) -> Result<Self, RdpError> {
+        let field = Self::from_rudy_saturated(design, Self::RUDY_CHARGE_CEIL);
+        health.check_map(Stage::Routing, "RUDY congestion map", None, &field.cmap)?;
+        health.check_map(Stage::Routing, "RUDY potential", None, &field.psi)?;
+        Ok(field)
+    }
+
+    /// Saturation ceiling for the RUDY utilization charge in the guarded
+    /// fallback path (see [`CongestionField::try_from_rudy`]). Healthy
+    /// designs sit far below it, so saturation only engages on
+    /// pathological capacity (zero-capacity layers, absurd demand).
+    pub const RUDY_CHARGE_CEIL: f64 = 8.0;
+
     /// Builds the field from a **RUDY** estimate instead of a routed
     /// demand map — the bounding-box congestion model the paper argues
     /// against (Fig. 1(b)): every G-cell inside a net's box is charged
     /// whether or not the net's wire goes there. Provided for the
     /// router-vs-RUDY ablation (`ablation_sweep`).
     pub fn from_rudy(design: &Design) -> Self {
+        Self::from_rudy_saturated(design, f64::INFINITY)
+    }
+
+    fn from_rudy_saturated(design: &Design, charge_ceil: f64) -> Self {
         let grid = design.gcell_grid();
         let rudy = rdp_route::rudy_map(design, &grid);
         let caps = rdp_route::CapacityMaps::build(design, &rdp_route::CapacityOptions::default());
@@ -74,7 +150,7 @@ impl CongestionField {
             for ix in 0..grid.nx() {
                 let demand_tracks = rudy[(ix, iy)] * grid.bin_area() / extent;
                 let cap = caps.h[(ix, iy)] + caps.v[(ix, iy)];
-                let ratio = demand_tracks / cap.max(1e-9);
+                let ratio = (demand_tracks / cap.max(1e-9)).min(charge_ceil);
                 charge[(ix, iy)] = ratio;
                 cmap[(ix, iy)] = (ratio - 1.0).max(0.0);
             }

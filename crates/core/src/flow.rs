@@ -13,19 +13,35 @@
 //! The same entry point also runs the two baselines of Table I by
 //! configuration: **Xplace** (no routability loop) and **Xplace-Route**
 //! (monotone inflation + static PG density, no net moving).
+//!
+//! ## Robustness (rdp-guard)
+//!
+//! The flow is guarded end to end:
+//!
+//! - every Nesterov step runs NaN/Inf sentinels (see
+//!   [`rdp_guard::HealthPolicy`]); a poisoned or diverging step is rolled
+//!   back to the last good optimizer state with γ boosted and λ₁ damped,
+//!   up to `max_rollbacks` times before a typed
+//!   [`RdpError::Diverged`](rdp_guard::RdpError) is returned;
+//! - an unusable router congestion map degrades to the RUDY estimate and
+//!   a non-finite PG density skips the D^PG addend — both recorded as
+//!   [`Warning`]s in the [`FlowReport`], never panics;
+//! - [`run_flow_with`] can emit a [`FlowCheckpoint`] at the top of every
+//!   routability iteration and resume from one bit-for-bit.
 
 use std::time::Instant;
 
-use rdp_db::Design;
+use rdp_db::{Design, Point};
+use rdp_guard::{RdpError, SnapshotReader, SnapshotWriter, Stage, Warning};
 use rdp_route::{GlobalRouter, RouterConfig};
 
 use crate::congestion::CongestionField;
 use crate::dpa::{DpaConfig, PgDensity};
-use crate::inflate::{InflationBounds, InflationPolicy, InflationState};
+use crate::inflate::{InflationBounds, InflationPolicy, InflationSnapshot, InflationState};
 use crate::netmove::{congestion_gradients, lambda2, NetMoveConfig};
 #[allow(unused_imports)]
 use crate::placer::GlobalPlacer;
-use crate::placer::{GpSession, PlacerConfig, StepExtras};
+use crate::placer::{GpSession, GpSnapshot, PlacerConfig, StepExtras};
 
 /// Which congestion model feeds the differentiable congestion field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,6 +191,14 @@ pub struct FlowReport {
     /// ran); downstream legalization can preserve the congestion-driven
     /// spacing by legalizing with these as virtual widths.
     pub inflation_ratios: Option<Vec<f64>>,
+    /// Degraded-mode events the flow worked around (RUDY fallback,
+    /// skipped D^PG addend, divergence rollbacks).
+    pub warnings: Vec<Warning>,
+    /// Divergence rollbacks performed across both phases.
+    pub rollbacks: usize,
+    /// When the flow was resumed from a [`FlowCheckpoint`], the
+    /// routability iteration it restarted at.
+    pub resumed_from: Option<usize>,
 }
 
 impl FlowReport {
@@ -220,50 +244,443 @@ impl std::fmt::Display for FlowReport {
         } else {
             write!(f, "  (no routability iterations)")?;
         }
+        if !self.warnings.is_empty() || self.rollbacks > 0 {
+            write!(
+                f,
+                "\n  degraded: {} warning(s), {} rollback(s)",
+                self.warnings.len(),
+                self.rollbacks
+            )?;
+            for w in &self.warnings {
+                write!(f, "\n    {w}")?;
+            }
+        }
         Ok(())
+    }
+}
+
+/// Deterministic fault injected into [`run_flow_with`] by the robustness
+/// suite. Each fault fires at most once.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowFault {
+    /// Poison the Nesterov reference state with NaN right before GP step
+    /// `gp_iter` of routability iteration `route_iter` (`route_iter == 0`
+    /// targets the wirelength phase).
+    NanReference {
+        /// Routability iteration (0 = wirelength phase).
+        route_iter: usize,
+        /// GP step within that iteration.
+        gp_iter: usize,
+    },
+    /// Poison the first net-moving congestion gradient at routability
+    /// iteration `route_iter`.
+    NanCongestionGrad {
+        /// Routability iteration at which to poison the gradient.
+        route_iter: usize,
+    },
+}
+
+/// Checkpoint/resume and fault-injection hooks for [`run_flow_with`].
+#[derive(Default)]
+pub struct FlowControl<'a> {
+    /// Resume from this checkpoint instead of running phase 1.
+    pub resume: Option<FlowCheckpoint>,
+    /// Called with a fresh checkpoint at the top of every routability
+    /// iteration (before that iteration's routing).
+    pub on_checkpoint: Option<&'a mut dyn FnMut(&FlowCheckpoint)>,
+    /// Deterministic one-shot fault injection (robustness suite).
+    pub fault: Option<FlowFault>,
+}
+
+/// Complete flow state captured at the top of a routability iteration.
+///
+/// A flow resumed from a checkpoint reproduces the uninterrupted run
+/// bit-for-bit: the checkpoint lands exactly where
+/// [`GpSession::restart_momentum`] resets the Nesterov momentum, so the
+/// optimizer scalars plus positions are the whole state. Everything that
+/// is *not* stored here (PG rails, base γ, first-step distance) is
+/// recomputed deterministically from the design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowCheckpoint {
+    /// Routability iteration the resumed flow starts at (1-based).
+    pub next_route_iter: usize,
+    /// Wirelength-phase iterations already completed.
+    pub gp_iterations: usize,
+    /// All cell positions (fixed cells included) at checkpoint time.
+    pub positions: Vec<Point>,
+    /// Optimizer scalars + movable positions of the GP session.
+    pub session: GpSnapshot,
+    /// Inflation controller state (MCI momentum etc.).
+    pub inflation: InflationSnapshot,
+    /// Best stopping-rule score seen so far.
+    pub best_penalty: f64,
+    /// Consecutive non-improving iterations.
+    pub stale: usize,
+    /// Best-snapshot guard: (score, all-cell positions).
+    pub best: Option<(f64, Vec<Point>)>,
+    /// Per-iteration log accumulated so far.
+    pub log: Vec<RouteIterLog>,
+    /// Warnings accumulated so far.
+    pub warnings: Vec<Warning>,
+    /// Rollbacks performed so far.
+    pub rollbacks: usize,
+}
+
+fn stage_code(s: Stage) -> u64 {
+    match s {
+        Stage::Parse => 0,
+        Stage::Design => 1,
+        Stage::WirelengthGp => 2,
+        Stage::Routability => 3,
+        Stage::Routing => 4,
+        Stage::Poisson => 5,
+        Stage::NetMoving => 6,
+        Stage::Inflation => 7,
+        Stage::Dpa => 8,
+        Stage::Checkpoint => 9,
+    }
+}
+
+fn stage_from_code(c: u64) -> Result<Stage, RdpError> {
+    Ok(match c {
+        0 => Stage::Parse,
+        1 => Stage::Design,
+        2 => Stage::WirelengthGp,
+        3 => Stage::Routability,
+        4 => Stage::Routing,
+        5 => Stage::Poisson,
+        6 => Stage::NetMoving,
+        7 => Stage::Inflation,
+        8 => Stage::Dpa,
+        9 => Stage::Checkpoint,
+        _ => return Err(RdpError::checkpoint(format!("unknown stage code {c}"))),
+    })
+}
+
+impl FlowCheckpoint {
+    /// Current checkpoint format version.
+    pub const VERSION: u32 = 1;
+
+    /// Serializes into the versioned, checksummed `RDPSNAP` binary format.
+    /// All floats are stored bit-exactly.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(Self::VERSION);
+        w.put_u64(self.next_route_iter as u64);
+        w.put_u64(self.gp_iterations as u64);
+        w.put_points(&self.positions);
+        w.put_points(&self.session.positions);
+        w.put_f64(self.session.lambda1);
+        w.put_f64(self.session.last_overflow);
+        w.put_f64(self.session.gamma_boost);
+        w.put_u64(self.session.steps_done);
+        w.put_f64s(&self.inflation.r);
+        w.put_f64s(&self.inflation.effective);
+        w.put_f64s(&self.inflation.delta_r);
+        w.put_f64s(&self.inflation.c_prev);
+        w.put_f64(self.inflation.mean_prev);
+        w.put_u64(self.inflation.t);
+        w.put_f64(self.best_penalty);
+        w.put_u64(self.stale as u64);
+        match &self.best {
+            Some((score, positions)) => {
+                w.put_u64(1);
+                w.put_f64(*score);
+                w.put_points(positions);
+            }
+            None => w.put_u64(0),
+        }
+        w.put_u64(self.log.len() as u64);
+        for l in &self.log {
+            w.put_u64(l.iter as u64);
+            w.put_f64(l.overflow);
+            w.put_f64(l.max_congestion);
+            w.put_f64(l.c_penalty);
+            w.put_f64(l.lambda2);
+            w.put_u64(l.virtual_cells as u64);
+            w.put_f64(l.hpwl);
+        }
+        w.put_u64(self.warnings.len() as u64);
+        for warn in &self.warnings {
+            w.put_u64(stage_code(warn.stage));
+            w.put_u64(warn.iteration as u64);
+            w.put_str(&warn.message);
+        }
+        w.put_u64(self.rollbacks as u64);
+        w.finish()
+    }
+
+    /// Deserializes [`FlowCheckpoint::to_bytes`] output, validating magic,
+    /// version, checksum, and exact length.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, RdpError> {
+        let mut r = SnapshotReader::new(bytes, Self::VERSION)?;
+        let next_route_iter = r.take_u64()? as usize;
+        let gp_iterations = r.take_u64()? as usize;
+        let positions = r.take_points()?;
+        let session = GpSnapshot {
+            positions: r.take_points()?,
+            lambda1: r.take_f64()?,
+            last_overflow: r.take_f64()?,
+            gamma_boost: r.take_f64()?,
+            steps_done: r.take_u64()?,
+        };
+        let inflation = InflationSnapshot {
+            r: r.take_f64s()?,
+            effective: r.take_f64s()?,
+            delta_r: r.take_f64s()?,
+            c_prev: r.take_f64s()?,
+            mean_prev: r.take_f64()?,
+            t: r.take_u64()?,
+        };
+        let best_penalty = r.take_f64()?;
+        let stale = r.take_u64()? as usize;
+        let best = match r.take_u64()? {
+            0 => None,
+            1 => Some((r.take_f64()?, r.take_points()?)),
+            other => {
+                return Err(RdpError::checkpoint(format!(
+                    "invalid best-snapshot flag {other}"
+                )))
+            }
+        };
+        let n_log = r.take_u64()? as usize;
+        if n_log > bytes.len() {
+            return Err(RdpError::checkpoint(format!(
+                "implausible log length {n_log}"
+            )));
+        }
+        let mut log = Vec::with_capacity(n_log);
+        for _ in 0..n_log {
+            log.push(RouteIterLog {
+                iter: r.take_u64()? as usize,
+                overflow: r.take_f64()?,
+                max_congestion: r.take_f64()?,
+                c_penalty: r.take_f64()?,
+                lambda2: r.take_f64()?,
+                virtual_cells: r.take_u64()? as usize,
+                hpwl: r.take_f64()?,
+            });
+        }
+        let n_warn = r.take_u64()? as usize;
+        if n_warn > bytes.len() {
+            return Err(RdpError::checkpoint(format!(
+                "implausible warning count {n_warn}"
+            )));
+        }
+        let mut warnings = Vec::with_capacity(n_warn);
+        for _ in 0..n_warn {
+            let stage = stage_from_code(r.take_u64()?)?;
+            let iteration = r.take_u64()? as usize;
+            let message = r.take_str()?;
+            warnings.push(Warning {
+                stage,
+                iteration,
+                message,
+            });
+        }
+        let rollbacks = r.take_u64()? as usize;
+        r.finish()?;
+        Ok(FlowCheckpoint {
+            next_route_iter,
+            gp_iterations,
+            positions,
+            session,
+            inflation,
+            best_penalty,
+            stale,
+            best,
+            log,
+            warnings,
+            rollbacks,
+        })
+    }
+}
+
+/// Consumes `fault` if it is a [`FlowFault::NanReference`] aimed at this
+/// exact (routability iteration, GP step) pair.
+fn take_fault(fault: &mut Option<FlowFault>, route_iter: usize, gp_iter: usize) -> bool {
+    match *fault {
+        Some(FlowFault::NanReference {
+            route_iter: rt,
+            gp_iter: gi,
+        }) if rt == route_iter && gi == gp_iter => {
+            *fault = None;
+            true
+        }
+        _ => false,
     }
 }
 
 /// Runs the full global-placement flow on the design (Fig. 2), mutating
 /// cell positions. Legalization/detailed placement and routing evaluation
 /// live in `rdp-legal` / `rdp-drc`.
-pub fn run_flow(design: &mut Design, cfg: &RoutabilityConfig) -> FlowReport {
-    let t0 = Instant::now();
+///
+/// Numerical blow-ups roll back and re-tune automatically (up to
+/// `cfg.gp.health.max_rollbacks`); unrecoverable divergence or invalid
+/// configuration returns a typed [`RdpError`] instead of panicking.
+pub fn run_flow(design: &mut Design, cfg: &RoutabilityConfig) -> Result<FlowReport, RdpError> {
+    run_flow_with(design, cfg, FlowControl::default())
+}
 
-    // PG rail selection (before placement, Fig. 2 top).
+/// [`run_flow`] with checkpoint/resume and fault-injection hooks.
+pub fn run_flow_with(
+    design: &mut Design,
+    cfg: &RoutabilityConfig,
+    mut ctrl: FlowControl<'_>,
+) -> Result<FlowReport, RdpError> {
+    let t0 = Instant::now();
+    let health = cfg.gp.health;
     let grid = design.gcell_grid();
-    let pg = cfg.dpa.map(|_| PgDensity::new(design, &grid, &cfg.dpa_cfg));
+
+    let resume = ctrl.resume.take();
+    let resumed_from = resume.as_ref().map(|cp| cp.next_route_iter);
+    let mut fault = ctrl.fault;
+    let mut warnings: Vec<Warning> = Vec::new();
+    let mut rollbacks = 0usize;
+
+    // PG rail selection (before placement, Fig. 2 top). Rails and macro
+    // outlines are fixed, so this is position-independent and recomputes
+    // identically on resume. A non-finite track density (degenerate rail
+    // geometry) skips the D^PG addend instead of poisoning the density.
+    let pg = match cfg.dpa {
+        Some(_) => {
+            let degenerate_rail = design.rails().iter().any(|r| {
+                !(r.rect.lo.x.is_finite()
+                    && r.rect.lo.y.is_finite()
+                    && r.rect.hi.x.is_finite()
+                    && r.rect.hi.y.is_finite())
+            });
+            let derived = if degenerate_rail {
+                Err(RdpError::non_finite(
+                    Stage::Dpa,
+                    "PG rail geometry",
+                    None,
+                    0,
+                    f64::NAN,
+                ))
+            } else {
+                let p = PgDensity::new(design, &grid, &cfg.dpa_cfg);
+                health
+                    .check_map(Stage::Dpa, "PG track density", None, &p.density_map(None))
+                    .map(|()| p)
+            };
+            match derived {
+                Ok(p) => Some(p),
+                Err(e) => {
+                    if resume.is_none() {
+                        warnings.push(Warning::new(
+                            Stage::Dpa,
+                            0,
+                            format!("{e}; skipping the D^PG addend"),
+                        ));
+                    }
+                    None
+                }
+            }
+        }
+        None => None,
+    };
     let static_pg = match (cfg.dpa, &pg) {
         (Some(DpaMode::Static), Some(p)) => Some(p.density_map(None)),
         _ => None,
     };
 
-    // Phase 1: wirelength-driven global placement.
-    let mut session = GpSession::new(design, cfg.gp.clone());
-    let mut gp_iterations = 0;
-    for i in 0..cfg.gp.max_iters {
-        let extras = StepExtras {
-            extra_density: static_pg.as_ref(),
-            ..Default::default()
-        };
-        let report = session.step(design, &extras);
-        gp_iterations = i + 1;
-        if i >= 20 && report.overflow < cfg.gp.stop_overflow {
-            break;
-        }
-    }
-
-    // Phase 2: routability-driven iterations.
-    let router = GlobalRouter::new(cfg.router.clone());
     let mut inflation = InflationState::new(
         design.num_cells(),
         cfg.inflation,
         InflationBounds::default(),
     );
-    let mut log = Vec::new();
+    let mut gp_iterations = 0usize;
+    let mut log: Vec<RouteIterLog> = Vec::new();
     let mut best_penalty = f64::INFINITY;
     let mut stale = 0usize;
-    let mut route_iterations = 0;
+    let mut route_iterations = 0usize;
+    let mut best_positions: Option<(f64, Vec<Point>)> = None;
+    // Rollback target: the last optimizer state that passed the health
+    // checks. Re-captured after every successful step (allocation-free).
+    let mut good = GpSnapshot::default();
+    let start_iter;
+
+    let mut session = match resume {
+        Some(cp) => {
+            if cp.positions.len() != design.num_cells() {
+                return Err(RdpError::checkpoint(format!(
+                    "checkpoint carries {} cell positions, design has {}",
+                    cp.positions.len(),
+                    design.num_cells()
+                )));
+            }
+            design.set_positions(&cp.positions);
+            let session = GpSession::resume(design, cfg.gp.clone(), &cp.session)?;
+            inflation.restore_state(&cp.inflation)?;
+            gp_iterations = cp.gp_iterations;
+            log = cp.log;
+            best_penalty = cp.best_penalty;
+            stale = cp.stale;
+            best_positions = cp.best;
+            route_iterations = cp.next_route_iter.saturating_sub(1);
+            warnings = cp.warnings;
+            rollbacks = cp.rollbacks;
+            start_iter = cp.next_route_iter;
+            session
+        }
+        None => {
+            // Phase 1: wirelength-driven global placement, guarded.
+            let mut session = GpSession::new(design, cfg.gp.clone());
+            session.save_state_into(&mut good);
+            let mut i = 0usize;
+            while i < cfg.gp.max_iters {
+                if take_fault(&mut fault, 0, i) {
+                    session.inject_nan_reference();
+                }
+                let extras = StepExtras {
+                    extra_density: static_pg.as_ref(),
+                    ..Default::default()
+                };
+                match session.step(design, &extras) {
+                    Ok(report) if !health.is_blowup(good.last_overflow, report.overflow) => {
+                        gp_iterations = i + 1;
+                        session.save_state_into(&mut good);
+                        if i >= 20 && report.overflow < cfg.gp.stop_overflow {
+                            break;
+                        }
+                        i += 1;
+                    }
+                    outcome => {
+                        let detail = match outcome {
+                            Err(e) => e.to_string(),
+                            Ok(r) => format!("density overflow blew up to {:.3e}", r.overflow),
+                        };
+                        if rollbacks >= health.max_rollbacks {
+                            return Err(RdpError::Diverged {
+                                stage: Stage::WirelengthGp,
+                                iteration: i,
+                                rollbacks,
+                                detail,
+                            });
+                        }
+                        session.restore_state(design, &good)?;
+                        session.retune_after_rollback();
+                        rollbacks += 1;
+                        warnings.push(Warning::new(
+                            Stage::WirelengthGp,
+                            0,
+                            format!(
+                                "step {i} rolled back ({detail}); γ ×{:.2}, λ₁ damped",
+                                session.gamma_boost()
+                            ),
+                        ));
+                    }
+                }
+            }
+            start_iter = 1;
+            session
+        }
+    };
+
+    // Phase 2: routability-driven iterations.
+    session.set_stage(Stage::Routability);
+    let router = GlobalRouter::new(cfg.router.clone());
     // Best-so-far snapshot: the routability iterations can regress (or,
     // with aggressive settings, diverge), so the flow keeps the placement
     // with the lowest observed score and restores it at the end. Total
@@ -286,13 +703,42 @@ pub fn run_flow(design: &mut Design, cfg: &RoutabilityConfig) -> FlowReport {
             .compute(design, None, None, cfg.gp.target_density)
             .overflow
     };
-    let mut best_positions: Option<(f64, Vec<rdp_db::Point>)> = None;
 
-    for t in 1..=cfg.max_route_iters {
+    for t in start_iter..=cfg.max_route_iters {
+        if let Some(cb) = ctrl.on_checkpoint.as_mut() {
+            let cp = FlowCheckpoint {
+                next_route_iter: t,
+                gp_iterations,
+                positions: design.positions().to_vec(),
+                session: session.save_state(),
+                inflation: inflation.save_state(),
+                best_penalty,
+                stale,
+                best: best_positions.clone(),
+                log: log.clone(),
+                warnings: warnings.clone(),
+                rollbacks,
+            };
+            cb(&cp);
+        }
+
         let route = router.route(design);
         let field = match cfg.dc_source {
-            DcSource::Router => CongestionField::from_route(design, &route),
-            DcSource::Rudy => CongestionField::from_rudy(design),
+            DcSource::Router => match CongestionField::try_from_route(design, &route, &health) {
+                Ok(f) => f,
+                Err(e) => {
+                    // Degraded mode: an unusable routed congestion map
+                    // (e.g. zero-capacity layers ⇒ Eq. (3) = +∞) falls
+                    // back to the RUDY estimate, which clamps capacity.
+                    warnings.push(Warning::new(
+                        Stage::Routing,
+                        t,
+                        format!("router congestion unusable ({e}); falling back to RUDY"),
+                    ));
+                    CongestionField::try_from_rudy(design, &health)?
+                }
+            },
+            DcSource::Rudy => CongestionField::try_from_rudy(design, &health)?,
         };
         let score_now = snapshot_score(&route, real_density_overflow(&session, design));
         if best_positions
@@ -312,18 +758,61 @@ pub fn run_flow(design: &mut Design, cfg: &RoutabilityConfig) -> FlowReport {
 
         // DPA.
         let pg_map = match (cfg.dpa, &pg) {
-            (Some(DpaMode::Dynamic), Some(p)) => Some(p.density_map(Some(&field))),
+            (Some(DpaMode::Dynamic), Some(p)) => {
+                let m = p.density_map(Some(&field));
+                match health.check_map(Stage::Dpa, "dynamic PG density", Some(t), &m) {
+                    Ok(()) => Some(m),
+                    Err(e) => {
+                        warnings.push(Warning::new(
+                            Stage::Dpa,
+                            t,
+                            format!("{e}; skipping the D^PG addend this iteration"),
+                        ));
+                        None
+                    }
+                }
+            }
             (Some(DpaMode::Static), _) => static_pg.clone(),
             _ => None,
         };
 
-        // DC: net-moving congestion gradients + λ₂.
+        // DC: net-moving congestion gradients + λ₂. A non-finite gradient
+        // skips net moving for this iteration (degraded mode) rather than
+        // feeding NaN into the optimizer.
         let (cgrad, l2, c_penalty, virtual_cells) = if cfg.enable_dc {
-            let g = congestion_gradients(design, &field, &cfg.netmove);
-            let l2 = cfg.lambda2_scale * lambda2(design, &field, &g);
-            let pen = g.penalty;
-            let vc = g.virtual_cells;
-            (Some(g), l2, pen, vc)
+            let mut g = congestion_gradients(design, &field, &cfg.netmove);
+            if matches!(fault, Some(FlowFault::NanCongestionGrad { route_iter }) if route_iter == t)
+            {
+                fault = None;
+                if let Some(p) = g.grad.first_mut() {
+                    p.x = f64::NAN;
+                }
+            }
+            match health.check_points(Stage::NetMoving, "congestion gradient", Some(t), &g.grad) {
+                Err(e) => {
+                    warnings.push(Warning::new(
+                        Stage::NetMoving,
+                        t,
+                        format!("{e}; skipping net moving this iteration"),
+                    ));
+                    (None, 0.0, 0.0, 0)
+                }
+                Ok(()) => {
+                    let l2 = cfg.lambda2_scale * lambda2(design, &field, &g);
+                    if l2.is_finite() {
+                        let pen = g.penalty;
+                        let vc = g.virtual_cells;
+                        (Some(g), l2, pen, vc)
+                    } else {
+                        warnings.push(Warning::new(
+                            Stage::NetMoving,
+                            t,
+                            format!("λ₂ evaluated to {l2}; skipping net moving this iteration"),
+                        ));
+                        (None, 0.0, 0.0, 0)
+                    }
+                }
+            }
         } else {
             (None, 0.0, 0.0, 0)
         };
@@ -337,15 +826,50 @@ pub fn run_flow(design: &mut Design, cfg: &RoutabilityConfig) -> FlowReport {
                 extra_density: pg_map.as_ref(),
                 congestion_grad: cgrad.as_ref().map(|g| (g.grad.as_slice(), l2)),
             };
-            session.rebalance_lambda1(design, &extras, cfg.lambda1_rebalance);
+            session.rebalance_lambda1(design, &extras, cfg.lambda1_rebalance)?;
         }
-        for _ in 0..cfg.gp_iters_per_route {
+        session.save_state_into(&mut good);
+        let mut k = 0usize;
+        while k < cfg.gp_iters_per_route {
+            if take_fault(&mut fault, t, k) {
+                session.inject_nan_reference();
+            }
             let extras = StepExtras {
                 inflation: ratios,
                 extra_density: pg_map.as_ref(),
                 congestion_grad: cgrad.as_ref().map(|g| (g.grad.as_slice(), l2)),
             };
-            session.step(design, &extras);
+            match session.step(design, &extras) {
+                Ok(report) if !health.is_blowup(good.last_overflow, report.overflow) => {
+                    session.save_state_into(&mut good);
+                    k += 1;
+                }
+                outcome => {
+                    let detail = match outcome {
+                        Err(e) => e.to_string(),
+                        Ok(r) => format!("density overflow blew up to {:.3e}", r.overflow),
+                    };
+                    if rollbacks >= health.max_rollbacks {
+                        return Err(RdpError::Diverged {
+                            stage: Stage::Routability,
+                            iteration: t,
+                            rollbacks,
+                            detail,
+                        });
+                    }
+                    session.restore_state(design, &good)?;
+                    session.retune_after_rollback();
+                    rollbacks += 1;
+                    warnings.push(Warning::new(
+                        Stage::Routability,
+                        t,
+                        format!(
+                            "GP step {k} rolled back ({detail}); γ ×{:.2}, λ₁ damped",
+                            session.gamma_boost()
+                        ),
+                    ));
+                }
+            }
         }
 
         route_iterations = t;
@@ -396,7 +920,7 @@ pub fn run_flow(design: &mut Design, cfg: &RoutabilityConfig) -> FlowReport {
         _ => Some(inflation.ratios().to_vec()),
     };
 
-    FlowReport {
+    Ok(FlowReport {
         place_seconds: t0.elapsed().as_secs_f64(),
         gp_iterations,
         route_iterations,
@@ -404,7 +928,10 @@ pub fn run_flow(design: &mut Design, cfg: &RoutabilityConfig) -> FlowReport {
         density_overflow: session.overflow(),
         log,
         inflation_ratios,
-    }
+        warnings,
+        rollbacks,
+        resumed_from,
+    })
 }
 
 #[cfg(test)]
@@ -433,11 +960,14 @@ mod tests {
     #[test]
     fn xplace_preset_runs_no_routability_iters() {
         let mut d = congested_design(1);
-        let r = run_flow(&mut d, &RoutabilityConfig::preset(PlacerPreset::Xplace));
+        let r = run_flow(&mut d, &RoutabilityConfig::preset(PlacerPreset::Xplace)).unwrap();
         assert_eq!(r.route_iterations, 0);
         assert!(r.log.is_empty());
         assert!(r.gp_iterations > 20);
         assert!(r.hpwl > 0.0);
+        assert!(r.warnings.is_empty());
+        assert_eq!(r.rollbacks, 0);
+        assert_eq!(r.resumed_from, None);
     }
 
     #[test]
@@ -447,7 +977,7 @@ mod tests {
         cfg.gp.max_iters = 120;
         cfg.max_route_iters = 4;
         cfg.gp_iters_per_route = 10;
-        let r = run_flow(&mut d, &cfg);
+        let r = run_flow(&mut d, &cfg).unwrap();
         assert!(r.route_iterations >= 1);
         assert_eq!(r.log.len(), r.route_iterations);
         // DC is active: λ₂ and virtual cells appear once congestion exists.
@@ -465,13 +995,13 @@ mod tests {
 
         let mut xcfg = RoutabilityConfig::preset(PlacerPreset::Xplace);
         xcfg.gp.max_iters = 150;
-        run_flow(&mut d_x, &xcfg);
+        run_flow(&mut d_x, &xcfg).unwrap();
 
         let mut ocfg = RoutabilityConfig::preset(PlacerPreset::Ours);
         ocfg.gp.max_iters = 150;
         ocfg.max_route_iters = 5;
         ocfg.gp_iters_per_route = 12;
-        run_flow(&mut d_o, &ocfg);
+        run_flow(&mut d_o, &ocfg).unwrap();
 
         let router = GlobalRouter::default();
         let over_x = router.route(&d_x).maps.total_overflow();
@@ -487,10 +1017,29 @@ mod tests {
         cfg.gp.max_iters = 80;
         cfg.max_route_iters = 2;
         cfg.gp_iters_per_route = 6;
-        let r1 = run_flow(&mut d1, &cfg);
-        let r2 = run_flow(&mut d2, &cfg);
+        let r1 = run_flow(&mut d1, &cfg).unwrap();
+        let r2 = run_flow(&mut d2, &cfg).unwrap();
         assert_eq!(d1.positions(), d2.positions());
         assert_eq!(r1.route_iterations, r2.route_iterations);
+    }
+
+    /// The health sentinels are on by default and must not perturb a
+    /// healthy run: disabling them entirely yields bit-identical results.
+    #[test]
+    fn health_monitoring_does_not_change_healthy_runs() {
+        let mut d1 = congested_design(4);
+        let mut d2 = congested_design(4);
+        let mut cfg = RoutabilityConfig::preset(PlacerPreset::Ours);
+        cfg.gp.max_iters = 60;
+        cfg.max_route_iters = 2;
+        cfg.gp_iters_per_route = 6;
+        let r1 = run_flow(&mut d1, &cfg).unwrap();
+        cfg.gp.health = rdp_guard::HealthPolicy::disabled();
+        let r2 = run_flow(&mut d2, &cfg).unwrap();
+        assert_eq!(d1.positions(), d2.positions());
+        assert_eq!(r1.hpwl.to_bits(), r2.hpwl.to_bits());
+        assert_eq!(r1.rollbacks, 0);
+        assert!(r1.warnings.is_empty());
     }
 
     /// The best-snapshot guard: the final placement's routed overflow is
@@ -504,7 +1053,7 @@ mod tests {
         cfg.max_route_iters = 8;
         cfg.gp_iters_per_route = 16;
         cfg.stop_patience = 99; // never stop early: stress the guard
-        let r = run_flow(&mut d, &cfg);
+        let r = run_flow(&mut d, &cfg).unwrap();
         let best_logged = r
             .log
             .iter()
@@ -527,7 +1076,7 @@ mod tests {
         cfg.gp.max_iters = 80;
         cfg.max_route_iters = 2;
         cfg.gp_iters_per_route = 6;
-        let r = run_flow(&mut d, &cfg);
+        let r = run_flow(&mut d, &cfg).unwrap();
         let ratios = r.inflation_ratios.expect("monotone inflation ran");
         assert_eq!(ratios.len(), d.num_cells());
         assert!(ratios.iter().all(|&x| x >= 0.9 && x <= 2.0));
@@ -540,7 +1089,7 @@ mod tests {
         cfg.gp.max_iters = 60;
         cfg.max_route_iters = 3;
         cfg.gp_iters_per_route = 4;
-        let r = run_flow(&mut d, &cfg);
+        let r = run_flow(&mut d, &cfg).unwrap();
         let csv = r.log_csv();
         assert_eq!(csv.lines().count(), r.route_iterations + 1);
         assert!(csv.starts_with("iter,overflow"));
@@ -557,7 +1106,7 @@ mod tests {
         cfg.gp.max_iters = 60;
         cfg.max_route_iters = 2;
         cfg.gp_iters_per_route = 4;
-        let r = run_flow(&mut d, &cfg);
+        let r = run_flow(&mut d, &cfg).unwrap();
         let shown = format!("{r}");
         assert!(shown.contains("routability iters"));
         assert!(shown.contains("HPWL"));
@@ -573,5 +1122,157 @@ mod tests {
         assert!(!xr.enable_dc && ours.enable_dc);
         assert_eq!(xr.dpa, Some(DpaMode::Static));
         assert_eq!(ours.dpa, Some(DpaMode::Dynamic));
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_bytes() {
+        let cp = FlowCheckpoint {
+            next_route_iter: 3,
+            gp_iterations: 42,
+            positions: vec![Point::new(1.5, -2.25), Point::new(0.0, 7.0)],
+            session: GpSnapshot {
+                positions: vec![Point::new(1.5, -2.25)],
+                lambda1: 0.125,
+                last_overflow: 0.3,
+                gamma_boost: 1.5,
+                steps_done: 99,
+            },
+            inflation: InflationSnapshot {
+                r: vec![1.0, 1.1],
+                effective: vec![1.0, 1.05],
+                delta_r: vec![0.0, 0.1],
+                c_prev: vec![0.2, 0.0],
+                mean_prev: 0.1,
+                t: 2,
+            },
+            best_penalty: 12.5,
+            stale: 1,
+            best: Some((3.75, vec![Point::new(4.0, 4.0), Point::new(5.0, 5.0)])),
+            log: vec![RouteIterLog {
+                iter: 1,
+                overflow: 10.0,
+                max_congestion: 1.5,
+                c_penalty: 0.4,
+                lambda2: 0.01,
+                virtual_cells: 7,
+                hpwl: 1234.5,
+            }],
+            warnings: vec![Warning::new(Stage::Routing, 2, "fell back to RUDY")],
+            rollbacks: 1,
+        };
+        let bytes = cp.to_bytes();
+        let back = FlowCheckpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(cp, back);
+    }
+
+    #[test]
+    fn corrupted_checkpoint_is_a_typed_error() {
+        let cp = FlowCheckpoint {
+            next_route_iter: 1,
+            gp_iterations: 0,
+            positions: vec![Point::new(1.0, 2.0)],
+            session: GpSnapshot::default(),
+            inflation: InflationSnapshot::default(),
+            best_penalty: f64::INFINITY,
+            stale: 0,
+            best: None,
+            log: Vec::new(),
+            warnings: Vec::new(),
+            rollbacks: 0,
+        };
+        let mut bytes = cp.to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x5a;
+        let err = FlowCheckpoint::from_bytes(&bytes).unwrap_err();
+        assert_eq!(err.stage(), Some(Stage::Checkpoint), "{err}");
+        // Truncation is also caught.
+        let cut = cp.to_bytes();
+        let err2 = FlowCheckpoint::from_bytes(&cut[..cut.len() - 3]).unwrap_err();
+        assert_eq!(err2.stage(), Some(Stage::Checkpoint), "{err2}");
+    }
+
+    /// Kill-and-resume: a flow checkpointed at a routability iteration and
+    /// resumed in a fresh process state reproduces the uninterrupted run's
+    /// final HPWL and overflow **bitwise**.
+    #[test]
+    fn resume_from_checkpoint_is_bitwise_identical() {
+        let mut cfg = RoutabilityConfig::preset(PlacerPreset::Ours);
+        cfg.gp.max_iters = 60;
+        cfg.max_route_iters = 3;
+        cfg.gp_iters_per_route = 6;
+        cfg.stop_patience = 99;
+
+        // Uninterrupted run, capturing a checkpoint at iteration 2.
+        let mut d_full = congested_design(11);
+        let mut captured: Option<Vec<u8>> = None;
+        let mut cb = |cp: &FlowCheckpoint| {
+            if cp.next_route_iter == 2 {
+                captured = Some(cp.to_bytes());
+            }
+        };
+        let r_full = run_flow_with(
+            &mut d_full,
+            &cfg,
+            FlowControl {
+                on_checkpoint: Some(&mut cb),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let bytes = captured.expect("checkpoint at iteration 2");
+
+        // "Killed" run: a fresh design resumed from the serialized bytes.
+        let mut d_res = congested_design(11);
+        let cp = FlowCheckpoint::from_bytes(&bytes).unwrap();
+        let r_res = run_flow_with(
+            &mut d_res,
+            &cfg,
+            FlowControl {
+                resume: Some(cp),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+        assert_eq!(r_res.resumed_from, Some(2));
+        assert_eq!(r_full.hpwl.to_bits(), r_res.hpwl.to_bits());
+        assert_eq!(
+            r_full.density_overflow.to_bits(),
+            r_res.density_overflow.to_bits()
+        );
+        assert_eq!(d_full.positions(), d_res.positions());
+        assert_eq!(r_full.route_iterations, r_res.route_iterations);
+        assert_eq!(r_full.log, r_res.log);
+    }
+
+    /// A NaN injected mid-flow is caught by the sentinels, rolled back,
+    /// and the flow still completes with a report (not a panic, not an
+    /// error) while recording the rollback.
+    #[test]
+    fn injected_nan_rolls_back_and_completes() {
+        let mut cfg = RoutabilityConfig::preset(PlacerPreset::Ours);
+        cfg.gp.max_iters = 60;
+        cfg.max_route_iters = 2;
+        cfg.gp_iters_per_route = 6;
+        let mut d = congested_design(12);
+        let r = run_flow_with(
+            &mut d,
+            &cfg,
+            FlowControl {
+                fault: Some(FlowFault::NanReference {
+                    route_iter: 1,
+                    gp_iter: 2,
+                }),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(r.rollbacks >= 1, "{r}");
+        assert!(!r.warnings.is_empty());
+        assert!(r.hpwl.is_finite());
+        assert!(d
+            .positions()
+            .iter()
+            .all(|p| p.x.is_finite() && p.y.is_finite()));
     }
 }

@@ -66,6 +66,24 @@ impl Default for InflationBounds {
     }
 }
 
+/// Portable capture of an [`InflationState`]'s evolving fields, used by
+/// the flow checkpoint (`FlowCheckpoint`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InflationSnapshot {
+    /// Raw policy ratios `r_i^t`.
+    pub r: Vec<f64>,
+    /// Budget-enforced effective ratios.
+    pub effective: Vec<f64>,
+    /// Momentum terms Δr.
+    pub delta_r: Vec<f64>,
+    /// Previous-iteration congestion per cell.
+    pub c_prev: Vec<f64>,
+    /// Previous-iteration mean congestion.
+    pub mean_prev: f64,
+    /// Inflation iterations performed.
+    pub t: u64,
+}
+
 /// Per-cell inflation state across routability iterations.
 #[derive(Debug, Clone)]
 pub struct InflationState {
@@ -108,6 +126,43 @@ impl InflationState {
     /// Inflation iterations performed.
     pub fn iteration(&self) -> usize {
         self.t
+    }
+
+    /// Captures the full evolving state for a flow checkpoint. The policy
+    /// and bounds are configuration, not state — the restoring side
+    /// supplies them again via [`InflationState::new`].
+    pub fn save_state(&self) -> InflationSnapshot {
+        InflationSnapshot {
+            r: self.r.clone(),
+            effective: self.effective.clone(),
+            delta_r: self.delta_r.clone(),
+            c_prev: self.c_prev.clone(),
+            mean_prev: self.mean_prev,
+            t: self.t as u64,
+        }
+    }
+
+    /// Restores a [`save_state`](InflationState::save_state) capture onto
+    /// a freshly-constructed state with the same cell count.
+    pub fn restore_state(&mut self, snap: &InflationSnapshot) -> Result<(), rdp_guard::RdpError> {
+        let n = self.r.len();
+        if snap.r.len() != n
+            || snap.effective.len() != n
+            || snap.delta_r.len() != n
+            || snap.c_prev.len() != n
+        {
+            return Err(rdp_guard::RdpError::checkpoint(format!(
+                "inflation snapshot covers {} cells, design has {n}",
+                snap.r.len()
+            )));
+        }
+        self.r.copy_from_slice(&snap.r);
+        self.effective.copy_from_slice(&snap.effective);
+        self.delta_r.copy_from_slice(&snap.delta_r);
+        self.c_prev.copy_from_slice(&snap.c_prev);
+        self.mean_prev = snap.mean_prev;
+        self.t = snap.t as usize;
+        Ok(())
     }
 
     /// Advances one inflation iteration using the congestion of each

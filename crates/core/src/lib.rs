@@ -25,9 +25,16 @@
 //! use rdp_gen::generate_named;
 //!
 //! let mut design = generate_named("fft_1").unwrap();
-//! let report = run_flow(&mut design, &RoutabilityConfig::preset(PlacerPreset::Ours));
+//! let report = run_flow(&mut design, &RoutabilityConfig::preset(PlacerPreset::Ours))
+//!     .expect("flow diverged beyond recovery");
 //! println!("placed in {:.1}s, HPWL {:.0}", report.place_seconds, report.hpwl);
 //! ```
+//!
+//! `run_flow` returns `Result`: numerical blow-ups are detected by the
+//! [`rdp_guard`] health sentinels, rolled back, and re-tuned
+//! automatically; only unrecoverable divergence or invalid configuration
+//! surfaces as an [`RdpError`]. See [`run_flow_with`] for
+//! checkpoint/resume ([`FlowCheckpoint`]) and degraded-mode reporting.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,13 +53,17 @@ pub use congestion::CongestionField;
 pub use density::{DensityField, DensityModel};
 pub use dpa::{select_rails, DpaConfig, PgDensity};
 pub use flow::{
-    run_flow, DcSource, DpaMode, FlowReport, PlacerPreset, RoutabilityConfig, RouteIterLog,
+    run_flow, run_flow_with, DcSource, DpaMode, FlowCheckpoint, FlowControl, FlowFault, FlowReport,
+    PlacerPreset, RoutabilityConfig, RouteIterLog,
 };
-pub use inflate::{InflationBounds, InflationPolicy, InflationState};
+pub use inflate::{InflationBounds, InflationPolicy, InflationSnapshot, InflationState};
 pub use nesterov::NesterovSolver;
 pub use netmove::{
     congestion_gradients, lambda2, two_pin_gradient, CongestionGradients, NetMoveConfig,
     VirtualCellInfo,
 };
-pub use placer::{GlobalPlacer, GpSession, PlaceStats, PlacerConfig, StepExtras, StepReport};
+pub use placer::{
+    GlobalPlacer, GpSession, GpSnapshot, PlaceStats, PlacerConfig, StepExtras, StepReport,
+};
+pub use rdp_guard::{HealthPolicy, RdpError, Stage, Warning};
 pub use wirelength::{WaModel, WaScratch};

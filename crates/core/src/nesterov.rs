@@ -65,6 +65,16 @@ impl NesterovSolver {
         self.iter = 0;
     }
 
+    /// Fault-injection hook for the robustness suite: corrupts the first
+    /// reference coordinate with NaN so the next gradient evaluation sees
+    /// poisoned state, exactly as a numerical blow-up would produce.
+    #[doc(hidden)]
+    pub fn poison_reference(&mut self) {
+        if let Some(p) = self.v.first_mut() {
+            p.x = f64::NAN;
+        }
+    }
+
     /// One Nesterov iteration.
     ///
     /// `eval` receives the reference positions and must write the gradient

@@ -165,7 +165,11 @@ pub fn two_pin_gradient(
     std_area: f64,
 ) -> Option<VirtualCellInfo> {
     let pins = &design.net(net).pins;
-    debug_assert_eq!(pins.len(), 2);
+    if pins.len() != 2 {
+        // Degenerate (single-pin) or multi-pin nets have no two-pin
+        // decomposition here; treat like k = 0 instead of aborting.
+        return None;
+    }
     let p1 = design.pin_position(pins[0]);
     let p2 = design.pin_position(pins[1]);
     let c1 = design.pin(pins[0]).cell;

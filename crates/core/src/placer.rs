@@ -9,6 +9,7 @@
 //! target is reached.
 
 use rdp_db::{CellId, Design, Map2d, Point};
+use rdp_guard::{HealthPolicy, RdpError, Stage};
 
 use crate::density::{DensityField, DensityModel};
 use crate::nesterov::NesterovSolver;
@@ -32,6 +33,8 @@ pub struct PlacerConfig {
     /// (the ePlace/Xplace initialization). When false the current
     /// positions are used as the starting point.
     pub center_init: bool,
+    /// Numerical-health monitor policy (sentinels + rollback budget).
+    pub health: HealthPolicy,
 }
 
 impl Default for PlacerConfig {
@@ -43,6 +46,7 @@ impl Default for PlacerConfig {
             gamma_factor: 0.5,
             lambda_growth: 1.05,
             center_init: true,
+            health: HealthPolicy::default(),
         }
     }
 }
@@ -73,6 +77,25 @@ pub struct StepReport {
     pub gamma: f64,
 }
 
+/// Portable capture of a session's evolving optimizer state, taken with
+/// [`GpSession::save_state`] and applied with [`GpSession::restore_state`].
+/// Positions are in movable-cell order. Used both as the per-step
+/// last-good state for divergence rollback and as part of the flow
+/// checkpoint.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GpSnapshot {
+    /// Committed positions of the movable cells (optimization order).
+    pub positions: Vec<Point>,
+    /// Density weight λ₁.
+    pub lambda1: f64,
+    /// Overflow at the most recent gradient evaluation.
+    pub last_overflow: f64,
+    /// Rollback γ boost (1.0 until a rollback re-tunes the session).
+    pub gamma_boost: f64,
+    /// Total Nesterov steps executed.
+    pub steps_done: u64,
+}
+
 /// One live global-placement optimization session.
 #[derive(Debug)]
 pub struct GpSession {
@@ -82,7 +105,15 @@ pub struct GpSession {
     solver: NesterovSolver,
     lambda1: f64,
     base_gamma: f64,
+    /// Multiplier on the base γ, raised by divergence rollbacks to smooth
+    /// the WA model. 1.0 on healthy runs, so results are untouched.
+    gamma_boost: f64,
     last_overflow: f64,
+    /// Total steps executed (error/warning context).
+    steps_done: u64,
+    /// Stage label attached to health errors (the flow switches it to
+    /// `Routability` for phase 2).
+    stage: Stage,
     /// Full-design gradient scratch reused across iterations.
     full_grad: Vec<Point>,
     /// WA per-pin scratch reused across iterations.
@@ -133,10 +164,127 @@ impl GpSession {
             solver: NesterovSolver::new(init, first_step),
             lambda1,
             base_gamma,
+            gamma_boost: 1.0,
             last_overflow,
+            steps_done: 0,
+            stage: Stage::WirelengthGp,
             full_grad: vec![Point::default(); num_cells],
             wa_scratch: WaScratch::new(),
         }
+    }
+
+    /// Rebuilds a session around the design's **current** positions with
+    /// explicit optimizer scalars — the checkpoint-resume constructor.
+    /// Unlike [`GpSession::new`] it never re-initializes positions and
+    /// never recomputes λ₁, so a resumed flow continues bit-for-bit where
+    /// the checkpointed one left off.
+    pub fn resume(
+        design: &mut Design,
+        cfg: PlacerConfig,
+        snap: &GpSnapshot,
+    ) -> Result<Self, RdpError> {
+        let model = DensityModel::new(design);
+        let movable: Vec<CellId> = design.movable_cells().collect();
+        if snap.positions.len() != movable.len() {
+            return Err(RdpError::checkpoint(format!(
+                "session snapshot has {} movable positions, design has {}",
+                snap.positions.len(),
+                movable.len()
+            )));
+        }
+        let grid = model.grid();
+        let base_gamma = cfg.gamma_factor * 0.5 * (grid.bin_w() + grid.bin_h());
+        for (k, &id) in movable.iter().enumerate() {
+            design.set_pos(id, snap.positions[k]);
+        }
+        let first_step = grid.bin_w().min(grid.bin_h());
+        let num_cells = design.num_cells();
+        Ok(GpSession {
+            cfg,
+            model,
+            movable,
+            solver: NesterovSolver::new(snap.positions.clone(), first_step),
+            lambda1: snap.lambda1,
+            base_gamma,
+            gamma_boost: snap.gamma_boost,
+            last_overflow: snap.last_overflow,
+            steps_done: snap.steps_done,
+            stage: Stage::WirelengthGp,
+            full_grad: vec![Point::default(); num_cells],
+            wa_scratch: WaScratch::new(),
+        })
+    }
+
+    /// Captures the evolving optimizer state (positions + scalars).
+    pub fn save_state(&self) -> GpSnapshot {
+        let mut snap = GpSnapshot::default();
+        self.save_state_into(&mut snap);
+        snap
+    }
+
+    /// [`GpSession::save_state`] into an existing buffer — no allocation
+    /// after the first call, cheap enough to run every step for the
+    /// last-good rollback state.
+    pub fn save_state_into(&self, snap: &mut GpSnapshot) {
+        snap.positions.resize(self.movable.len(), Point::default());
+        snap.positions.copy_from_slice(self.solver.positions());
+        snap.lambda1 = self.lambda1;
+        snap.last_overflow = self.last_overflow;
+        snap.gamma_boost = self.gamma_boost;
+        snap.steps_done = self.steps_done;
+    }
+
+    /// Restores a [`GpSession::save_state`] capture: positions are written
+    /// back into the design, the Nesterov solver is rebuilt (momentum is
+    /// deliberately discarded — the saved state is a restart point), and
+    /// the optimizer scalars are reinstated.
+    pub fn restore_state(
+        &mut self,
+        design: &mut Design,
+        snap: &GpSnapshot,
+    ) -> Result<(), RdpError> {
+        if snap.positions.len() != self.movable.len() {
+            return Err(RdpError::checkpoint(format!(
+                "session snapshot has {} movable positions, session has {}",
+                snap.positions.len(),
+                self.movable.len()
+            )));
+        }
+        for (k, &id) in self.movable.iter().enumerate() {
+            design.set_pos(id, snap.positions[k]);
+        }
+        self.solver = NesterovSolver::new(snap.positions.clone(), self.solver.first_step_distance);
+        self.lambda1 = snap.lambda1;
+        self.last_overflow = snap.last_overflow;
+        self.gamma_boost = snap.gamma_boost;
+        self.steps_done = snap.steps_done;
+        Ok(())
+    }
+
+    /// Re-tunes the model after a divergence rollback: boosts γ (smoother
+    /// WA, tamer gradients) and damps λ₁ per the health policy.
+    pub fn retune_after_rollback(&mut self) {
+        self.gamma_boost *= self.cfg.health.gamma_boost_on_rollback;
+        self.lambda1 *= self.cfg.health.lambda_damp_on_rollback;
+    }
+
+    /// Labels subsequent health errors with `stage` (the flow switches to
+    /// [`Stage::Routability`] for phase 2).
+    pub fn set_stage(&mut self, stage: Stage) {
+        self.stage = stage;
+    }
+
+    /// Current rollback γ boost (1.0 when no rollback has occurred).
+    pub fn gamma_boost(&self) -> f64 {
+        self.gamma_boost
+    }
+
+    /// Fault-injection hook (robustness suite): poisons the solver's
+    /// reference state with NaN so the next step fails exactly as a real
+    /// numerical blow-up would.
+    #[doc(hidden)]
+    pub fn inject_nan_reference(&mut self) {
+        self.solver.poison_reference();
     }
 
     /// The density model (shared bin grid).
@@ -171,8 +319,13 @@ impl GpSession {
     /// wirelength and congestion terms, so each routability iteration
     /// re-anchors it (with `factor` > 1 keeping density dominant enough
     /// to realize the inflation-driven spreading).
-    pub fn rebalance_lambda1(&mut self, design: &Design, extras: &StepExtras<'_>, factor: f64) {
-        let gamma = self.base_gamma * gamma_scale(self.last_overflow);
+    pub fn rebalance_lambda1(
+        &mut self,
+        design: &Design,
+        extras: &StepExtras<'_>,
+        factor: f64,
+    ) -> Result<(), RdpError> {
+        let gamma = self.gamma_boost * self.base_gamma * gamma_scale(self.last_overflow);
         let field = self.model.compute(
             design,
             extras.inflation,
@@ -186,21 +339,41 @@ impl GpSession {
             .accumulate_gradient(design, &field, extras.inflation, 1.0, &mut gd);
         let l1_w: f64 = self.movable.iter().map(|&c| l1(gw[c.index()])).sum();
         let l1_d: f64 = self.movable.iter().map(|&c| l1(gd[c.index()])).sum();
+        let it = Some(self.steps_done as usize);
+        let health = &self.cfg.health;
+        health.check_scalar(self.stage, "wirelength gradient norm", it, l1_w)?;
+        health.check_scalar(self.stage, "density gradient norm", it, l1_d)?;
         if l1_d > 1e-12 {
             self.lambda1 = factor * l1_w / l1_d;
         }
+        Ok(())
     }
 
     /// Runs one Nesterov step of problem (2)/(5) and writes the updated
     /// positions back into the design.
-    pub fn step(&mut self, design: &mut Design, extras: &StepExtras<'_>) -> StepReport {
+    ///
+    /// With the health monitor enabled, the WA + density + congestion
+    /// gradient, the density metrics, and the proposed positions are
+    /// sentinel-checked; a trip returns a typed [`RdpError`] and leaves
+    /// the design in an **undefined intermediate state** — callers must
+    /// either roll back via [`GpSession::restore_state`] or abandon the
+    /// session (the flow does the former).
+    pub fn step(
+        &mut self,
+        design: &mut Design,
+        extras: &StepExtras<'_>,
+    ) -> Result<StepReport, RdpError> {
         let die = design.die();
-        let gamma = self.base_gamma * gamma_scale(self.last_overflow);
+        let gamma = self.gamma_boost * self.base_gamma * gamma_scale(self.last_overflow);
         let wa = WaModel::new(gamma);
         let target = self.cfg.target_density;
+        let health = self.cfg.health;
+        let stage = self.stage;
+        let iteration = Some(self.steps_done as usize);
 
         let mut overflow = self.last_overflow;
         let mut density_penalty = 0.0;
+        let mut health_err: Option<RdpError> = None;
         let lambda1 = self.lambda1;
         let pool = Pool::global();
         let GpSession {
@@ -214,6 +387,19 @@ impl GpSession {
 
         solver.step(
             |v, g| {
+                // A poisoned reference (NaN/Inf coordinate) would send the
+                // density model indexing bins out of range; screen it
+                // before any physics runs. With the check tripped the
+                // gradient stays zero and the error surfaces after the
+                // solver update, which the caller then rolls back.
+                if health.enabled && health_err.is_none() {
+                    health_err = health
+                        .check_points(stage, "reference positions", iteration, v)
+                        .err();
+                }
+                if health_err.is_some() {
+                    return;
+                }
                 // Scatter reference positions into the design.
                 for (k, &id) in movable.iter().enumerate() {
                     design.set_pos(id, v[k]);
@@ -235,9 +421,35 @@ impl GpSession {
                 for (k, &id) in movable.iter().enumerate() {
                     g[k] = full_grad[id.index()];
                 }
+
+                // One O(movable) scan covers the summed WA + density +
+                // congestion gradient; the two scalars cover the field.
+                if health.enabled && health_err.is_none() {
+                    health_err = health
+                        .check_scalar(stage, "density overflow", iteration, field.overflow)
+                        .and_then(|_| {
+                            health.check_scalar(stage, "density penalty", iteration, field.penalty)
+                        })
+                        .and_then(|_| {
+                            health.check_points(stage, "objective gradient", iteration, g)
+                        })
+                        .err();
+                }
             },
             |p| die.clamp_point(p),
         );
+
+        if let Some(e) = health_err {
+            return Err(e);
+        }
+        // Catches step-length blow-ups that turn finite gradients into
+        // non-finite proposals (projection keeps NaN as NaN).
+        self.cfg.health.check_points(
+            stage,
+            "cell positions",
+            iteration,
+            self.solver.positions(),
+        )?;
 
         // Commit the major solution.
         for (k, &id) in self.movable.iter().enumerate() {
@@ -245,12 +457,13 @@ impl GpSession {
         }
         self.last_overflow = overflow;
         self.lambda1 *= self.cfg.lambda_growth;
-        StepReport {
+        self.steps_done += 1;
+        Ok(StepReport {
             overflow,
             density_penalty,
             lambda1: self.lambda1,
             gamma,
-        }
+        })
     }
 }
 
@@ -301,21 +514,26 @@ impl GlobalPlacer {
     }
 
     /// Places the design, mutating cell positions, and returns statistics.
-    pub fn place(&self, design: &mut Design) -> PlaceStats {
+    ///
+    /// # Errors
+    ///
+    /// Propagates health-monitor trips ([`RdpError::NonFinite`]); the
+    /// rollback/retry policy lives in the flow (`run_flow`), not here.
+    pub fn place(&self, design: &mut Design) -> Result<PlaceStats, RdpError> {
         let mut session = GpSession::new(design, self.cfg.clone());
         let mut iterations = 0;
         for i in 0..self.cfg.max_iters {
-            let report = session.step(design, &StepExtras::default());
+            let report = session.step(design, &StepExtras::default())?;
             iterations = i + 1;
             if i >= 20 && report.overflow < self.cfg.stop_overflow {
                 break;
             }
         }
-        PlaceStats {
+        Ok(PlaceStats {
             iterations,
             hpwl: design.hpwl(),
             overflow: session.overflow(),
-        }
+        })
     }
 }
 
@@ -347,7 +565,7 @@ mod tests {
             max_iters: 300,
             ..PlacerConfig::default()
         });
-        let stats = placer.place(&mut d);
+        let stats = placer.place(&mut d).unwrap();
         assert!(
             stats.overflow < 0.12,
             "overflow {} after {} iters",
@@ -363,7 +581,7 @@ mod tests {
         let mut d = small();
         let tile_hpwl = d.hpwl();
         let placer = GlobalPlacer::default();
-        let stats = placer.place(&mut d);
+        let stats = placer.place(&mut d).unwrap();
         // Analytic GP on a clustered netlist should land within a small
         // multiple of the compact tile placement's HPWL.
         assert!(
@@ -377,7 +595,7 @@ mod tests {
     #[test]
     fn all_cells_stay_inside_die() {
         let mut d = small();
-        GlobalPlacer::default().place(&mut d);
+        GlobalPlacer::default().place(&mut d).unwrap();
         let die = d.die();
         for c in d.movable_cells() {
             assert!(die.contains(d.pos(c)), "{c} at {} outside", d.pos(c));
@@ -388,15 +606,15 @@ mod tests {
     fn placement_is_deterministic() {
         let mut d1 = small();
         let mut d2 = small();
-        GlobalPlacer::default().place(&mut d1);
-        GlobalPlacer::default().place(&mut d2);
+        GlobalPlacer::default().place(&mut d1).unwrap();
+        GlobalPlacer::default().place(&mut d2).unwrap();
         assert_eq!(d1.positions(), d2.positions());
     }
 
     #[test]
     fn extras_congestion_gradient_shifts_cells() {
         let mut d = small();
-        GlobalPlacer::default().place(&mut d);
+        GlobalPlacer::default().place(&mut d).unwrap();
         // A uniform rightward descent-gradient (negative x) pushes cells
         // right when applied via extras.
         let mut session = GpSession::new(
@@ -413,7 +631,7 @@ mod tests {
             ..Default::default()
         };
         for _ in 0..5 {
-            session.step(&mut d, &extras);
+            session.step(&mut d, &extras).unwrap();
         }
         let after: f64 = session.movable().iter().map(|&c| d.pos(c).x).sum::<f64>();
         assert!(after > before, "after {after} !> before {before}");
@@ -424,12 +642,16 @@ mod tests {
         let mut d = small();
         let mut session = GpSession::new(&mut d, PlacerConfig::default());
         for _ in 0..10 {
-            session.step(&mut d, &StepExtras::default());
+            session.step(&mut d, &StepExtras::default()).unwrap();
         }
-        session.rebalance_lambda1(&d, &StepExtras::default(), 1.0);
+        session
+            .rebalance_lambda1(&d, &StepExtras::default(), 1.0)
+            .unwrap();
         let base = session.lambda1();
         assert!(base > 0.0 && base.is_finite());
-        session.rebalance_lambda1(&d, &StepExtras::default(), 3.0);
+        session
+            .rebalance_lambda1(&d, &StepExtras::default(), 3.0)
+            .unwrap();
         let tripled = session.lambda1();
         assert!(
             (tripled - 3.0 * base).abs() < 1e-9 * tripled,

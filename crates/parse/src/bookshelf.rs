@@ -142,13 +142,23 @@ pub fn read_bookshelf(name: &str, files: &BookshelfFiles) -> Result<Design, Pars
                     num("scl", ln, d)?,
                 ));
             }
-            ["CoreRow", y, h, x0, x1, sw] => rows.push(Row {
-                y: num("scl", ln, y)?,
-                height: num("scl", ln, h)?,
-                x0: num("scl", ln, x0)?,
-                x1: num("scl", ln, x1)?,
-                site_w: num("scl", ln, sw)?,
-            }),
+            ["CoreRow", y, h, x0, x1, sw] => {
+                let row = Row {
+                    y: num("scl", ln, y)?,
+                    height: num("scl", ln, h)?,
+                    x0: num("scl", ln, x0)?,
+                    x1: num("scl", ln, x1)?,
+                    site_w: num("scl", ln, sw)?,
+                };
+                if row.height <= 0.0 || row.site_w <= 0.0 {
+                    return Err(ParseDesignError::new(
+                        "scl",
+                        Some(ln + 1),
+                        "row height and site width must be positive",
+                    ));
+                }
+                rows.push(row);
+            }
             _ => {}
         }
     }
@@ -162,20 +172,45 @@ pub fn read_bookshelf(name: &str, files: &BookshelfFiles) -> Result<Design, Pars
     }
     let mut node_names: Vec<String> = Vec::new();
     let mut node_recs: Vec<NodeRec> = Vec::new();
+    let mut declared_nodes: Option<(usize, usize)> = None; // (count, header line)
     for (ln, line) in files.nodes.lines().enumerate() {
-        if line.starts_with("UCLA") || line.contains(':') || line.trim().is_empty() {
+        if line.starts_with("UCLA") || line.trim().is_empty() {
             continue;
         }
         let toks: Vec<&str> = line.split_whitespace().collect();
+        if let ["NumNodes", ":", n] = toks.as_slice() {
+            declared_nodes = Some((count("nodes", ln, n)?, ln + 1));
+            continue;
+        }
+        if line.contains(':') {
+            continue;
+        }
         if toks.len() < 3 {
             return Err(ParseDesignError::new("nodes", Some(ln + 1), "short line"));
         }
+        let (w, h) = (num("nodes", ln, toks[1])?, num("nodes", ln, toks[2])?);
+        if w < 0.0 || h < 0.0 {
+            return Err(ParseDesignError::new(
+                "nodes",
+                Some(ln + 1),
+                format!("negative cell size `{w} x {h}`"),
+            ));
+        }
         node_names.push(toks[0].to_string());
         node_recs.push(NodeRec {
-            w: num("nodes", ln, toks[1])?,
-            h: num("nodes", ln, toks[2])?,
+            w,
+            h,
             fixed: toks.get(3) == Some(&"terminal"),
         });
+    }
+    if let Some((n, header_ln)) = declared_nodes {
+        if n != node_recs.len() {
+            return Err(ParseDesignError::new(
+                "nodes",
+                Some(header_ln),
+                format!("NumNodes declares {n} but {} parsed", node_recs.len()),
+            ));
+        }
     }
 
     // --- pl ----------------------------------------------------------------
@@ -229,12 +264,16 @@ pub fn read_bookshelf(name: &str, files: &BookshelfFiles) -> Result<Design, Pars
             b.add_net(name, pins);
         }
     };
+    let mut declared_nets: Option<(usize, usize)> = None;
+    let mut parsed_nets = 0usize;
     for (ln, line) in files.nets.lines().enumerate() {
         let toks: Vec<&str> = line.split_whitespace().collect();
         match toks.as_slice() {
+            ["NumNets", ":", n] => declared_nets = Some((count("nets", ln, n)?, ln + 1)),
             ["NetDegree", ":", _k, name] => {
                 flush(&mut b, &mut current);
                 current = Some(((*name).to_string(), Vec::new()));
+                parsed_nets += 1;
             }
             [cell, _dir, ":", ox, oy] => {
                 let id = *ids.get(*cell).ok_or_else(|| {
@@ -248,6 +287,15 @@ pub fn read_bookshelf(name: &str, files: &BookshelfFiles) -> Result<Design, Pars
         }
     }
     flush(&mut b, &mut current);
+    if let Some((n, header_ln)) = declared_nets {
+        if n != parsed_nets {
+            return Err(ParseDesignError::new(
+                "nets",
+                Some(header_ln),
+                format!("NumNets declares {n} but {parsed_nets} parsed"),
+            ));
+        }
+    }
 
     // --- pg ----------------------------------------------------------------------
     for (ln, line) in files.pg.lines().enumerate() {
@@ -301,8 +349,22 @@ pub fn read_bookshelf(name: &str, files: &BookshelfFiles) -> Result<Design, Pars
 }
 
 fn num(ctx: &str, line: usize, tok: &str) -> Result<f64, ParseDesignError> {
+    let v: f64 = tok
+        .parse()
+        .map_err(|_| ParseDesignError::new(ctx, Some(line + 1), format!("bad number `{tok}`")))?;
+    if !v.is_finite() {
+        return Err(ParseDesignError::new(
+            ctx,
+            Some(line + 1),
+            format!("non-finite number `{tok}`"),
+        ));
+    }
+    Ok(v)
+}
+
+fn count(ctx: &str, line: usize, tok: &str) -> Result<usize, ParseDesignError> {
     tok.parse()
-        .map_err(|_| ParseDesignError::new(ctx, Some(line + 1), format!("bad number `{tok}`")))
+        .map_err(|_| ParseDesignError::new(ctx, Some(line + 1), format!("bad count `{tok}`")))
 }
 
 fn parse_dir(ctx: &str, line: usize, tok: &str) -> Result<Dir, ParseDesignError> {

@@ -181,7 +181,9 @@ pub fn read_lefdef(files: &LefDefFiles) -> Result<Design, ParseDesignError> {
             }
             ["CLASS", class, ";"] => {
                 if let Some(name) = &cur {
-                    let rec = types.get_mut(name).expect("MACRO open");
+                    let rec = types.get_mut(name).ok_or_else(|| {
+                        ParseDesignError::new("lef", Some(ln + 1), "CLASS outside MACRO")
+                    })?;
                     rec.kind = match *class {
                         "CORE" => CellKind::Std,
                         "BLOCK" => CellKind::Macro,
@@ -198,7 +200,9 @@ pub fn read_lefdef(files: &LefDefFiles) -> Result<Design, ParseDesignError> {
             }
             ["SIZE", w, "BY", h, ";"] => {
                 if let Some(name) = &cur {
-                    let rec = types.get_mut(name).expect("MACRO open");
+                    let rec = types.get_mut(name).ok_or_else(|| {
+                        ParseDesignError::new("lef", Some(ln + 1), "SIZE outside MACRO")
+                    })?;
                     rec.w = num("lef", ln, w)?;
                     rec.h = num("lef", ln, h)?;
                 }
@@ -297,6 +301,9 @@ pub fn read_lefdef(files: &LefDefFiles) -> Result<Design, ParseDesignError> {
                 }
                 "nets" => {
                     // - name ( comp dx dy ) ... ;
+                    if toks.len() < 2 {
+                        return Err(ParseDesignError::new("def", Some(ln + 1), "short net line"));
+                    }
                     let name = toks[1].to_string();
                     let mut pins = Vec::new();
                     let mut i = 2;
@@ -319,10 +326,14 @@ pub fn read_lefdef(files: &LefDefFiles) -> Result<Design, ParseDesignError> {
                 "specialnets" => {
                     // - PG M<k> <dir> RECT ( a b ) ( c d ) ;
                     if toks.len() >= 13 {
-                        let layer: u8 =
-                            toks[2].trim_start_matches('M').parse::<u8>().map_err(|_| {
+                        let layer: u8 = toks[2]
+                            .trim_start_matches('M')
+                            .parse::<u8>()
+                            .ok()
+                            .and_then(|m| m.checked_sub(1))
+                            .ok_or_else(|| {
                                 ParseDesignError::new("def", Some(ln + 1), "bad rail layer")
-                            })? - 1;
+                            })?;
                         let dir = match toks[3] {
                             "H" => Dir::Horizontal,
                             _ => Dir::Vertical,
@@ -398,8 +409,17 @@ pub fn read_lefdef(files: &LefDefFiles) -> Result<Design, ParseDesignError> {
 }
 
 fn num(ctx: &str, line: usize, tok: &str) -> Result<f64, ParseDesignError> {
-    tok.parse()
-        .map_err(|_| ParseDesignError::new(ctx, Some(line + 1), format!("bad number `{tok}`")))
+    let v: f64 = tok
+        .parse()
+        .map_err(|_| ParseDesignError::new(ctx, Some(line + 1), format!("bad number `{tok}`")))?;
+    if !v.is_finite() {
+        return Err(ParseDesignError::new(
+            ctx,
+            Some(line + 1),
+            format!("non-finite number `{tok}`"),
+        ));
+    }
+    Ok(v)
 }
 
 fn int(ctx: &str, line: usize, tok: &str) -> Result<i64, ParseDesignError> {

@@ -35,6 +35,16 @@ impl fmt::Display for ParseDesignError {
 
 impl Error for ParseDesignError {}
 
+impl From<ParseDesignError> for rdp_guard::RdpError {
+    fn from(e: ParseDesignError) -> Self {
+        rdp_guard::RdpError::Parse {
+            context: e.context,
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

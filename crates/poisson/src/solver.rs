@@ -84,6 +84,55 @@ impl PoissonSolver {
         PoissonSolver { nx, ny, wx, wy }
     }
 
+    /// Non-panicking [`PoissonSolver::new`]: returns a typed error on bad
+    /// grid dimensions or a degenerate region instead of aborting.
+    pub fn try_new(
+        nx: usize,
+        ny: usize,
+        width: f64,
+        height: f64,
+    ) -> Result<Self, rdp_guard::RdpError> {
+        if !(is_power_of_two(nx) && is_power_of_two(ny) && nx >= 2 && ny >= 2) {
+            return Err(rdp_guard::RdpError::Config {
+                detail: format!("poisson grid dims must be powers of two >= 2, got {nx}x{ny}"),
+            });
+        }
+        if !(width > 0.0 && height > 0.0) || !width.is_finite() || !height.is_finite() {
+            return Err(rdp_guard::RdpError::Config {
+                detail: format!(
+                    "poisson region must have positive finite size, got {width}x{height}"
+                ),
+            });
+        }
+        Ok(PoissonSolver::new(nx, ny, width, height))
+    }
+
+    /// [`PoissonSolver::solve`] with input/output health sentinels: the
+    /// charge map must be the right size and finite, and the returned
+    /// ψ/E fields are scanned before being handed back.
+    pub fn solve_checked(
+        &self,
+        rho: &[f64],
+        health: &rdp_guard::HealthPolicy,
+    ) -> Result<PoissonSolution, rdp_guard::RdpError> {
+        use rdp_guard::Stage;
+        if rho.len() != self.nx * self.ny {
+            return Err(rdp_guard::RdpError::Config {
+                detail: format!(
+                    "poisson charge buffer has {} entries, grid wants {}",
+                    rho.len(),
+                    self.nx * self.ny
+                ),
+            });
+        }
+        health.check_slice(Stage::Poisson, "charge density", None, rho)?;
+        let sol = self.solve(rho);
+        health.check_slice(Stage::Poisson, "potential psi", None, &sol.psi)?;
+        health.check_slice(Stage::Poisson, "field ex", None, &sol.ex)?;
+        health.check_slice(Stage::Poisson, "field ey", None, &sol.ey)?;
+        Ok(sol)
+    }
+
     /// Grid width in bins.
     pub fn nx(&self) -> usize {
         self.nx
@@ -424,5 +473,30 @@ mod tests {
     fn bad_buffer_panics() {
         let s = PoissonSolver::new(8, 8, 1.0, 1.0);
         s.solve(&[0.0; 10]);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_config_without_panicking() {
+        assert!(PoissonSolver::try_new(12, 8, 1.0, 1.0).is_err());
+        assert!(PoissonSolver::try_new(8, 8, 0.0, 1.0).is_err());
+        assert!(PoissonSolver::try_new(8, 8, f64::NAN, 1.0).is_err());
+        assert!(PoissonSolver::try_new(8, 8, 8.0, 8.0).is_ok());
+    }
+
+    #[test]
+    fn solve_checked_flags_bad_charge_and_matches_solve() {
+        let s = PoissonSolver::new(8, 8, 8.0, 8.0);
+        let health = rdp_guard::HealthPolicy::default();
+        // Wrong size: typed error, no panic.
+        assert!(s.solve_checked(&[0.0; 10], &health).is_err());
+        // NaN charge: typed error.
+        let mut rho = vec![0.0; 64];
+        rho[5] = f64::NAN;
+        assert!(s.solve_checked(&rho, &health).is_err());
+        // Healthy charge: identical to the unchecked path.
+        rho[5] = 1.0;
+        let a = s.solve(&rho);
+        let b = s.solve_checked(&rho, &health).unwrap();
+        assert_eq!(a, b);
     }
 }

@@ -162,3 +162,103 @@ fn astar_respects_lower_bound() {
         }
     );
 }
+
+/// Zero-capacity layers (`RoutingSpec::uniform(_, 0.0, ..)`): Eq. (3)
+/// congestion is +∞ everywhere demand lands, which downstream consumers
+/// must detect — but the router itself must not panic, demand must stay
+/// non-negative and finite, and nothing may go NaN.
+#[test]
+fn zero_capacity_layers_route_without_panicking() {
+    prop_check!(PropConfig::cases(16), arb_pins(), |pins: Vec<(
+        f64,
+        f64
+    )>| {
+        let d = design_with(pins, 0.0);
+        let r = GlobalRouter::default().route(&d);
+        prop_assert!(
+            r.wirelength.is_finite() && r.wirelength >= 0.0,
+            "wirelength {}",
+            r.wirelength
+        );
+        prop_assert!(r.vias >= 0.0 && r.vias.is_finite());
+        for iy in 0..r.congestion.ny() {
+            for ix in 0..r.congestion.nx() {
+                let dem = r.maps.demand_at(ix, iy);
+                prop_assert!(
+                    dem >= 0.0 && dem.is_finite(),
+                    "demand {} at ({}, {})",
+                    dem,
+                    ix,
+                    iy
+                );
+                prop_assert!(!r.congestion[(ix, iy)].is_nan(), "NaN congestion");
+            }
+        }
+        // Total overflow may legitimately be +∞ with zero capacity, but
+        // it must never be NaN (that would poison every comparison).
+        prop_assert!(!r.maps.total_overflow().is_nan());
+        Ok(())
+    });
+}
+
+/// Nets whose pins coincide in one G-cell (the closest a buildable design
+/// gets to a single-pin net) exercise the zero-length decomposition path;
+/// rip-up/re-route must never drive the demand accounting negative.
+#[test]
+fn coincident_pin_nets_keep_demand_non_negative() {
+    prop_check!(
+        PropConfig::cases(32),
+        (arb_pins(), range(0.2f64..2.0)),
+        |(pins, cap): (Vec<(f64, f64)>, f64)| {
+            let mut b = DesignBuilder::new("z", Rect::new(0.0, 0.0, 80.0, 80.0));
+            let ids: Vec<_> = pins
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| {
+                    b.add_cell(Cell::std(format!("c{i}"), 1.0, 1.0), Point::new(x, y))
+                })
+                .collect();
+            // Every net's two pins sit on the SAME cell at the same
+            // offset: a zero-length route occupying a single G-cell.
+            for (i, &id) in ids.iter().enumerate() {
+                b.add_net(
+                    format!("n{i}"),
+                    vec![(id, Point::default()), (id, Point::default())],
+                );
+            }
+            // Plus a couple of real nets so rip-up has something to tear.
+            for (i, pair) in ids.chunks(2).enumerate() {
+                if let [a, c] = pair {
+                    b.add_net(
+                        format!("m{i}"),
+                        vec![(*a, Point::default()), (*c, Point::default())],
+                    );
+                }
+            }
+            b.routing(RoutingSpec::uniform(4, cap, 16, 16));
+            let d = b.build().unwrap();
+            // Scarce capacity + aggressive rip-up maximizes the chance of
+            // demand-removal underflow.
+            let r = GlobalRouter::new(RouterConfig {
+                maze_rip_up: 50,
+                ..RouterConfig::default()
+            })
+            .route(&d);
+            for iy in 0..r.congestion.ny() {
+                for ix in 0..r.congestion.nx() {
+                    let dem = r.maps.demand_at(ix, iy);
+                    prop_assert!(
+                        dem >= -1e-9 && dem.is_finite(),
+                        "negative/non-finite demand {} at ({}, {})",
+                        dem,
+                        ix,
+                        iy
+                    );
+                }
+            }
+            prop_assert!(r.wirelength.is_finite());
+            prop_assert!(!r.maps.total_overflow().is_nan());
+            Ok(())
+        }
+    );
+}

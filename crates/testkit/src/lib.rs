@@ -41,9 +41,11 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod fault;
 pub mod prop;
 pub mod rng;
 
 pub use bench::{BenchHarness, BenchResult, Bencher};
+pub use fault::{FaultExpectation, FaultKind, FaultPlan};
 pub use prop::{range, range_inclusive, select, vecs, Gen, PropConfig};
 pub use rng::Rng;

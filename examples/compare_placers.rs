@@ -27,7 +27,8 @@ fn main() {
             &mut design,
             &RoutabilityConfig::preset(preset),
             &rdp::drc::EvalConfig::default(),
-        );
+        )
+        .expect("placement diverged beyond recovery");
         println!(
             "{:<14} {:>12.0} {:>10.0} {:>10.0} {:>8.2} {:>8.2}",
             label,

@@ -30,7 +30,8 @@ fn main() {
     run_flow(
         &mut design,
         &RoutabilityConfig::preset(PlacerPreset::Xplace),
-    );
+    )
+    .expect("wirelength placement diverged");
     // Anchor the routing capacity on this placement (as the experiment
     // harness does): 12% of G-cells are left over capacity, so the
     // congestion below is real and the routability flow has work to do.
@@ -49,7 +50,7 @@ fn main() {
     // Continue with the routability-driven flow.
     let mut cfg = RoutabilityConfig::preset(PlacerPreset::Ours);
     cfg.gp.center_init = false; // keep the wirelength placement as start
-    run_flow(&mut design, &cfg);
+    run_flow(&mut design, &cfg).expect("routability flow diverged");
     let after = router.route(&design);
     println!("== congestion after the routability-driven flow (Ours) ==");
     println!(

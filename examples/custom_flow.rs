@@ -52,7 +52,7 @@ fn main() {
         ..RoutabilityConfig::default()
     };
 
-    let report = run_flow(&mut design, &cfg);
+    let report = run_flow(&mut design, &cfg).expect("flow diverged beyond recovery");
     println!(
         "flow finished: {} + {} iterations, HPWL {:.0} um, {:.2}s",
         report.gp_iterations, report.route_iterations, report.hpwl, report.place_seconds

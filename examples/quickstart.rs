@@ -28,7 +28,8 @@ fn main() {
         &mut design,
         &RoutabilityConfig::preset(PlacerPreset::Ours),
         &rdp::drc::EvalConfig::default(),
-    );
+    )
+    .expect("placement diverged beyond recovery");
 
     println!();
     println!(

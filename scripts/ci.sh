@@ -35,4 +35,17 @@ if [[ -n "${scope}" ]]; then
     RDP_BENCH_SMOKE=1 cargo test -q --offline -p rdp-bench --benches
 fi
 
+# Fault-injection pass: the robustness suite (FaultPlan scenarios,
+# checkpoint corruption, kill-and-resume bitwise identity) and the
+# router/placer property tests run with a pinned generator seed so a
+# failure replays exactly, at both worker counts — resume must be
+# bitwise under parallel reductions too.
+echo "==> fault injection + robustness  (RDP_PROP_SEED=20250806, RDP_THREADS=1)"
+RDP_PROP_SEED=20250806 RDP_THREADS=1 cargo test -q --offline --test robustness
+RDP_PROP_SEED=20250806 RDP_THREADS=1 cargo test -q --offline -p rdp-route --test properties
+
+echo "==> fault injection + robustness  (RDP_PROP_SEED=20250806, RDP_THREADS=4)"
+RDP_PROP_SEED=20250806 RDP_THREADS=4 cargo test -q --offline --test robustness
+RDP_PROP_SEED=20250806 RDP_THREADS=4 cargo test -q --offline -p rdp-route --test properties
+
 echo "ci: all gates passed"

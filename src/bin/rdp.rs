@@ -5,6 +5,7 @@
 //! rdp stats    <input>                        design statistics
 //! rdp generate <name> --out DIR [--format F]  write a suite design to disk
 //! rdp place    <input> [--preset P] [--out DIR]   run the placement flow
+//!              [--checkpoint FILE] [--resume FILE]  resumable runs
 //! rdp route    <input>                        route + congestion summary
 //! rdp eval     <input>                        evaluate current placement
 //! rdp flow     <input> [--preset P]           full pipeline + report
@@ -19,7 +20,9 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use rdp::core::{run_flow, PlacerPreset, RoutabilityConfig};
+use rdp::core::{
+    run_flow, run_flow_with, FlowCheckpoint, FlowControl, PlacerPreset, RoutabilityConfig,
+};
 use rdp::db::DesignStats;
 use rdp::{place_and_evaluate, Design, EvalConfig};
 
@@ -62,6 +65,8 @@ commands:
   stats    <input>                         print design statistics
   generate <name> --out DIR [--format F]   write a suite design to disk
   place    <input> [--preset P] [--out DIR]  global placement flow
+           [--checkpoint FILE]               save resumable state each iteration
+           [--resume FILE]                   resume a killed run (bit-exact)
   route    <input>                         route and summarize congestion
   eval     <input>                         evaluate the current placement
   flow     <input> [--preset P]            place → legalize → evaluate
@@ -183,7 +188,50 @@ fn cmd_place(rest: &[String]) -> Result<(), String> {
     let spec = rest.first().ok_or("place needs an input")?;
     let preset = parse_preset(rest)?;
     let mut design = load_input(spec)?;
-    let report = run_flow(&mut design, &RoutabilityConfig::preset(preset));
+
+    // Checkpoint/resume: --checkpoint FILE rewrites FILE with the flow
+    // state at the top of every routability iteration; --resume FILE
+    // restarts a killed run from that state, reproducing the
+    // uninterrupted run bit-for-bit.
+    let checkpoint_path = flag(rest, "--checkpoint").map(PathBuf::from);
+    let resume = match flag(rest, "--resume") {
+        Some(path) => {
+            let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+            let cp = FlowCheckpoint::from_bytes(&bytes).map_err(|e| e.to_string())?;
+            println!(
+                "resuming `{}` from {} (routability iteration {})",
+                design.name(),
+                path,
+                cp.next_route_iter
+            );
+            Some(cp)
+        }
+        None => None,
+    };
+    let mut on_checkpoint = checkpoint_path.map(|path| {
+        move |cp: &FlowCheckpoint| {
+            // Atomic-ish write: tmp file then rename, so a kill mid-write
+            // never leaves a torn checkpoint behind.
+            let tmp = path.with_extension("tmp");
+            let res =
+                std::fs::write(&tmp, cp.to_bytes()).and_then(|_| std::fs::rename(&tmp, &path));
+            if let Err(e) = res {
+                eprintln!(
+                    "warning: failed to write checkpoint {}: {e}",
+                    path.display()
+                );
+            }
+        }
+    });
+    let ctrl = FlowControl {
+        resume,
+        on_checkpoint: on_checkpoint
+            .as_mut()
+            .map(|f| f as &mut dyn FnMut(&FlowCheckpoint)),
+        ..Default::default()
+    };
+    let report = run_flow_with(&mut design, &RoutabilityConfig::preset(preset), ctrl)
+        .map_err(|e| e.to_string())?;
     println!(
         "placed `{}`: {} WL iters + {} routability iters in {:.2}s, HPWL {:.0} um",
         design.name(),
@@ -192,6 +240,9 @@ fn cmd_place(rest: &[String]) -> Result<(), String> {
         report.place_seconds,
         report.hpwl
     );
+    for w in &report.warnings {
+        println!("  warning: {w}");
+    }
     if let Some(out) = flag(rest, "--out") {
         let format = flag(rest, "--format").unwrap_or("bookshelf");
         save_output(&design, Path::new(out), format)?;
@@ -268,7 +319,8 @@ fn cmd_flow(rest: &[String]) -> Result<(), String> {
         &mut design,
         &RoutabilityConfig::preset(preset),
         &EvalConfig::default(),
-    );
+    )
+    .map_err(|e| e.to_string())?;
     println!(
         "flow on `{}` ({:?}): PT {:.2}s, RT {:.2}s",
         design.name(),
@@ -300,7 +352,7 @@ fn cmd_render(rest: &[String]) -> Result<(), String> {
             "ours" => PlacerPreset::Ours,
             other => return Err(format!("unknown preset `{other}`")),
         };
-        run_flow(&mut design, &RoutabilityConfig::preset(preset));
+        run_flow(&mut design, &RoutabilityConfig::preset(preset)).map_err(|e| e.to_string())?;
     }
     let congestion = rest.iter().any(|a| a == "--congestion").then(|| {
         rdp::route::GlobalRouter::default()

@@ -26,7 +26,8 @@
 //!     &mut design,
 //!     &rdp::core::RoutabilityConfig::preset(PlacerPreset::Ours),
 //!     &rdp::drc::EvalConfig::default(),
-//! );
+//! )
+//! .expect("placement diverged beyond recovery");
 //! println!(
 //!     "DRWL {:.0} um, vias {:.0}, DRVs {:.0}",
 //!     report.eval.drwl, report.eval.drvias, report.eval.drvs
@@ -72,12 +73,17 @@ pub struct PipelineReport {
 /// When the flow ran with cell inflation, legalization and detailed
 /// placement use the inflated **virtual widths** so the congestion-driven
 /// spacing survives (the routability-driven LG/DP of the paper's Fig. 2).
+///
+/// Numerical blow-ups inside the flow roll back and re-tune
+/// automatically; an `Err` means the run diverged beyond the health
+/// policy's rollback budget (or the configuration was invalid) and the
+/// design was left unplaced-by-this-call.
 pub fn place_and_evaluate(
     design: &mut Design,
     cfg: &RoutabilityConfig,
     eval_cfg: &EvalConfig,
-) -> PipelineReport {
-    let flow = rdp_core::run_flow(design, cfg);
+) -> Result<PipelineReport, rdp_core::RdpError> {
+    let flow = rdp_core::run_flow(design, cfg)?;
     let virtual_widths = flow.inflation_ratios.as_ref().map(|ratios| {
         design
             .cells()
@@ -97,10 +103,10 @@ pub fn place_and_evaluate(
         ),
     };
     let eval = rdp_drc::evaluate(design, eval_cfg);
-    PipelineReport {
+    Ok(PipelineReport {
         flow,
         legal,
         detailed_gain,
         eval,
-    }
+    })
 }

@@ -49,8 +49,8 @@ fn same_seed_placement_metrics_identical_to_last_ulp() {
     // Identical netlist stats before placement.
     assert_eq!(DesignStats::of(&a), DesignStats::of(&b));
 
-    let sa = GlobalPlacer::default().place(&mut a);
-    let sb = GlobalPlacer::default().place(&mut b);
+    let sa = GlobalPlacer::default().place(&mut a).unwrap();
+    let sb = GlobalPlacer::default().place(&mut b).unwrap();
 
     assert_eq!(sa.iterations, sb.iterations);
     // Bitwise comparison: `to_bits` distinguishes even -0.0 from 0.0, so
@@ -93,8 +93,8 @@ fn tiny_design_determinism() {
     };
     let mut a = generate("tiny", &params);
     let mut b = generate("tiny", &params);
-    let sa = GlobalPlacer::default().place(&mut a);
-    let sb = GlobalPlacer::default().place(&mut b);
+    let sa = GlobalPlacer::default().place(&mut a).unwrap();
+    let sb = GlobalPlacer::default().place(&mut b).unwrap();
     assert_eq!(sa.hpwl.to_bits(), sb.hpwl.to_bits());
     assert_eq!(sa.overflow.to_bits(), sb.overflow.to_bits());
     assert_eq!(a.positions(), b.positions());

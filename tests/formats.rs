@@ -29,8 +29,8 @@ fn bookshelf_roundtrip_preserves_placement_behavior() {
 
     // The parsed design places identically to the original.
     let mut orig_copy = original.clone();
-    let s1 = GlobalPlacer::default().place(&mut orig_copy);
-    let s2 = GlobalPlacer::default().place(&mut reparsed);
+    let s1 = GlobalPlacer::default().place(&mut orig_copy).unwrap();
+    let s2 = GlobalPlacer::default().place(&mut reparsed).unwrap();
     assert_eq!(s1.iterations, s2.iterations);
     assert!((s1.hpwl - s2.hpwl).abs() < 1e-6 * s1.hpwl.max(1.0));
 }

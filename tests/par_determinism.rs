@@ -122,12 +122,12 @@ fn route_and_placement_thread_invariant_end_to_end() {
 
     set_global_threads(1);
     let mut d1 = test_design();
-    let stats1 = GlobalPlacer::default().place(&mut d1);
+    let stats1 = GlobalPlacer::default().place(&mut d1).unwrap();
     let r1 = route_of(&d1);
 
     set_global_threads(4);
     let mut d4 = test_design();
-    let stats4 = GlobalPlacer::default().place(&mut d4);
+    let stats4 = GlobalPlacer::default().place(&mut d4).unwrap();
     let r4 = route_of(&d4);
     set_global_threads(1);
 

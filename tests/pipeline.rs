@@ -29,7 +29,8 @@ fn full_pipeline_produces_legal_placement_and_metrics() {
         &mut d,
         &RoutabilityConfig::preset(PlacerPreset::Ours),
         &EvalConfig::default(),
-    );
+    )
+    .unwrap();
     assert!(report.eval.drwl > 0.0);
     assert!(report.eval.drvias > 0.0);
     assert!(report.eval.drvs >= 0.0);
@@ -43,8 +44,8 @@ fn pipeline_is_deterministic() {
     let mut d1 = congested(2);
     let mut d2 = congested(2);
     let cfg = RoutabilityConfig::preset(PlacerPreset::Ours);
-    let r1 = place_and_evaluate(&mut d1, &cfg, &EvalConfig::default());
-    let r2 = place_and_evaluate(&mut d2, &cfg, &EvalConfig::default());
+    let r1 = place_and_evaluate(&mut d1, &cfg, &EvalConfig::default()).unwrap();
+    let r2 = place_and_evaluate(&mut d2, &cfg, &EvalConfig::default()).unwrap();
     assert_eq!(d1.positions(), d2.positions());
     assert_eq!(r1.eval.drvs, r2.eval.drvs);
     assert_eq!(r1.eval.drwl, r2.eval.drwl);
@@ -60,12 +61,14 @@ fn routability_flow_does_not_hurt_routing_on_congested_design() {
         &mut d_x,
         &RoutabilityConfig::preset(PlacerPreset::Xplace),
         &EvalConfig::default(),
-    );
+    )
+    .unwrap();
     let ro = place_and_evaluate(
         &mut d_o,
         &RoutabilityConfig::preset(PlacerPreset::Ours),
         &EvalConfig::default(),
-    );
+    )
+    .unwrap();
     assert!(
         ro.eval.drv_overflow <= rx.eval.drv_overflow * 1.1 + 10.0,
         "ours {} vs xplace {}",
@@ -88,7 +91,8 @@ fn xplace_preset_skips_routability_machinery() {
         &mut d,
         &RoutabilityConfig::preset(PlacerPreset::Xplace),
         &EvalConfig::default(),
-    );
+    )
+    .unwrap();
     assert_eq!(r.flow.route_iterations, 0);
     assert!(r.flow.inflation_ratios.is_none());
     assert!(r.flow.log.is_empty());
@@ -101,7 +105,8 @@ fn flow_log_is_consistent() {
         &mut d,
         &RoutabilityConfig::preset(PlacerPreset::Ours),
         &EvalConfig::default(),
-    );
+    )
+    .unwrap();
     assert_eq!(r.flow.log.len(), r.flow.route_iterations);
     for (i, l) in r.flow.log.iter().enumerate() {
         assert_eq!(l.iter, i + 1);
