@@ -1,0 +1,164 @@
+//! Observability smoke check (CI gate): runs a traced 5k-cell flow with
+//! an injected numerical fault, then validates every exporter output —
+//! JSONL schema, Chrome trace_event structure, metrics JSON — and
+//! asserts that the trace covers every flow stage and mirrors every
+//! guard warning/rollback the report counted. Exits non-zero on any
+//! violation.
+//!
+//! ```sh
+//! cargo run --release -p rdp-bench --bin obs_smoke
+//! cargo run --release -p rdp-bench --bin obs_smoke -- --out DIR   # keep files
+//! ```
+
+use std::process::ExitCode;
+
+use rdp_core::{run_flow_with, FlowControl, FlowFault, PlacerPreset, RoutabilityConfig};
+use rdp_gen::{generate, GenParams};
+use rdp_obs::{
+    export_chrome_trace, export_jsonl, export_metrics_json, stage_table, validate_chrome_trace,
+    validate_trace_jsonl, Collector,
+};
+
+/// Span names a complete traced flow must contain. `checkpoint` is
+/// covered because the smoke run installs an `on_checkpoint` hook;
+/// `guard_warning`/`rollback` instants are forced by the injected fault.
+const REQUIRED_SPANS: &[&str] = &[
+    "wirelength_gp",
+    "gp_step",
+    "wa_grad",
+    "density_grad",
+    "density_field",
+    "poisson_solve",
+    "route_iter",
+    "route",
+    "route_decompose",
+    "route_pass",
+    "congestion_field",
+    "mci_update",
+    "dpa_density",
+    "netmove",
+    "gp_burst",
+    "checkpoint",
+    "final_route",
+];
+
+fn run() -> Result<(), String> {
+    let mut design = generate(
+        "obs-smoke",
+        &GenParams {
+            num_cells: 5_000,
+            num_macros: 2,
+            utilization: 0.6,
+            congestion_margin: 0.85,
+            seed: 7,
+            ..GenParams::default()
+        },
+    );
+
+    let obs = Collector::enabled();
+    let mut on_checkpoint = |_cp: &rdp_core::FlowCheckpoint| {};
+    let ctrl = FlowControl {
+        obs: obs.clone(),
+        // Poison the first net-moving gradient of iteration 1: the guard
+        // must catch it, warn, and roll back — giving the trace at least
+        // one guard_warning and one rollback instant to check parity on.
+        fault: Some(FlowFault::NanCongestionGrad { route_iter: 1 }),
+        on_checkpoint: Some(&mut on_checkpoint),
+        ..Default::default()
+    };
+    let report = run_flow_with(
+        &mut design,
+        &RoutabilityConfig::preset(PlacerPreset::Ours),
+        ctrl,
+    )
+    .map_err(|e| format!("flow failed: {e}"))?;
+
+    // 1. JSONL schema.
+    let jsonl = export_jsonl(&obs);
+    let summary = validate_trace_jsonl(&jsonl).map_err(|e| format!("JSONL invalid: {e}"))?;
+    println!(
+        "JSONL ok: {} spans, {} instants, {} dropped",
+        summary.spans, summary.instants, summary.dropped
+    );
+
+    // 2. Stage coverage.
+    for name in REQUIRED_SPANS {
+        if !summary.span_names.contains(*name) {
+            return Err(format!("trace is missing required span `{name}`"));
+        }
+    }
+    println!(
+        "stage coverage ok: all {} required spans",
+        REQUIRED_SPANS.len()
+    );
+
+    // 3. Warning/rollback parity between FlowReport and trace.
+    if summary.guard_warnings != report.warnings.len() as u64 {
+        return Err(format!(
+            "warning parity broken: report has {}, trace has {}",
+            report.warnings.len(),
+            summary.guard_warnings
+        ));
+    }
+    if summary.rollbacks != report.rollbacks as u64 {
+        return Err(format!(
+            "rollback parity broken: report has {}, trace has {}",
+            report.rollbacks, summary.rollbacks
+        ));
+    }
+    if summary.guard_warnings == 0 {
+        return Err("injected fault produced no guard_warning event".into());
+    }
+    println!(
+        "guard parity ok: {} warning(s), {} rollback(s) in both report and trace",
+        summary.guard_warnings, summary.rollbacks
+    );
+
+    // 4. Chrome trace structure.
+    let chrome = export_chrome_trace(&obs);
+    let n = validate_chrome_trace(&chrome).map_err(|e| format!("Chrome trace invalid: {e}"))?;
+    println!("Chrome trace ok: {n} events");
+
+    // 5. Metrics JSON parses and carries the convergence series.
+    let metrics = export_metrics_json(&obs);
+    let v = rdp_obs::json::parse(&metrics).map_err(|e| format!("metrics JSON invalid: {e}"))?;
+    for series in ["hpwl", "route_overflow", "lambda2", "density_overflow"] {
+        let pts = v
+            .get("series")
+            .and_then(|s| s.get(series))
+            .and_then(|s| s.as_arr())
+            .ok_or_else(|| format!("metrics missing series `{series}`"))?;
+        if pts.is_empty() {
+            return Err(format!("series `{series}` is empty"));
+        }
+    }
+    println!("metrics ok: convergence series present");
+
+    if let Some(dir) = std::env::args()
+        .position(|a| a == "--out")
+        .and_then(|i| std::env::args().nth(i + 1))
+    {
+        let dir = std::path::Path::new(&dir);
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        std::fs::write(dir.join("smoke.jsonl"), &jsonl).map_err(|e| e.to_string())?;
+        std::fs::write(dir.join("smoke_chrome.json"), &chrome).map_err(|e| e.to_string())?;
+        std::fs::write(dir.join("smoke_metrics.json"), &metrics).map_err(|e| e.to_string())?;
+        println!("kept trace files in {}", dir.display());
+    }
+
+    print!("{}", stage_table(&obs));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => {
+            println!("obs smoke: PASS");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("obs smoke: FAIL: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -5,9 +5,10 @@
 //! ```sh
 //! cargo run --release -p rdp-bench --bin table1            # all 20 designs
 //! cargo run --release -p rdp-bench --bin table1 -- --designs fft_1,fft_2
+//! cargo run --release -p rdp-bench --bin table1 -- --profile   # + stage time table
 //! ```
 
-use rdp_bench::{mean_ratio_by, mean_ratios, prepare_design, run_pipeline, RowResult};
+use rdp_bench::{mean_ratio_by, mean_ratios, prepare_design, run_pipeline_obs, RowResult};
 use rdp_core::{PlacerPreset, RoutabilityConfig};
 use rdp_drc::EvalConfig;
 
@@ -30,6 +31,14 @@ fn main() {
                 .map(|e| e.name.to_string())
                 .collect()
         });
+
+    // --profile: trace every run into one collector and append the
+    // aggregate per-stage time table after the Table I rows.
+    let obs = if args.iter().any(|a| a == "--profile") {
+        rdp_obs::Collector::enabled()
+    } else {
+        rdp_obs::Collector::disabled()
+    };
 
     let eval_cfg = EvalConfig::default();
     let mut results: Vec<Vec<RowResult>> = vec![Vec::new(); PRESETS.len()];
@@ -55,7 +64,8 @@ fn main() {
         let mut cells = String::new();
         for (pi, (_, preset)) in PRESETS.iter().enumerate() {
             let mut d = base.clone();
-            let row = run_pipeline(&mut d, &RoutabilityConfig::preset(*preset), &eval_cfg);
+            let row =
+                run_pipeline_obs(&mut d, &RoutabilityConfig::preset(*preset), &eval_cfg, &obs);
             cells.push_str(&format!(
                 " | {:>10.0} {:>8.0} {:>7.0} {:>6.2} {:>6.2}",
                 row.drwl, row.drvias, row.drvs, row.pt, row.rt
@@ -86,4 +96,8 @@ fn main() {
     println!(
         "paper Table I avg ratios      |  DRWL 1.00  vias 1.00  DRVs 5.00 (Xplace)  |  1.00 / 0.99 / 1.40 (Xplace-Route)  |  1.00 / 1.00 / 1.00 (Ours)"
     );
+    if obs.is_enabled() {
+        println!("\nstage profile (all designs × presets aggregated):");
+        print!("{}", rdp_obs::stage_table(&obs));
+    }
 }

@@ -68,21 +68,39 @@ pub fn run_pipeline(
     cfg: &RoutabilityConfig,
     eval_cfg: &EvalConfig,
 ) -> RowResult {
-    let flow = run_flow(design, cfg).expect("flow diverged beyond recovery");
+    run_pipeline_obs(design, cfg, eval_cfg, &rdp_obs::Collector::disabled())
+}
+
+/// [`run_pipeline`] with every stage traced on `obs` (flow spans and
+/// convergence series, legalization/detailed-placement spans, a
+/// `drc_eval` span). Results are bitwise identical with tracing on or
+/// off; the collector only records.
+pub fn run_pipeline_obs(
+    design: &mut Design,
+    cfg: &RoutabilityConfig,
+    eval_cfg: &EvalConfig,
+    obs: &rdp_obs::Collector,
+) -> RowResult {
+    let mut ctrl = rdp_core::FlowControl::default();
+    ctrl.obs = obs.clone();
+    let flow = rdp_core::run_flow_with(design, cfg, ctrl).expect("flow diverged beyond recovery");
     // Routability-driven legalization/DP: preserve the inflation spacing
     // by legalizing with virtual (inflated) widths when the flow produced
     // ratios (the paper adopts Xplace-Route's routability-driven LG/DP).
     match virtual_widths(design, &flow) {
         Some(widths) => {
-            rdp_legal::legalize_virtual(design, &LegalizeConfig::default(), &widths);
-            rdp_legal::detailed_place_virtual(design, &DetailedConfig::default(), &widths);
+            rdp_legal::legalize_virtual_obs(design, &LegalizeConfig::default(), &widths, obs);
+            rdp_legal::detailed_place_virtual_obs(design, &DetailedConfig::default(), &widths, obs);
         }
         None => {
-            legalize(design, &LegalizeConfig::default());
-            detailed_place(design, &DetailedConfig::default());
+            rdp_legal::legalize_obs(design, &LegalizeConfig::default(), obs);
+            rdp_legal::detailed_place_obs(design, &DetailedConfig::default(), obs);
         }
     }
-    let eval = evaluate(design, eval_cfg);
+    let eval = {
+        let _span = obs.span("drc_eval", "eval");
+        evaluate(design, eval_cfg)
+    };
     RowResult {
         design: design.name().to_string(),
         drwl: eval.drwl,

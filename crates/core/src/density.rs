@@ -4,6 +4,7 @@
 //! `D = ½·Σ Aᵢψᵢ`, and its gradient `∇ᵢD = −Aᵢ·E(xᵢ)`.
 
 use rdp_db::{CellKind, Design, GridSpec, Map2d, Point};
+use rdp_obs::Collector;
 use rdp_par::{chunk_len, Pool};
 use rdp_poisson::PoissonSolver;
 
@@ -35,6 +36,8 @@ pub struct DensityField {
 pub struct DensityModel {
     grid: GridSpec,
     solver: PoissonSolver,
+    /// Observability sink (disabled by default; timing only, never read).
+    obs: Collector,
 }
 
 impl DensityModel {
@@ -48,7 +51,17 @@ impl DensityModel {
             grid.region().width(),
             grid.region().height(),
         );
-        DensityModel { grid, solver }
+        DensityModel {
+            grid,
+            solver,
+            obs: Collector::disabled(),
+        }
+    }
+
+    /// Attaches an observability collector; spans cover the density/Poisson
+    /// kernels from then on.
+    pub fn set_obs(&mut self, obs: Collector) {
+        self.obs = obs;
     }
 
     /// The bin grid.
@@ -87,6 +100,7 @@ impl DensityModel {
         target: f64,
         pool: Pool,
     ) -> DensityField {
+        let _span = self.obs.span("density_field", "gp");
         let (nx, ny) = (self.grid.nx(), self.grid.ny());
         let bin_area = self.grid.bin_area();
         let n = design.num_cells();
@@ -126,7 +140,10 @@ impl DensityModel {
             density.add_assign_map(extra);
         }
 
-        let sol = self.solver.solve_with(density.as_slice(), pool);
+        let sol = {
+            let _poisson = self.obs.span("poisson_solve", "gp");
+            self.solver.solve_with(density.as_slice(), pool)
+        };
         let psi = Map2d::from_vec(nx, ny, sol.psi);
         let ex = Map2d::from_vec(nx, ny, sol.ex);
         let ey = Map2d::from_vec(nx, ny, sol.ey);

@@ -33,6 +33,7 @@ use std::time::Instant;
 
 use rdp_db::{Design, Point};
 use rdp_guard::{RdpError, SnapshotReader, SnapshotWriter, Stage, Warning};
+use rdp_obs::Collector;
 use rdp_route::{GlobalRouter, RouterConfig};
 
 use crate::congestion::CongestionField;
@@ -291,6 +292,12 @@ pub struct FlowControl<'a> {
     pub on_checkpoint: Option<&'a mut dyn FnMut(&FlowCheckpoint)>,
     /// Deterministic one-shot fault injection (robustness suite).
     pub fault: Option<FlowFault>,
+    /// Observability sink (disabled by default): every flow stage gets a
+    /// span, per-iteration convergence series are recorded, and each
+    /// [`Warning`]/rollback is mirrored as a structured event the moment
+    /// it happens. The collector only records — timestamps never feed
+    /// computation — so results are bitwise identical either way.
+    pub obs: Collector,
 }
 
 /// Complete flow state captured at the top of a routability iteration.
@@ -496,6 +503,15 @@ impl FlowCheckpoint {
     }
 }
 
+/// Records a degraded-mode warning in the report **and** mirrors it into
+/// the trace as a `guard_warning` instant at emission time (satisfying the
+/// report/trace parity contract — see `tests/obs_integration.rs`).
+fn note_warning(obs: &Collector, warnings: &mut Vec<Warning>, w: Warning) {
+    obs.instant("guard_warning", w.iteration as i64, w.to_string());
+    obs.counter_add("guard_warnings", 1);
+    warnings.push(w);
+}
+
 /// Consumes `fault` if it is a [`FlowFault::NanReference`] aimed at this
 /// exact (routability iteration, GP step) pair.
 fn take_fault(fault: &mut Option<FlowFault>, route_iter: usize, gp_iter: usize) -> bool {
@@ -535,6 +551,7 @@ pub fn run_flow_with(
     let resume = ctrl.resume.take();
     let resumed_from = resume.as_ref().map(|cp| cp.next_route_iter);
     let mut fault = ctrl.fault;
+    let obs = ctrl.obs.clone();
     let mut warnings: Vec<Warning> = Vec::new();
     let mut rollbacks = 0usize;
 
@@ -568,11 +585,11 @@ pub fn run_flow_with(
                 Ok(p) => Some(p),
                 Err(e) => {
                     if resume.is_none() {
-                        warnings.push(Warning::new(
-                            Stage::Dpa,
-                            0,
-                            format!("{e}; skipping the D^PG addend"),
-                        ));
+                        note_warning(
+                            &obs,
+                            &mut warnings,
+                            Warning::new(Stage::Dpa, 0, format!("{e}; skipping the D^PG addend")),
+                        );
                     }
                     None
                 }
@@ -611,7 +628,8 @@ pub fn run_flow_with(
                 )));
             }
             design.set_positions(&cp.positions);
-            let session = GpSession::resume(design, cfg.gp.clone(), &cp.session)?;
+            let mut session = GpSession::resume(design, cfg.gp.clone(), &cp.session)?;
+            session.set_obs(obs.clone());
             inflation.restore_state(&cp.inflation)?;
             gp_iterations = cp.gp_iterations;
             log = cp.log;
@@ -626,7 +644,9 @@ pub fn run_flow_with(
         }
         None => {
             // Phase 1: wirelength-driven global placement, guarded.
+            let _wl_span = obs.span("wirelength_gp", "flow");
             let mut session = GpSession::new(design, cfg.gp.clone());
+            session.set_obs(obs.clone());
             session.save_state_into(&mut good);
             let mut i = 0usize;
             while i < cfg.gp.max_iters {
@@ -662,14 +682,20 @@ pub fn run_flow_with(
                         session.restore_state(design, &good)?;
                         session.retune_after_rollback();
                         rollbacks += 1;
-                        warnings.push(Warning::new(
-                            Stage::WirelengthGp,
-                            0,
-                            format!(
-                                "step {i} rolled back ({detail}); γ ×{:.2}, λ₁ damped",
-                                session.gamma_boost()
+                        obs.instant("rollback", 0, format!("wirelength GP step {i}: {detail}"));
+                        obs.counter_add("rollbacks", 1);
+                        note_warning(
+                            &obs,
+                            &mut warnings,
+                            Warning::new(
+                                Stage::WirelengthGp,
+                                0,
+                                format!(
+                                    "step {i} rolled back ({detail}); γ ×{:.2}, λ₁ damped",
+                                    session.gamma_boost()
+                                ),
                             ),
-                        ));
+                        );
                     }
                 }
             }
@@ -705,7 +731,10 @@ pub fn run_flow_with(
     };
 
     for t in start_iter..=cfg.max_route_iters {
+        let _iter_span = obs.span_iter("route_iter", "flow", t as i64);
         if let Some(cb) = ctrl.on_checkpoint.as_mut() {
+            let _cp_span = obs.span_iter("checkpoint", "flow", t as i64);
+            obs.instant("checkpoint", t as i64, format!("routability iteration {t}"));
             let cp = FlowCheckpoint {
                 next_route_iter: t,
                 gp_iterations,
@@ -722,24 +751,37 @@ pub fn run_flow_with(
             cb(&cp);
         }
 
-        let route = router.route(design);
-        let field = match cfg.dc_source {
-            DcSource::Router => match CongestionField::try_from_route(design, &route, &health) {
-                Ok(f) => f,
-                Err(e) => {
-                    // Degraded mode: an unusable routed congestion map
-                    // (e.g. zero-capacity layers ⇒ Eq. (3) = +∞) falls
-                    // back to the RUDY estimate, which clamps capacity.
-                    warnings.push(Warning::new(
-                        Stage::Routing,
-                        t,
-                        format!("router congestion unusable ({e}); falling back to RUDY"),
-                    ));
-                    CongestionField::try_from_rudy(design, &health)?
-                }
-            },
-            DcSource::Rudy => CongestionField::try_from_rudy(design, &health)?,
+        let route = {
+            let _route_span = obs.span_iter("route", "route", t as i64);
+            router.route_obs(design, &obs)
         };
+        let field =
+            {
+                let _field_span = obs.span_iter("congestion_field", "flow", t as i64);
+                match cfg.dc_source {
+                    DcSource::Router => {
+                        match CongestionField::try_from_route(design, &route, &health) {
+                            Ok(f) => f,
+                            Err(e) => {
+                                // Degraded mode: an unusable routed congestion map
+                                // (e.g. zero-capacity layers ⇒ Eq. (3) = +∞) falls
+                                // back to the RUDY estimate, which clamps capacity.
+                                note_warning(
+                            &obs,
+                            &mut warnings,
+                            Warning::new(
+                                Stage::Routing,
+                                t,
+                                format!("router congestion unusable ({e}); falling back to RUDY"),
+                            ),
+                        );
+                                CongestionField::try_from_rudy(design, &health)?
+                            }
+                        }
+                    }
+                    DcSource::Rudy => CongestionField::try_from_rudy(design, &health)?,
+                }
+            };
         let score_now = snapshot_score(&route, real_density_overflow(&session, design));
         if best_positions
             .as_ref()
@@ -750,36 +792,47 @@ pub fn run_flow_with(
         }
 
         // MCI.
-        inflation.update(design, &field);
+        {
+            let _mci_span = obs.span_iter("mci_update", "flow", t as i64);
+            inflation.update(design, &field);
+        }
         let ratios = match cfg.inflation {
             InflationPolicy::None => None,
             _ => Some(inflation.ratios()),
         };
 
         // DPA.
-        let pg_map = match (cfg.dpa, &pg) {
-            (Some(DpaMode::Dynamic), Some(p)) => {
-                let m = p.density_map(Some(&field));
-                match health.check_map(Stage::Dpa, "dynamic PG density", Some(t), &m) {
-                    Ok(()) => Some(m),
-                    Err(e) => {
-                        warnings.push(Warning::new(
-                            Stage::Dpa,
-                            t,
-                            format!("{e}; skipping the D^PG addend this iteration"),
-                        ));
-                        None
+        let pg_map = {
+            let _dpa_span = obs.span_iter("dpa_density", "flow", t as i64);
+            match (cfg.dpa, &pg) {
+                (Some(DpaMode::Dynamic), Some(p)) => {
+                    let m = p.density_map(Some(&field));
+                    match health.check_map(Stage::Dpa, "dynamic PG density", Some(t), &m) {
+                        Ok(()) => Some(m),
+                        Err(e) => {
+                            note_warning(
+                                &obs,
+                                &mut warnings,
+                                Warning::new(
+                                    Stage::Dpa,
+                                    t,
+                                    format!("{e}; skipping the D^PG addend this iteration"),
+                                ),
+                            );
+                            None
+                        }
                     }
                 }
+                (Some(DpaMode::Static), _) => static_pg.clone(),
+                _ => None,
             }
-            (Some(DpaMode::Static), _) => static_pg.clone(),
-            _ => None,
         };
 
         // DC: net-moving congestion gradients + λ₂. A non-finite gradient
         // skips net moving for this iteration (degraded mode) rather than
         // feeding NaN into the optimizer.
         let (cgrad, l2, c_penalty, virtual_cells) = if cfg.enable_dc {
+            let _nm_span = obs.span_iter("netmove", "flow", t as i64);
             let mut g = congestion_gradients(design, &field, &cfg.netmove);
             if matches!(fault, Some(FlowFault::NanCongestionGrad { route_iter }) if route_iter == t)
             {
@@ -790,25 +843,39 @@ pub fn run_flow_with(
             }
             match health.check_points(Stage::NetMoving, "congestion gradient", Some(t), &g.grad) {
                 Err(e) => {
-                    warnings.push(Warning::new(
-                        Stage::NetMoving,
-                        t,
-                        format!("{e}; skipping net moving this iteration"),
-                    ));
+                    note_warning(
+                        &obs,
+                        &mut warnings,
+                        Warning::new(
+                            Stage::NetMoving,
+                            t,
+                            format!("{e}; skipping net moving this iteration"),
+                        ),
+                    );
                     (None, 0.0, 0.0, 0)
                 }
                 Ok(()) => {
                     let l2 = cfg.lambda2_scale * lambda2(design, &field, &g);
                     if l2.is_finite() {
+                        if obs.is_enabled() {
+                            // Net-moving displacement pressure: L1 norm of
+                            // the congestion gradient over all cells.
+                            let grad_l1: f64 = g.grad.iter().map(|p| p.x.abs() + p.y.abs()).sum();
+                            obs.series_push("netmove_grad_l1", t as u64, grad_l1);
+                        }
                         let pen = g.penalty;
                         let vc = g.virtual_cells;
                         (Some(g), l2, pen, vc)
                     } else {
-                        warnings.push(Warning::new(
-                            Stage::NetMoving,
-                            t,
-                            format!("λ₂ evaluated to {l2}; skipping net moving this iteration"),
-                        ));
+                        note_warning(
+                            &obs,
+                            &mut warnings,
+                            Warning::new(
+                                Stage::NetMoving,
+                                t,
+                                format!("λ₂ evaluated to {l2}; skipping net moving this iteration"),
+                            ),
+                        );
                         (None, 0.0, 0.0, 0)
                     }
                 }
@@ -819,6 +886,7 @@ pub fn run_flow_with(
 
         // Solve problem (5) for a burst of Nesterov steps, re-anchoring
         // the density weight so wirelength stays in the objective.
+        let burst_span = obs.span_iter("gp_burst", "gp", t as i64);
         session.restart_momentum();
         {
             let extras = StepExtras {
@@ -860,19 +928,27 @@ pub fn run_flow_with(
                     session.restore_state(design, &good)?;
                     session.retune_after_rollback();
                     rollbacks += 1;
-                    warnings.push(Warning::new(
-                        Stage::Routability,
-                        t,
-                        format!(
-                            "GP step {k} rolled back ({detail}); γ ×{:.2}, λ₁ damped",
-                            session.gamma_boost()
+                    obs.instant("rollback", t as i64, format!("GP step {k}: {detail}"));
+                    obs.counter_add("rollbacks", 1);
+                    note_warning(
+                        &obs,
+                        &mut warnings,
+                        Warning::new(
+                            Stage::Routability,
+                            t,
+                            format!(
+                                "GP step {k} rolled back ({detail}); γ ×{:.2}, λ₁ damped",
+                                session.gamma_boost()
+                            ),
                         ),
-                    ));
+                    );
                 }
             }
         }
+        drop(burst_span);
 
         route_iterations = t;
+        let hpwl_now = design.hpwl();
         log.push(RouteIterLog {
             iter: t,
             overflow: route.maps.total_overflow(),
@@ -880,8 +956,23 @@ pub fn run_flow_with(
             c_penalty,
             lambda2: l2,
             virtual_cells,
-            hpwl: design.hpwl(),
+            hpwl: hpwl_now,
         });
+        if obs.is_enabled() {
+            // Per-iteration convergence telemetry (recorded, never read).
+            let step = t as u64;
+            obs.series_push("hpwl", step, hpwl_now);
+            obs.series_push("route_overflow", step, route.maps.total_overflow());
+            obs.series_push("max_congestion", step, route.max_congestion());
+            obs.series_push("c_penalty", step, c_penalty);
+            obs.series_push("lambda2", step, l2);
+            obs.series_push("virtual_cells", step, virtual_cells as f64);
+            obs.series_push("density_overflow", step, session.overflow());
+            obs.series_push("lambda1", step, session.lambda1());
+            if let Some(r) = ratios {
+                obs.series_push("inflation_total", step, r.iter().sum::<f64>());
+            }
+        }
 
         // Stop when the congestion objective no longer decreases
         // (C(x, y) when DC is active; routing overflow otherwise).
@@ -903,8 +994,9 @@ pub fn run_flow_with(
 
     // Score the final placement too, then restore the best snapshot.
     if cfg.max_route_iters > 0 {
+        let _final_span = obs.span("final_route", "route");
         let final_score = snapshot_score(
-            &router.route(design),
+            &router.route_obs(design, &obs),
             real_density_overflow(&session, design),
         );
         if let Some((best_score, positions)) = &best_positions {
@@ -919,6 +1011,13 @@ pub fn run_flow_with(
         _ if cfg.max_route_iters == 0 => None,
         _ => Some(inflation.ratios().to_vec()),
     };
+
+    if obs.is_enabled() {
+        obs.gauge_set("final_hpwl", design.hpwl());
+        obs.gauge_set("final_density_overflow", session.overflow());
+        obs.counter_add("gp_iterations", gp_iterations as u64);
+        obs.counter_add("route_iterations", route_iterations as u64);
+    }
 
     Ok(FlowReport {
         place_seconds: t0.elapsed().as_secs_f64(),

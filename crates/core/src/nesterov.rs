@@ -19,6 +19,9 @@ pub struct NesterovSolver {
     u_next: Vec<Point>,
     a: f64,
     iter: usize,
+    /// Step length α used by the most recent [`NesterovSolver::step`]
+    /// (telemetry only — never read back into the update).
+    last_alpha: f64,
     /// Reference length used for the first step: the first update moves
     /// the largest-gradient coordinate by exactly this distance.
     pub first_step_distance: f64,
@@ -37,6 +40,7 @@ impl NesterovSolver {
             u_next: vec![Point::default(); n],
             a: 1.0,
             iter: 0,
+            last_alpha: 0.0,
             first_step_distance,
         }
     }
@@ -54,6 +58,12 @@ impl NesterovSolver {
     /// Iterations completed.
     pub fn iterations(&self) -> usize {
         self.iter
+    }
+
+    /// Step length α of the most recent step (0 before any step). Exposed
+    /// for convergence telemetry; the solver never reads it back.
+    pub fn last_alpha(&self) -> f64 {
+        self.last_alpha
     }
 
     /// Re-seeds the momentum state (used when the objective changes
@@ -140,6 +150,7 @@ impl NesterovSolver {
         std::mem::swap(&mut self.u, &mut self.u_next);
         self.a = a_next;
         self.iter += 1;
+        self.last_alpha = alpha;
     }
 }
 

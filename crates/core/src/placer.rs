@@ -10,6 +10,7 @@
 
 use rdp_db::{CellId, Design, Map2d, Point};
 use rdp_guard::{HealthPolicy, RdpError, Stage};
+use rdp_obs::Collector;
 
 use crate::density::{DensityField, DensityModel};
 use crate::nesterov::NesterovSolver;
@@ -118,6 +119,10 @@ pub struct GpSession {
     full_grad: Vec<Point>,
     /// WA per-pin scratch reused across iterations.
     wa_scratch: WaScratch,
+    /// Observability sink (disabled by default). Records spans and
+    /// convergence telemetry only; nothing here is ever read back, so
+    /// results are identical with tracing on or off.
+    obs: Collector,
 }
 
 impl GpSession {
@@ -170,6 +175,7 @@ impl GpSession {
             stage: Stage::WirelengthGp,
             full_grad: vec![Point::default(); num_cells],
             wa_scratch: WaScratch::new(),
+            obs: Collector::disabled(),
         }
     }
 
@@ -212,7 +218,16 @@ impl GpSession {
             stage: Stage::WirelengthGp,
             full_grad: vec![Point::default(); num_cells],
             wa_scratch: WaScratch::new(),
+            obs: Collector::disabled(),
         })
+    }
+
+    /// Attaches an observability collector to the session (and its density
+    /// model): GP steps and the WA/density/Poisson kernels get spans, and
+    /// per-step convergence gauges are recorded.
+    pub fn set_obs(&mut self, obs: Collector) {
+        self.model.set_obs(obs.clone());
+        self.obs = obs;
     }
 
     /// Captures the evolving optimizer state (positions + scalars).
@@ -376,6 +391,8 @@ impl GpSession {
         let mut health_err: Option<RdpError> = None;
         let lambda1 = self.lambda1;
         let pool = Pool::global();
+        let obs = self.obs.clone();
+        let _step_span = obs.span("gp_step", "gp");
         let GpSession {
             model,
             movable,
@@ -410,8 +427,14 @@ impl GpSession {
                 density_penalty = field.penalty;
 
                 full_grad.iter_mut().for_each(|p| *p = Point::default());
-                wa.accumulate_gradient_with(design, full_grad, pool, wa_scratch);
-                model.accumulate_gradient(design, &field, extras.inflation, lambda1, full_grad);
+                {
+                    let _wa_span = obs.span("wa_grad", "gp");
+                    wa.accumulate_gradient_with(design, full_grad, pool, wa_scratch);
+                }
+                {
+                    let _dg_span = obs.span("density_grad", "gp");
+                    model.accumulate_gradient(design, &field, extras.inflation, lambda1, full_grad);
+                }
                 if let Some((cgrad, lambda2)) = extras.congestion_grad {
                     for &id in movable.iter() {
                         full_grad[id.index()].x += lambda2 * cgrad[id.index()].x;
@@ -458,6 +481,13 @@ impl GpSession {
         self.last_overflow = overflow;
         self.lambda1 *= self.cfg.lambda_growth;
         self.steps_done += 1;
+        if obs.is_enabled() {
+            obs.gauge_set("gamma", gamma);
+            obs.gauge_set("lambda1", self.lambda1);
+            obs.gauge_set("nesterov_alpha", self.solver.last_alpha());
+            obs.series_push("gp_overflow", self.steps_done, overflow);
+            obs.observe("gp_step_overflow", overflow);
+        }
         Ok(StepReport {
             overflow,
             density_penalty,

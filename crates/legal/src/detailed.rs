@@ -24,6 +24,19 @@ pub fn detailed_place(design: &mut Design, cfg: &DetailedConfig) -> f64 {
     detailed_impl(design, cfg, None)
 }
 
+/// [`detailed_place`] with a `"detailed_place"` span recorded on `obs`;
+/// the HPWL improvement is recorded as the `detailed_hpwl_gain` gauge.
+pub fn detailed_place_obs(
+    design: &mut Design,
+    cfg: &DetailedConfig,
+    obs: &rdp_obs::Collector,
+) -> f64 {
+    let _span = obs.span("detailed_place", "legal");
+    let gain = detailed_impl(design, cfg, None);
+    obs.gauge_set("detailed_hpwl_gain", gain);
+    gain
+}
+
 /// Detailed placement that moves cells by their **virtual widths** (see
 /// [`crate::legalize_virtual`]): the congestion-driven spacing from
 /// inflation is preserved through the swap and shift moves.
@@ -38,6 +51,21 @@ pub fn detailed_place_virtual(
 ) -> f64 {
     assert_eq!(virtual_widths.len(), design.num_cells());
     detailed_impl(design, cfg, Some(virtual_widths))
+}
+
+/// [`detailed_place_virtual`] with a `"detailed_place"` span recorded on
+/// `obs`; the HPWL improvement is recorded as `detailed_hpwl_gain`.
+pub fn detailed_place_virtual_obs(
+    design: &mut Design,
+    cfg: &DetailedConfig,
+    virtual_widths: &[f64],
+    obs: &rdp_obs::Collector,
+) -> f64 {
+    assert_eq!(virtual_widths.len(), design.num_cells());
+    let _span = obs.span("detailed_place", "legal");
+    let gain = detailed_impl(design, cfg, Some(virtual_widths));
+    obs.gauge_set("detailed_hpwl_gain", gain);
+    gain
 }
 
 fn detailed_impl(design: &mut Design, cfg: &DetailedConfig, virtual_widths: Option<&[f64]>) -> f64 {

@@ -52,6 +52,18 @@ pub fn legalize(design: &mut Design, cfg: &LegalizeConfig) -> LegalizeReport {
     legalize_impl(design, cfg, None)
 }
 
+/// [`legalize`] with a `"legalize"` span recorded on `obs`.
+pub fn legalize_obs(
+    design: &mut Design,
+    cfg: &LegalizeConfig,
+    obs: &rdp_obs::Collector,
+) -> LegalizeReport {
+    let _span = obs.span("legalize", "legal");
+    let report = legalize_impl(design, cfg, None);
+    obs.counter_add("legalize_failed", report.failed as u64);
+    report
+}
+
 /// Routability-driven legalization: cells are legalized using **virtual
 /// widths** (typically the inflated widths the routability-driven global
 /// placement spread them by), then centered in their virtual slots. The
@@ -74,6 +86,31 @@ pub fn legalize_virtual(
     let saved: Vec<Point> = design.positions().to_vec();
     let report = legalize_impl(design, cfg, Some(virtual_widths));
     if report.failed > 0 {
+        design.set_positions(&saved);
+        return legalize_impl(design, cfg, None);
+    }
+    report
+}
+
+/// [`legalize_virtual`] with a `"legalize"` span recorded on `obs`. A
+/// `"legalize_virtual_fallback"` instant is emitted when the virtual
+/// widths do not fit and the plain pass is used instead.
+pub fn legalize_virtual_obs(
+    design: &mut Design,
+    cfg: &LegalizeConfig,
+    virtual_widths: &[f64],
+    obs: &rdp_obs::Collector,
+) -> LegalizeReport {
+    assert_eq!(virtual_widths.len(), design.num_cells());
+    let _span = obs.span("legalize", "legal");
+    let saved: Vec<Point> = design.positions().to_vec();
+    let report = legalize_impl(design, cfg, Some(virtual_widths));
+    if report.failed > 0 {
+        obs.instant(
+            "legalize_virtual_fallback",
+            rdp_obs::NO_ITER,
+            format!("{} cells failed with virtual widths", report.failed),
+        );
         design.set_positions(&saved);
         return legalize_impl(design, cfg, None);
     }

@@ -1,0 +1,341 @@
+//! # rdp-obs — zero-dependency observability for the placement flow
+//!
+//! Three pieces, mirroring the `rdp-par`/`rdp-guard` style (std-only, no
+//! external crates):
+//!
+//! 1. **Spans** ([`Collector::span`]): RAII guards that time a region with
+//!    the monotonic clock and record it into a bounded ring buffer. Guards
+//!    are thread-aware (each OS thread gets a small stable id) so traces
+//!    from `rdp-par` worker pools render as separate tracks.
+//! 2. **Metrics** ([`Collector::counter_add`] / [`Collector::gauge_set`] /
+//!    [`Collector::observe`] / [`Collector::series_push`]): counters,
+//!    gauges, fixed log-2-bucket histograms, and per-iteration convergence
+//!    series (HPWL, overflow, λ₁/λ₂, γ, inflation, …).
+//! 3. **Exporters** ([`export`]): JSON-lines event log, Chrome
+//!    `trace_event` JSON for chrome://tracing / Perfetto, a metrics JSON
+//!    dump, and a human-readable per-stage time table.
+//!
+//! ## Determinism contract
+//!
+//! Observability must never change results. Two rules enforce that:
+//!
+//! - **Timestamps never feed computation.** The collector only *records*;
+//!   nothing in the flow reads a duration or clock back out of it. The
+//!   only consumers of timing data are the exporters, which run after the
+//!   flow finishes.
+//! - **Disabled is (almost) free.** A [`Collector`] is an
+//!   `Option<Arc<...>>`; when disabled every call is a single `is_none()`
+//!   branch and no guard state is created, so production runs pay a few
+//!   nanoseconds per span site and results are bitwise identical with
+//!   tracing on or off at any `RDP_THREADS`.
+//!
+//! Memory is bounded: events land in a fixed-capacity ring (oldest evicted,
+//! drops counted), metrics are aggregates.
+
+mod export;
+mod metrics;
+mod ring;
+
+pub mod json;
+
+pub use export::{
+    export_chrome_trace, export_jsonl, export_metrics_json, stage_rows, stage_table,
+    validate_chrome_trace, validate_trace_jsonl, StageRow, TraceSummary,
+};
+pub use metrics::{Histogram, Registry, HIST_BUCKETS};
+pub use ring::Ring;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default event-ring capacity for [`Collector::enabled`]. At ~100 bytes an
+/// event this bounds trace memory to a few tens of MB on a full run.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1 << 18;
+
+/// Sentinel for "no iteration" on spans/instants outside the routability loop.
+pub const NO_ITER: i64 = -1;
+
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Small, stable per-OS-thread id (assigned on first trace activity).
+fn thread_id() -> u64 {
+    THREAD_ID.with(|id| *id)
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A timed region, recorded when its [`SpanGuard`] drops.
+    Span {
+        name: &'static str,
+        cat: &'static str,
+        tid: u64,
+        start_ns: u64,
+        dur_ns: u64,
+        /// Routability iteration, or [`NO_ITER`].
+        iter: i64,
+    },
+    /// A point-in-time occurrence (guard warning, rollback, checkpoint).
+    Instant {
+        name: &'static str,
+        detail: String,
+        tid: u64,
+        ts_ns: u64,
+        iter: i64,
+    },
+}
+
+#[derive(Debug)]
+struct State {
+    events: Ring<Event>,
+    metrics: Registry,
+}
+
+#[derive(Debug)]
+struct Inner {
+    start: Instant,
+    state: Mutex<State>,
+}
+
+/// Handle to an event/metrics sink. Cheap to clone (an `Arc`); the default
+/// handle is *disabled* and records nothing.
+#[derive(Debug, Clone, Default)]
+pub struct Collector(Option<Arc<Inner>>);
+
+impl Collector {
+    /// A collector that records nothing; every call is a single branch.
+    pub fn disabled() -> Self {
+        Collector(None)
+    }
+
+    /// An enabled collector with the default ring capacity.
+    pub fn enabled() -> Self {
+        Self::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// An enabled collector holding at most `event_capacity` events.
+    pub fn with_capacity(event_capacity: usize) -> Self {
+        Collector(Some(Arc::new(Inner {
+            start: Instant::now(),
+            state: Mutex::new(State {
+                events: Ring::new(event_capacity),
+                metrics: Registry::default(),
+            }),
+        })))
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    fn now_ns(inner: &Inner) -> u64 {
+        inner.start.elapsed().as_nanos() as u64
+    }
+
+    /// Time a region until the returned guard drops. `cat` groups spans in
+    /// trace viewers ("gp", "route", "flow", …).
+    pub fn span(&self, name: &'static str, cat: &'static str) -> SpanGuard {
+        self.span_iter(name, cat, NO_ITER)
+    }
+
+    /// Like [`Collector::span`], tagged with a routability iteration.
+    pub fn span_iter(&self, name: &'static str, cat: &'static str, iter: i64) -> SpanGuard {
+        match &self.0 {
+            None => SpanGuard(None),
+            Some(inner) => SpanGuard(Some(ActiveSpan {
+                inner: Arc::clone(inner),
+                name,
+                cat,
+                iter,
+                tid: thread_id(),
+                start_ns: Self::now_ns(inner),
+            })),
+        }
+    }
+
+    /// Record a point event (warning, rollback, checkpoint, …).
+    pub fn instant(&self, name: &'static str, iter: i64, detail: impl Into<String>) {
+        if let Some(inner) = &self.0 {
+            let ev = Event::Instant {
+                name,
+                detail: detail.into(),
+                tid: thread_id(),
+                ts_ns: Self::now_ns(inner),
+                iter,
+            };
+            inner.state.lock().unwrap().events.push(ev);
+        }
+    }
+
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        if let Some(inner) = &self.0 {
+            inner.state.lock().unwrap().metrics.counter_add(name, delta);
+        }
+    }
+
+    pub fn gauge_set(&self, name: &'static str, value: f64) {
+        if let Some(inner) = &self.0 {
+            inner.state.lock().unwrap().metrics.gauge_set(name, value);
+        }
+    }
+
+    /// Add an observation to the named log-2 histogram.
+    pub fn observe(&self, name: &'static str, value: f64) {
+        if let Some(inner) = &self.0 {
+            inner.state.lock().unwrap().metrics.observe(name, value);
+        }
+    }
+
+    /// Append `(step, value)` to the named convergence series.
+    pub fn series_push(&self, name: &'static str, step: u64, value: f64) {
+        if let Some(inner) = &self.0 {
+            inner
+                .state
+                .lock()
+                .unwrap()
+                .metrics
+                .series_push(name, step, value);
+        }
+    }
+
+    /// Number of events evicted from the ring so far (0 when disabled).
+    pub fn dropped_events(&self) -> u64 {
+        match &self.0 {
+            None => 0,
+            Some(inner) => inner.state.lock().unwrap().events.dropped(),
+        }
+    }
+
+    /// Number of events currently held (0 when disabled).
+    pub fn event_count(&self) -> usize {
+        match &self.0 {
+            None => 0,
+            Some(inner) => inner.state.lock().unwrap().events.len(),
+        }
+    }
+
+    /// Run `f` over a snapshot of `(events-oldest-first, metrics)`. Used by
+    /// the exporters; returns `None` when disabled.
+    pub fn with_snapshot<R>(&self, f: impl FnOnce(&[Event], &Registry, u64) -> R) -> Option<R> {
+        let inner = self.0.as_ref()?;
+        let state = inner.state.lock().unwrap();
+        let events: Vec<Event> = state.events.iter().cloned().collect();
+        let dropped = state.events.dropped();
+        Some(f(&events, &state.metrics, dropped))
+    }
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    inner: Arc<Inner>,
+    name: &'static str,
+    cat: &'static str,
+    iter: i64,
+    tid: u64,
+    start_ns: u64,
+}
+
+/// RAII span: records a [`Event::Span`] covering its lifetime when dropped.
+#[derive(Debug)]
+#[must_use = "a span guard times the region until it is dropped"]
+pub struct SpanGuard(Option<ActiveSpan>);
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(s) = self.0.take() {
+            let end_ns = Collector::now_ns(&s.inner);
+            let ev = Event::Span {
+                name: s.name,
+                cat: s.cat,
+                tid: s.tid,
+                start_ns: s.start_ns,
+                dur_ns: end_ns.saturating_sub(s.start_ns),
+                iter: s.iter,
+            };
+            s.inner.state.lock().unwrap().events.push(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let c = Collector::disabled();
+        {
+            let _g = c.span("x", "test");
+            c.instant("i", NO_ITER, "d");
+            c.counter_add("n", 1);
+            c.observe("h", 1.0);
+            c.series_push("s", 0, 1.0);
+        }
+        assert!(!c.is_enabled());
+        assert_eq!(c.event_count(), 0);
+        assert!(c.with_snapshot(|_, _, _| ()).is_none());
+    }
+
+    #[test]
+    fn span_drop_order_is_inner_first() {
+        let c = Collector::enabled();
+        {
+            let _outer = c.span("outer", "test");
+            {
+                let _inner = c.span("inner", "test");
+            }
+        }
+        c.with_snapshot(|events, _, _| {
+            let names: Vec<&str> = events
+                .iter()
+                .map(|e| match e {
+                    Event::Span { name, .. } => *name,
+                    Event::Instant { name, .. } => *name,
+                })
+                .collect();
+            assert_eq!(names, vec!["inner", "outer"]);
+            // The outer span must fully contain the inner one.
+            if let (
+                Event::Span {
+                    start_ns: is_,
+                    dur_ns: id,
+                    ..
+                },
+                Event::Span {
+                    start_ns: os,
+                    dur_ns: od,
+                    ..
+                },
+            ) = (&events[0], &events[1])
+            {
+                assert!(os <= is_);
+                assert!(os + od >= is_ + id);
+            } else {
+                panic!("expected two spans");
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let c = Collector::enabled();
+        c.counter_add("batches", 2);
+        c.counter_add("batches", 3);
+        c.gauge_set("gamma", 4.0);
+        c.gauge_set("gamma", 2.0);
+        c.series_push("hpwl", 0, 10.0);
+        c.series_push("hpwl", 1, 9.0);
+        c.with_snapshot(|_, m, _| {
+            assert_eq!(m.counters["batches"], 5);
+            assert_eq!(m.gauges["gamma"], 2.0);
+            assert_eq!(m.series["hpwl"], vec![(0, 10.0), (1, 9.0)]);
+        })
+        .unwrap();
+    }
+}

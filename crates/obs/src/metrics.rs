@@ -1,0 +1,163 @@
+//! Metrics registry: counters, gauges, log-2 histograms, and per-step series.
+//!
+//! All maps are `BTreeMap` so exports are byte-for-byte deterministic
+//! regardless of insertion order or thread interleaving. Values recorded
+//! here describe the computation; they never feed back into it.
+
+use std::collections::BTreeMap;
+
+/// Number of log-2 magnitude buckets. Bucket `i` covers exponents
+/// `i - EXP_OFFSET`, i.e. magnitudes in `[2^(i-64), 2^(i-63))`, with the
+/// extremes clamped. This spans ~1e-19 .. ~9e18, far wider than any
+/// physical quantity in the flow.
+pub const HIST_BUCKETS: usize = 128;
+const EXP_OFFSET: i32 = 64;
+
+/// Fixed-bucket log-2 histogram over `|value|`.
+///
+/// Invariant: `count == non_finite + zeros + sum(buckets)`. Negative finite
+/// values are bucketed by magnitude and also tallied in `negatives`;
+/// subnormals land in the minimum bucket; NaN/±Inf are counted but excluded
+/// from `sum`/`min`/`max`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    pub count: u64,
+    pub zeros: u64,
+    pub negatives: u64,
+    pub non_finite: u64,
+    /// Sum over finite observations only.
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    pub buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            zeros: 0,
+            negatives: 0,
+            non_finite: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: vec![0; HIST_BUCKETS],
+        }
+    }
+}
+
+/// Bucket index for a finite non-zero magnitude: the IEEE-754 exponent
+/// clamped into the bucket range. Subnormals (biased exponent 0) map to
+/// bucket 0.
+fn bucket_index(magnitude: f64) -> usize {
+    let bits = magnitude.to_bits();
+    let biased = ((bits >> 52) & 0x7ff) as i32;
+    if biased == 0 {
+        return 0; // subnormal: below 2^-1022, well under the minimum bucket
+    }
+    let exp = biased - 1023;
+    (exp + EXP_OFFSET).clamp(0, HIST_BUCKETS as i32 - 1) as usize
+}
+
+impl Histogram {
+    pub fn observe(&mut self, value: f64) {
+        self.count += 1;
+        if !value.is_finite() {
+            self.non_finite += 1;
+            return;
+        }
+        self.sum += value;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+        if value == 0.0 {
+            self.zeros += 1;
+            return;
+        }
+        if value.is_sign_negative() {
+            self.negatives += 1;
+        }
+        self.buckets[bucket_index(value.abs())] += 1;
+    }
+
+    /// Check the structural invariant (used by tests and the validator).
+    pub fn consistent(&self) -> bool {
+        let bucketed: u64 = self.buckets.iter().sum();
+        self.count == self.non_finite + self.zeros + bucketed
+    }
+}
+
+/// Registry of named metrics. One per [`crate::Collector`]; guarded by the
+/// collector's mutex, so the methods here are plain `&mut self`.
+#[derive(Debug, Default)]
+pub struct Registry {
+    pub counters: BTreeMap<&'static str, u64>,
+    pub gauges: BTreeMap<&'static str, f64>,
+    pub histograms: BTreeMap<&'static str, Histogram>,
+    /// Append-only `(step, value)` sequences, e.g. HPWL per routability
+    /// iteration. Steps are supplied by the caller, not derived from time.
+    pub series: BTreeMap<&'static str, Vec<(u64, f64)>>,
+}
+
+impl Registry {
+    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    pub fn gauge_set(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    pub fn observe(&mut self, name: &'static str, value: f64) {
+        self.histograms.entry(name).or_default().observe(value);
+    }
+
+    pub fn series_push(&mut self, name: &'static str, step: u64, value: f64) {
+        self.series.entry(name).or_default().push((step, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponent_buckets() {
+        assert_eq!(bucket_index(1.0), EXP_OFFSET as usize);
+        assert_eq!(bucket_index(2.0), EXP_OFFSET as usize + 1);
+        assert_eq!(bucket_index(0.5), EXP_OFFSET as usize - 1);
+        assert_eq!(bucket_index(3.9), EXP_OFFSET as usize + 1);
+        // Clamped extremes.
+        assert_eq!(bucket_index(f64::MAX), HIST_BUCKETS - 1);
+        assert_eq!(bucket_index(f64::MIN_POSITIVE / 4.0), 0);
+    }
+
+    #[test]
+    fn histogram_invariant_under_edge_inputs() {
+        let mut h = Histogram::default();
+        for v in [
+            0.0,
+            -0.0,
+            5e-324,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            -3.5,
+            1e300,
+            1e-300,
+        ] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 9);
+        assert_eq!(h.zeros, 2);
+        assert_eq!(h.non_finite, 3);
+        assert_eq!(h.negatives, 1);
+        assert!(h.consistent());
+        assert_eq!(h.min, -3.5);
+        assert_eq!(h.max, 1e300);
+    }
+}

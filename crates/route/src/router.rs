@@ -12,6 +12,7 @@ use crate::capacity::{CapacityMaps, CapacityOptions};
 use crate::maps::RouteMaps;
 use crate::rsmt;
 use rdp_db::{Design, GridSpec, Map2d, NetId};
+use rdp_obs::Collector;
 use rdp_par::{chunk_len, Pool};
 
 /// Configuration for [`GlobalRouter`].
@@ -181,6 +182,14 @@ impl GlobalRouter {
         self.route_on_grid(design, &grid)
     }
 
+    /// [`route`](GlobalRouter::route) with observability: the decomposition,
+    /// per-pass rip-up batches, and the maze phase are recorded as spans,
+    /// plus batch/maze counters. Results are identical to [`route`].
+    pub fn route_obs(&self, design: &Design, obs: &Collector) -> RouteResult {
+        let grid = design.gcell_grid();
+        self.route_on_grid_obs(design, &grid, obs)
+    }
+
     /// Routes the design on an arbitrary grid (used by the evaluation flow
     /// at finer granularity).
     ///
@@ -190,6 +199,16 @@ impl GlobalRouter {
     /// result is bit-identical to a fully serial route for any thread
     /// count.
     pub fn route_on_grid(&self, design: &Design, grid: &GridSpec) -> RouteResult {
+        self.route_on_grid_obs(design, grid, &Collector::disabled())
+    }
+
+    /// [`route_on_grid`](GlobalRouter::route_on_grid) with observability.
+    pub fn route_on_grid_obs(
+        &self,
+        design: &Design,
+        grid: &GridSpec,
+        obs: &Collector,
+    ) -> RouteResult {
         let pool = Pool::global();
         let caps = CapacityMaps::build_on_grid(design, grid, &self.cfg.capacity);
         let mut maps = RouteMaps::new(caps, self.cfg.via_weight);
@@ -205,6 +224,7 @@ impl GlobalRouter {
             net_len: f64,
         }
         let net_chunk = chunk_len(num_nets, 64, 32);
+        let decomp_span = obs.span("route_decompose", "route");
         let decomposed: Vec<NetDecomp> = pool
             .map_chunks(num_nets, net_chunk, |_ci, range| {
                 let mut out = Vec::with_capacity(range.len());
@@ -234,6 +254,7 @@ impl GlobalRouter {
             .into_iter()
             .flatten()
             .collect();
+        drop(decomp_span);
 
         let mut requests: Vec<(NetId, Vec<((usize, usize), (usize, usize))>, f64)> = Vec::new();
         let mut wirelength = 0.0;
@@ -269,6 +290,8 @@ impl GlobalRouter {
         let mut committed: Vec<Vec<Path>> = vec![Vec::new(); requests.len()];
         let batch_cap = self.cfg.parallel_batch.max(1);
         for pass in 0..self.cfg.passes.max(1) {
+            let _pass_span = obs.span_iter("route_pass", "route", pass as i64);
+            let mut batches_this_pass = 0u64;
             let mut i = 0;
             while i < tasks.len() {
                 // Grow a batch of segments whose effect regions (candidate
@@ -334,8 +357,13 @@ impl GlobalRouter {
                     debug_assert_eq!(committed[t.ri].len(), t.si);
                     committed[t.ri].push(path);
                 }
+                batches_this_pass += 1;
+                if obs.is_enabled() {
+                    obs.observe("route_batch_size", (j - i) as f64);
+                }
                 i = j;
             }
+            obs.counter_add("route_batches", batches_this_pass);
         }
 
         let mut bend_vias: f64 = committed.iter().flatten().map(|p| p.bends as f64).sum();
@@ -345,6 +373,7 @@ impl GlobalRouter {
         let mut maze_rerouted = 0usize;
         let mut detour_wirelength = 0.0;
         if self.cfg.maze_rip_up > 0 {
+            let _maze_span = obs.span("route_maze", "route");
             // Score each committed segment by the overflow it crosses.
             let mut scored: Vec<(f64, usize, usize)> = Vec::new(); // (score, req idx, seg idx)
             for (ri, paths) in committed.iter().enumerate() {
@@ -415,6 +444,7 @@ impl GlobalRouter {
             }
         }
 
+        obs.counter_add("route_maze_rerouted", maze_rerouted as u64);
         let pin_vias: f64 = requests.iter().map(|r| r.2).sum();
         let congestion = maps.congestion_eq3();
         RouteResult {

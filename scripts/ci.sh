@@ -35,6 +35,18 @@ if [[ -n "${scope}" ]]; then
     RDP_BENCH_SMOKE=1 cargo test -q --offline -p rdp-bench --benches
 fi
 
+# Observability gate: a traced 5k-cell flow with an injected fault must
+# produce schema-valid JSONL/Chrome-trace/metrics exports covering every
+# flow stage with warning parity between report and trace (obs_smoke
+# exits non-zero otherwise), and tracing a 20k-cell GP step must cost
+# < 3% over the untraced step (RDP_OBS_ASSERT=1 turns the budget into a
+# hard failure; the measurements land in BENCH_obs.json).
+echo "==> obs smoke (traced 5k-cell flow, exporter validation)"
+cargo run -q --release --offline -p rdp-bench --bin obs_smoke
+
+echo "==> obs overhead gate (20k-cell GP step, < 3%)"
+RDP_OBS_ASSERT=1 cargo bench --offline -p rdp-bench --bench obs
+
 # Fault-injection pass: the robustness suite (FaultPlan scenarios,
 # checkpoint corruption, kill-and-resume bitwise identity) and the
 # router/placer property tests run with a pinned generator seed so a

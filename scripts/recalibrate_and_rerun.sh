@@ -24,6 +24,7 @@ for name, mg in margins.items():
 open(p, 'w').write(s)
 print("margins baked:", margins)
 PY
-cargo run --release -p rdp-bench --bin table1 > results_table1.txt 2>&1
-cargo run --release -p rdp-bench --bin table2 > results_table2.txt 2>&1
+# tables.sh builds first and captures only the binaries' stdout, so the
+# result files stay free of cargo build noise.
+sh scripts/tables.sh
 echo CHAIN_COMPLETE

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerates the results_*.txt artifacts: Table I (with the per-stage
+# time table appended via --profile), Table II, and the ablation sweep.
+#
+# The binaries are built *before* any redirection into the result files
+# starts, so cargo's "Compiling/Finished/Running" progress can never
+# leak into them — earlier regenerations piped `cargo run` with
+# stderr+stdout merged and the results drifted with build noise.
+# Each file holds exactly one binary's stdout.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> building bench binaries (release, offline)"
+cargo build --release --offline -p rdp-bench --bins
+
+bin=target/release
+
+echo "==> table1 --profile  -> results_table1.txt"
+"$bin"/table1 --profile > results_table1.txt
+
+echo "==> table2            -> results_table2.txt"
+"$bin"/table2 > results_table2.txt
+
+echo "==> ablation_sweep    -> results_ablation.txt"
+"$bin"/ablation_sweep > results_ablation.txt
+
+echo "tables: regenerated results_table1.txt results_table2.txt results_ablation.txt"

@@ -24,7 +24,8 @@ use rdp::core::{
     run_flow, run_flow_with, FlowCheckpoint, FlowControl, PlacerPreset, RoutabilityConfig,
 };
 use rdp::db::DesignStats;
-use rdp::{place_and_evaluate, Design, EvalConfig};
+use rdp::obs::Collector;
+use rdp::{place_and_evaluate_obs, Design, EvalConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -67,11 +68,17 @@ commands:
   place    <input> [--preset P] [--out DIR]  global placement flow
            [--checkpoint FILE]               save resumable state each iteration
            [--resume FILE]                   resume a killed run (bit-exact)
+           [--legalize]                      legalize + detailed-place after GP
   route    <input>                         route and summarize congestion
   eval     <input>                         evaluate the current placement
   flow     <input> [--preset P]            place → legalize → evaluate
   convert  <input> --out DIR --format F    convert between formats
   render   <input> --out FILE.svg [--congestion] [--place P]   render to SVG
+observability (place and flow):
+  --trace-out FILE.jsonl    span/instant event log (one JSON object per line)
+  --chrome-trace FILE.json  chrome://tracing / Perfetto trace_event file
+  --metrics-out FILE.json   counters, gauges, histograms, per-iteration series
+  --profile                 print the per-stage time table after the run
 inputs:  <suite-name> | bookshelf:DIR:BASE | lefdef:LEF_PATH:DEF_PATH
 presets: xplace | xplace-route | ours       formats: bookshelf | lefdef"
 }
@@ -90,6 +97,63 @@ fn parse_preset(rest: &[String]) -> Result<PlacerPreset, String> {
         "ours" => Ok(PlacerPreset::Ours),
         other => Err(format!("unknown preset `{other}`")),
     }
+}
+
+/// Observability outputs requested on the command line. The collector is
+/// enabled only when at least one output is requested, so plain runs keep
+/// the disabled-path cost (one branch per would-be span).
+struct ObsArgs {
+    obs: Collector,
+    trace_out: Option<PathBuf>,
+    chrome_trace: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    profile: bool,
+}
+
+fn parse_obs(rest: &[String]) -> ObsArgs {
+    let trace_out = flag(rest, "--trace-out").map(PathBuf::from);
+    let chrome_trace = flag(rest, "--chrome-trace").map(PathBuf::from);
+    let metrics_out = flag(rest, "--metrics-out").map(PathBuf::from);
+    let profile = rest.iter().any(|a| a == "--profile");
+    let obs = if trace_out.is_some() || chrome_trace.is_some() || metrics_out.is_some() || profile {
+        Collector::enabled()
+    } else {
+        Collector::disabled()
+    };
+    ObsArgs {
+        obs,
+        trace_out,
+        chrome_trace,
+        metrics_out,
+        profile,
+    }
+}
+
+/// Writes the requested exports after the traced run completed. Exporting
+/// happens strictly post-run, so trace I/O can never perturb the flow.
+fn write_obs_outputs(o: &ObsArgs) -> Result<(), String> {
+    if let Some(path) = &o.trace_out {
+        std::fs::write(path, rdp::obs::export_jsonl(&o.obs))
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("wrote event log {}", path.display());
+    }
+    if let Some(path) = &o.chrome_trace {
+        std::fs::write(path, rdp::obs::export_chrome_trace(&o.obs))
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        println!(
+            "wrote Chrome trace {} (open in chrome://tracing or ui.perfetto.dev)",
+            path.display()
+        );
+    }
+    if let Some(path) = &o.metrics_out {
+        std::fs::write(path, rdp::obs::export_metrics_json(&o.obs))
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("wrote metrics {}", path.display());
+    }
+    if o.profile {
+        print!("{}", rdp::obs::stage_table(&o.obs));
+    }
+    Ok(())
 }
 
 /// Resolves an input spec to a design.
@@ -223,11 +287,13 @@ fn cmd_place(rest: &[String]) -> Result<(), String> {
             }
         }
     });
+    let obs_args = parse_obs(rest);
     let ctrl = FlowControl {
         resume,
         on_checkpoint: on_checkpoint
             .as_mut()
             .map(|f| f as &mut dyn FnMut(&FlowCheckpoint)),
+        obs: obs_args.obs.clone(),
         ..Default::default()
     };
     let report = run_flow_with(&mut design, &RoutabilityConfig::preset(preset), ctrl)
@@ -243,6 +309,35 @@ fn cmd_place(rest: &[String]) -> Result<(), String> {
     for w in &report.warnings {
         println!("  warning: {w}");
     }
+    if rest.iter().any(|a| a == "--legalize") {
+        let virtual_widths = report.inflation_ratios.as_ref().map(|ratios| {
+            design
+                .cells()
+                .iter()
+                .enumerate()
+                .map(|(i, c)| c.w * ratios[i].max(1.0).sqrt())
+                .collect::<Vec<f64>>()
+        });
+        let lcfg = rdp::legal::LegalizeConfig::default();
+        let dcfg = rdp::legal::DetailedConfig::default();
+        let (lg, gain) = match &virtual_widths {
+            Some(w) => (
+                rdp::legal::legalize_virtual_obs(&mut design, &lcfg, w, &obs_args.obs),
+                rdp::legal::detailed_place_virtual_obs(&mut design, &dcfg, w, &obs_args.obs),
+            ),
+            None => (
+                rdp::legal::legalize_obs(&mut design, &lcfg, &obs_args.obs),
+                rdp::legal::detailed_place_obs(&mut design, &dcfg, &obs_args.obs),
+            ),
+        };
+        println!(
+            "legalized: {} failed, detailed-place gain {:.0} um, HPWL {:.0} um",
+            lg.failed,
+            gain,
+            design.hpwl()
+        );
+    }
+    write_obs_outputs(&obs_args)?;
     if let Some(out) = flag(rest, "--out") {
         let format = flag(rest, "--format").unwrap_or("bookshelf");
         save_output(&design, Path::new(out), format)?;
@@ -315,10 +410,12 @@ fn cmd_flow(rest: &[String]) -> Result<(), String> {
     let spec = rest.first().ok_or("flow needs an input")?;
     let preset = parse_preset(rest)?;
     let mut design = load_input(spec)?;
-    let report = place_and_evaluate(
+    let obs_args = parse_obs(rest);
+    let report = place_and_evaluate_obs(
         &mut design,
         &RoutabilityConfig::preset(preset),
         &EvalConfig::default(),
+        &obs_args.obs,
     )
     .map_err(|e| e.to_string())?;
     println!(
@@ -334,6 +431,7 @@ fn cmd_flow(rest: &[String]) -> Result<(), String> {
     );
     let legality = rdp::legal::check_legality(&design);
     println!("  legal: {}", legality.is_legal());
+    write_obs_outputs(&obs_args)?;
     if let Some(out) = flag(rest, "--out") {
         let format = flag(rest, "--format").unwrap_or("bookshelf");
         save_output(&design, Path::new(out), format)?;

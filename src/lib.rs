@@ -44,6 +44,7 @@ pub use rdp_db as db;
 pub use rdp_drc as drc;
 pub use rdp_gen as gen;
 pub use rdp_legal as legal;
+pub use rdp_obs as obs;
 pub use rdp_par as par;
 pub use rdp_parse as parse;
 pub use rdp_poisson as poisson;
@@ -83,7 +84,23 @@ pub fn place_and_evaluate(
     cfg: &RoutabilityConfig,
     eval_cfg: &EvalConfig,
 ) -> Result<PipelineReport, rdp_core::RdpError> {
-    let flow = rdp_core::run_flow(design, cfg)?;
+    place_and_evaluate_obs(design, cfg, eval_cfg, &rdp_obs::Collector::disabled())
+}
+
+/// [`place_and_evaluate`] with every pipeline stage traced on `obs`: the
+/// flow's spans/series/warnings (via [`core::FlowControl`]), a
+/// `"legalize"` and `"detailed_place"` span, and a `"drc_eval"` span
+/// around the fine-grid evaluation. The collector only records;
+/// placement results are bitwise identical with tracing on or off.
+pub fn place_and_evaluate_obs(
+    design: &mut Design,
+    cfg: &RoutabilityConfig,
+    eval_cfg: &EvalConfig,
+    obs: &rdp_obs::Collector,
+) -> Result<PipelineReport, rdp_core::RdpError> {
+    let mut ctrl = rdp_core::FlowControl::default();
+    ctrl.obs = obs.clone();
+    let flow = rdp_core::run_flow_with(design, cfg, ctrl)?;
     let virtual_widths = flow.inflation_ratios.as_ref().map(|ratios| {
         design
             .cells()
@@ -94,15 +111,28 @@ pub fn place_and_evaluate(
     });
     let (legal, detailed_gain) = match &virtual_widths {
         Some(w) => (
-            rdp_legal::legalize_virtual(design, &rdp_legal::LegalizeConfig::default(), w),
-            rdp_legal::detailed_place_virtual(design, &rdp_legal::DetailedConfig::default(), w),
+            rdp_legal::legalize_virtual_obs(design, &rdp_legal::LegalizeConfig::default(), w, obs),
+            rdp_legal::detailed_place_virtual_obs(
+                design,
+                &rdp_legal::DetailedConfig::default(),
+                w,
+                obs,
+            ),
         ),
         None => (
-            rdp_legal::legalize(design, &rdp_legal::LegalizeConfig::default()),
-            rdp_legal::detailed_place(design, &rdp_legal::DetailedConfig::default()),
+            rdp_legal::legalize_obs(design, &rdp_legal::LegalizeConfig::default(), obs),
+            rdp_legal::detailed_place_obs(design, &rdp_legal::DetailedConfig::default(), obs),
         ),
     };
-    let eval = rdp_drc::evaluate(design, eval_cfg);
+    let eval = {
+        let _span = obs.span("drc_eval", "eval");
+        rdp_drc::evaluate(design, eval_cfg)
+    };
+    if obs.is_enabled() {
+        obs.gauge_set("eval_drwl", eval.drwl);
+        obs.gauge_set("eval_drvias", eval.drvias);
+        obs.gauge_set("eval_drvs", eval.drvs);
+    }
     Ok(PipelineReport {
         flow,
         legal,

@@ -112,3 +112,59 @@ fn render_writes_svg() {
     assert!(svg.starts_with("<svg"));
     std::fs::remove_file(&svg_path).ok();
 }
+
+#[test]
+fn place_with_trace_flags_writes_valid_artifacts() {
+    let dir = std::env::temp_dir().join("rdp_cli_obs_test");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let jsonl = dir.join("run.jsonl");
+    let chrome = dir.join("run_chrome.json");
+    let metrics = dir.join("run_metrics.json");
+
+    // Smallest suite design keeps this e2e check fast; --legalize makes
+    // the trace cover legalization and detailed placement too.
+    let out = rdp()
+        .args([
+            "place",
+            "fft_a",
+            "--legalize",
+            "--trace-out",
+            jsonl.to_str().unwrap(),
+            "--chrome-trace",
+            chrome.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--profile",
+        ])
+        .output()
+        .expect("run place");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // The --profile stage table ends up on stdout with the key stages.
+    assert!(text.contains("stage"), "{text}");
+    assert!(text.contains("gp_step"), "{text}");
+    assert!(text.contains("legalize"), "{text}");
+
+    let summary = rdp::obs::validate_trace_jsonl(&std::fs::read_to_string(&jsonl).unwrap())
+        .expect("trace-out is schema-valid JSONL");
+    assert!(summary.spans > 0);
+    assert!(summary.span_names.contains("final_route"));
+    assert!(summary.span_names.contains("legalize"));
+    assert!(summary.span_names.contains("detailed_place"));
+
+    let n = rdp::obs::validate_chrome_trace(&std::fs::read_to_string(&chrome).unwrap())
+        .expect("chrome trace is structurally valid");
+    assert!(n > 0);
+
+    let v = rdp::obs::json::parse(&std::fs::read_to_string(&metrics).unwrap())
+        .expect("metrics file is valid JSON");
+    assert!(v.get("counters").is_some());
+    assert!(v.get("series").is_some());
+
+    std::fs::remove_dir_all(&dir).ok();
+}

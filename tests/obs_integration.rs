@@ -1,0 +1,133 @@
+//! Observability contract, end to end: tracing is a pure observer.
+//!
+//! The rdp-obs collector records spans, instants and metrics from every
+//! layer of the flow, but timestamps never feed computation — so a
+//! traced run must be **bitwise identical** to an untraced one, every
+//! guard warning the report counts must appear in the trace, and the
+//! exported artifacts must pass their own validators.
+
+use rdp::core::{run_flow_with, FlowControl, FlowFault, PlacerPreset, RoutabilityConfig};
+use rdp::gen::{generate, GenParams};
+use rdp::obs::{export_jsonl, validate_trace_jsonl, Collector};
+
+fn small_design() -> rdp::Design {
+    generate(
+        "obs-it",
+        &GenParams {
+            num_cells: 500,
+            num_macros: 2,
+            utilization: 0.62,
+            congestion_margin: 0.85,
+            seed: 11,
+            ..GenParams::default()
+        },
+    )
+}
+
+fn run(
+    design: &mut rdp::Design,
+    obs: &Collector,
+    fault: Option<FlowFault>,
+) -> rdp::core::FlowReport {
+    let ctrl = FlowControl {
+        obs: obs.clone(),
+        fault,
+        ..Default::default()
+    };
+    run_flow_with(design, &RoutabilityConfig::preset(PlacerPreset::Ours), ctrl)
+        .expect("flow converges")
+}
+
+/// Tracing on vs off: identical post-flow positions, HPWL and density
+/// overflow down to the last bit.
+#[test]
+fn tracing_does_not_change_results_bitwise() {
+    let mut plain = small_design();
+    let mut traced = small_design();
+    let r_plain = run(&mut plain, &Collector::disabled(), None);
+    let r_traced = run(&mut traced, &Collector::enabled(), None);
+
+    assert_eq!(r_plain.hpwl.to_bits(), r_traced.hpwl.to_bits());
+    assert_eq!(r_plain.gp_iterations, r_traced.gp_iterations);
+    assert_eq!(r_plain.route_iterations, r_traced.route_iterations);
+    for (a, b) in plain.positions().iter().zip(traced.positions()) {
+        assert_eq!(a.x.to_bits(), b.x.to_bits());
+        assert_eq!(a.y.to_bits(), b.y.to_bits());
+    }
+}
+
+/// Every warning the report counts is mirrored as a `guard_warning`
+/// instant the moment it is emitted (forced here by fault injection),
+/// and rollback counts agree the same way.
+#[test]
+fn warning_parity_between_report_and_trace() {
+    let mut design = small_design();
+    let obs = Collector::enabled();
+    let report = run(
+        &mut design,
+        &obs,
+        Some(FlowFault::NanCongestionGrad { route_iter: 1 }),
+    );
+
+    let summary = validate_trace_jsonl(&export_jsonl(&obs)).expect("valid JSONL");
+    assert!(
+        !report.warnings.is_empty(),
+        "injected fault must produce at least one warning"
+    );
+    assert_eq!(summary.guard_warnings, report.warnings.len() as u64);
+    assert_eq!(summary.rollbacks, report.rollbacks as u64);
+}
+
+/// A traced flow covers every stage of Fig. 2 with at least one span.
+#[test]
+fn trace_covers_every_flow_stage() {
+    let mut design = small_design();
+    let obs = Collector::enabled();
+    run(&mut design, &obs, None);
+
+    let summary = validate_trace_jsonl(&export_jsonl(&obs)).expect("valid JSONL");
+    for name in [
+        "wirelength_gp",
+        "gp_step",
+        "wa_grad",
+        "density_grad",
+        "density_field",
+        "poisson_solve",
+        "route_iter",
+        "route",
+        "netmove",
+        "gp_burst",
+        "final_route",
+    ] {
+        assert!(
+            summary.span_names.contains(name),
+            "missing span `{name}`; got {:?}",
+            summary.span_names
+        );
+    }
+}
+
+/// Convergence series are recorded once per routability iteration.
+#[test]
+fn convergence_series_match_iteration_count() {
+    let mut design = small_design();
+    let obs = Collector::enabled();
+    let report = run(&mut design, &obs, None);
+
+    let lens = obs
+        .with_snapshot(|_events, registry, _dropped| {
+            ["hpwl", "route_overflow", "lambda2", "density_overflow"]
+                .map(|name| registry.series.get(name).map_or(0, |s| s.len()))
+        })
+        .expect("collector enabled");
+    for (name, len) in ["hpwl", "route_overflow", "lambda2", "density_overflow"]
+        .iter()
+        .zip(lens)
+    {
+        assert_eq!(
+            len, report.route_iterations,
+            "series `{name}` has {len} points for {} iterations",
+            report.route_iterations
+        );
+    }
+}
