@@ -1,0 +1,175 @@
+//! Bench-baseline regression gate (CI): compares fresh `BENCH_<suite>.json`
+//! outputs against the committed baselines with a relative tolerance,
+//! taking the per-benchmark median across N fresh run directories so one
+//! noisy run cannot fail the gate.
+//!
+//! ```sh
+//! bench_diff --baseline crates/bench/baselines --current RUN1 --current RUN2 \
+//!            --current RUN3 --tol 0.5 [--suites kernels,guard,obs]
+//! ```
+//!
+//! Exits non-zero when any benchmark's median-of-N is more than `tol`
+//! (relative) slower than its baseline. Benchmarks present on only one
+//! side are reported but never regressions.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rdp_report::bench::{diff_suite, median_of_runs, parse_bench_json, SuiteResults};
+
+struct Args {
+    baseline: PathBuf,
+    current: Vec<PathBuf>,
+    tol: f64,
+    suites: Option<Vec<String>>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline = None;
+    let mut current = Vec::new();
+    let mut tol = 0.5;
+    let mut suites = None;
+    let mut i = 0;
+    while i < argv.len() {
+        let need = |i: usize| {
+            argv.get(i + 1)
+                .ok_or_else(|| format!("{} needs a value", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--baseline" => {
+                baseline = Some(PathBuf::from(need(i)?));
+                i += 2;
+            }
+            "--current" => {
+                current.push(PathBuf::from(need(i)?));
+                i += 2;
+            }
+            "--tol" => {
+                tol = need(i)?
+                    .parse()
+                    .map_err(|_| format!("--tol `{}` is not a number", argv[i + 1]))?;
+                i += 2;
+            }
+            "--suites" => {
+                suites = Some(need(i)?.split(',').map(str::to_string).collect());
+                i += 2;
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Args {
+        baseline: baseline.ok_or("missing --baseline DIR")?,
+        current,
+        tol,
+        suites,
+    })
+}
+
+/// Reads every `BENCH_*.json` in `dir` into suite → results.
+fn load_dir(dir: &Path) -> Result<BTreeMap<String, SuiteResults>, String> {
+    let mut out = BTreeMap::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let (suite, results) =
+            parse_bench_json(&text, &path.display().to_string()).map_err(|e| e.to_string())?;
+        out.insert(suite, results);
+    }
+    Ok(out)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    if args.current.is_empty() {
+        return Err("missing --current DIR (repeatable)".into());
+    }
+
+    let baselines = load_dir(&args.baseline)?;
+    if baselines.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json baselines in {}",
+            args.baseline.display()
+        ));
+    }
+    let runs: Vec<BTreeMap<String, SuiteResults>> = args
+        .current
+        .iter()
+        .map(|d| load_dir(d))
+        .collect::<Result<_, _>>()?;
+
+    let mut regressions = Vec::new();
+    for (suite, base) in &baselines {
+        if let Some(filter) = &args.suites {
+            if !filter.contains(suite) {
+                continue;
+            }
+        }
+        let fresh: Vec<SuiteResults> = runs.iter().filter_map(|r| r.get(suite)).cloned().collect();
+        if fresh.is_empty() {
+            println!("suite {suite}: no fresh results (skipped)");
+            continue;
+        }
+        let merged = median_of_runs(&fresh);
+        println!(
+            "suite {suite} (baseline vs median of {} runs, tol {:.0}%):",
+            fresh.len(),
+            100.0 * args.tol
+        );
+        for d in diff_suite(base, &merged, args.tol) {
+            let status = if d.regression {
+                regressions.push(format!("{suite}/{}", d.name));
+                "  REGRESSION"
+            } else if d.baseline_ns.is_nan() {
+                "  (new, no baseline)"
+            } else if d.current_ns.is_nan() {
+                "  (removed from suite)"
+            } else {
+                ""
+            };
+            if d.rel.is_nan() {
+                println!(
+                    "  {:<40} {:>12.0} -> {:>12.0} ns{status}",
+                    d.name, d.baseline_ns, d.current_ns
+                );
+            } else {
+                println!(
+                    "  {:<40} {:>12.0} -> {:>12.0} ns  {:>+7.1}%{status}",
+                    d.name,
+                    d.baseline_ns,
+                    d.current_ns,
+                    100.0 * d.rel
+                );
+            }
+        }
+    }
+
+    if regressions.is_empty() {
+        println!(
+            "bench diff: PASS (no regression beyond {:.0}%)",
+            100.0 * args.tol
+        );
+        Ok(())
+    } else {
+        Err(format!("perf regression in: {}", regressions.join(", ")))
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench diff: FAIL: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -134,6 +134,35 @@ fn run() -> Result<(), String> {
     }
     println!("metrics ok: convergence series present");
 
+    // 6. HTML report renders, self-validates, and carries at least one
+    //    congestion heatmap per traced routability iteration.
+    let model = rdp_report::RunModel::from_collector(&obs)
+        .map_err(|e| format!("collector ingest failed: {e}"))?;
+    let html = rdp_report::render_report(&model, "obs smoke");
+    let stats = rdp_report::validate_report(&html, &model)
+        .map_err(|e| format!("HTML report invalid: {e}"))?;
+    let route_iters = model.route_iterations();
+    if route_iters.is_empty() {
+        return Err("trace recorded no route_iter spans".into());
+    }
+    for it in &route_iters {
+        let has_congestion = model
+            .frames
+            .iter()
+            .any(|f| f.name == "congestion" && f.iter == Some(*it));
+        if !has_congestion {
+            return Err(format!(
+                "no congestion frame captured for routability iteration {it}"
+            ));
+        }
+    }
+    println!(
+        "report ok: {} charts, {} heatmaps; congestion frame for each of {} route iterations",
+        stats.charts,
+        stats.heatmaps,
+        route_iters.len()
+    );
+
     if let Some(dir) = std::env::args()
         .position(|a| a == "--out")
         .and_then(|i| std::env::args().nth(i + 1))
@@ -143,6 +172,7 @@ fn run() -> Result<(), String> {
         std::fs::write(dir.join("smoke.jsonl"), &jsonl).map_err(|e| e.to_string())?;
         std::fs::write(dir.join("smoke_chrome.json"), &chrome).map_err(|e| e.to_string())?;
         std::fs::write(dir.join("smoke_metrics.json"), &metrics).map_err(|e| e.to_string())?;
+        std::fs::write(dir.join("smoke_report.html"), &html).map_err(|e| e.to_string())?;
         println!("kept trace files in {}", dir.display());
     }
 

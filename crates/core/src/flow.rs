@@ -782,7 +782,29 @@ pub fn run_flow_with(
                     DcSource::Rudy => CongestionField::try_from_rudy(design, &health)?,
                 }
             };
-        let score_now = snapshot_score(&route, real_density_overflow(&session, design));
+        // One density evaluation serves both the snapshot score and the
+        // per-iteration frame capture, so traced runs perform exactly the
+        // same arithmetic as untraced ones (frames only *read* the field).
+        let dens = session
+            .model()
+            .compute(design, None, None, cfg.gp.target_density);
+        if obs.is_enabled() {
+            obs.frame(
+                "congestion",
+                t as i64,
+                route.congestion.nx(),
+                route.congestion.ny(),
+                route.congestion.as_slice(),
+            );
+            obs.frame(
+                "density",
+                t as i64,
+                dens.density.nx(),
+                dens.density.ny(),
+                dens.density.as_slice(),
+            );
+        }
+        let score_now = snapshot_score(&route, dens.overflow);
         if best_positions
             .as_ref()
             .map(|(s, _)| score_now < *s)
@@ -898,6 +920,7 @@ pub fn run_flow_with(
         }
         session.save_state_into(&mut good);
         let mut k = 0usize;
+        let mut last_gamma = f64::NAN;
         while k < cfg.gp_iters_per_route {
             if take_fault(&mut fault, t, k) {
                 session.inject_nan_reference();
@@ -909,6 +932,7 @@ pub fn run_flow_with(
             };
             match session.step(design, &extras) {
                 Ok(report) if !health.is_blowup(good.last_overflow, report.overflow) => {
+                    last_gamma = report.gamma;
                     session.save_state_into(&mut good);
                     k += 1;
                 }
@@ -969,6 +993,14 @@ pub fn run_flow_with(
             obs.series_push("virtual_cells", step, virtual_cells as f64);
             obs.series_push("density_overflow", step, session.overflow());
             obs.series_push("lambda1", step, session.lambda1());
+            obs.series_push(
+                "overflowed_gcells",
+                step,
+                route.maps.overflowed_gcells() as f64,
+            );
+            if last_gamma.is_finite() {
+                obs.series_push("gamma", step, last_gamma);
+            }
             if let Some(r) = ratios {
                 obs.series_push("inflation_total", step, r.iter().sum::<f64>());
             }

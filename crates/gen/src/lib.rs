@@ -36,6 +36,13 @@ pub use params::{ispd2015_suite, GenParams, SuiteEntry};
 /// Generates one of the 20 named suite designs, or `None` for an unknown
 /// name.
 pub fn generate_named(name: &str) -> Option<rdp_db::Design> {
+    generate_named_obs(name, &rdp_obs::Collector::disabled())
+}
+
+/// [`generate_named`] with the synthesis timed under a `gen_synthesize`
+/// span, so `--profile` covers benchmark generation too.
+pub fn generate_named_obs(name: &str, obs: &rdp_obs::Collector) -> Option<rdp_db::Design> {
+    let _span = obs.span("gen_synthesize", "gen");
     ispd2015_suite()
         .into_iter()
         .find(|e| e.name == name)

@@ -24,6 +24,7 @@ fn iter_json(iter: i64) -> String {
 /// `type,name,cat,tid,ts_ns,dur_ns,iter`; instant lines carry
 /// `type,name,detail,tid,ts_ns,iter`; a final `meta` line carries totals.
 pub fn export_jsonl(col: &Collector) -> String {
+    let drops = col.drop_stats();
     col.with_snapshot(|events, _, dropped| {
         let mut out = String::new();
         for ev in events {
@@ -68,9 +69,12 @@ pub fn export_jsonl(col: &Collector) -> String {
         }
         let _ = writeln!(
             out,
-            r#"{{"type":"meta","events":{},"dropped":{}}}"#,
+            r#"{{"type":"meta","events":{},"dropped":{},"dropped_spans":{},"dropped_instants":{},"dropped_frames":{}}}"#,
             events.len(),
-            dropped
+            dropped,
+            drops.spans,
+            drops.instants,
+            drops.frames
         );
         out
     })
@@ -146,12 +150,33 @@ pub fn export_chrome_trace(col: &Collector) -> String {
 }
 
 /// Metrics registry as a single JSON document: counters, gauges, histograms
-/// (sparse log-2 buckets keyed by exponent), convergence series, and the
-/// dropped-event count.
+/// (sparse log-2 buckets keyed by exponent), convergence series, captured
+/// congestion/density frames, and the dropped-event/frame counts.
 pub fn export_metrics_json(col: &Collector) -> String {
+    let frames_json = col
+        .with_frames(|frames, _| {
+            let rendered: Vec<String> = frames
+                .iter()
+                .map(|f| {
+                    let vals: Vec<String> = f.data.iter().map(|v| json::num(*v)).collect();
+                    format!(
+                        "    {{\"name\": \"{}\", \"iter\": {}, \"nx\": {}, \"ny\": {}, \"data\": [{}]}}",
+                        json::escape(f.name),
+                        f.iter,
+                        f.nx,
+                        f.ny,
+                        vals.join(", ")
+                    )
+                })
+                .collect();
+            rendered.join(",\n")
+        })
+        .unwrap_or_default();
+    let drops = col.drop_stats();
     col.with_snapshot(|_, metrics, dropped| {
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"dropped_events\": {dropped},");
+        let _ = writeln!(out, "  \"dropped_frames\": {},", drops.frames);
 
         out.push_str("  \"counters\": {");
         let counters: Vec<String> = metrics
@@ -213,7 +238,11 @@ pub fn export_metrics_json(col: &Collector) -> String {
             })
             .collect();
         out.push_str(&series.join(",\n"));
-        out.push_str("\n  }\n}\n");
+        out.push_str("\n  },\n");
+
+        out.push_str("  \"frames\": [\n");
+        out.push_str(&frames_json);
+        out.push_str("\n  ]\n}\n");
         out
     })
     .unwrap_or_else(|| "{}\n".to_string())
@@ -273,29 +302,34 @@ pub fn stage_rows(col: &Collector) -> Vec<StageRow> {
 /// Human-readable per-stage table for end-of-run CLI output.
 pub fn stage_table(col: &Collector) -> String {
     let rows = stage_rows(col);
-    if rows.is_empty() {
-        return String::from("(no spans recorded)\n");
-    }
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{:<24} {:>8} {:>12} {:>12} {:>8}",
-        "stage", "calls", "total_ms", "mean_us", "%wall"
-    );
-    for r in &rows {
+    if rows.is_empty() {
+        out.push_str("(no spans recorded)\n");
+    } else {
         let _ = writeln!(
             out,
-            "{:<24} {:>8} {:>12.3} {:>12.1} {:>8.1}",
-            r.name,
-            r.calls,
-            r.total_ns as f64 / 1e6,
-            r.mean_ns as f64 / 1e3,
-            r.pct_of_wall
+            "{:<24} {:>8} {:>12} {:>12} {:>8}",
+            "stage", "calls", "total_ms", "mean_us", "%wall"
         );
+        for r in &rows {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>8} {:>12.3} {:>12.1} {:>8.1}",
+                r.name,
+                r.calls,
+                r.total_ns as f64 / 1e6,
+                r.mean_ns as f64 / 1e3,
+                r.pct_of_wall
+            );
+        }
     }
-    let dropped = col.dropped_events();
-    if dropped > 0 {
-        let _ = writeln!(out, "({dropped} events dropped from ring buffer)");
+    let drops = col.drop_stats();
+    if drops.any() {
+        let _ = writeln!(
+            out,
+            "(warning: ring buffer dropped {} events: {} spans, {} instants; {} frames evicted — stage totals above are incomplete)",
+            drops.events, drops.spans, drops.instants, drops.frames
+        );
     }
     out
 }
@@ -313,6 +347,12 @@ pub struct TraceSummary {
     pub rollbacks: u64,
     /// Dropped-event count from the trailing meta line.
     pub dropped: u64,
+    /// Dropped span events (from the optional meta breakdown).
+    pub dropped_spans: u64,
+    /// Dropped instant events (from the optional meta breakdown).
+    pub dropped_instants: u64,
+    /// Dropped congestion/density frames (from the optional meta breakdown).
+    pub dropped_frames: u64,
 }
 
 fn field_num(obj: &Value, key: &str, line_no: usize) -> Result<f64, String> {
@@ -371,6 +411,20 @@ pub fn validate_trace_jsonl(text: &str) -> Result<TraceSummary, String> {
             "meta" => {
                 let events = field_num(&v, "events", line_no)? as u64;
                 summary.dropped = field_num(&v, "dropped", line_no)? as u64;
+                // Drop breakdown is optional (older traces omit it) but must
+                // reconcile with the total when present.
+                let opt = |key: &str| v.get(key).and_then(Value::as_f64).map(|n| n as u64);
+                summary.dropped_spans = opt("dropped_spans").unwrap_or(0);
+                summary.dropped_instants = opt("dropped_instants").unwrap_or(0);
+                summary.dropped_frames = opt("dropped_frames").unwrap_or(0);
+                if opt("dropped_spans").is_some()
+                    && summary.dropped_spans + summary.dropped_instants != summary.dropped
+                {
+                    return Err(format!(
+                        "line {line_no}: drop breakdown {} + {} does not equal dropped {}",
+                        summary.dropped_spans, summary.dropped_instants, summary.dropped
+                    ));
+                }
                 let recorded = summary.spans + summary.instants;
                 if events != recorded {
                     return Err(format!(
@@ -518,6 +572,54 @@ mod tests {
         // meta count mismatch: claims 5 events but none precede it
         let bad = "{\"type\":\"meta\",\"events\":5,\"dropped\":0}\n";
         assert!(validate_trace_jsonl(bad).is_err());
+    }
+
+    #[test]
+    fn metrics_json_carries_frames() {
+        let c = sample_collector();
+        c.frame("congestion", 3, 2, 2, &[0.5, 1.0, 1.5, 2.0]);
+        let text = export_metrics_json(&c);
+        let v = json::parse(&text).unwrap();
+        let frames = v.get("frames").unwrap().as_arr().unwrap();
+        assert_eq!(frames.len(), 1);
+        let f = &frames[0];
+        assert_eq!(f.get("name").unwrap().as_str(), Some("congestion"));
+        assert_eq!(f.get("iter").unwrap().as_f64(), Some(3.0));
+        assert_eq!(f.get("nx").unwrap().as_f64(), Some(2.0));
+        assert_eq!(f.get("data").unwrap().as_arr().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn metrics_json_without_frames_has_empty_array() {
+        let c = sample_collector();
+        let v = json::parse(&export_metrics_json(&c)).unwrap();
+        assert!(v.get("frames").unwrap().as_arr().unwrap().is_empty());
+    }
+
+    #[test]
+    fn meta_line_carries_drop_breakdown() {
+        let c = Collector::with_capacity(2);
+        {
+            let _a = c.span("gp_step", "gp");
+        }
+        c.instant("guard_warning", 0, "w1");
+        c.instant("rollback", 1, "r1"); // evicts the span
+        c.instant("note", 2, "n1"); // evicts the first instant
+        let text = export_jsonl(&c);
+        let summary = validate_trace_jsonl(&text).unwrap();
+        assert_eq!(summary.dropped, 2);
+        assert_eq!(summary.dropped_spans, 1);
+        assert_eq!(summary.dropped_instants, 1);
+        let table = stage_table(&c);
+        assert!(table.contains("warning"), "{table}");
+        assert!(table.contains("1 spans, 1 instants"), "{table}");
+    }
+
+    #[test]
+    fn validator_rejects_inconsistent_drop_breakdown() {
+        let bad = "{\"type\":\"meta\",\"events\":0,\"dropped\":3,\"dropped_spans\":1,\"dropped_instants\":1,\"dropped_frames\":0}\n";
+        let err = validate_trace_jsonl(bad).unwrap_err();
+        assert!(err.contains("breakdown"), "{err}");
     }
 
     #[test]

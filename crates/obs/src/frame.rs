@@ -1,0 +1,117 @@
+//! Congestion-frame capture: downsampled 2-D field snapshots per
+//! routability iteration.
+//!
+//! The routability literature's primary diagnostic artifact is the
+//! per-iteration congestion heatmap; a full `Map2d` per iteration would be
+//! unbounded memory on a long run, so [`Collector::frame`] box-averages the
+//! field down to at most [`FRAME_MAX_DIM`] cells per axis and the registry
+//! holds frames under a fixed byte budget ([`DEFAULT_FRAME_BUDGET`]),
+//! evicting the oldest frame (and counting the drop) once the budget is
+//! exceeded — the same overwrite-oldest discipline as the event ring.
+//!
+//! [`Collector::frame`]: crate::Collector::frame
+
+/// Maximum frame extent per axis after downsampling. 48×48×8 B ≈ 18 KiB
+/// per frame keeps a 10-iteration run with two frame kinds under 400 KiB.
+pub const FRAME_MAX_DIM: usize = 48;
+
+/// Default byte budget for retained frames (~2 MiB ≈ 110 worst-case
+/// frames), far above any realistic flow but a hard ceiling nonetheless.
+pub const DEFAULT_FRAME_BUDGET: usize = 2 << 20;
+
+/// One captured 2-D field snapshot (already downsampled).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// What the field is ("congestion", "density", …).
+    pub name: &'static str,
+    /// Routability iteration the snapshot belongs to, or
+    /// [`crate::NO_ITER`].
+    pub iter: i64,
+    /// Downsampled columns.
+    pub nx: usize,
+    /// Downsampled rows.
+    pub ny: usize,
+    /// Row-major values, `ny * nx` long.
+    pub data: Vec<f64>,
+}
+
+impl Frame {
+    /// Approximate heap footprint, used against the frame budget.
+    pub fn byte_size(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>() + std::mem::size_of::<Frame>()
+    }
+}
+
+/// Box-average `data` (row-major `ny × nx`) down to at most
+/// [`FRAME_MAX_DIM`] cells per axis. Fields at or under the limit are
+/// copied verbatim. Averaging is performed in deterministic row-major
+/// order, so the capture is byte-stable run to run on equal input.
+pub fn downsample(nx: usize, ny: usize, data: &[f64]) -> (usize, usize, Vec<f64>) {
+    assert_eq!(data.len(), nx * ny, "frame buffer length mismatch");
+    if nx <= FRAME_MAX_DIM && ny <= FRAME_MAX_DIM {
+        return (nx, ny, data.to_vec());
+    }
+    let onx = nx.min(FRAME_MAX_DIM);
+    let ony = ny.min(FRAME_MAX_DIM);
+    let mut out = vec![0.0f64; onx * ony];
+    for oy in 0..ony {
+        // Input row band [y0, y1) mapping to output row oy.
+        let y0 = oy * ny / ony;
+        let y1 = ((oy + 1) * ny / ony).max(y0 + 1);
+        for ox in 0..onx {
+            let x0 = ox * nx / onx;
+            let x1 = ((ox + 1) * nx / onx).max(x0 + 1);
+            let mut acc = 0.0;
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    acc += data[y * nx + x];
+                }
+            }
+            out[oy * onx + ox] = acc / ((y1 - y0) * (x1 - x0)) as f64;
+        }
+    }
+    (onx, ony, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_fields_pass_through() {
+        let data: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let (nx, ny, out) = downsample(4, 3, &data);
+        assert_eq!((nx, ny), (4, 3));
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn downsample_preserves_mean() {
+        // 96×96 → 48×48 with uniform 2×2 boxes: overall mean is exact.
+        let n = 96;
+        let data: Vec<f64> = (0..n * n).map(|i| (i % 7) as f64).collect();
+        let (nx, ny, out) = downsample(n, n, &data);
+        assert_eq!((nx, ny), (48, 48));
+        let mean_in: f64 = data.iter().sum::<f64>() / data.len() as f64;
+        let mean_out: f64 = out.iter().sum::<f64>() / out.len() as f64;
+        assert!((mean_in - mean_out).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_divisible_dims_cover_every_input_cell() {
+        // 50×50 → 48×48: bands are 1 or 2 cells wide; a constant field
+        // must stay exactly constant.
+        let n = 50;
+        let data = vec![3.25f64; n * n];
+        let (nx, ny, out) = downsample(n, n, &data);
+        assert_eq!((nx, ny), (48, 48));
+        assert!(out.iter().all(|&v| v == 3.25));
+    }
+
+    #[test]
+    fn rectangular_fields_downsample_each_axis_independently() {
+        let (nx, ny, out) = downsample(100, 10, &vec![1.0; 1000]);
+        assert_eq!((nx, ny), (48, 10));
+        assert_eq!(out.len(), 480);
+    }
+}

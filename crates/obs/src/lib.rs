@@ -11,9 +11,14 @@
 //!    [`Collector::observe`] / [`Collector::series_push`]): counters,
 //!    gauges, fixed log-2-bucket histograms, and per-iteration convergence
 //!    series (HPWL, overflow, λ₁/λ₂, γ, inflation, …).
-//! 3. **Exporters** ([`export`]): JSON-lines event log, Chrome
+//! 3. **Frames** ([`Collector::frame`]): downsampled 2-D field snapshots
+//!    (routed congestion, bin density) captured once per routability
+//!    iteration under a fixed byte budget — the raw material for the
+//!    per-iteration heatmaps in `rdp-report` HTML reports.
+//! 4. **Exporters** ([`export`]): JSON-lines event log, Chrome
 //!    `trace_event` JSON for chrome://tracing / Perfetto, a metrics JSON
-//!    dump, and a human-readable per-stage time table.
+//!    dump (series, histograms, frames), and a human-readable per-stage
+//!    time table.
 //!
 //! ## Determinism contract
 //!
@@ -33,6 +38,7 @@
 //! drops counted), metrics are aggregates.
 
 mod export;
+mod frame;
 mod metrics;
 mod ring;
 
@@ -42,6 +48,7 @@ pub use export::{
     export_chrome_trace, export_jsonl, export_metrics_json, stage_rows, stage_table,
     validate_chrome_trace, validate_trace_jsonl, StageRow, TraceSummary,
 };
+pub use frame::{downsample, Frame, DEFAULT_FRAME_BUDGET, FRAME_MAX_DIM};
 pub use metrics::{Histogram, Registry, HIST_BUCKETS};
 pub use ring::Ring;
 
@@ -90,10 +97,51 @@ pub enum Event {
     },
 }
 
+/// Drop accounting across every bounded store in the collector. Ring
+/// eviction used to be visible only as one aggregate number; the per-kind
+/// breakdown makes a truncated trace diagnosable (losing spans skews the
+/// stage table, losing instants hides warnings — different failures).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropStats {
+    /// Total events evicted from the ring.
+    pub events: u64,
+    /// Evicted events that were spans.
+    pub spans: u64,
+    /// Evicted events that were instants.
+    pub instants: u64,
+    /// Frames evicted by the frame byte budget.
+    pub frames: u64,
+}
+
+impl DropStats {
+    /// Whether anything at all was dropped.
+    pub fn any(&self) -> bool {
+        self.events > 0 || self.frames > 0
+    }
+}
+
 #[derive(Debug)]
 struct State {
     events: Ring<Event>,
+    /// Evicted-event breakdown (ring counts the total).
+    dropped_spans: u64,
+    dropped_instants: u64,
     metrics: Registry,
+    frames: Vec<Frame>,
+    frames_bytes: usize,
+    frame_budget: usize,
+    dropped_frames: u64,
+}
+
+impl State {
+    /// Push into the ring, classifying any evicted event.
+    fn push_event(&mut self, ev: Event) {
+        match self.events.push(ev) {
+            Some(Event::Span { .. }) => self.dropped_spans += 1,
+            Some(Event::Instant { .. }) => self.dropped_instants += 1,
+            None => {}
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -120,11 +168,23 @@ impl Collector {
 
     /// An enabled collector holding at most `event_capacity` events.
     pub fn with_capacity(event_capacity: usize) -> Self {
+        Self::with_capacity_and_frame_budget(event_capacity, DEFAULT_FRAME_BUDGET)
+    }
+
+    /// An enabled collector with explicit event capacity and frame byte
+    /// budget (frames are evicted oldest-first past the budget).
+    pub fn with_capacity_and_frame_budget(event_capacity: usize, frame_budget: usize) -> Self {
         Collector(Some(Arc::new(Inner {
             start: Instant::now(),
             state: Mutex::new(State {
                 events: Ring::new(event_capacity),
+                dropped_spans: 0,
+                dropped_instants: 0,
                 metrics: Registry::default(),
+                frames: Vec::new(),
+                frames_bytes: 0,
+                frame_budget: frame_budget.max(1),
+                dropped_frames: 0,
             }),
         })))
     }
@@ -168,7 +228,35 @@ impl Collector {
                 ts_ns: Self::now_ns(inner),
                 iter,
             };
-            inner.state.lock().unwrap().events.push(ev);
+            inner.state.lock().unwrap().push_event(ev);
+        }
+    }
+
+    /// Capture a 2-D field snapshot (e.g. the routed congestion map at a
+    /// routability iteration). `data` is row-major `ny × nx`; it is
+    /// box-averaged down to at most [`FRAME_MAX_DIM`] per axis *before*
+    /// the collector lock is taken, and retained frames are bounded by the
+    /// frame byte budget (oldest evicted, drops counted). Recording only —
+    /// nothing in the flow ever reads a frame back.
+    pub fn frame(&self, name: &'static str, iter: i64, nx: usize, ny: usize, data: &[f64]) {
+        if let Some(inner) = &self.0 {
+            let (dnx, dny, ddata) = frame::downsample(nx, ny, data);
+            let frame = Frame {
+                name,
+                iter,
+                nx: dnx,
+                ny: dny,
+                data: ddata,
+            };
+            let bytes = frame.byte_size();
+            let mut state = inner.state.lock().unwrap();
+            state.frames.push(frame);
+            state.frames_bytes += bytes;
+            while state.frames_bytes > state.frame_budget && state.frames.len() > 1 {
+                let evicted = state.frames.remove(0);
+                state.frames_bytes -= evicted.byte_size();
+                state.dropped_frames += 1;
+            }
         }
     }
 
@@ -219,6 +307,30 @@ impl Collector {
         }
     }
 
+    /// Number of frames currently held (0 when disabled).
+    pub fn frame_count(&self) -> usize {
+        match &self.0 {
+            None => 0,
+            Some(inner) => inner.state.lock().unwrap().frames.len(),
+        }
+    }
+
+    /// Per-kind drop accounting (all zero when disabled).
+    pub fn drop_stats(&self) -> DropStats {
+        match &self.0 {
+            None => DropStats::default(),
+            Some(inner) => {
+                let state = inner.state.lock().unwrap();
+                DropStats {
+                    events: state.events.dropped(),
+                    spans: state.dropped_spans,
+                    instants: state.dropped_instants,
+                    frames: state.dropped_frames,
+                }
+            }
+        }
+    }
+
     /// Run `f` over a snapshot of `(events-oldest-first, metrics)`. Used by
     /// the exporters; returns `None` when disabled.
     pub fn with_snapshot<R>(&self, f: impl FnOnce(&[Event], &Registry, u64) -> R) -> Option<R> {
@@ -227,6 +339,14 @@ impl Collector {
         let events: Vec<Event> = state.events.iter().cloned().collect();
         let dropped = state.events.dropped();
         Some(f(&events, &state.metrics, dropped))
+    }
+
+    /// Run `f` over the captured frames (oldest-first) and the dropped
+    /// frame count; returns `None` when disabled.
+    pub fn with_frames<R>(&self, f: impl FnOnce(&[Frame], u64) -> R) -> Option<R> {
+        let inner = self.0.as_ref()?;
+        let state = inner.state.lock().unwrap();
+        Some(f(&state.frames, state.dropped_frames))
     }
 }
 
@@ -257,7 +377,7 @@ impl Drop for SpanGuard {
                 dur_ns: end_ns.saturating_sub(s.start_ns),
                 iter: s.iter,
             };
-            s.inner.state.lock().unwrap().events.push(ev);
+            s.inner.state.lock().unwrap().push_event(ev);
         }
     }
 }
@@ -275,10 +395,67 @@ mod tests {
             c.counter_add("n", 1);
             c.observe("h", 1.0);
             c.series_push("s", 0, 1.0);
+            c.frame("f", NO_ITER, 2, 2, &[1.0, 2.0, 3.0, 4.0]);
         }
         assert!(!c.is_enabled());
         assert_eq!(c.event_count(), 0);
+        assert_eq!(c.frame_count(), 0);
+        assert_eq!(c.drop_stats(), DropStats::default());
         assert!(c.with_snapshot(|_, _, _| ()).is_none());
+        assert!(c.with_frames(|_, _| ()).is_none());
+    }
+
+    #[test]
+    fn frames_are_captured_and_downsampled() {
+        let c = Collector::enabled();
+        let big: Vec<f64> = vec![1.5; 100 * 100];
+        c.frame("congestion", 1, 100, 100, &big);
+        c.frame("congestion", 2, 10, 10, &vec![0.5; 100]);
+        c.with_frames(|frames, dropped| {
+            assert_eq!(dropped, 0);
+            assert_eq!(frames.len(), 2);
+            assert_eq!((frames[0].nx, frames[0].ny), (48, 48));
+            assert!(frames[0].data.iter().all(|&v| (v - 1.5).abs() < 1e-12));
+            assert_eq!((frames[1].nx, frames[1].ny), (10, 10));
+            assert_eq!(frames[1].iter, 2);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn frame_budget_evicts_oldest_and_counts_drops() {
+        // Budget for roughly two 10×10 frames (800 B data + struct each).
+        let c = Collector::with_capacity_and_frame_budget(64, 2 * 900);
+        for i in 0..5 {
+            c.frame("congestion", i, 10, 10, &vec![i as f64; 100]);
+        }
+        let stats = c.drop_stats();
+        assert!(stats.frames > 0, "budget never evicted: {stats:?}");
+        assert!(stats.any());
+        c.with_frames(|frames, dropped| {
+            assert_eq!(dropped, stats.frames);
+            // Newest frames survive.
+            assert_eq!(frames.last().unwrap().iter, 4);
+            let held: usize = frames.iter().map(Frame::byte_size).sum();
+            assert!(held <= 2 * 900, "held {held} bytes over budget");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn ring_overflow_classifies_dropped_kinds() {
+        let c = Collector::with_capacity(4);
+        for _ in 0..3 {
+            let _g = c.span("s", "test");
+        }
+        for _ in 0..4 {
+            c.instant("i", NO_ITER, "d");
+        }
+        let stats = c.drop_stats();
+        assert_eq!(stats.events, 3);
+        assert_eq!(stats.spans + stats.instants, stats.events);
+        assert_eq!(stats.spans, 3); // the three oldest events were spans
+        assert_eq!(c.event_count(), 4);
     }
 
     #[test]

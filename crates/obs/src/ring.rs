@@ -42,14 +42,18 @@ impl<T> Ring<T> {
         self.dropped
     }
 
-    /// Append an element, evicting the oldest when at capacity.
-    pub fn push(&mut self, value: T) {
+    /// Append an element, evicting the oldest when at capacity. Returns
+    /// the evicted element so the caller can account for *what* was
+    /// dropped (span vs instant), not just that something was.
+    pub fn push(&mut self, value: T) -> Option<T> {
         if self.buf.len() < self.cap {
             self.buf.push(value);
+            None
         } else {
-            self.buf[self.head] = value;
+            let evicted = std::mem::replace(&mut self.buf[self.head], value);
             self.head = (self.head + 1) % self.cap;
             self.dropped += 1;
+            Some(evicted)
         }
     }
 
@@ -67,13 +71,18 @@ mod tests {
     #[test]
     fn ring_keeps_newest_and_counts_drops() {
         let mut r = Ring::new(3);
+        let mut evicted = Vec::new();
         for i in 0..5 {
-            r.push(i);
+            if let Some(old) = r.push(i) {
+                evicted.push(old);
+            }
         }
         assert_eq!(r.len(), 3);
         assert_eq!(r.dropped(), 2);
         let got: Vec<i32> = r.iter().copied().collect();
         assert_eq!(got, vec![2, 3, 4]);
+        // The evicted elements are exactly the oldest ones, in order.
+        assert_eq!(evicted, vec![0, 1]);
     }
 
     #[test]

@@ -128,6 +128,21 @@ pub fn write_bookshelf(design: &Design) -> BookshelfFiles {
 /// Returns [`ParseDesignError`] on malformed content, unknown cell
 /// references, or inconsistent counts.
 pub fn read_bookshelf(name: &str, files: &BookshelfFiles) -> Result<Design, ParseDesignError> {
+    read_bookshelf_obs(name, files, &rdp_obs::Collector::disabled())
+}
+
+/// [`read_bookshelf`] with parsing timed under a `parse_bookshelf` span,
+/// so `--profile` covers input parsing too.
+///
+/// # Errors
+///
+/// Same as [`read_bookshelf`].
+pub fn read_bookshelf_obs(
+    name: &str,
+    files: &BookshelfFiles,
+    obs: &rdp_obs::Collector,
+) -> Result<Design, ParseDesignError> {
+    let _span = obs.span("parse_bookshelf", "parse");
     // --- scl: die + rows -------------------------------------------------
     let mut die: Option<Rect> = None;
     let mut rows: Vec<Row> = Vec::new();
@@ -411,6 +426,21 @@ pub fn load_bookshelf(
     dir: &std::path::Path,
     base: &str,
 ) -> Result<Design, Box<dyn std::error::Error>> {
+    load_bookshelf_obs(dir, base, &rdp_obs::Collector::disabled())
+}
+
+/// [`load_bookshelf`] with file reads and parsing timed under a
+/// `parse_bookshelf` span.
+///
+/// # Errors
+///
+/// Same as [`load_bookshelf`].
+pub fn load_bookshelf_obs(
+    dir: &std::path::Path,
+    base: &str,
+    obs: &rdp_obs::Collector,
+) -> Result<Design, Box<dyn std::error::Error>> {
+    let _span = obs.span("parse_bookshelf", "parse");
     let r = |ext: &str| std::fs::read_to_string(dir.join(format!("{base}.{ext}")));
     let files = BookshelfFiles {
         nodes: r("nodes")?,

@@ -157,6 +157,20 @@ pub fn write_lefdef(design: &Design) -> LefDefFiles {
 /// Returns [`ParseDesignError`] on malformed content or dangling
 /// references.
 pub fn read_lefdef(files: &LefDefFiles) -> Result<Design, ParseDesignError> {
+    read_lefdef_obs(files, &rdp_obs::Collector::disabled())
+}
+
+/// [`read_lefdef`] with parsing timed under a `parse_lefdef` span, so
+/// `--profile` covers input parsing too.
+///
+/// # Errors
+///
+/// Same as [`read_lefdef`].
+pub fn read_lefdef_obs(
+    files: &LefDefFiles,
+    obs: &rdp_obs::Collector,
+) -> Result<Design, ParseDesignError> {
+    let _span = obs.span("parse_lefdef", "parse");
     // --- LEF: cell types -------------------------------------------------
     struct TypeRec {
         kind: CellKind,

@@ -34,7 +34,8 @@ mod deflite;
 mod error;
 
 pub use bookshelf::{
-    load_bookshelf, read_bookshelf, save_bookshelf, write_bookshelf, BookshelfFiles,
+    load_bookshelf, load_bookshelf_obs, read_bookshelf, read_bookshelf_obs, save_bookshelf,
+    write_bookshelf, BookshelfFiles,
 };
-pub use deflite::{read_lefdef, write_lefdef, LefDefFiles};
+pub use deflite::{read_lefdef, read_lefdef_obs, write_lefdef, LefDefFiles};
 pub use error::ParseDesignError;

@@ -1,0 +1,193 @@
+//! Bench-baseline regression gating.
+//!
+//! `rdp-testkit`'s harness writes `BENCH_<suite>.json` files; this module
+//! parses them, takes the per-benchmark **median across N fresh runs**
+//! (median-of-medians — robust to one noisy run), and compares against a
+//! committed baseline with a relative tolerance. `scripts/regress.sh`
+//! drives it through the `bench_diff` binary in `rdp-bench`.
+
+use std::collections::BTreeMap;
+
+use rdp_guard::RdpError;
+use rdp_obs::json::{self, Value};
+
+/// One suite's results: benchmark name → median ns/iter.
+pub type SuiteResults = BTreeMap<String, f64>;
+
+fn perr(context: &str, message: impl Into<String>) -> RdpError {
+    RdpError::Parse {
+        context: context.to_string(),
+        line: None,
+        message: message.into(),
+    }
+}
+
+/// Parse a `BENCH_<suite>.json` document into `(suite, name → median_ns)`.
+pub fn parse_bench_json(text: &str, context: &str) -> Result<(String, SuiteResults), RdpError> {
+    let doc = json::parse(text).map_err(|e| perr(context, e.to_string()))?;
+    let suite = doc
+        .get("suite")
+        .and_then(Value::as_str)
+        .ok_or_else(|| perr(context, "missing string field \"suite\""))?
+        .to_string();
+    let results = doc
+        .get("results")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| perr(context, "missing results array"))?;
+    let mut out = SuiteResults::new();
+    for r in results {
+        let name = r
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| perr(context, "result missing name"))?;
+        let median = r
+            .get("median_ns")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| perr(context, format!("result {name:?} missing median_ns")))?;
+        if !median.is_finite() || median < 0.0 {
+            return Err(perr(context, format!("result {name:?} has bad median_ns")));
+        }
+        out.insert(name.to_string(), median);
+    }
+    Ok((suite, out))
+}
+
+/// Median of a non-empty slice (the slice is sorted in place).
+pub fn median(values: &mut [f64]) -> f64 {
+    assert!(!values.is_empty());
+    values.sort_by(f64::total_cmp);
+    let mid = values.len() / 2;
+    if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        0.5 * (values[mid - 1] + values[mid])
+    }
+}
+
+/// Collapse N runs of one suite into per-benchmark median-of-medians.
+/// Benchmarks missing from some runs use the runs that have them.
+pub fn median_of_runs(runs: &[SuiteResults]) -> SuiteResults {
+    let mut merged: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for run in runs {
+        for (name, v) in run {
+            merged.entry(name.clone()).or_default().push(*v);
+        }
+    }
+    merged
+        .into_iter()
+        .map(|(name, mut vs)| {
+            let m = median(&mut vs);
+            (name, m)
+        })
+        .collect()
+}
+
+/// One benchmark's baseline-vs-current comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDelta {
+    /// Benchmark name within the suite.
+    pub name: String,
+    /// Committed baseline median ns/iter (NaN when new).
+    pub baseline_ns: f64,
+    /// Fresh median-of-N ns/iter (NaN when removed).
+    pub current_ns: f64,
+    /// `(current - baseline) / baseline`.
+    pub rel: f64,
+    /// Whether `rel` exceeded the tolerance.
+    pub regression: bool,
+}
+
+/// Compare the median-of-N `current` against `baseline` with relative
+/// tolerance `tol` (e.g. 0.5 = current may be up to 50% slower).
+/// Benchmarks present on only one side are never regressions — they are
+/// returned with a NaN on the missing side so callers can report them.
+pub fn diff_suite(baseline: &SuiteResults, current: &SuiteResults, tol: f64) -> Vec<BenchDelta> {
+    let names: std::collections::BTreeSet<&String> =
+        baseline.keys().chain(current.keys()).collect();
+    names
+        .into_iter()
+        .map(|name| {
+            let b = baseline.get(name).copied();
+            let c = current.get(name).copied();
+            match (b, c) {
+                (Some(b), Some(c)) => {
+                    let rel = (c - b) / b.max(1e-9);
+                    BenchDelta {
+                        name: name.clone(),
+                        baseline_ns: b,
+                        current_ns: c,
+                        rel,
+                        regression: rel > tol,
+                    }
+                }
+                _ => BenchDelta {
+                    name: name.clone(),
+                    baseline_ns: b.unwrap_or(f64::NAN),
+                    current_ns: c.unwrap_or(f64::NAN),
+                    rel: f64::NAN,
+                    regression: false,
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "suite": "kernels",
+  "results": [
+    { "name": "fft", "samples": 5, "iters_per_sample": 8,
+      "mean_ns": 100.0, "median_ns": 98.0, "p95_ns": 120.0,
+      "min_ns": 90.0, "max_ns": 130.0 }
+  ]
+}"#;
+
+    #[test]
+    fn parses_harness_output() {
+        let (suite, results) = parse_bench_json(SAMPLE, "test").unwrap();
+        assert_eq!(suite, "kernels");
+        assert_eq!(results["fft"], 98.0);
+    }
+
+    #[test]
+    fn hostile_bench_json_is_typed_error() {
+        for bad in ["nope", "{}", r#"{"suite":"x","results":[{"name":"a"}]}"#] {
+            assert!(matches!(
+                parse_bench_json(bad, "t"),
+                Err(RdpError::Parse { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn median_of_runs_is_robust_to_one_outlier() {
+        let runs: Vec<SuiteResults> = [100.0, 101.0, 5000.0]
+            .iter()
+            .map(|v| [("k".to_string(), *v)].into_iter().collect())
+            .collect();
+        let merged = median_of_runs(&runs);
+        assert_eq!(merged["k"], 101.0);
+    }
+
+    #[test]
+    fn regression_gate_uses_tolerance() {
+        let base: SuiteResults = [("k".to_string(), 100.0)].into_iter().collect();
+        let slow: SuiteResults = [("k".to_string(), 180.0)].into_iter().collect();
+        let d = diff_suite(&base, &slow, 0.5);
+        assert!(d[0].regression);
+        let d = diff_suite(&base, &slow, 1.0);
+        assert!(!d[0].regression);
+    }
+
+    #[test]
+    fn one_sided_benchmarks_are_not_regressions() {
+        let base: SuiteResults = [("old".to_string(), 100.0)].into_iter().collect();
+        let cur: SuiteResults = [("new".to_string(), 50.0)].into_iter().collect();
+        let d = diff_suite(&base, &cur, 0.5);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|x| !x.regression));
+    }
+}

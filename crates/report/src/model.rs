@@ -1,0 +1,461 @@
+//! Run ingestion: the obs artifacts (trace JSONL + metrics JSON) parsed
+//! into one [`RunModel`] that the renderer and differ share.
+//!
+//! Ingestion is strict: both inputs were written by `rdp-obs` exporters,
+//! so anything malformed — truncated trace, wrong types, missing meta —
+//! is hostile or corrupt and surfaces as a typed [`RdpError::Parse`]
+//! rather than a panic or a silently-empty model.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use rdp_guard::RdpError;
+use rdp_obs::json::{self, Value};
+use rdp_obs::{export_jsonl, export_metrics_json, validate_trace_jsonl, Collector};
+
+/// One completed span from the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRec {
+    /// Stage name ("route", "gp_step", …).
+    pub name: String,
+    /// Category the trace viewer groups by.
+    pub cat: String,
+    /// Stable per-OS-thread id.
+    pub tid: u64,
+    /// Start offset from collector creation, nanoseconds.
+    pub ts_ns: u64,
+    /// Span duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Routability iteration, when the span was tagged with one.
+    pub iter: Option<u64>,
+}
+
+/// One point event (warning, rollback, checkpoint, …) from the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstantRec {
+    /// Event name ("guard_warning", "rollback", "checkpoint", …).
+    pub name: String,
+    /// Free-form message attached at record time.
+    pub detail: String,
+    /// Offset from collector creation, nanoseconds.
+    pub ts_ns: u64,
+    /// Routability iteration, when tagged with one.
+    pub iter: Option<u64>,
+}
+
+/// One captured 2-D field snapshot from the metrics document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameRec {
+    /// Field name ("congestion", "density", …).
+    pub name: String,
+    /// Routability iteration the snapshot belongs to.
+    pub iter: Option<u64>,
+    /// Downsampled columns.
+    pub nx: usize,
+    /// Downsampled rows.
+    pub ny: usize,
+    /// Row-major `ny * nx` values.
+    pub data: Vec<f64>,
+}
+
+/// Histogram summary (the sparse buckets are not needed for reporting).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Finite observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    /// Arithmetic mean, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Everything one run's obs artifacts contain, ready for rendering or
+/// diffing. Constructed from exporter strings, from a live collector, or
+/// from a run directory on disk.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunModel {
+    /// Completed spans in trace order.
+    pub spans: Vec<SpanRec>,
+    /// Point events in trace order.
+    pub instants: Vec<InstantRec>,
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, f64>,
+    /// Last-write gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Convergence series: name → `(step, value)` points in push order.
+    pub series: BTreeMap<String, Vec<(u64, f64)>>,
+    /// Captured congestion/density frames, oldest first.
+    pub frames: Vec<FrameRec>,
+    /// Events evicted from the collector's ring buffer.
+    pub dropped_events: u64,
+    /// Frames evicted by the frame byte budget.
+    pub dropped_frames: u64,
+}
+
+fn perr(context: &str, line: Option<usize>, message: impl Into<String>) -> RdpError {
+    RdpError::Parse {
+        context: context.to_string(),
+        line,
+        message: message.into(),
+    }
+}
+
+fn opt_iter(v: &Value) -> Option<u64> {
+    match v.get("iter") {
+        Some(Value::Num(n)) if *n >= 0.0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+fn req_str(v: &Value, key: &str, ctx: &str, line: Option<usize>) -> Result<String, RdpError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| perr(ctx, line, format!("missing string field \"{key}\"")))
+}
+
+fn req_num(v: &Value, key: &str, ctx: &str, line: Option<usize>) -> Result<f64, RdpError> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| perr(ctx, line, format!("missing numeric field \"{key}\"")))
+}
+
+impl RunModel {
+    /// Build a model from exporter output strings. `trace` may be absent
+    /// (metrics-only runs still render a partial report); `metrics` is the
+    /// metrics JSON document.
+    pub fn from_strings(trace: Option<&str>, metrics: &str) -> Result<RunModel, RdpError> {
+        let mut model = RunModel::default();
+        if let Some(trace) = trace {
+            model.ingest_trace(trace)?;
+        }
+        model.ingest_metrics(metrics)?;
+        Ok(model)
+    }
+
+    /// Snapshot a live collector through its own exporters, so the model
+    /// seen by an in-process report is byte-identical to what a run
+    /// directory on disk would have produced. A disabled collector yields
+    /// an empty model.
+    pub fn from_collector(col: &Collector) -> Result<RunModel, RdpError> {
+        if !col.is_enabled() {
+            return Ok(RunModel::default());
+        }
+        Self::from_strings(Some(&export_jsonl(col)), &export_metrics_json(col))
+    }
+
+    /// Load a run directory written by `rdp … --run-dir DIR`: reads
+    /// `DIR/metrics.json` (required) and `DIR/trace.jsonl` (optional). A
+    /// path to a plain file is treated as a metrics document alone.
+    pub fn load(path: &Path) -> Result<RunModel, RdpError> {
+        let ctx = path.display().to_string();
+        if path.is_file() {
+            let metrics = std::fs::read_to_string(path)
+                .map_err(|e| perr(&ctx, None, format!("cannot read metrics: {e}")))?;
+            return Self::from_strings(None, &metrics);
+        }
+        let metrics_path = path.join("metrics.json");
+        let metrics = std::fs::read_to_string(&metrics_path).map_err(|e| {
+            perr(
+                &ctx,
+                None,
+                format!("cannot read {}: {e}", metrics_path.display()),
+            )
+        })?;
+        let trace_path = path.join("trace.jsonl");
+        let trace = match std::fs::read_to_string(&trace_path) {
+            Ok(t) => Some(t),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => {
+                return Err(perr(
+                    &ctx,
+                    None,
+                    format!("cannot read {}: {e}", trace_path.display()),
+                ))
+            }
+        };
+        Self::from_strings(trace.as_deref(), &metrics)
+    }
+
+    /// Total nanoseconds per span name, for the stage breakdown and the
+    /// perf side of a diff.
+    pub fn stage_totals(&self) -> BTreeMap<String, (u64, u64)> {
+        let mut agg: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        for s in &self.spans {
+            let e = agg.entry(s.name.clone()).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += s.dur_ns;
+        }
+        agg
+    }
+
+    /// Distinct routability iterations seen on `route_iter` spans, in
+    /// ascending order. The frame-coverage check keys off this.
+    pub fn route_iterations(&self) -> Vec<u64> {
+        let mut iters: Vec<u64> = self
+            .spans
+            .iter()
+            .filter(|s| s.name == "route_iter")
+            .filter_map(|s| s.iter)
+            .collect();
+        iters.sort_unstable();
+        iters.dedup();
+        iters
+    }
+
+    fn ingest_trace(&mut self, trace: &str) -> Result<(), RdpError> {
+        const CTX: &str = "trace.jsonl";
+        // The obs validator enforces structure (known types, required
+        // fields, exactly one trailing meta line with a consistent event
+        // count); re-parsing below can then take the shape for granted.
+        let summary =
+            validate_trace_jsonl(trace).map_err(|e| perr(CTX, None, format!("invalid: {e}")))?;
+        self.dropped_events = summary.dropped;
+        for (idx, line) in trace.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let line_no = Some(idx + 1);
+            let v = json::parse(line).map_err(|e| perr(CTX, line_no, e.to_string()))?;
+            match v.get("type").and_then(Value::as_str) {
+                Some("span") => self.spans.push(SpanRec {
+                    name: req_str(&v, "name", CTX, line_no)?,
+                    cat: req_str(&v, "cat", CTX, line_no)?,
+                    tid: req_num(&v, "tid", CTX, line_no)? as u64,
+                    ts_ns: req_num(&v, "ts_ns", CTX, line_no)? as u64,
+                    dur_ns: req_num(&v, "dur_ns", CTX, line_no)? as u64,
+                    iter: opt_iter(&v),
+                }),
+                Some("instant") => self.instants.push(InstantRec {
+                    name: req_str(&v, "name", CTX, line_no)?,
+                    detail: req_str(&v, "detail", CTX, line_no)?,
+                    ts_ns: req_num(&v, "ts_ns", CTX, line_no)? as u64,
+                    iter: opt_iter(&v),
+                }),
+                _ => {} // meta — already consumed by the validator
+            }
+        }
+        Ok(())
+    }
+
+    fn ingest_metrics(&mut self, metrics: &str) -> Result<(), RdpError> {
+        const CTX: &str = "metrics.json";
+        let doc = json::parse(metrics).map_err(|e| perr(CTX, None, e.to_string()))?;
+        if !matches!(doc, Value::Obj(_)) {
+            return Err(perr(CTX, None, "top level is not an object"));
+        }
+        // A disabled-collector export is `{}`; every section is optional
+        // but must have the right type when present.
+        if let Some(n) = doc.get("dropped_events") {
+            self.dropped_events = n
+                .as_f64()
+                .ok_or_else(|| perr(CTX, None, "dropped_events is not a number"))?
+                as u64;
+        }
+        if let Some(n) = doc.get("dropped_frames") {
+            self.dropped_frames = n
+                .as_f64()
+                .ok_or_else(|| perr(CTX, None, "dropped_frames is not a number"))?
+                as u64;
+        }
+        if let Some(c) = doc.get("counters") {
+            for (k, v) in obj_entries(c, "counters")? {
+                let n = v
+                    .as_f64()
+                    .ok_or_else(|| perr(CTX, None, format!("counter \"{k}\" is not a number")))?;
+                self.counters.insert(k.clone(), n);
+            }
+        }
+        if let Some(g) = doc.get("gauges") {
+            for (k, v) in obj_entries(g, "gauges")? {
+                let n = v
+                    .as_f64()
+                    .ok_or_else(|| perr(CTX, None, format!("gauge \"{k}\" is not a number")))?;
+                self.gauges.insert(k.clone(), n);
+            }
+        }
+        if let Some(h) = doc.get("histograms") {
+            for (k, v) in obj_entries(h, "histograms")? {
+                self.histograms.insert(
+                    k.clone(),
+                    HistogramSummary {
+                        count: req_num(v, "count", CTX, None)? as u64,
+                        sum: req_num(v, "sum", CTX, None)?,
+                        min: req_num(v, "min", CTX, None)?,
+                        max: req_num(v, "max", CTX, None)?,
+                    },
+                );
+            }
+        }
+        if let Some(s) = doc.get("series") {
+            for (k, v) in obj_entries(s, "series")? {
+                let arr = v
+                    .as_arr()
+                    .ok_or_else(|| perr(CTX, None, format!("series \"{k}\" is not an array")))?;
+                let mut points = Vec::with_capacity(arr.len());
+                for p in arr {
+                    let pair = p.as_arr().filter(|a| a.len() == 2).ok_or_else(|| {
+                        perr(CTX, None, format!("series \"{k}\" point is not a pair"))
+                    })?;
+                    let step = pair[0].as_f64().ok_or_else(|| {
+                        perr(CTX, None, format!("series \"{k}\" step is not a number"))
+                    })?;
+                    let val = pair[1].as_f64().ok_or_else(|| {
+                        perr(CTX, None, format!("series \"{k}\" value is not a number"))
+                    })?;
+                    points.push((step as u64, val));
+                }
+                self.series.insert(k.clone(), points);
+            }
+        }
+        if let Some(f) = doc.get("frames") {
+            let arr = f
+                .as_arr()
+                .ok_or_else(|| perr(CTX, None, "frames is not an array"))?;
+            for fr in arr {
+                let nx = req_num(fr, "nx", CTX, None)? as usize;
+                let ny = req_num(fr, "ny", CTX, None)? as usize;
+                let data_v = fr
+                    .get("data")
+                    .and_then(Value::as_arr)
+                    .ok_or_else(|| perr(CTX, None, "frame data is not an array"))?;
+                let data: Vec<f64> = data_v.iter().filter_map(Value::as_f64).collect();
+                if data.len() != data_v.len() || data.len() != nx * ny {
+                    return Err(perr(
+                        CTX,
+                        None,
+                        format!(
+                            "frame data length {} does not match {}x{}",
+                            data_v.len(),
+                            nx,
+                            ny
+                        ),
+                    ));
+                }
+                self.frames.push(FrameRec {
+                    name: req_str(fr, "name", CTX, None)?,
+                    iter: opt_iter(fr),
+                    nx,
+                    ny,
+                    data,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+fn obj_entries<'v>(
+    v: &'v Value,
+    what: &str,
+) -> Result<impl Iterator<Item = (&'v String, &'v Value)>, RdpError> {
+    match v {
+        Value::Obj(m) => Ok(m.iter()),
+        _ => Err(perr(
+            "metrics.json",
+            None,
+            format!("{what} is not an object"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traced_collector() -> Collector {
+        let c = Collector::enabled();
+        {
+            let _f = c.span("flow", "flow");
+            let _r = c.span_iter("route_iter", "flow", 0);
+        }
+        c.instant("guard_warning", 0, "something odd");
+        c.counter_add("rollbacks", 1);
+        c.gauge_set("final_hpwl", 1234.5);
+        c.observe("wa_grad", 2.0);
+        c.series_push("hpwl", 0, 1300.0);
+        c.series_push("hpwl", 1, 1250.0);
+        c.frame("congestion", 0, 3, 2, &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6]);
+        c
+    }
+
+    #[test]
+    fn round_trips_from_collector() {
+        let m = RunModel::from_collector(&traced_collector()).unwrap();
+        assert_eq!(m.spans.len(), 2);
+        assert_eq!(m.instants.len(), 1);
+        assert_eq!(m.gauges["final_hpwl"], 1234.5);
+        assert_eq!(m.counters["rollbacks"], 1.0);
+        assert_eq!(m.series["hpwl"].len(), 2);
+        assert_eq!(m.frames.len(), 1);
+        assert_eq!(m.frames[0].data.len(), 6);
+        assert_eq!(m.route_iterations(), vec![0]);
+        assert_eq!(m.histograms["wa_grad"].count, 1);
+    }
+
+    #[test]
+    fn disabled_collector_is_empty_model() {
+        let m = RunModel::from_collector(&Collector::disabled()).unwrap();
+        assert_eq!(m, RunModel::default());
+    }
+
+    #[test]
+    fn truncated_trace_is_typed_error() {
+        let c = traced_collector();
+        let trace = export_jsonl(&c);
+        let metrics = export_metrics_json(&c);
+        // Cut the trace mid-file: the trailing meta line is gone.
+        let cut = &trace[..trace.len() / 2];
+        let err = RunModel::from_strings(Some(cut), &metrics).unwrap_err();
+        assert!(matches!(err, RdpError::Parse { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn hostile_metrics_are_typed_errors() {
+        for bad in [
+            "not json",
+            "[1, 2]",
+            "{\"series\": 5}\n",
+            "{\"counters\": {\"x\": \"y\"}}\n",
+            "{\"frames\": [{\"name\": \"f\", \"iter\": 0, \"nx\": 4, \"ny\": 4, \"data\": [1.0]}]}\n",
+        ] {
+            let err = RunModel::from_strings(None, bad).unwrap_err();
+            assert!(matches!(err, RdpError::Parse { .. }), "input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn empty_metrics_document_is_fine() {
+        let m = RunModel::from_strings(None, "{}\n").unwrap();
+        assert_eq!(m, RunModel::default());
+    }
+
+    #[test]
+    fn stage_totals_aggregate_by_name() {
+        let c = Collector::enabled();
+        {
+            let _a = c.span("route", "route");
+        }
+        {
+            let _b = c.span("route", "route");
+        }
+        let m = RunModel::from_collector(&c).unwrap();
+        let agg = m.stage_totals();
+        assert_eq!(agg["route"].0, 2);
+    }
+}

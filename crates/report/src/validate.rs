@@ -1,0 +1,253 @@
+//! In-crate validator for rendered reports.
+//!
+//! A report is only trustworthy if it is *provably* self-contained and
+//! consistent with the run it claims to describe, so CI validates every
+//! generated report against three properties:
+//!
+//! 1. **No external references** — no URLs, scripts, stylesheets, frames,
+//!    or anything else that would make the browser fetch or execute.
+//! 2. **Well-formed markup** — every opened tag is closed, in order.
+//! 3. **Model consistency** — each series chart advertises exactly the
+//!    point count the ingested [`RunModel`] holds, and every captured
+//!    frame appears as exactly one heatmap.
+
+use crate::model::RunModel;
+
+/// What the validator counted; useful for assertions in tests and CI.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReportStats {
+    /// `data-series` charts found.
+    pub charts: usize,
+    /// `data-frame` heatmaps found.
+    pub heatmaps: usize,
+}
+
+/// Substrings that would make the document fetch, execute, or embed
+/// external content. The renderer never emits them; their presence means
+/// the report was tampered with or the renderer regressed.
+const BANNED: &[&str] = &[
+    "http://", "https://", "<script", "<iframe", "<link", "<object", "<embed", "src=", "href=",
+    "url(", "@import", "<base", "<form",
+];
+
+/// Tags the renderer emits that do not take a closing tag.
+const VOID_TAGS: &[&str] = &[
+    "meta", "br", "hr", "img", "rect", "circle", "polyline", "line",
+];
+
+/// Validate `html` as a self-contained report for `model`. Returns
+/// counting stats on success and a human-readable reason on failure.
+pub fn validate_report(html: &str, model: &RunModel) -> Result<ReportStats, String> {
+    let lower = html.to_lowercase();
+    for banned in BANNED {
+        if let Some(pos) = lower.find(banned) {
+            return Err(format!(
+                "external-reference marker {banned:?} found at byte {pos}"
+            ));
+        }
+    }
+    check_balanced(html)?;
+    check_series(html, model)?;
+    check_frames(html, model)
+}
+
+/// Scan tags with a stack; every non-void open tag must be closed in
+/// order. The renderer emits no comments or CDATA, so those are errors.
+fn check_balanced(html: &str) -> Result<(), String> {
+    let mut stack: Vec<String> = Vec::new();
+    let bytes = html.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'<' {
+            i += 1;
+            continue;
+        }
+        let rest = &html[i..];
+        if rest.starts_with("<!DOCTYPE") || rest.starts_with("<!doctype") {
+            i += rest.find('>').ok_or("unterminated doctype")? + 1;
+            continue;
+        }
+        let end = rest
+            .find('>')
+            .ok_or_else(|| format!("unterminated tag at byte {i}"))?;
+        let tag = &rest[1..end];
+        i += end + 1;
+        if let Some(name) = tag.strip_prefix('/') {
+            let name = name.trim().to_lowercase();
+            match stack.pop() {
+                Some(open) if open == name => {}
+                Some(open) => {
+                    return Err(format!("closing </{name}> but <{open}> is open"));
+                }
+                None => return Err(format!("closing </{name}> with no open tag")),
+            }
+        } else {
+            let self_closing = tag.ends_with('/');
+            let name: String = tag
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric())
+                .collect::<String>()
+                .to_lowercase();
+            if name.is_empty() {
+                return Err(format!("malformed tag <{tag}>"));
+            }
+            if !self_closing && !VOID_TAGS.contains(&name.as_str()) {
+                stack.push(name);
+            }
+        }
+    }
+    if let Some(open) = stack.pop() {
+        return Err(format!("<{open}> was never closed"));
+    }
+    Ok(())
+}
+
+/// Extract `attr="value"` occurrences in document order.
+fn attr_values<'h>(html: &'h str, attr: &str) -> Vec<&'h str> {
+    let needle = format!("{attr}=\"");
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = html[from..].find(&needle) {
+        let start = from + pos + needle.len();
+        if let Some(end) = html[start..].find('"') {
+            out.push(&html[start..start + end]);
+            from = start + end + 1;
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+fn check_series(html: &str, model: &RunModel) -> Result<usize, String> {
+    let names = attr_values(html, "data-series");
+    let counts = attr_values(html, "data-points");
+    if names.len() != counts.len() {
+        return Err(format!(
+            "{} data-series attrs but {} data-points attrs",
+            names.len(),
+            counts.len()
+        ));
+    }
+    if names.len() != model.series.len() {
+        return Err(format!(
+            "report has {} series charts but the run recorded {} series",
+            names.len(),
+            model.series.len()
+        ));
+    }
+    for (name, count) in names.iter().zip(&counts) {
+        let expected = model
+            .series
+            .get(*name)
+            .ok_or_else(|| format!("chart for unknown series {name:?}"))?
+            .len();
+        let got: usize = count
+            .parse()
+            .map_err(|_| format!("non-numeric data-points {count:?} on series {name:?}"))?;
+        if got != expected {
+            return Err(format!(
+                "series {name:?} chart claims {got} points but the trace holds {expected}"
+            ));
+        }
+    }
+    Ok(names.len())
+}
+
+fn check_frames(html: &str, model: &RunModel) -> Result<ReportStats, String> {
+    let frames = attr_values(html, "data-frame");
+    if frames.len() != model.frames.len() {
+        return Err(format!(
+            "report has {} heatmaps but the run captured {} frames",
+            frames.len(),
+            model.frames.len()
+        ));
+    }
+    for (got, want) in frames.iter().zip(&model.frames) {
+        if *got != want.name {
+            return Err(format!(
+                "heatmap order mismatch: found {:?}, expected {:?}",
+                got, want.name
+            ));
+        }
+    }
+    Ok(ReportStats {
+        charts: model.series.len(),
+        heatmaps: frames.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::html::render_report;
+    use rdp_obs::Collector;
+
+    fn model() -> RunModel {
+        let c = Collector::enabled();
+        {
+            let _r = c.span_iter("route_iter", "flow", 0);
+        }
+        c.series_push("hpwl", 0, 2.0);
+        c.series_push("hpwl", 1, 1.0);
+        c.frame(
+            "congestion",
+            0,
+            3,
+            3,
+            &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+        );
+        RunModel::from_collector(&c).unwrap()
+    }
+
+    #[test]
+    fn rendered_report_validates() {
+        let m = model();
+        let html = render_report(&m, "ok");
+        let stats = validate_report(&html, &m).unwrap();
+        assert_eq!(stats.charts, 1);
+        assert_eq!(stats.heatmaps, 1);
+    }
+
+    #[test]
+    fn external_references_are_rejected() {
+        let m = model();
+        let html = render_report(&m, "ok");
+        for poison in [
+            "<script>alert(1)</script>",
+            "<img src=\"https://evil.example/x.png\">",
+            "<a href=\"http://example.com\">x</a>",
+            "<style>body { background: url(//x) }</style>",
+        ] {
+            let bad = html.replace("</body>", &format!("{poison}</body>"));
+            assert!(validate_report(&bad, &m).is_err(), "accepted {poison:?}");
+        }
+    }
+
+    #[test]
+    fn unbalanced_markup_is_rejected() {
+        let m = model();
+        let html = render_report(&m, "ok");
+        let bad = html.replacen("</table>", "", 1);
+        assert!(validate_report(&bad, &m).is_err());
+    }
+
+    #[test]
+    fn series_count_mismatch_is_rejected() {
+        let m = model();
+        let html = render_report(&m, "ok");
+        let bad = html.replace("data-points=\"2\"", "data-points=\"3\"");
+        let err = validate_report(&bad, &m).unwrap_err();
+        assert!(err.contains("hpwl"), "{err}");
+    }
+
+    #[test]
+    fn missing_heatmap_is_rejected() {
+        let m = model();
+        let mut m2 = m.clone();
+        m2.frames.push(m.frames[0].clone());
+        let html = render_report(&m, "ok");
+        let err = validate_report(&html, &m2).unwrap_err();
+        assert!(err.contains("heatmaps"), "{err}");
+    }
+}

@@ -37,15 +37,23 @@ fi
 
 # Observability gate: a traced 5k-cell flow with an injected fault must
 # produce schema-valid JSONL/Chrome-trace/metrics exports covering every
-# flow stage with warning parity between report and trace (obs_smoke
-# exits non-zero otherwise), and tracing a 20k-cell GP step must cost
-# < 3% over the untraced step (RDP_OBS_ASSERT=1 turns the budget into a
-# hard failure; the measurements land in BENCH_obs.json).
-echo "==> obs smoke (traced 5k-cell flow, exporter validation)"
+# flow stage with warning parity between report and trace, plus a
+# self-contained HTML report that passes rdp-report's validator with a
+# congestion heatmap per routability iteration (obs_smoke exits non-zero
+# otherwise), and tracing a 20k-cell GP step must cost < 3% over the
+# untraced step (RDP_OBS_ASSERT=1 turns the budget into a hard failure;
+# the measurements land in BENCH_obs.json).
+echo "==> obs smoke (traced 5k-cell flow, exporter + HTML report validation)"
 cargo run -q --release --offline -p rdp-bench --bin obs_smoke
 
 echo "==> obs overhead gate (20k-cell GP step, < 3%)"
 RDP_OBS_ASSERT=1 cargo bench --offline -p rdp-bench --bench obs
+
+# Perf-regression gate: re-runs the baselined bench suites and compares
+# median-of-N against crates/bench/baselines/ (bench_diff exits non-zero
+# on a benchmark more than RDP_REGRESS_TOL slower than its baseline).
+echo "==> perf regression gate (scripts/regress.sh)"
+scripts/regress.sh
 
 # Fault-injection pass: the robustness suite (FaultPlan scenarios,
 # checkpoint corruption, kill-and-resume bitwise identity) and the

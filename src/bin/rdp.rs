@@ -42,6 +42,8 @@ fn main() -> ExitCode {
         "route" => cmd_route(rest),
         "eval" => cmd_eval(rest),
         "flow" => cmd_flow(rest),
+        "report" => cmd_report(rest),
+        "diff" => cmd_diff(rest),
         "convert" => cmd_convert(rest),
         "render" => cmd_render(rest),
         "help" | "--help" | "-h" => {
@@ -72,12 +74,18 @@ commands:
   route    <input>                         route and summarize congestion
   eval     <input>                         evaluate the current placement
   flow     <input> [--preset P]            place → legalize → evaluate
+  report   <run-dir> [--out FILE.html]     render a run directory to HTML
+  diff     <run-a> <run-b> [--qor-tol X] [--time-tol Y]
+                                           QoR/perf deltas; exit 1 on regression
   convert  <input> --out DIR --format F    convert between formats
   render   <input> --out FILE.svg [--congestion] [--place P]   render to SVG
 observability (place and flow):
   --trace-out FILE.jsonl    span/instant event log (one JSON object per line)
   --chrome-trace FILE.json  chrome://tracing / Perfetto trace_event file
-  --metrics-out FILE.json   counters, gauges, histograms, per-iteration series
+  --metrics-out FILE.json   counters, gauges, histograms, series, frames
+  --run-dir DIR             write DIR/trace.jsonl + DIR/metrics.json (for
+                            `rdp report` and `rdp diff`)
+  --report-out FILE.html    render the validated self-contained HTML report
   --profile                 print the per-stage time table after the run
 inputs:  <suite-name> | bookshelf:DIR:BASE | lefdef:LEF_PATH:DEF_PATH
 presets: xplace | xplace-route | ours       formats: bookshelf | lefdef"
@@ -107,6 +115,8 @@ struct ObsArgs {
     trace_out: Option<PathBuf>,
     chrome_trace: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    run_dir: Option<PathBuf>,
+    report_out: Option<PathBuf>,
     profile: bool,
 }
 
@@ -114,8 +124,16 @@ fn parse_obs(rest: &[String]) -> ObsArgs {
     let trace_out = flag(rest, "--trace-out").map(PathBuf::from);
     let chrome_trace = flag(rest, "--chrome-trace").map(PathBuf::from);
     let metrics_out = flag(rest, "--metrics-out").map(PathBuf::from);
+    let run_dir = flag(rest, "--run-dir").map(PathBuf::from);
+    let report_out = flag(rest, "--report-out").map(PathBuf::from);
     let profile = rest.iter().any(|a| a == "--profile");
-    let obs = if trace_out.is_some() || chrome_trace.is_some() || metrics_out.is_some() || profile {
+    let obs = if trace_out.is_some()
+        || chrome_trace.is_some()
+        || metrics_out.is_some()
+        || run_dir.is_some()
+        || report_out.is_some()
+        || profile
+    {
         Collector::enabled()
     } else {
         Collector::disabled()
@@ -125,13 +143,15 @@ fn parse_obs(rest: &[String]) -> ObsArgs {
         trace_out,
         chrome_trace,
         metrics_out,
+        run_dir,
+        report_out,
         profile,
     }
 }
 
 /// Writes the requested exports after the traced run completed. Exporting
 /// happens strictly post-run, so trace I/O can never perturb the flow.
-fn write_obs_outputs(o: &ObsArgs) -> Result<(), String> {
+fn write_obs_outputs(o: &ObsArgs, title: &str) -> Result<(), String> {
     if let Some(path) = &o.trace_out {
         std::fs::write(path, rdp::obs::export_jsonl(&o.obs))
             .map_err(|e| format!("{}: {e}", path.display()))?;
@@ -150,19 +170,47 @@ fn write_obs_outputs(o: &ObsArgs) -> Result<(), String> {
             .map_err(|e| format!("{}: {e}", path.display()))?;
         println!("wrote metrics {}", path.display());
     }
+    if let Some(dir) = &o.run_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        let trace = dir.join("trace.jsonl");
+        std::fs::write(&trace, rdp::obs::export_jsonl(&o.obs))
+            .map_err(|e| format!("{}: {e}", trace.display()))?;
+        let metrics = dir.join("metrics.json");
+        std::fs::write(&metrics, rdp::obs::export_metrics_json(&o.obs))
+            .map_err(|e| format!("{}: {e}", metrics.display()))?;
+        println!("wrote run directory {}", dir.display());
+    }
+    if let Some(path) = &o.report_out {
+        let model = rdp::report::RunModel::from_collector(&o.obs).map_err(|e| e.to_string())?;
+        let html = rdp::report::render_report(&model, title);
+        rdp::report::validate_report(&html, &model)
+            .map_err(|e| format!("generated report failed validation: {e}"))?;
+        std::fs::write(path, html).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("wrote report {}", path.display());
+    }
     if o.profile {
         print!("{}", rdp::obs::stage_table(&o.obs));
+    }
+    let drops = o.obs.drop_stats();
+    if drops.any() {
+        eprintln!(
+            "warning: collector dropped {} events ({} spans, {} instants) and {} frames; \
+             raise the event capacity / frame budget for a complete trace",
+            drops.events, drops.spans, drops.instants, drops.frames
+        );
     }
     Ok(())
 }
 
-/// Resolves an input spec to a design.
-fn load_input(spec: &str) -> Result<Design, String> {
+/// Resolves an input spec to a design; generation/parsing is timed on
+/// `obs` so `--profile` covers the input stage.
+fn load_input(spec: &str, obs: &Collector) -> Result<Design, String> {
     if let Some(rem) = spec.strip_prefix("bookshelf:") {
         let (dir, base) = rem
             .split_once(':')
             .ok_or("bookshelf input must be bookshelf:DIR:BASE")?;
-        return rdp::parse::load_bookshelf(Path::new(dir), base).map_err(|e| e.to_string());
+        return rdp::parse::load_bookshelf_obs(Path::new(dir), base, obs)
+            .map_err(|e| e.to_string());
     }
     if let Some(rem) = spec.strip_prefix("lefdef:") {
         let (lef, def) = rem
@@ -172,9 +220,9 @@ fn load_input(spec: &str) -> Result<Design, String> {
             lef: std::fs::read_to_string(lef).map_err(|e| format!("{lef}: {e}"))?,
             def: std::fs::read_to_string(def).map_err(|e| format!("{def}: {e}"))?,
         };
-        return rdp::parse::read_lefdef(&files).map_err(|e| e.to_string());
+        return rdp::parse::read_lefdef_obs(&files, obs).map_err(|e| e.to_string());
     }
-    rdp::gen::generate_named(spec).ok_or_else(|| {
+    rdp::gen::generate_named_obs(spec, obs).ok_or_else(|| {
         format!("`{spec}` is not a suite design; see `rdp suite` or use bookshelf:/lefdef: inputs")
     })
 }
@@ -223,7 +271,7 @@ fn cmd_suite() -> Result<(), String> {
 
 fn cmd_stats(rest: &[String]) -> Result<(), String> {
     let spec = rest.first().ok_or("stats needs an input")?;
-    let design = load_input(spec)?;
+    let design = load_input(spec, &Collector::disabled())?;
     println!("{}", DesignStats::of(&design));
     let spec = design.routing();
     println!(
@@ -251,7 +299,8 @@ fn cmd_generate(rest: &[String]) -> Result<(), String> {
 fn cmd_place(rest: &[String]) -> Result<(), String> {
     let spec = rest.first().ok_or("place needs an input")?;
     let preset = parse_preset(rest)?;
-    let mut design = load_input(spec)?;
+    let obs_args = parse_obs(rest);
+    let mut design = load_input(spec, &obs_args.obs)?;
 
     // Checkpoint/resume: --checkpoint FILE rewrites FILE with the flow
     // state at the top of every routability iteration; --resume FILE
@@ -287,7 +336,6 @@ fn cmd_place(rest: &[String]) -> Result<(), String> {
             }
         }
     });
-    let obs_args = parse_obs(rest);
     let ctrl = FlowControl {
         resume,
         on_checkpoint: on_checkpoint
@@ -337,7 +385,7 @@ fn cmd_place(rest: &[String]) -> Result<(), String> {
             design.hpwl()
         );
     }
-    write_obs_outputs(&obs_args)?;
+    write_obs_outputs(&obs_args, &format!("rdp place · {}", design.name()))?;
     if let Some(out) = flag(rest, "--out") {
         let format = flag(rest, "--format").unwrap_or("bookshelf");
         save_output(&design, Path::new(out), format)?;
@@ -347,7 +395,7 @@ fn cmd_place(rest: &[String]) -> Result<(), String> {
 
 fn cmd_route(rest: &[String]) -> Result<(), String> {
     let spec = rest.first().ok_or("route needs an input")?;
-    let design = load_input(spec)?;
+    let design = load_input(spec, &Collector::disabled())?;
     let result = rdp::route::GlobalRouter::default().route(&design);
     println!(
         "routed `{}`: wirelength {:.0} um, {:.0} vias",
@@ -367,7 +415,7 @@ fn cmd_route(rest: &[String]) -> Result<(), String> {
 
 fn cmd_eval(rest: &[String]) -> Result<(), String> {
     let spec = rest.first().ok_or("eval needs an input")?;
-    let design = load_input(spec)?;
+    let design = load_input(spec, &Collector::disabled())?;
     let e = rdp::drc::evaluate(&design, &EvalConfig::default());
     println!("evaluation of `{}` (current placement):", design.name());
     println!("  DRWL    {:>12.0} um", e.drwl);
@@ -409,8 +457,8 @@ fn cmd_eval(rest: &[String]) -> Result<(), String> {
 fn cmd_flow(rest: &[String]) -> Result<(), String> {
     let spec = rest.first().ok_or("flow needs an input")?;
     let preset = parse_preset(rest)?;
-    let mut design = load_input(spec)?;
     let obs_args = parse_obs(rest);
+    let mut design = load_input(spec, &obs_args.obs)?;
     let report = place_and_evaluate_obs(
         &mut design,
         &RoutabilityConfig::preset(preset),
@@ -431,7 +479,7 @@ fn cmd_flow(rest: &[String]) -> Result<(), String> {
     );
     let legality = rdp::legal::check_legality(&design);
     println!("  legal: {}", legality.is_legal());
-    write_obs_outputs(&obs_args)?;
+    write_obs_outputs(&obs_args, &format!("rdp flow · {}", design.name()))?;
     if let Some(out) = flag(rest, "--out") {
         let format = flag(rest, "--format").unwrap_or("bookshelf");
         save_output(&design, Path::new(out), format)?;
@@ -439,10 +487,58 @@ fn cmd_flow(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_report(rest: &[String]) -> Result<(), String> {
+    let run = rest.first().ok_or("report needs a run directory")?;
+    let run = PathBuf::from(run);
+    let out = flag(rest, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| run.join("report.html"));
+    let title = flag(rest, "--title")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("rdp run · {}", run.display()));
+    let model = rdp::report::RunModel::load(&run).map_err(|e| e.to_string())?;
+    let html = rdp::report::render_report(&model, &title);
+    let stats = rdp::report::validate_report(&html, &model)
+        .map_err(|e| format!("generated report failed validation: {e}"))?;
+    std::fs::write(&out, html).map_err(|e| format!("{}: {e}", out.display()))?;
+    println!(
+        "wrote report {} ({} charts, {} heatmaps)",
+        out.display(),
+        stats.charts,
+        stats.heatmaps
+    );
+    Ok(())
+}
+
+fn cmd_diff(rest: &[String]) -> Result<(), String> {
+    let a = rest.first().ok_or("diff needs two run directories")?;
+    let b = rest.get(1).ok_or("diff needs two run directories")?;
+    let mut thr = rdp::report::DiffThresholds::default();
+    if let Some(tol) = flag(rest, "--qor-tol") {
+        thr.qor_rel_tol = tol
+            .parse()
+            .map_err(|_| format!("--qor-tol `{tol}` is not a number"))?;
+    }
+    if let Some(tol) = flag(rest, "--time-tol") {
+        thr.time_rel_tol = tol
+            .parse()
+            .map_err(|_| format!("--time-tol `{tol}` is not a number"))?;
+    }
+    let ma = rdp::report::RunModel::load(Path::new(a)).map_err(|e| e.to_string())?;
+    let mb = rdp::report::RunModel::load(Path::new(b)).map_err(|e| e.to_string())?;
+    let diff = rdp::report::diff_runs(&ma, &mb, &thr);
+    print!("{}", diff.render_text());
+    if diff.has_regression() {
+        return Err(format!("regression in: {}", diff.regressions().join(", ")));
+    }
+    println!("no regression (qor tol {:.3}%)", 100.0 * thr.qor_rel_tol);
+    Ok(())
+}
+
 fn cmd_render(rest: &[String]) -> Result<(), String> {
     let spec = rest.first().ok_or("render needs an input")?;
     let out = flag(rest, "--out").ok_or("render needs --out FILE.svg")?;
-    let mut design = load_input(spec)?;
+    let mut design = load_input(spec, &Collector::disabled())?;
     if let Some(p) = flag(rest, "--place") {
         let preset = match p {
             "xplace" => PlacerPreset::Xplace,
@@ -473,6 +569,6 @@ fn cmd_convert(rest: &[String]) -> Result<(), String> {
     let spec = rest.first().ok_or("convert needs an input")?;
     let out: PathBuf = flag(rest, "--out").ok_or("convert needs --out DIR")?.into();
     let format = flag(rest, "--format").ok_or("convert needs --format")?;
-    let design = load_input(spec)?;
+    let design = load_input(spec, &Collector::disabled())?;
     save_output(&design, &out, format)
 }

@@ -48,6 +48,7 @@ pub use rdp_obs as obs;
 pub use rdp_par as par;
 pub use rdp_parse as parse;
 pub use rdp_poisson as poisson;
+pub use rdp_report as report;
 pub use rdp_route as route;
 
 pub use rdp_core::{PlacerPreset, RoutabilityConfig};

@@ -1,0 +1,175 @@
+//! Integration tests of the `rdp report` / `rdp diff` subcommands and the
+//! `--run-dir` capture flag.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn rdp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rdp"))
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("mkdir scratch");
+    dir
+}
+
+/// A small hand-written run: `rdp diff` must work on any directory with
+/// a schema-valid metrics.json, not only ones the CLI produced.
+fn write_run(dir: &Path, hpwl: f64, overflow: f64) {
+    std::fs::create_dir_all(dir).expect("mkdir run");
+    let metrics = format!(
+        r#"{{
+  "counters": {{ "rollbacks": 1 }},
+  "gauges": {{ "final_hpwl": {hpwl}, "final_overflow": {overflow} }},
+  "series": {{ "hpwl": [[0, {}], [1, {hpwl}]] }}
+}}
+"#,
+        hpwl * 1.2
+    );
+    std::fs::write(dir.join("metrics.json"), metrics).expect("write metrics");
+}
+
+#[test]
+fn diff_identical_runs_exits_zero() {
+    let dir = scratch("rdp_diff_identical");
+    let (a, b) = (dir.join("a"), dir.join("b"));
+    write_run(&a, 1000.0, 0.02);
+    write_run(&b, 1000.0, 0.02);
+
+    let out = rdp()
+        .args(["diff", a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .expect("run diff");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("no regression"), "{text}");
+    assert!(!text.contains("REGRESSION"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn diff_perturbed_run_exits_nonzero_naming_metric() {
+    let dir = scratch("rdp_diff_perturbed");
+    let (a, b) = (dir.join("a"), dir.join("b"));
+    write_run(&a, 1000.0, 0.02);
+    // 3% HPWL regression — well past the 0.5% default QoR tolerance.
+    write_run(&b, 1030.0, 0.02);
+
+    let out = rdp()
+        .args(["diff", a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .expect("run diff");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("gauge/final_hpwl"), "{err}");
+
+    // Widening the tolerance past the delta turns the same pair green.
+    let out = rdp()
+        .args([
+            "diff",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--qor-tol",
+            "0.05",
+        ])
+        .output()
+        .expect("run diff");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn diff_hostile_input_is_a_clean_error() {
+    let dir = scratch("rdp_diff_hostile");
+    let (a, b) = (dir.join("a"), dir.join("b"));
+    write_run(&a, 1000.0, 0.02);
+
+    // Truncated metrics document: must exit non-zero with a parse error
+    // (typed RdpError::Parse inside), never a panic.
+    std::fs::create_dir_all(&b).unwrap();
+    std::fs::write(b.join("metrics.json"), "{ \"gauges\": { \"final_h").unwrap();
+    let out = rdp()
+        .args(["diff", a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .expect("run diff");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("parse error"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+
+    // A truncated trace next to a valid metrics file must fail the same way.
+    write_run(&b, 1000.0, 0.02);
+    std::fs::write(b.join("trace.jsonl"), "{\"type\":\"span\",\"name\"").unwrap();
+    let out = rdp()
+        .args(["diff", a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .expect("run diff");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("parse error"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_dir_capture_then_report_and_self_diff() {
+    let dir = scratch("rdp_run_dir_e2e");
+    let run_a = dir.join("a");
+    let run_b = dir.join("b");
+
+    // Same design, same seed, twice: the observability layer must not
+    // perturb the computation, so the two runs' QoR must diff to zero.
+    for run in [&run_a, &run_b] {
+        let out = rdp()
+            .args(["place", "fft_a", "--run-dir", run.to_str().unwrap()])
+            .output()
+            .expect("run place");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(run.join("metrics.json").exists());
+        assert!(run.join("trace.jsonl").exists());
+    }
+
+    let out = rdp()
+        .args(["diff", run_a.to_str().unwrap(), run_b.to_str().unwrap()])
+        .output()
+        .expect("run diff");
+    assert!(
+        out.status.success(),
+        "same-seed runs must not diff: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // `rdp report` renders the captured run into self-validated HTML.
+    let out = rdp()
+        .args(["report", run_a.to_str().unwrap()])
+        .output()
+        .expect("run report");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let html = std::fs::read_to_string(run_a.join("report.html")).expect("report written");
+    assert!(html.contains("<html"));
+    let lower = html.to_lowercase();
+    assert!(!lower.contains("http://") && !lower.contains("https://"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
