@@ -146,6 +146,38 @@ impl RoutabilityConfig {
             },
         }
     }
+
+    /// A CI-sized variant of [`RoutabilityConfig::preset`]: the same
+    /// technique mix with tighter iteration budgets, for the scenario
+    /// matrix and other fast gates running many small instances.
+    pub fn preset_fast(p: PlacerPreset) -> Self {
+        let mut cfg = RoutabilityConfig::preset(p);
+        cfg.gp.max_iters = cfg.gp.max_iters.min(220);
+        cfg.gp_iters_per_route = 16;
+        cfg.max_route_iters = match p {
+            PlacerPreset::Xplace => 0,
+            PlacerPreset::XplaceRoute => 4,
+            PlacerPreset::Ours => 5,
+        };
+        cfg
+    }
+}
+
+impl std::str::FromStr for PlacerPreset {
+    type Err = String;
+
+    /// Accepts the Table-1 column names as used by the CLI:
+    /// `xplace`, `xplace-route` (or `xr`), and `ours`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "xplace" => Ok(PlacerPreset::Xplace),
+            "xplace-route" | "xplace_route" | "xr" => Ok(PlacerPreset::XplaceRoute),
+            "ours" => Ok(PlacerPreset::Ours),
+            other => Err(format!(
+                "unknown preset `{other}` (expected xplace, xplace-route, or ours)"
+            )),
+        }
+    }
 }
 
 impl Default for RoutabilityConfig {
@@ -554,6 +586,38 @@ pub fn run_flow_with(
     let obs = ctrl.obs.clone();
     let mut warnings: Vec<Warning> = Vec::new();
     let mut rollbacks = 0usize;
+
+    // Degraded mode: a design with no movable cells (all-fixed netlists
+    // and similar adversarial inputs) has nothing to optimize. Report the
+    // placement as-is with a warning instead of diverging or panicking on
+    // the empty optimizer state.
+    if design.movable_cells().next().is_none() {
+        note_warning(
+            &obs,
+            &mut warnings,
+            Warning::new(
+                Stage::WirelengthGp,
+                0,
+                "no movable cells; skipping placement (degraded mode)",
+            ),
+        );
+        if obs.is_enabled() {
+            obs.gauge_set("final_hpwl", design.hpwl());
+            obs.gauge_set("final_density_overflow", 0.0);
+        }
+        return Ok(FlowReport {
+            place_seconds: t0.elapsed().as_secs_f64(),
+            gp_iterations: 0,
+            route_iterations: 0,
+            hpwl: design.hpwl(),
+            density_overflow: 0.0,
+            log: Vec::new(),
+            inflation_ratios: None,
+            warnings,
+            rollbacks: 0,
+            resumed_from,
+        });
+    }
 
     // PG rail selection (before placement, Fig. 2 top). Rails and macro
     // outlines are fixed, so this is position-independent and recomputes

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use crate::floorplan::{PgRail, RoutingSpec, Row};
+use crate::floorplan::{Obstruction, PgRail, RoutingSpec, Row};
 use crate::geom::{Point, Rect};
 use crate::grid::GridSpec;
 use crate::ids::{CellId, NetId, PinId};
@@ -67,6 +67,7 @@ pub struct Design {
     pos: Vec<Point>,
     rows: Vec<Row>,
     rails: Vec<PgRail>,
+    obstructions: Vec<Obstruction>,
     routing: RoutingSpec,
 }
 
@@ -104,6 +105,12 @@ impl Design {
     /// Power/ground rails.
     pub fn rails(&self) -> &[PgRail] {
         &self.rails
+    }
+
+    /// Routing blockages (macro obstructions and standalone blockage
+    /// rectangles).
+    pub fn obstructions(&self) -> &[Obstruction] {
+        &self.obstructions
     }
 
     /// Routing environment.
@@ -333,6 +340,15 @@ impl Design {
                 }
             }
         }
+        for (i, o) in self.obstructions.iter().enumerate() {
+            if !(o.rect.lo.x.is_finite()
+                && o.rect.lo.y.is_finite()
+                && o.rect.hi.x.is_finite()
+                && o.rect.hi.y.is_finite())
+            {
+                problems.push(format!("obstruction {i} has non-finite geometry"));
+            }
+        }
         for (i, c) in self.cells.iter().enumerate() {
             if c.is_movable() && (c.w <= 0.0 || c.h <= 0.0) {
                 problems.push(format!("movable cell `{}` has non-positive size", c.name));
@@ -377,6 +393,7 @@ pub struct DesignBuilder {
     nets: Vec<(String, f64, Vec<(CellId, Point)>)>,
     rows: Vec<Row>,
     rails: Vec<PgRail>,
+    obstructions: Vec<Obstruction>,
     routing: Option<RoutingSpec>,
 }
 
@@ -391,6 +408,7 @@ impl DesignBuilder {
             nets: Vec::new(),
             rows: Vec::new(),
             rails: Vec::new(),
+            obstructions: Vec::new(),
             routing: None,
         }
     }
@@ -429,6 +447,12 @@ impl DesignBuilder {
     /// Adds one PG rail.
     pub fn add_rail(&mut self, rail: PgRail) -> &mut Self {
         self.rails.push(rail);
+        self
+    }
+
+    /// Adds one routing obstruction.
+    pub fn add_obstruction(&mut self, obs: Obstruction) -> &mut Self {
+        self.obstructions.push(obs);
         self
     }
 
@@ -510,6 +534,7 @@ impl DesignBuilder {
             pos: self.pos,
             rows: self.rows,
             rails: self.rails,
+            obstructions: self.obstructions,
             routing,
         })
     }

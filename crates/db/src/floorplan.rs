@@ -76,6 +76,21 @@ pub struct RoutingLayer {
     /// track·G-cells (how much wire length, in units of G-cell extent, fits
     /// through one G-cell).
     pub capacity: f64,
+    /// Track pitch in microns (0 = unknown/not modelled). Carried by the
+    /// LEF `LAYER … PITCH` / DEF `TRACKS` constructs; capacity remains the
+    /// router's authoritative resource model.
+    pub pitch: f64,
+}
+
+/// A routing blockage: a rectangle on one metal layer through which no
+/// routing resources are available (LEF `OBS` geometry materialized per
+/// macro instance, or a standalone DEF `BLOCKAGES` entry).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Obstruction {
+    /// Metal layer index (0 = M1).
+    pub layer: u8,
+    /// Blocked rectangle.
+    pub rect: Rect,
 }
 
 /// The routing environment: the layer stack and the G-cell discretization.
@@ -129,6 +144,7 @@ impl RoutingSpec {
                     Dir::Vertical
                 },
                 capacity,
+                pitch: 0.0,
             })
             .collect();
         RoutingSpec { layers, gx, gy }

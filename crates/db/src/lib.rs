@@ -43,7 +43,7 @@ mod netlist;
 mod stats;
 
 pub use design::{BuildDesignError, Design, DesignBuilder};
-pub use floorplan::{PgRail, RoutingLayer, RoutingSpec, Row};
+pub use floorplan::{Obstruction, PgRail, RoutingLayer, RoutingSpec, Row};
 pub use geom::{Dir, Point, Rect};
 pub use grid::GridSpec;
 pub use ids::{CellId, NetId, PinId, RailId, RowId};

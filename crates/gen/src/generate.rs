@@ -2,7 +2,8 @@
 //! reference placement, and routing-capacity calibration.
 
 use rdp_db::{
-    Cell, CellId, Design, DesignBuilder, Dir, PgRail, Point, Rect, RoutingLayer, RoutingSpec, Row,
+    Cell, CellId, Design, DesignBuilder, Dir, Obstruction, PgRail, Point, Rect, RoutingLayer,
+    RoutingSpec, Row,
 };
 use rdp_route::{GlobalRouter, RouterConfig};
 use rdp_testkit::Rng;
@@ -223,6 +224,91 @@ pub fn generate(name: &str, params: &GenParams) -> Design {
         b.add_net(format!("mnet{i}"), pins);
     }
 
+    // ---- Scenario extensions -----------------------------------------------
+    // Each extension draws from its own forked RNG stream keyed off the
+    // seed, so enabling one does not perturb the base stream: default
+    // parameters keep the generated design byte-identical.
+    if params.global_net_frac > 0.0 && n > 0 {
+        // High-Rent-style long-range nets: members drawn uniformly over
+        // all clusters, ignoring locality.
+        let mut grng = Rng::new(params.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let extra = (params.global_net_frac * n as f64).round() as usize;
+        for g in 0..extra {
+            let degree = grng.gen_range(2..5);
+            let mut members: Vec<CellId> = Vec::with_capacity(degree);
+            let mut guard = 0;
+            while members.len() < degree && guard < 50 {
+                guard += 1;
+                let c = cell_of(grng.gen_range(0..n_clusters), &mut grng);
+                if !members.contains(&c) {
+                    members.push(c);
+                }
+            }
+            if members.len() < 2 {
+                continue;
+            }
+            let pins = members
+                .iter()
+                .map(|&c| (c, pin_offset(&mut grng, widths[c.index() - first_std])))
+                .collect();
+            b.add_net(format!("gnet{g}"), pins);
+        }
+    }
+    if params.hotspot_clusters > 0 && n > 0 {
+        // Pin-density hotspots: a burst of dense local nets inside a few
+        // anchor clusters.
+        let mut hrng = Rng::new(params.seed ^ 0xd1b5_4a32_d192_ed03);
+        for hs in 0..params.hotspot_clusters {
+            let anchor = hrng.gen_range(0..n_clusters);
+            for k in 0..12 {
+                let degree = hrng.gen_range(3..6);
+                let mut members: Vec<CellId> = Vec::with_capacity(degree);
+                let mut guard = 0;
+                while members.len() < degree && guard < 50 {
+                    guard += 1;
+                    let c = cell_of(anchor, &mut hrng);
+                    if !members.contains(&c) {
+                        members.push(c);
+                    }
+                }
+                if members.len() < 2 {
+                    continue;
+                }
+                let pins = members
+                    .iter()
+                    .map(|&c| (c, pin_offset(&mut hrng, widths[c.index() - first_std])))
+                    .collect();
+                b.add_net(format!("hsnet{hs}_{k}"), pins);
+            }
+        }
+    }
+    if params.obstruction_layers > 0 {
+        // Macro footprints double as explicit routing obstructions on the
+        // lowest layers (on top of the implicit macro blockage model).
+        for r in &macro_rects {
+            for l in 0..params.obstruction_layers.min(params.num_layers).min(255) {
+                b.add_obstruction(Obstruction {
+                    layer: l as u8,
+                    rect: *r,
+                });
+            }
+        }
+    }
+    if params.random_obstructions > 0 {
+        let mut orng = Rng::new(params.seed ^ 0x94d0_49bb_1331_11eb);
+        for _ in 0..params.random_obstructions {
+            let ow = (0.05 + 0.10 * orng.next_f64()) * w;
+            let oh = (0.05 + 0.10 * orng.next_f64()) * h;
+            let x = orng.next_f64() * (w - ow).max(0.0);
+            let y = orng.next_f64() * (h - oh).max(0.0);
+            let layer = orng.gen_range(0..params.num_layers.clamp(1, 255)) as u8;
+            b.add_obstruction(Obstruction {
+                layer,
+                rect: Rect::new(x, y, x + ow, y + oh),
+            });
+        }
+    }
+
     // ---- PG rails: vertical stripes on M2 ----------------------------------
     let pitch = if params.rail_pitch > 1.0 {
         params.rail_pitch
@@ -254,8 +340,30 @@ pub fn generate(name: &str, params: &GenParams) -> Design {
     // ---- Compact reference placement ---------------------------------------
     tile_placement(&mut design);
 
+    // FPGA-style discrete sites: snap the reference placement onto the
+    // coarse site grid before capacity calibration sees it.
+    if params.site_grid > 0.0 {
+        let die = design.die();
+        let movable: Vec<CellId> = design.movable_cells().collect();
+        for cid in movable {
+            let p = design.pos(cid);
+            let snapped = Point::new((p.x / params.site_grid).round() * params.site_grid, p.y);
+            design.set_pos(cid, die.clamp_point(snapped));
+        }
+    }
+
     // ---- Capacity calibration ----------------------------------------------
     calibrate_capacity(&mut design, params);
+
+    // Track pitch: each H/V layer pair shares a pitch that grows with
+    // height in the stack, as real metal stacks do.
+    if params.track_pitch > 0.0 {
+        let mut spec = design.routing().clone();
+        for (i, l) in spec.layers.iter_mut().enumerate() {
+            l.pitch = params.track_pitch * (1.0 + (i / 2) as f64);
+        }
+        design.set_routing(spec);
+    }
 
     design
 }
@@ -401,6 +509,7 @@ pub fn calibrate_routing(design: &Design, margin: f64) -> RoutingSpec {
                 Dir::Horizontal => cap_h / n_h.max(1) as f64,
                 Dir::Vertical => cap_v / n_v.max(1) as f64,
             },
+            pitch: l.pitch,
         })
         .collect();
     RoutingSpec {

@@ -29,9 +29,11 @@
 
 mod generate;
 mod params;
+mod scenario;
 
 pub use generate::{calibrate_routing, generate, tile_placement};
 pub use params::{ispd2015_suite, GenParams, SuiteEntry};
+pub use scenario::{scenario_by_name, scenario_matrix, Scale, Scenario, ScenarioClass};
 
 /// Generates one of the 20 named suite designs, or `None` for an unknown
 /// name.

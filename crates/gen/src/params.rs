@@ -39,6 +39,26 @@ pub struct GenParams {
     /// RNG seed; two generations with identical params and seed are
     /// byte-identical.
     pub seed: u64,
+    /// Extra long-range cross-cluster nets as a fraction of `num_cells`,
+    /// emulating a high-Rent-exponent netlist. 0 disables. Drawn from a
+    /// forked RNG stream, so enabling it does not perturb the base design.
+    pub global_net_frac: f64,
+    /// Number of pin-density hotspots: clusters that receive a burst of
+    /// extra dense local nets (forked RNG stream; 0 disables).
+    pub hotspot_clusters: usize,
+    /// FPGA-style discrete site grid in microns: movable cells snap to
+    /// x-multiples of this pitch in the reference placement (0 disables).
+    pub site_grid: f64,
+    /// Number of lowest routing layers on which each macro footprint is
+    /// also emitted as an explicit routing obstruction (0 disables).
+    pub obstruction_layers: usize,
+    /// Count of random standalone routing blockage rectangles scattered
+    /// over the die (forked RNG stream; 0 disables).
+    pub random_obstructions: usize,
+    /// M1 track pitch in microns; when > 0 every layer gets a pitch scaled
+    /// by its pair index, exercising the LEF/DEF track plumbing (0 = no
+    /// pitch information, the default).
+    pub track_pitch: f64,
 }
 
 impl Default for GenParams {
@@ -58,6 +78,12 @@ impl Default for GenParams {
             rail_pitch: 0.0,
             num_layers: 6,
             seed: 1,
+            global_net_frac: 0.0,
+            hotspot_clusters: 0,
+            site_grid: 0.0,
+            obstruction_layers: 0,
+            random_obstructions: 0,
+            track_pitch: 0.0,
         }
     }
 }

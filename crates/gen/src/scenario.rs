@@ -1,0 +1,475 @@
+//! Scenario matrix: parameterized stress classes for the standing
+//! Table-1 invariant suite.
+//!
+//! Each [`Scenario`] names one axis along which real designs stress a
+//! routability flow — macro-dominated floorplans with explicit routing
+//! obstructions, FPGA-style discrete site grids, high-Rent-exponent
+//! netlists, near-100 % utilization, pin-density hotspots, single-row
+//! cores — plus degenerate/adversarial shapes (a single cell, all-fixed
+//! netlists, a full-die-span net, coincident pins with zero-area cells)
+//! that the flow must *survive*, not optimize.
+//!
+//! The matrix harness runs every class through the three flow presets and
+//! gates the Table-1 QoR ordering `Ours ≤ Xplace-Route ≤ Xplace` on the
+//! DRV proxy, with a per-class tolerance. Degenerate classes set
+//! [`Scenario::ordering_gated`] to `false`: they only assert survival
+//! (completion with warnings, never a panic or divergence).
+
+use rdp_db::{Cell, CellKind, Design, DesignBuilder, Point, Rect, RoutingSpec, Row};
+
+use crate::{generate, GenParams};
+
+/// Instance scale of a scenario build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-sized instances (a few hundred cells): seconds per flow run.
+    Small,
+    /// Nightly-sized instances (a few thousand cells).
+    Full,
+}
+
+impl Scale {
+    /// Picks the per-scale variant of a quantity.
+    fn pick<T>(self, small: T, full: T) -> T {
+        match self {
+            Scale::Small => small,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// The stress classes of the matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioClass {
+    /// Plain mid-utilization design; the control row of the matrix.
+    Baseline,
+    /// Macro-dominated floorplan with explicit multi-layer obstructions.
+    MacroObstructed,
+    /// FPGA-style discrete site grid with per-layer track pitches.
+    FpgaSites,
+    /// High-Rent-exponent netlist: heavy long-range connectivity.
+    HighRent,
+    /// Near-100 % utilization core.
+    NearFullUtil,
+    /// Clustered pin-density hotspots.
+    PinHotspots,
+    /// Degenerate single-row core (extreme aspect ratio).
+    SingleRowCore,
+    /// Maze of standalone routing blockages.
+    ObstructionMaze,
+    /// Adversarial: one movable cell.
+    SingleCell,
+    /// Adversarial: every cell fixed (zero movable area).
+    AllFixed,
+    /// Adversarial: a net spanning the whole die.
+    FullDieNet,
+    /// Adversarial: coincident pins and zero-area fixed cells.
+    CoincidentPins,
+}
+
+/// One row of the scenario matrix.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The stress class.
+    pub class: ScenarioClass,
+    /// Stable name used in reports and CLI filters.
+    pub name: &'static str,
+    /// One-line description of the stress axis.
+    pub description: &'static str,
+    /// Whether the `Ours ≤ Xplace-Route ≤ Xplace` DRV ordering gate
+    /// applies. Degenerate classes only assert survival.
+    pub ordering_gated: bool,
+    /// Relative slack of the ordering gate: `a ≤ b·(1+tolerance)+slack`.
+    pub tolerance: f64,
+    /// Absolute DRV slack of the ordering gate.
+    pub abs_slack: f64,
+}
+
+impl Scenario {
+    /// Generator parameters for this class, or `None` for the hand-built
+    /// degenerate classes.
+    pub fn params(&self, scale: Scale) -> Option<GenParams> {
+        let cells = |small: usize, full: usize| scale.pick(small, full);
+        let p = match self.class {
+            ScenarioClass::Baseline => GenParams {
+                num_cells: cells(400, 4000),
+                utilization: 0.65,
+                congestion_margin: 0.90,
+                seed: 9001,
+                ..GenParams::default()
+            },
+            ScenarioClass::MacroObstructed => GenParams {
+                num_cells: cells(400, 4000),
+                num_macros: scale.pick(4, 8),
+                macro_fraction: 0.30,
+                utilization: 0.50,
+                obstruction_layers: 4,
+                congestion_margin: 0.92,
+                seed: 9002,
+                ..GenParams::default()
+            },
+            ScenarioClass::FpgaSites => GenParams {
+                num_cells: cells(400, 4000),
+                utilization: 0.55,
+                site_grid: 1.6,
+                track_pitch: 0.4,
+                congestion_margin: 0.92,
+                seed: 9003,
+                ..GenParams::default()
+            },
+            ScenarioClass::HighRent => GenParams {
+                num_cells: cells(400, 4000),
+                utilization: 0.55,
+                cluster_size: 24,
+                global_net_frac: 0.25,
+                congestion_margin: 0.90,
+                seed: 9004,
+                ..GenParams::default()
+            },
+            ScenarioClass::NearFullUtil => GenParams {
+                num_cells: cells(400, 4000),
+                utilization: 0.97,
+                congestion_margin: 0.93,
+                seed: 9005,
+                ..GenParams::default()
+            },
+            ScenarioClass::PinHotspots => GenParams {
+                num_cells: cells(400, 4000),
+                utilization: 0.60,
+                hotspot_clusters: scale.pick(3, 6),
+                congestion_margin: 0.92,
+                seed: 9006,
+                ..GenParams::default()
+            },
+            ScenarioClass::SingleRowCore => GenParams {
+                num_cells: cells(150, 600),
+                utilization: 0.60,
+                aspect: scale.pick(0.004, 0.001),
+                io_terminals: 8,
+                high_fanout_nets: 0,
+                congestion_margin: 0.95,
+                seed: 9007,
+                ..GenParams::default()
+            },
+            ScenarioClass::ObstructionMaze => GenParams {
+                num_cells: cells(400, 4000),
+                num_macros: 2,
+                macro_fraction: 0.12,
+                utilization: 0.55,
+                obstruction_layers: 2,
+                random_obstructions: scale.pick(12, 24),
+                congestion_margin: 0.93,
+                seed: 9008,
+                ..GenParams::default()
+            },
+            ScenarioClass::SingleCell
+            | ScenarioClass::AllFixed
+            | ScenarioClass::FullDieNet
+            | ScenarioClass::CoincidentPins => return None,
+        };
+        Some(p)
+    }
+
+    /// Builds the design instance for this class at the given scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on an internal inconsistency of the hand-built
+    /// degenerate designs (their builders are total for both scales).
+    pub fn build(&self, scale: Scale) -> Design {
+        if let Some(p) = self.params(scale) {
+            return generate(self.name, &p);
+        }
+        match self.class {
+            ScenarioClass::SingleCell => build_single_cell(),
+            ScenarioClass::AllFixed => build_all_fixed(),
+            ScenarioClass::FullDieNet => build_full_die_net(scale),
+            ScenarioClass::CoincidentPins => build_coincident_pins(),
+            _ => unreachable!("generator classes handled above"),
+        }
+    }
+}
+
+/// The full scenario matrix, in report order.
+pub fn scenario_matrix() -> Vec<Scenario> {
+    fn gated(class: ScenarioClass, name: &'static str, description: &'static str) -> Scenario {
+        Scenario {
+            class,
+            name,
+            description,
+            ordering_gated: true,
+            tolerance: 0.15,
+            abs_slack: 25.0,
+        }
+    }
+    fn survival(class: ScenarioClass, name: &'static str, description: &'static str) -> Scenario {
+        Scenario {
+            class,
+            name,
+            description,
+            ordering_gated: false,
+            tolerance: f64::INFINITY,
+            abs_slack: f64::INFINITY,
+        }
+    }
+    vec![
+        gated(
+            ScenarioClass::Baseline,
+            "baseline",
+            "mid-utilization control design",
+        ),
+        gated(
+            ScenarioClass::MacroObstructed,
+            "macro_obstructed",
+            "macro-dominated floorplan with multi-layer obstructions",
+        ),
+        gated(
+            ScenarioClass::FpgaSites,
+            "fpga_sites",
+            "discrete site grid with per-layer track pitches",
+        ),
+        gated(
+            ScenarioClass::HighRent,
+            "high_rent",
+            "high-Rent-exponent netlist (long-range connectivity)",
+        ),
+        gated(
+            ScenarioClass::NearFullUtil,
+            "near_full_util",
+            "97 % utilization core",
+        ),
+        gated(
+            ScenarioClass::PinHotspots,
+            "pin_hotspots",
+            "clustered pin-density hotspots",
+        ),
+        gated(
+            ScenarioClass::SingleRowCore,
+            "single_row_core",
+            "extreme-aspect single-row core",
+        ),
+        gated(
+            ScenarioClass::ObstructionMaze,
+            "obstruction_maze",
+            "maze of standalone routing blockages",
+        ),
+        survival(
+            ScenarioClass::SingleCell,
+            "single_cell",
+            "one movable cell (survival only)",
+        ),
+        survival(
+            ScenarioClass::AllFixed,
+            "all_fixed",
+            "every cell fixed, zero movable area (survival only)",
+        ),
+        survival(
+            ScenarioClass::FullDieNet,
+            "full_die_net",
+            "net spanning the whole die (survival only)",
+        ),
+        survival(
+            ScenarioClass::CoincidentPins,
+            "coincident_pins",
+            "coincident pins and zero-area cells (survival only)",
+        ),
+    ]
+}
+
+/// Looks a scenario up by its stable name.
+pub fn scenario_by_name(name: &str) -> Option<Scenario> {
+    scenario_matrix().into_iter().find(|s| s.name == name)
+}
+
+fn add_rows(b: &mut DesignBuilder, die: Rect, row_h: f64, site_w: f64) {
+    let n = (die.height() / row_h).floor().max(1.0) as usize;
+    for r in 0..n {
+        b.add_row(Row {
+            y: die.lo.y + r as f64 * row_h,
+            height: row_h,
+            x0: die.lo.x,
+            x1: die.hi.x,
+            site_w,
+        });
+    }
+}
+
+fn build_single_cell() -> Design {
+    let die = Rect::new(0.0, 0.0, 20.0, 20.0);
+    let mut b = DesignBuilder::new("single_cell", die);
+    add_rows(&mut b, die, 2.0, 0.2);
+    let u = b.add_cell(Cell::std("u0", 1.2, 2.0), die.center());
+    let io = b.add_cell(Cell::terminal("io0"), Point::new(0.0, 10.0));
+    b.add_net("n0", vec![(u, Point::default()), (io, Point::default())]);
+    b.routing(RoutingSpec::uniform(4, 8.0, 16, 16));
+    b.build().expect("single-cell design is valid")
+}
+
+fn build_all_fixed() -> Design {
+    let die = Rect::new(0.0, 0.0, 30.0, 30.0);
+    let mut b = DesignBuilder::new("all_fixed", die);
+    add_rows(&mut b, die, 2.0, 0.2);
+    let mut ids = Vec::new();
+    for i in 0..9 {
+        let x = 5.0 + (i % 3) as f64 * 10.0;
+        let y = 5.0 + (i / 3) as f64 * 10.0;
+        let cell = Cell {
+            name: format!("f{i}"),
+            kind: CellKind::Std,
+            w: 1.2,
+            h: 2.0,
+            fixed: true,
+        };
+        ids.push(b.add_cell(cell, Point::new(x, y)));
+    }
+    for i in 0..8 {
+        b.add_net(
+            format!("n{i}"),
+            vec![(ids[i], Point::default()), (ids[i + 1], Point::default())],
+        );
+    }
+    b.routing(RoutingSpec::uniform(4, 8.0, 16, 16));
+    b.build().expect("all-fixed design is valid")
+}
+
+fn build_full_die_net(scale: Scale) -> Design {
+    let side = scale.pick(40.0, 120.0);
+    let n_cells = scale.pick(24usize, 200usize);
+    let die = Rect::new(0.0, 0.0, side, side);
+    let mut b = DesignBuilder::new("full_die_net", die);
+    add_rows(&mut b, die, 2.0, 0.2);
+    let cols = (n_cells as f64).sqrt().ceil() as usize;
+    let mut ids = Vec::new();
+    for i in 0..n_cells {
+        let x = (i % cols) as f64 / cols as f64 * (side - 4.0) + 2.0;
+        let y = (i / cols) as f64 / cols as f64 * (side - 4.0) + 2.0;
+        ids.push(b.add_cell(Cell::std(format!("u{i}"), 1.2, 2.0), Point::new(x, y)));
+    }
+    let corners = [
+        Point::new(0.0, 0.0),
+        Point::new(side, 0.0),
+        Point::new(side, side),
+        Point::new(0.0, side),
+    ];
+    let mut corner_ids = Vec::new();
+    for (i, &p) in corners.iter().enumerate() {
+        corner_ids.push(b.add_cell(Cell::terminal(format!("io{i}")), p));
+    }
+    // The adversarial construct: one net whose pins span the entire die.
+    let mut span: Vec<_> = corner_ids.iter().map(|&c| (c, Point::default())).collect();
+    span.push((ids[0], Point::default()));
+    b.add_net("span", span);
+    for i in 0..n_cells - 1 {
+        b.add_net(
+            format!("n{i}"),
+            vec![(ids[i], Point::default()), (ids[i + 1], Point::default())],
+        );
+    }
+    b.routing(RoutingSpec::uniform(4, 8.0, 16, 16));
+    b.build().expect("full-die-net design is valid")
+}
+
+fn build_coincident_pins() -> Design {
+    let die = Rect::new(0.0, 0.0, 20.0, 20.0);
+    let mut b = DesignBuilder::new("coincident_pins", die);
+    add_rows(&mut b, die, 2.0, 0.2);
+    let c = die.center();
+    let mut ids = Vec::new();
+    // Every movable cell starts at the exact same point.
+    for i in 0..10 {
+        ids.push(b.add_cell(Cell::std(format!("u{i}"), 1.0, 2.0), c));
+    }
+    // A zero-area fixed cell participating in the netlist.
+    let z = b.add_cell(
+        Cell {
+            name: "z0".into(),
+            kind: CellKind::Std,
+            w: 0.0,
+            h: 0.0,
+            fixed: true,
+        },
+        Point::new(5.0, 5.0),
+    );
+    for i in 0..9 {
+        // Zero offsets: coincident pins on coincident cells.
+        b.add_net(
+            format!("n{i}"),
+            vec![(ids[i], Point::default()), (ids[i + 1], Point::default())],
+        );
+    }
+    b.add_net(
+        "nz",
+        vec![(z, Point::default()), (ids[0], Point::default())],
+    );
+    b.routing(RoutingSpec::uniform(4, 8.0, 16, 16));
+    b.build().expect("coincident-pins design is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_has_unique_names_and_enough_classes() {
+        let m = scenario_matrix();
+        assert!(m.len() >= 8, "matrix too small: {}", m.len());
+        let mut names: Vec<_> = m.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), m.len());
+    }
+
+    #[test]
+    fn every_scenario_builds_small() {
+        for s in scenario_matrix() {
+            let d = s.build(Scale::Small);
+            assert!(
+                d.validate().is_empty() || !s.ordering_gated,
+                "{}: {:?}",
+                s.name,
+                d.validate()
+            );
+            assert!(d.num_cells() > 0, "{}", s.name);
+            assert!(d.num_nets() > 0, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn degenerate_classes_are_survival_only() {
+        for s in scenario_matrix() {
+            match s.class {
+                ScenarioClass::SingleCell
+                | ScenarioClass::AllFixed
+                | ScenarioClass::FullDieNet
+                | ScenarioClass::CoincidentPins => assert!(!s.ordering_gated, "{}", s.name),
+                _ => assert!(s.ordering_gated, "{}", s.name),
+            }
+        }
+    }
+
+    #[test]
+    fn obstructed_classes_carry_obstructions() {
+        let d = scenario_by_name("macro_obstructed")
+            .unwrap()
+            .build(Scale::Small);
+        assert!(!d.obstructions().is_empty());
+        let d = scenario_by_name("obstruction_maze")
+            .unwrap()
+            .build(Scale::Small);
+        assert!(d.obstructions().len() >= 12);
+    }
+
+    #[test]
+    fn fpga_sites_has_layer_pitches() {
+        let d = scenario_by_name("fpga_sites").unwrap().build(Scale::Small);
+        assert!(d.routing().layers.iter().all(|l| l.pitch > 0.0));
+    }
+
+    #[test]
+    fn single_row_core_is_single_row() {
+        let d = scenario_by_name("single_row_core")
+            .unwrap()
+            .build(Scale::Small);
+        assert!(d.rows().len() <= 2, "rows: {}", d.rows().len());
+    }
+}

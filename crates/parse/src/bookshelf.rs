@@ -99,7 +99,16 @@ pub fn write_bookshelf(design: &Design) -> BookshelfFiles {
     route.push_str(&format!("Grid : {} {}\n", spec.gx, spec.gy));
     route.push_str(&format!("NumLayers : {}\n", spec.num_layers()));
     for l in &spec.layers {
-        route.push_str(&format!("Layer {} {} {}\n", l.name, l.dir, l.capacity));
+        // Pitch is an optional trailing token so pitch-free designs keep
+        // emitting byte-identical files (the determinism-guard contract).
+        if l.pitch > 0.0 {
+            route.push_str(&format!(
+                "Layer {} {} {} {}\n",
+                l.name, l.dir, l.capacity, l.pitch
+            ));
+        } else {
+            route.push_str(&format!("Layer {} {} {}\n", l.name, l.dir, l.capacity));
+        }
     }
 
     let mut pg = String::new();
@@ -350,6 +359,13 @@ pub fn read_bookshelf_obs(
                 name: (*name).to_string(),
                 dir: parse_dir("route", ln, dir)?,
                 capacity: num("route", ln, cap)?,
+                pitch: 0.0,
+            }),
+            ["Layer", name, dir, cap, pitch] => layers.push(RoutingLayer {
+                name: (*name).to_string(),
+                dir: parse_dir("route", ln, dir)?,
+                capacity: num("route", ln, cap)?,
+                pitch: num("route", ln, pitch)?,
             }),
             _ => {}
         }

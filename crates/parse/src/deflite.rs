@@ -4,22 +4,30 @@
 //! 2015 benchmarks) use, sufficient to carry everything the routability
 //! flow needs. Deliberate simplifications, documented here:
 //!
-//! * LEF `MACRO`s carry only `CLASS` and `SIZE`; one macro is emitted per
-//!   distinct (class, w, h) combination.
+//! * LEF `MACRO`s carry `CLASS`, `SIZE`, and optional `OBS` routing
+//!   blockage geometry; one macro is emitted per distinct (class, w, h)
+//!   combination. `OBS` rectangles are materialized per placed component.
+//! * LEF `LAYER` blocks carry `DIRECTION` and `PITCH` for each routing
+//!   layer of the stack.
 //! * DEF `NETS` list `( <component> <dx> <dy> )` pin triples with offsets
 //!   from the component **center** instead of LEF pin names.
+//! * DEF `TRACKS` statements record the track grid (origin/count/step) per
+//!   layer; the step doubles as the layer pitch when the LEF omits it.
+//! * DEF `BLOCKAGES` entries carry standalone routing blockages.
 //! * PG rails are written as `SPECIALNETS` wire rectangles on their layer.
 //! * A nonstandard `GCELLGRID`/`LAYERCAP` pair records the routing grid
-//!   and per-layer capacities (DEF has no capacity construct).
+//!   and per-layer capacities (DEF has no capacity construct). When the
+//!   DEF has no `LAYERCAP` entries the stack is reconstructed from the
+//!   LEF `LAYER` blocks, with capacity estimated from the track pitch.
 //!
 //! Distances are DEF database units at `UNITS DISTANCE MICRONS 1000`, so
 //! geometry round-trips to 1/1000 µm.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use rdp_db::{
-    Cell, CellId, CellKind, Design, DesignBuilder, Dir, PgRail, Point, Rect, RoutingLayer,
-    RoutingSpec, Row,
+    Cell, CellId, CellKind, Design, DesignBuilder, Dir, Obstruction, PgRail, Point, Rect,
+    RoutingLayer, RoutingSpec, Row,
 };
 
 use crate::error::ParseDesignError;
@@ -61,6 +69,20 @@ pub fn write_lefdef(design: &Design) -> LefDefFiles {
     }
 
     let mut lef = String::from("VERSION 5.8 ;\nUNITS\n  DATABASE MICRONS 1000 ;\nEND UNITS\n");
+    for l in &design.routing().layers {
+        let dir = match l.dir {
+            Dir::Horizontal => "HORIZONTAL",
+            Dir::Vertical => "VERTICAL",
+        };
+        lef.push_str(&format!(
+            "LAYER {}\n  TYPE ROUTING ;\n  DIRECTION {dir} ;\n",
+            l.name
+        ));
+        if l.pitch > 0.0 {
+            lef.push_str(&format!("  PITCH {} ;\n", l.pitch));
+        }
+        lef.push_str(&format!("END {}\n", l.name));
+    }
     for (i, (kind, w, h)) in types.iter().enumerate() {
         let class = match kind {
             CellKind::Std => "CORE",
@@ -104,6 +126,25 @@ pub fn write_lefdef(design: &Design) -> LefDefFiles {
     for l in &design.routing().layers {
         def.push_str(&format!("LAYERCAP {} {} {} ;\n", l.name, l.dir, l.capacity));
     }
+    for l in &design.routing().layers {
+        if l.pitch <= 0.0 {
+            continue;
+        }
+        // Vertical wires run at x positions (TRACKS X), horizontal at y.
+        let (axis, lo, hi) = match l.dir {
+            Dir::Vertical => ("X", die.lo.x, die.hi.x),
+            Dir::Horizontal => ("Y", die.lo.y, die.hi.y),
+        };
+        // Track count in integer dbu space, so a 1-ULP wiggle of the
+        // micron values after a round-trip cannot change the count.
+        let step = dbu(l.pitch).max(1);
+        let n = ((dbu(hi) - dbu(lo)) / step).max(1);
+        def.push_str(&format!(
+            "TRACKS {axis} {} DO {n} STEP {step} LAYER {} ;\n",
+            dbu(lo + l.pitch / 2.0),
+            l.name
+        ));
+    }
 
     def.push_str(&format!("COMPONENTS {} ;\n", design.num_cells()));
     for (i, c) in design.cells().iter().enumerate() {
@@ -132,6 +173,26 @@ pub fn write_lefdef(design: &Design) -> LefDefFiles {
         def.push_str(" ;\n");
     }
     def.push_str("END NETS\n");
+
+    if !design.obstructions().is_empty() {
+        def.push_str(&format!("BLOCKAGES {} ;\n", design.obstructions().len()));
+        for o in design.obstructions() {
+            let lname = design
+                .routing()
+                .layers
+                .get(o.layer as usize)
+                .map(|l| l.name.clone())
+                .unwrap_or_else(|| format!("M{}", o.layer + 1));
+            def.push_str(&format!(
+                "- LAYER {lname} RECT ( {} {} ) ( {} {} ) ;\n",
+                dbu(o.rect.lo.x),
+                dbu(o.rect.lo.y),
+                dbu(o.rect.hi.x),
+                dbu(o.rect.hi.y)
+            ));
+        }
+        def.push_str("END BLOCKAGES\n");
+    }
 
     def.push_str(&format!("SPECIALNETS {} ;\n", design.rails().len()));
     for r in design.rails() {
@@ -171,18 +232,38 @@ pub fn read_lefdef_obs(
     obs: &rdp_obs::Collector,
 ) -> Result<Design, ParseDesignError> {
     let _span = obs.span("parse_lefdef", "parse");
-    // --- LEF: cell types -------------------------------------------------
+    // --- LEF: layer stack + cell types -----------------------------------
     struct TypeRec {
         kind: CellKind,
         w: f64,
         h: f64,
+        /// OBS rectangles (layer name, rect relative to the macro's
+        /// lower-left corner), materialized per placed component.
+        obs: Vec<(String, Rect)>,
+    }
+    /// A LEF `LAYER` block: direction + pitch, capacity unknown.
+    struct LayerRec {
+        name: String,
+        dir: Dir,
+        pitch: f64,
     }
     let mut types: HashMap<String, TypeRec> = HashMap::new();
+    let mut lef_layers: Vec<LayerRec> = Vec::new();
     let mut cur: Option<String> = None;
+    let mut cur_layer: Option<usize> = None; // index into lef_layers
+    let mut in_obs = false;
+    let mut obs_layer: Option<String> = None;
     for (ln, line) in files.lef.lines().enumerate() {
         let toks: Vec<&str> = line.split_whitespace().collect();
         match toks.as_slice() {
             ["MACRO", name] => {
+                if types.contains_key(*name) {
+                    return Err(ParseDesignError::new(
+                        "lef",
+                        Some(ln + 1),
+                        format!("duplicate macro `{name}`"),
+                    ));
+                }
                 cur = Some((*name).to_string());
                 types.insert(
                     (*name).to_string(),
@@ -190,8 +271,56 @@ pub fn read_lefdef_obs(
                         kind: CellKind::Std,
                         w: 0.0,
                         h: 0.0,
+                        obs: Vec::new(),
                     },
                 );
+            }
+            ["LAYER", name] if cur.is_none() => {
+                if lef_layers.iter().any(|l| l.name == *name) {
+                    return Err(ParseDesignError::new(
+                        "lef",
+                        Some(ln + 1),
+                        format!("duplicate layer `{name}`"),
+                    ));
+                }
+                lef_layers.push(LayerRec {
+                    name: (*name).to_string(),
+                    dir: if lef_layers.len() % 2 == 0 {
+                        Dir::Horizontal
+                    } else {
+                        Dir::Vertical
+                    },
+                    pitch: 0.0,
+                });
+                cur_layer = Some(lef_layers.len() - 1);
+            }
+            ["DIRECTION", dir, ";"] => {
+                if let Some(i) = cur_layer {
+                    lef_layers[i].dir = match *dir {
+                        "HORIZONTAL" => Dir::Horizontal,
+                        "VERTICAL" => Dir::Vertical,
+                        other => {
+                            return Err(ParseDesignError::new(
+                                "lef",
+                                Some(ln + 1),
+                                format!("unknown direction `{other}`"),
+                            ))
+                        }
+                    };
+                }
+            }
+            ["PITCH", p, ";"] => {
+                if let Some(i) = cur_layer {
+                    let pitch = num("lef", ln, p)?;
+                    if pitch < 0.0 {
+                        return Err(ParseDesignError::new(
+                            "lef",
+                            Some(ln + 1),
+                            format!("negative pitch `{p}`"),
+                        ));
+                    }
+                    lef_layers[i].pitch = pitch;
+                }
             }
             ["CLASS", class, ";"] => {
                 if let Some(name) = &cur {
@@ -221,7 +350,43 @@ pub fn read_lefdef_obs(
                     rec.h = num("lef", ln, h)?;
                 }
             }
-            ["END", name] if Some(*name) == cur.as_deref() => cur = None,
+            ["OBS"] if cur.is_some() => {
+                in_obs = true;
+                obs_layer = None;
+            }
+            ["LAYER", name, ";"] if in_obs => obs_layer = Some((*name).to_string()),
+            ["RECT", a, b, c, d, ";"] if in_obs => {
+                let name = cur.as_ref().expect("OBS implies a current macro");
+                let layer = obs_layer.clone().ok_or_else(|| {
+                    ParseDesignError::new("lef", Some(ln + 1), "OBS RECT before LAYER")
+                })?;
+                let rect = rect(
+                    "lef",
+                    ln,
+                    num("lef", ln, a)?,
+                    num("lef", ln, b)?,
+                    num("lef", ln, c)?,
+                    num("lef", ln, d)?,
+                )?;
+                types
+                    .get_mut(name)
+                    .ok_or_else(|| {
+                        ParseDesignError::new("lef", Some(ln + 1), "RECT outside MACRO")
+                    })?
+                    .obs
+                    .push((layer, rect));
+            }
+            ["END"] if in_obs => {
+                in_obs = false;
+                obs_layer = None;
+            }
+            ["END", name] if Some(*name) == cur.as_deref() => {
+                cur = None;
+                in_obs = false;
+            }
+            ["END", name] if cur_layer.is_some_and(|i| lef_layers[i].name == *name) => {
+                cur_layer = None;
+            }
             _ => {}
         }
     }
@@ -234,8 +399,11 @@ pub fn read_lefdef_obs(
     let mut gy = 16usize;
     let mut layers: Vec<RoutingLayer> = Vec::new();
     let mut comps: Vec<(String, String, Point, bool)> = Vec::new(); // name, type, ll(µm), fixed
+    let mut comp_names: HashSet<String> = HashSet::new();
     let mut nets: Vec<(String, Vec<(String, Point)>)> = Vec::new();
     let mut rails: Vec<PgRail> = Vec::new();
+    let mut tracks: Vec<(String, f64)> = Vec::new(); // layer name, step (µm)
+    let mut blockages: Vec<(String, Rect, usize)> = Vec::new(); // layer name, rect, line
     let mut section = "";
 
     for (ln, line) in files.def.lines().enumerate() {
@@ -243,12 +411,14 @@ pub fn read_lefdef_obs(
         match toks.as_slice() {
             ["DESIGN", name, ";"] => design_name = (*name).to_string(),
             ["DIEAREA", "(", a, b, ")", "(", c, d, ")", ";"] => {
-                die = Some(Rect::new(
+                die = Some(rect(
+                    "def",
+                    ln,
                     from_dbu(int("def", ln, a)?),
                     from_dbu(int("def", ln, b)?),
                     from_dbu(int("def", ln, c)?),
                     from_dbu(int("def", ln, d)?),
-                ));
+                )?);
             }
             ["ROW", _name, _site, x, y, "N", "DO", n, "BY", "1", "STEP", sw, "0", ";"] => {
                 let x0 = from_dbu(int("def", ln, x)?);
@@ -286,9 +456,29 @@ pub fn read_lefdef_obs(
                     }
                 },
                 capacity: num("def", ln, cap)?,
+                pitch: 0.0, // filled from LEF LAYER / DEF TRACKS below
             }),
+            ["TRACKS", axis, _start, "DO", n, "STEP", step, "LAYER", name, ";"] => {
+                if *axis != "X" && *axis != "Y" {
+                    return Err(ParseDesignError::new(
+                        "def",
+                        Some(ln + 1),
+                        format!("bad tracks axis `{axis}`"),
+                    ));
+                }
+                let count: i64 = int("def", ln, n)?;
+                if count <= 0 {
+                    return Err(ParseDesignError::new(
+                        "def",
+                        Some(ln + 1),
+                        "bad track count",
+                    ));
+                }
+                tracks.push(((*name).to_string(), from_dbu(int("def", ln, step)?)));
+            }
             ["COMPONENTS", ..] => section = "components",
             ["NETS", ..] if section != "nets" && !line.starts_with('-') => section = "nets",
+            ["BLOCKAGES", ..] => section = "blockages",
             ["SPECIALNETS", ..] => section = "specialnets",
             ["END", ..] => section = "",
             _ if line.starts_with('-') => match section {
@@ -302,6 +492,13 @@ pub fn read_lefdef_obs(
                         ));
                     }
                     // - name Tk + STATE ( x y ) N ;
+                    if !comp_names.insert(toks[1].to_string()) {
+                        return Err(ParseDesignError::new(
+                            "def",
+                            Some(ln + 1),
+                            format!("duplicate component `{}`", toks[1]),
+                        ));
+                    }
                     let fixed = toks[4] == "FIXED";
                     comps.push((
                         toks[1].to_string(),
@@ -337,6 +534,32 @@ pub fn read_lefdef_obs(
                     }
                     nets.push((name, pins));
                 }
+                "blockages" => {
+                    // - LAYER <name> RECT ( a b ) ( c d ) ;
+                    match toks.as_slice() {
+                        ["-", "LAYER", name, "RECT", "(", a, b, ")", "(", c, d, ")", ";"] => {
+                            blockages.push((
+                                (*name).to_string(),
+                                rect(
+                                    "def",
+                                    ln,
+                                    from_dbu(int("def", ln, a)?),
+                                    from_dbu(int("def", ln, b)?),
+                                    from_dbu(int("def", ln, c)?),
+                                    from_dbu(int("def", ln, d)?),
+                                )?,
+                                ln,
+                            ));
+                        }
+                        _ => {
+                            return Err(ParseDesignError::new(
+                                "def",
+                                Some(ln + 1),
+                                "malformed blockage line",
+                            ))
+                        }
+                    }
+                }
                 "specialnets" => {
                     // - PG M<k> <dir> RECT ( a b ) ( c d ) ;
                     if toks.len() >= 13 {
@@ -355,12 +578,14 @@ pub fn read_lefdef_obs(
                         rails.push(PgRail {
                             layer,
                             dir,
-                            rect: Rect::new(
+                            rect: rect(
+                                "def",
+                                ln,
                                 from_dbu(int("def", ln, toks[6])?),
                                 from_dbu(int("def", ln, toks[7])?),
                                 from_dbu(int("def", ln, toks[10])?),
                                 from_dbu(int("def", ln, toks[11])?),
-                            ),
+                            )?,
                         });
                     }
                 }
@@ -382,6 +607,72 @@ pub fn read_lefdef_obs(
         r.height = height;
     }
 
+    // --- Layer stack: LAYERCAP (authoritative), pitch from LEF/TRACKS ----
+    if layers.is_empty() {
+        // No LAYERCAP: reconstruct the stack from the LEF LAYER blocks,
+        // estimating capacity as tracks-per-G-cell from the pitch.
+        if lef_layers.is_empty() {
+            return Err(ParseDesignError::new(
+                "def",
+                None,
+                "no LAYERCAP entries and no LEF LAYER blocks",
+            ));
+        }
+        const DEFAULT_CAPACITY: f64 = 10.0;
+        for l in lef_layers.iter() {
+            let pitch = if l.pitch > 0.0 {
+                l.pitch
+            } else {
+                tracks
+                    .iter()
+                    .find(|(n, _)| *n == l.name)
+                    .map(|(_, s)| *s)
+                    .unwrap_or(0.0)
+            };
+            let gcell_extent = match l.dir {
+                Dir::Horizontal => die.height() / gy.max(1) as f64,
+                Dir::Vertical => die.width() / gx.max(1) as f64,
+            };
+            let capacity = if pitch > 0.0 && gcell_extent.is_finite() {
+                (gcell_extent / pitch).max(1.0)
+            } else {
+                DEFAULT_CAPACITY
+            };
+            layers.push(RoutingLayer {
+                name: l.name.clone(),
+                dir: l.dir,
+                capacity,
+                pitch,
+            });
+        }
+    } else {
+        for l in layers.iter_mut() {
+            if let Some(rec) = lef_layers.iter().find(|r| r.name == l.name) {
+                l.pitch = rec.pitch;
+            }
+            if l.pitch <= 0.0 {
+                if let Some((_, step)) = tracks.iter().find(|(n, _)| *n == l.name) {
+                    l.pitch = *step;
+                }
+            }
+        }
+    }
+
+    // Resolves a layer name against the final stack; `M<k>` names fall
+    // back to a 1-based index so blockages above the stack stay loadable.
+    let layer_index = |name: &str, ln: Option<usize>| -> Result<u8, ParseDesignError> {
+        if let Some(i) = layers.iter().position(|l| l.name == name) {
+            return u8::try_from(i)
+                .map_err(|_| ParseDesignError::new("def", ln, "layer index overflow"));
+        }
+        name.strip_prefix('M')
+            .and_then(|k| k.parse::<u8>().ok())
+            .and_then(|k| k.checked_sub(1))
+            .ok_or_else(|| {
+                ParseDesignError::new("def", ln, format!("unknown blockage layer `{name}`"))
+            })
+    };
+
     let mut b = DesignBuilder::new(design_name, die);
     let mut ids: HashMap<String, CellId> = HashMap::new();
     for (name, ty, ll, fixed) in comps {
@@ -389,6 +680,13 @@ pub fn read_lefdef_obs(
             .get(&ty)
             .ok_or_else(|| ParseDesignError::new("def", None, format!("unknown type `{ty}`")))?;
         let center = Point::new(ll.x + rec.w / 2.0, ll.y + rec.h / 2.0);
+        // Materialize the macro's OBS geometry at this placement.
+        for (lname, r) in &rec.obs {
+            b.add_obstruction(Obstruction {
+                layer: layer_index(lname, None)?,
+                rect: Rect::new(ll.x + r.lo.x, ll.y + r.lo.y, ll.x + r.hi.x, ll.y + r.hi.y),
+            });
+        }
         let cell = Cell {
             name: name.clone(),
             kind: rec.kind,
@@ -397,6 +695,12 @@ pub fn read_lefdef_obs(
             fixed,
         };
         ids.insert(name, b.add_cell(cell, center));
+    }
+    for (lname, rect, ln) in blockages {
+        b.add_obstruction(Obstruction {
+            layer: layer_index(&lname, Some(ln + 1))?,
+            rect,
+        });
     }
     for (name, pins) in nets {
         let mut resolved = Vec::with_capacity(pins.len());
@@ -414,12 +718,30 @@ pub fn read_lefdef_obs(
     for r in rails {
         b.add_rail(r);
     }
-    if layers.is_empty() {
-        return Err(ParseDesignError::new("def", None, "no LAYERCAP entries"));
-    }
     b.routing(RoutingSpec { layers, gx, gy });
     b.build()
         .map_err(|e| ParseDesignError::new("build", None, e.to_string()))
+}
+
+/// Builds a [`Rect`] with a typed error (instead of the debug-build panic
+/// in [`Rect::new`]) when the coordinates are inverted or non-finite.
+fn rect(
+    ctx: &str,
+    line: usize,
+    x0: f64,
+    y0: f64,
+    x1: f64,
+    y1: f64,
+) -> Result<Rect, ParseDesignError> {
+    let finite = x0.is_finite() && y0.is_finite() && x1.is_finite() && y1.is_finite();
+    if !finite || x0 > x1 || y0 > y1 {
+        return Err(ParseDesignError::new(
+            ctx,
+            Some(line + 1),
+            format!("malformed rect ( {x0} {y0} ) ( {x1} {y1} )"),
+        ));
+    }
+    Ok(Rect::new(x0, y0, x1, y1))
 }
 
 fn num(ctx: &str, line: usize, tok: &str) -> Result<f64, ParseDesignError> {

@@ -1,0 +1,345 @@
+//! Property tests for the extended LEF/DEF-lite grammar (rdp-testkit
+//! harness): emission round-trip identity, and a hostile-input suite
+//! asserting typed errors — with line numbers — and zero panics.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rdp_gen::{generate, GenParams};
+use rdp_parse::{read_lefdef, write_lefdef, LefDefFiles};
+use rdp_testkit::{prop_assert, prop_assert_eq, prop_check, range, PropConfig};
+
+type ParamTuple = (usize, usize, f64, u64, usize, usize, f64);
+
+/// Parameter space including the scenario extensions: obstructions on
+/// macro footprints, random blockages, and per-layer track pitches.
+fn arb_params() -> impl rdp_testkit::Gen<Value = ParamTuple> {
+    (
+        range(50usize..300),
+        range(0usize..4),
+        range(0.3f64..0.7),
+        range(1u64..10_000),
+        range(0usize..5),   // obstruction_layers
+        range(0usize..8),   // random_obstructions
+        range(0.0f64..0.8), // track_pitch (0 disables)
+    )
+}
+
+fn params_of((cells, macros, util, seed, obs_layers, rand_obs, pitch): ParamTuple) -> GenParams {
+    GenParams {
+        num_cells: cells,
+        num_macros: macros,
+        macro_fraction: if macros == 0 { 0.0 } else { 0.18 },
+        utilization: util,
+        io_terminals: 4,
+        high_fanout_nets: 2,
+        rail_pitch: 1.0,
+        seed,
+        obstruction_layers: obs_layers,
+        random_obstructions: rand_obs,
+        track_pitch: if pitch < 0.1 { 0.0 } else { pitch },
+        ..GenParams::default()
+    }
+}
+
+/// Emission is a fixed point of parse∘emit: `emit(parse(emit(d)))` is
+/// byte-identical to `emit(d)`, including BLOCKAGES, TRACKS and LEF
+/// LAYER pitch blocks.
+#[test]
+fn lefdef_emission_is_parse_fixed_point() {
+    prop_check!(PropConfig::cases(24), arb_params(), |t: ParamTuple| {
+        let d = generate("rt", &params_of(t));
+        let first = write_lefdef(&d);
+        let back = match read_lefdef(&first) {
+            Ok(b) => b,
+            Err(e) => return Err(format!("own emission failed to parse: {e}")),
+        };
+        let second = write_lefdef(&back);
+        prop_assert_eq!(&first.lef, &second.lef, "LEF drifted");
+        prop_assert_eq!(&first.def, &second.def, "DEF drifted");
+        Ok(())
+    });
+}
+
+/// The parsed design preserves the structures the extended grammar
+/// carries: obstruction count/layers and per-layer pitches.
+#[test]
+fn lefdef_preserves_extended_structures() {
+    prop_check!(PropConfig::cases(24), arb_params(), |t: ParamTuple| {
+        let d = generate("rt", &params_of(t));
+        let back = match read_lefdef(&write_lefdef(&d)) {
+            Ok(b) => b,
+            Err(e) => return Err(format!("own emission failed to parse: {e}")),
+        };
+        prop_assert_eq!(back.obstructions().len(), d.obstructions().len());
+        for (a, b) in d.obstructions().iter().zip(back.obstructions()) {
+            prop_assert_eq!(a.layer, b.layer);
+            prop_assert!(
+                (a.rect.lo.x - b.rect.lo.x).abs() < 2e-3
+                    && (a.rect.hi.y - b.rect.hi.y).abs() < 2e-3,
+                "obstruction geometry drifted beyond dbu rounding"
+            );
+        }
+        prop_assert_eq!(back.routing().num_layers(), d.routing().num_layers());
+        for (a, b) in d.routing().layers.iter().zip(&back.routing().layers) {
+            prop_assert_eq!(a.pitch.to_bits(), b.pitch.to_bits(), "pitch drifted");
+        }
+        Ok(())
+    });
+}
+
+// --- Hostile-input suite -------------------------------------------------
+
+fn sample_files() -> LefDefFiles {
+    let d = generate(
+        "hostile",
+        &GenParams {
+            num_cells: 60,
+            num_macros: 2,
+            macro_fraction: 0.15,
+            utilization: 0.5,
+            io_terminals: 4,
+            rail_pitch: 1.0,
+            obstruction_layers: 2,
+            random_obstructions: 3,
+            track_pitch: 0.4,
+            seed: 1234,
+            ..GenParams::default()
+        },
+    );
+    write_lefdef(&d)
+}
+
+/// Calls the parser under `catch_unwind`; a panic fails the test with
+/// the mutation's name.
+fn parse_no_panic(label: &str, files: &LefDefFiles) -> Result<(), rdp_parse::ParseDesignError> {
+    let out = catch_unwind(AssertUnwindSafe(|| read_lefdef(files)));
+    match out {
+        Ok(r) => r.map(|_| ()),
+        Err(_) => panic!("parser panicked on hostile input: {label}"),
+    }
+}
+
+/// Truncating either file at any line boundary must yield `Ok` or a
+/// typed error — never a panic.
+#[test]
+fn truncation_never_panics() {
+    let files = sample_files();
+    let def_lines: Vec<&str> = files.def.lines().collect();
+    for cut in 0..def_lines.len() {
+        let mutated = LefDefFiles {
+            lef: files.lef.clone(),
+            def: def_lines[..cut].join("\n"),
+        };
+        let _ = parse_no_panic(&format!("def truncated at line {cut}"), &mutated);
+    }
+    let lef_lines: Vec<&str> = files.lef.lines().collect();
+    for cut in 0..lef_lines.len() {
+        let mutated = LefDefFiles {
+            lef: lef_lines[..cut].join("\n"),
+            def: files.def.clone(),
+        };
+        let _ = parse_no_panic(&format!("lef truncated at line {cut}"), &mutated);
+    }
+}
+
+/// Overflowing coordinates produce a typed parse error carrying the
+/// offending line number.
+#[test]
+fn overflow_coordinates_are_typed_errors() {
+    let files = sample_files();
+    let big = "99999999999999999999999";
+    let line = files
+        .def
+        .lines()
+        .find(|l| l.starts_with("DIEAREA"))
+        .expect("diearea present")
+        .to_string();
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    let overflowed = format!(
+        "DIEAREA ( {big} {} ) ( {} {} ) ;",
+        toks[3], toks[6], toks[7]
+    );
+    let mutated = LefDefFiles {
+        lef: files.lef.clone(),
+        def: files.def.replacen(&line, &overflowed, 1),
+    };
+    let err = parse_no_panic("overflow diearea", &mutated).unwrap_err();
+    assert!(err.line.is_some(), "no line number: {err}");
+    assert!(err.to_string().contains("bad integer"), "{err}");
+}
+
+/// Coordinates that parse but describe an inverted rectangle are typed
+/// errors, not debug-assert panics.
+#[test]
+fn inverted_rects_are_typed_errors() {
+    let files = sample_files();
+    let line = files
+        .def
+        .lines()
+        .find(|l| l.starts_with("DIEAREA"))
+        .expect("diearea present")
+        .to_string();
+    // Swap lo and hi corners.
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    let inverted = format!(
+        "DIEAREA ( {} {} ) ( {} {} ) ;",
+        toks[6], toks[7], toks[2], toks[3]
+    );
+    let mutated = LefDefFiles {
+        lef: files.lef.clone(),
+        def: files.def.replacen(&line, &inverted, 1),
+    };
+    let err = parse_no_panic("inverted diearea", &mutated).unwrap_err();
+    assert!(err.line.is_some(), "no line number: {err}");
+    assert!(err.to_string().contains("malformed rect"), "{err}");
+}
+
+/// Duplicate macro names in the LEF are rejected with a line number.
+#[test]
+fn duplicate_macro_names_are_typed_errors() {
+    let files = sample_files();
+    let dup = format!(
+        "{}MACRO T0\n  CLASS CORE ;\n  SIZE 1 BY 1 ;\nEND T0\n",
+        files.lef
+    );
+    let mutated = LefDefFiles {
+        lef: dup,
+        def: files.def.clone(),
+    };
+    let err = parse_no_panic("duplicate macro", &mutated).unwrap_err();
+    assert!(err.line.is_some(), "no line number: {err}");
+    assert!(err.to_string().contains("duplicate macro"), "{err}");
+}
+
+/// Duplicate component names in the DEF are rejected with a line number.
+#[test]
+fn duplicate_component_names_are_typed_errors() {
+    let files = sample_files();
+    let comp = files
+        .def
+        .lines()
+        .find(|l| l.starts_with("- u"))
+        .expect("component line")
+        .to_string();
+    let mutated = LefDefFiles {
+        lef: files.lef.clone(),
+        def: files.def.replacen(&comp, &format!("{comp}\n{comp}"), 1),
+    };
+    let err = parse_no_panic("duplicate component", &mutated).unwrap_err();
+    assert!(err.line.is_some(), "no line number: {err}");
+    assert!(err.to_string().contains("duplicate component"), "{err}");
+}
+
+/// A blockage referencing an unknown layer name is a typed error.
+#[test]
+fn unknown_blockage_layer_is_typed_error() {
+    let files = sample_files();
+    let mutated = LefDefFiles {
+        lef: files.lef.clone(),
+        def: files.def.replacen(
+            "BLOCKAGES",
+            "BLOCKAGES 1 ;\n- LAYER NOPE RECT ( 0 0 ) ( 100 100 ) ;\nEND BLOCKAGES\nBLOCKAGES",
+            1,
+        ),
+    };
+    let err = parse_no_panic("unknown blockage layer", &mutated).unwrap_err();
+    assert!(err.to_string().contains("unknown blockage layer"), "{err}");
+}
+
+/// Malformed blockage entries are rejected with a line number.
+#[test]
+fn malformed_blockage_line_is_typed_error() {
+    let files = sample_files();
+    let mutated = LefDefFiles {
+        lef: files.lef.clone(),
+        def: files.def.replacen(
+            "BLOCKAGES",
+            "BLOCKAGES 1 ;\n- LAYER M1 RECT oops ;\nEND BLOCKAGES\nBLOCKAGES",
+            1,
+        ),
+    };
+    let err = parse_no_panic("malformed blockage", &mutated).unwrap_err();
+    assert!(err.line.is_some(), "no line number: {err}");
+    assert!(err.to_string().contains("malformed blockage"), "{err}");
+}
+
+/// Random byte-level mutations of the DEF never panic the parser.
+#[test]
+fn fuzzed_single_line_mutations_never_panic() {
+    let files = sample_files();
+    let lines: Vec<&str> = files.def.lines().collect();
+    let n = lines.len();
+    prop_check!(
+        PropConfig::cases(64),
+        (range(0usize..n), range(0usize..4)),
+        |(idx, kind): (usize, usize)| {
+            let mut mutated: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+            match kind {
+                0 => mutated[idx] = String::new(), // blank the line
+                1 => mutated[idx] = mutated[idx].replace(['0', '5'], "x"), // corrupt numbers
+                2 => {
+                    let half = mutated[idx].len() / 2;
+                    mutated[idx].truncate(half); // cut mid-token
+                }
+                _ => {
+                    let dup = mutated[idx].clone();
+                    mutated.insert(idx, dup); // duplicate the line
+                }
+            }
+            let files = LefDefFiles {
+                lef: files.lef.clone(),
+                def: mutated.join("\n"),
+            };
+            let out = catch_unwind(AssertUnwindSafe(|| read_lefdef(&files)));
+            prop_assert!(out.is_ok(), "parser panicked on mutated line {}", idx);
+            Ok(())
+        }
+    );
+}
+
+/// A LEF-only layer stack (no nonstandard LAYERCAP) is reconstructed
+/// from the LAYER blocks and TRACKS pitches.
+#[test]
+fn lef_only_layer_stack_is_reconstructed() {
+    let files = sample_files();
+    let def: String = files
+        .def
+        .lines()
+        .filter(|l| !l.starts_with("LAYERCAP"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let d = read_lefdef(&LefDefFiles {
+        lef: files.lef.clone(),
+        def,
+    })
+    .expect("stack from LEF LAYER blocks");
+    assert_eq!(d.routing().num_layers(), 6);
+    assert!(d.routing().layers.iter().all(|l| l.capacity > 0.0));
+    assert!(d.routing().layers.iter().all(|l| l.pitch > 0.0));
+}
+
+/// LEF macro OBS geometry is materialized per placed component.
+#[test]
+fn macro_obs_materializes_per_component() {
+    let lef = "VERSION 5.8 ;\nUNITS\n  DATABASE MICRONS 1000 ;\nEND UNITS\n\
+               LAYER M1\n  TYPE ROUTING ;\n  DIRECTION HORIZONTAL ;\n  PITCH 0.4 ;\nEND M1\n\
+               MACRO BLK\n  CLASS BLOCK ;\n  SIZE 10 BY 10 ;\n  OBS\n    LAYER M1 ;\n    \
+               RECT 1 1 9 9 ;\n  END\nEND BLK\nEND LIBRARY\n";
+    let def = "VERSION 5.8 ;\nDESIGN obs ;\nUNITS DISTANCE MICRONS 1000 ;\n\
+               DIEAREA ( 0 0 ) ( 40000 40000 ) ;\nGCELLGRID 16 16 ;\n\
+               LAYERCAP M1 H 10 ;\nLAYERCAP M2 V 10 ;\n\
+               COMPONENTS 2 ;\n- b0 BLK + FIXED ( 0 0 ) N ;\n- b1 BLK + FIXED ( 20000 20000 ) N ;\n\
+               END COMPONENTS\nNETS 1 ;\n- n0 ( b0 0 0 ) ( b1 0 0 ) ;\nEND NETS\n\
+               SPECIALNETS 0 ;\nEND SPECIALNETS\nEND DESIGN\n";
+    let d = read_lefdef(&LefDefFiles {
+        lef: lef.to_string(),
+        def: def.to_string(),
+    })
+    .expect("macro OBS design parses");
+    assert_eq!(d.obstructions().len(), 2);
+    let a = &d.obstructions()[0];
+    let b = &d.obstructions()[1];
+    assert_eq!(a.layer, 0);
+    assert!((a.rect.lo.x - 1.0).abs() < 1e-9 && (a.rect.hi.x - 9.0).abs() < 1e-9);
+    assert!((b.rect.lo.x - 21.0).abs() < 1e-9 && (b.rect.hi.y - 29.0).abs() < 1e-9);
+}

@@ -83,6 +83,30 @@ impl CapacityMaps {
             }
         }
 
+        // Routing obstructions remove their whole layer's capacity in the
+        // G-cells they cover, scaled by area overlap. Entries referencing a
+        // layer above the stack are ignored (parsers accept them so hostile
+        // inputs stay loadable).
+        for obs in design.obstructions() {
+            let li = obs.layer as usize;
+            if li >= spec.num_layers() {
+                continue;
+            }
+            let layer = &spec.layers[li];
+            let Some((x0, y0, x1, y1)) = grid.bins_overlapping(&obs.rect) else {
+                continue;
+            };
+            for iy in y0..=y1 {
+                for ix in x0..=x1 {
+                    let f = grid.bin_rect(ix, iy).overlap_area(&obs.rect) / bin_area;
+                    match layer.dir {
+                        Dir::Horizontal => h[(ix, iy)] -= layer.capacity * f,
+                        Dir::Vertical => v[(ix, iy)] -= layer.capacity * f,
+                    }
+                }
+            }
+        }
+
         // PG rails consume part of their own layer's capacity.
         for rail in design.rails() {
             let li = rail.layer as usize;

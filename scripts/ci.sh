@@ -49,6 +49,16 @@ cargo run -q --release --offline -p rdp-bench --bin obs_smoke
 echo "==> obs overhead gate (20k-cell GP step, < 3%)"
 RDP_OBS_ASSERT=1 cargo bench --offline -p rdp-bench --bench obs
 
+# Scenario-matrix gate (fast tier): every scenario class — adversarial
+# generators and hand-built degenerates included — must round-trip
+# through LEF/DEF, complete the flow under all three Table-1 presets
+# with non-empty telemetry, and respect the DRV ordering
+# Ours <= Xplace-Route <= Xplace within the per-class tolerance.
+# Small instances with pinned seeds; the Table-1-sized matrix
+# (scripts/matrix.sh --full) is the nightly tier and is not run here.
+echo "==> scenario matrix gate (scripts/matrix.sh, small tier)"
+scripts/matrix.sh
+
 # Perf-regression gate: re-runs the baselined bench suites and compares
 # median-of-N against crates/bench/baselines/ (bench_diff exits non-zero
 # on a benchmark more than RDP_REGRESS_TOL slower than its baseline).

@@ -42,6 +42,7 @@ fn main() -> ExitCode {
         "route" => cmd_route(rest),
         "eval" => cmd_eval(rest),
         "flow" => cmd_flow(rest),
+        "matrix" => cmd_matrix(rest),
         "report" => cmd_report(rest),
         "diff" => cmd_diff(rest),
         "convert" => cmd_convert(rest),
@@ -74,6 +75,11 @@ commands:
   route    <input>                         route and summarize congestion
   eval     <input>                         evaluate the current placement
   flow     <input> [--preset P]            place → legalize → evaluate
+  matrix   [--scale small|full] [--classes a,b,...] [--run-dir DIR]
+                                           scenario matrix: run every stress
+                                           class through the three presets and
+                                           gate the Table-1 DRV ordering;
+                                           exits nonzero naming violations
   report   <run-dir> [--out FILE.html]     render a run directory to HTML
   diff     <run-a> <run-b> [--qor-tol X] [--time-tol Y]
                                            QoR/perf deltas; exit 1 on regression
@@ -508,6 +514,37 @@ fn cmd_report(rest: &[String]) -> Result<(), String> {
         stats.heatmaps
     );
     Ok(())
+}
+
+fn cmd_matrix(rest: &[String]) -> Result<(), String> {
+    let scale = match flag(rest, "--scale").unwrap_or("small") {
+        "small" => rdp::gen::Scale::Small,
+        "full" => rdp::gen::Scale::Full,
+        other => return Err(format!("unknown scale `{other}` (expected small or full)")),
+    };
+    let classes = flag(rest, "--classes").map(|s| {
+        s.split(',')
+            .map(|c| c.trim().to_string())
+            .collect::<Vec<_>>()
+    });
+    let run_dir = flag(rest, "--run-dir").map(PathBuf::from);
+    let report = rdp::matrix::run_matrix(&rdp::matrix::MatrixConfig {
+        scale,
+        classes,
+        run_dir,
+    })?;
+    print!("{}", report.table());
+    if report.passed() {
+        println!("matrix: all {} scenario(s) passed", report.outcomes.len());
+        Ok(())
+    } else {
+        let mut names: Vec<&str> = report.failures().map(|f| f.scenario()).collect();
+        names.dedup();
+        Err(format!(
+            "scenario matrix gate failed in class(es): {}",
+            names.join(", ")
+        ))
+    }
 }
 
 fn cmd_diff(rest: &[String]) -> Result<(), String> {

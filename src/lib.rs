@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod matrix;
 pub mod render;
 
 pub use rdp_core as core;
