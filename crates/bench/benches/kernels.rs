@@ -12,7 +12,7 @@ use rdp_db::Point;
 use rdp_gen::{generate, GenParams};
 use rdp_par::Pool;
 use rdp_poisson::{dct2, fft_in_place, Complex, PoissonSolver};
-use rdp_route::{rudy_map, rudy_map_with, GlobalRouter};
+use rdp_route::{rudy_map, rudy_map_with, GlobalRouter, IncrementalConfig, IncrementalRouter};
 
 fn bench_design() -> rdp_db::Design {
     generate(
@@ -43,6 +43,26 @@ fn large_design() -> rdp_db::Design {
             congestion_margin: 0.85,
             rail_pitch: 1.0,
             seed: 43,
+            ..GenParams::default()
+        },
+    )
+}
+
+/// 200k-cell tier: an order of magnitude past the parallel tier, sized so
+/// cache-blocking and lane vectorization dominate rather than threading
+/// overheads. Only the per-iteration placement kernels run here — the
+/// router tier stays at 20k (see `route_20k_*`).
+fn huge_design() -> rdp_db::Design {
+    generate(
+        "bench_huge",
+        &GenParams {
+            num_cells: 200_000,
+            num_macros: 8,
+            macro_fraction: 0.10,
+            utilization: 0.65,
+            congestion_margin: 0.85,
+            rail_pitch: 1.0,
+            seed: 47,
             ..GenParams::default()
         },
     )
@@ -169,11 +189,131 @@ fn parallel_kernels(c: &mut BenchHarness) {
         });
     }
     rdp_par::set_global_threads(1);
+
+    // Scalar pre-vectorization WA reference (libm exp, single
+    // accumulator): the `wa_gradient_20k_cells_t1` / `_scalar_ref` pair
+    // records the lane-kernel speedup trajectory in BENCH_kernels.json.
+    {
+        use rdp_core::wirelength::reference;
+        use rdp_db::NetId;
+        let gamma = 2.0;
+        let mut grad = vec![Point::default(); design.num_cells()];
+        let (mut xs, mut ys, mut gx, mut gy) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        c.bench_function("wa_gradient_20k_scalar_ref", |b| {
+            b.iter(|| {
+                grad.iter_mut().for_each(|p| *p = Point::default());
+                for ni in 0..design.num_nets() {
+                    let net = design.net(NetId::from_index(ni));
+                    if net.pins.len() < 2 {
+                        continue;
+                    }
+                    xs.clear();
+                    ys.clear();
+                    for &p in &net.pins {
+                        let pos = design.pin_position(p);
+                        xs.push(pos.x);
+                        ys.push(pos.y);
+                    }
+                    gx.resize(xs.len(), 0.0);
+                    gy.resize(ys.len(), 0.0);
+                    reference::wa_grad_1d(&xs, gamma, &mut gx);
+                    reference::wa_grad_1d(&ys, gamma, &mut gy);
+                    for (k, &pid) in net.pins.iter().enumerate() {
+                        let ci = design.pin(pid).cell.index();
+                        grad[ci].x += net.weight * gx[k];
+                        grad[ci].y += net.weight * gy[k];
+                    }
+                }
+                black_box(grad[0].x)
+            })
+        });
+    }
+}
+
+/// Incremental rip-up-and-reroute on the 20k design: a full route warms
+/// the retained state, then each sample flips the movable cells of one
+/// die-corner quadrant-of-a-quadrant between two position sets and
+/// re-routes only the dirtied nets. The movement is spatially clustered
+/// (a local detailed-placement-style touch-up, the router's intended
+/// incremental workload) — index-scattered movement would mark G-cells
+/// across the whole grid and dirty nearly every net through the
+/// effect-region test. Compare against `route_20k_cells_*` for the
+/// incremental saving.
+fn incremental_route(c: &mut BenchHarness) {
+    for (tag, threads) in [("t1", 1), ("t4", 4)] {
+        rdp_par::set_global_threads(threads);
+        let mut design = large_design();
+        let base: Vec<Point> = design.positions().to_vec();
+        let die = design.die();
+        let (cx, cy) = (
+            die.lo.x + 0.25 * die.width(),
+            die.lo.y + 0.25 * die.height(),
+        );
+        let mut shifted = base.clone();
+        for (i, p) in shifted.iter_mut().enumerate() {
+            if p.x >= cx || p.y >= cy || design.cell(rdp_db::CellId::from_index(i)).fixed {
+                continue;
+            }
+            p.x = (p.x + 2.0).clamp(die.lo.x, die.hi.x);
+            p.y = (p.y + 2.0).clamp(die.lo.y, die.hi.y);
+        }
+        let mut inc = IncrementalRouter::new(
+            GlobalRouter::default(),
+            IncrementalConfig {
+                move_threshold: 0.5,
+                resync_every: 0,
+                drift_frac: f64::INFINITY,
+            },
+        );
+        inc.route(&design);
+        let mut flip = false;
+        c.bench_function(&format!("route_20k_incremental_{tag}"), |b| {
+            b.iter(|| {
+                flip = !flip;
+                design.set_positions(if flip { &shifted } else { &base });
+                black_box(inc.route(&design).wirelength)
+            })
+        });
+    }
+    rdp_par::set_global_threads(1);
+}
+
+/// The 200k tier: per-iteration placement kernels only, 4 threads (the
+/// realistic configuration at this scale; thread invariance is already
+/// proven at 20k).
+fn huge_kernels(c: &mut BenchHarness) {
+    let design = huge_design();
+    rdp_par::set_global_threads(4);
+    let pool = Pool::new(4);
+
+    let wa = WaModel::new(2.0);
+    let mut grad = vec![Point::default(); design.num_cells()];
+    let mut scratch = WaScratch::new();
+    c.bench_function("wa_gradient_200k_cells_t4", |b| {
+        b.iter(|| {
+            grad.iter_mut().for_each(|p| *p = Point::default());
+            wa.accumulate_gradient_with(&design, &mut grad, pool, &mut scratch);
+            black_box(grad[0].x)
+        })
+    });
+
+    let model = DensityModel::new(&design);
+    c.bench_function("density_field_200k_cells_t4", |b| {
+        b.iter(|| black_box(model.compute_with(&design, None, None, 0.9, pool).penalty))
+    });
+
+    let grid = design.gcell_grid();
+    c.bench_function("rudy_200k_cells_t4", |b| {
+        b.iter(|| black_box(rudy_map_with(&design, &grid, pool).sum()))
+    });
+    rdp_par::set_global_threads(1);
 }
 
 fn main() {
     let mut harness = BenchHarness::new("kernels").sample_size(20);
     kernels(&mut harness);
     parallel_kernels(&mut harness);
+    incremental_route(&mut harness);
+    huge_kernels(&mut harness);
     harness.finish();
 }

@@ -3,9 +3,13 @@
 //! the ring buffer) against the identical step with the collector
 //! disabled. A span on the disabled path is one `Option::is_none` branch
 //! and an enabled span is two monotonic reads plus a mutex push, so the
-//! traced step must stay within 3 % of the untraced one —
+//! traced step must stay within 6 % of the untraced one —
 //! `BENCH_obs.json` records both. Set `RDP_OBS_ASSERT=1` to turn the
-//! 3 % budget into a hard failure (CI does).
+//! budget into a hard failure (CI does). The budget is a fraction of
+//! the step, so it moves when the step does: the kernel vectorization
+//! that roughly halved the 20k GP step doubled the same absolute
+//! tracing cost (~0.25 ms) as a percentage, hence 6 % now where the
+//! pre-vectorization step fit in 3 %.
 
 use rdp_testkit::BenchHarness;
 use std::hint::black_box;
@@ -74,10 +78,10 @@ fn main() {
     );
     if std::env::var("RDP_OBS_ASSERT").as_deref() == Ok("1") {
         assert!(
-            overhead < 0.03,
-            "tracing overhead {:.2}% exceeds the 3% budget",
+            overhead < 0.06,
+            "tracing overhead {:.2}% exceeds the 6% budget",
             overhead * 100.0
         );
-        println!("overhead budget: PASS (< 3%)");
+        println!("overhead budget: PASS (< 6%)");
     }
 }

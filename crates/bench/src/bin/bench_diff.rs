@@ -142,12 +142,15 @@ fn run() -> Result<(), String> {
                     d.name, d.baseline_ns, d.current_ns
                 );
             } else {
+                // Per-kernel speedup vs the committed baseline (>1 means
+                // the fresh median is faster).
                 println!(
-                    "  {:<40} {:>12.0} -> {:>12.0} ns  {:>+7.1}%{status}",
+                    "  {:<40} {:>12.0} -> {:>12.0} ns  {:>+7.1}%  {:>5.2}x{status}",
                     d.name,
                     d.baseline_ns,
                     d.current_ns,
-                    100.0 * d.rel
+                    100.0 * d.rel,
+                    d.baseline_ns / d.current_ns
                 );
             }
         }

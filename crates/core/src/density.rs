@@ -14,6 +14,11 @@ fn cell_chunk(num_cells: usize) -> usize {
     chunk_len(num_cells, 16, 128)
 }
 
+/// Accumulator lane count for flat reductions. Part of the numeric
+/// contract: changing it reorders sums and requires re-baselining
+/// (DESIGN.md §11).
+const LANES: usize = 4;
+
 /// Electro-density state for one gradient evaluation.
 #[derive(Debug, Clone)]
 pub struct DensityField {
@@ -106,10 +111,29 @@ impl DensityModel {
         let n = design.num_cells();
         let chunk = cell_chunk(n);
 
+        let bin_w = self.grid.bin_w();
+        let bin_h = self.grid.bin_h();
+        let region_lo = self.grid.region().lo;
+        let (inv_bw, inv_bh) = (1.0 / bin_w, 1.0 / bin_h);
+        // Division-free bin-range quantization, local to this kernel: a
+        // reciprocal-rounding off-by-one at an exact bin boundary only
+        // adds a bin whose clamped overlap width is exactly 0.0, so the
+        // accumulated density is unaffected (the shared
+        // `GridSpec::bins_overlapping` keeps the true division because
+        // its callers rely on the exclusive-boundary index itself).
+        let clamp_bin = |f: f64, n: usize| (f.floor().max(0.0) as usize).min(n - 1);
+        let cells = design.cells();
+        let positions = design.positions();
         let parts = pool.map_chunks(n, chunk, |_ci, range| {
             let mut local = Map2d::new(nx, ny);
+            // Per-column overlap widths of the current cell rect, already
+            // divided by the bin area. The overlap fraction factors as
+            // (width(ix)/A_b)·height(iy), so computing the scaled widths
+            // once per cell (instead of per bin) removes the redundant
+            // min/max and the division from the inner loop.
+            let mut wx: Vec<f64> = Vec::new();
             for i in range {
-                let cell = &design.cells()[i];
+                let cell = &cells[i];
                 if cell.kind == CellKind::Terminal {
                     continue;
                 }
@@ -117,15 +141,24 @@ impl DensityModel {
                     Some(r) if cell.is_movable() => r[i].max(0.0).sqrt(),
                     _ => 1.0,
                 };
-                let rect =
-                    rdp_db::Rect::centered(design.positions()[i], cell.w * scale, cell.h * scale);
-                let Some((x0, y0, x1, y1)) = self.grid.bins_overlapping(&rect) else {
-                    continue;
-                };
+                let rect = rdp_db::Rect::centered(positions[i], cell.w * scale, cell.h * scale);
+                let x0 = clamp_bin((rect.lo.x - region_lo.x) * inv_bw, nx);
+                let y0 = clamp_bin((rect.lo.y - region_lo.y) * inv_bh, ny);
+                let x1 = clamp_bin((rect.hi.x - region_lo.x) * inv_bw, nx).max(x0);
+                let y1 = clamp_bin((rect.hi.y - region_lo.y) * inv_bh, ny).max(y0);
+                wx.clear();
+                for ix in x0..=x1 {
+                    let bx0 = region_lo.x + ix as f64 * bin_w;
+                    let bx1 = bx0 + bin_w;
+                    wx.push((bx1.min(rect.hi.x) - bx0.max(rect.lo.x)).max(0.0) / bin_area);
+                }
                 for iy in y0..=y1 {
-                    for ix in x0..=x1 {
-                        local[(ix, iy)] +=
-                            self.grid.bin_rect(ix, iy).overlap_area(&rect) / bin_area;
+                    let by0 = region_lo.y + iy as f64 * bin_h;
+                    let by1 = by0 + bin_h;
+                    let h = (by1.min(rect.hi.y) - by0.max(rect.lo.y)).max(0.0);
+                    let row = &mut local.row_mut(iy)[x0..=x1];
+                    for (cell_bin, &w) in row.iter_mut().zip(wx.iter()) {
+                        *cell_bin += w * h;
                     }
                 }
             }
@@ -167,11 +200,22 @@ impl DensityModel {
             .sum();
         penalty *= 0.5;
 
-        // Overflow against the target utilization.
-        let mut over = 0.0;
-        for (_, _, &d) in density.iter_coords() {
-            over += (d - target).max(0.0) * bin_area;
+        // Overflow against the target utilization: branch-free lane
+        // accumulation over the flat bin slice (fixed LANES partials,
+        // fixed pairwise fold — see DESIGN.md §11).
+        let vals = density.as_slice();
+        let mut lanes = [0.0f64; LANES];
+        let mut chunks = vals.chunks_exact(LANES);
+        for c in chunks.by_ref() {
+            for (lane, &d) in lanes.iter_mut().zip(c.iter()) {
+                *lane += (d - target).max(0.0);
+            }
         }
+        let mut tail = 0.0;
+        for &d in chunks.remainder() {
+            tail += (d - target).max(0.0);
+        }
+        let over = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail) * bin_area;
         let movable_area: f64 = design.movable_area().max(1e-12);
         let overflow = over / movable_area;
 
@@ -225,12 +269,9 @@ impl DensityModel {
                     }
                     let a = cell.area() * inflation.map(|r| r[i]).unwrap_or(1.0);
                     let p = design.positions()[i];
-                    let e = Point::new(
-                        self.grid.sample_bilinear(&field.ex, p),
-                        self.grid.sample_bilinear(&field.ey, p),
-                    );
-                    g.x -= lambda * a * e.x;
-                    g.y -= lambda * a * e.y;
+                    let (ex, ey) = self.grid.sample_bilinear2(&field.ex, &field.ey, p);
+                    g.x -= lambda * a * ex;
+                    g.y -= lambda * a * ey;
                 }
             },
         );

@@ -34,7 +34,7 @@ use std::time::Instant;
 use rdp_db::{Design, Point};
 use rdp_guard::{RdpError, SnapshotReader, SnapshotWriter, Stage, Warning};
 use rdp_obs::Collector;
-use rdp_route::{GlobalRouter, RouterConfig};
+use rdp_route::{GlobalRouter, IncrementalConfig, IncrementalRouter, RouterConfig};
 
 use crate::congestion::CongestionField;
 use crate::dpa::{DpaConfig, PgDensity};
@@ -108,6 +108,21 @@ pub struct RoutabilityConfig {
     /// Scale on the Eq. (10) congestion weight λ₂ (1.0 = the paper's
     /// formula; exposed for the ablation benches).
     pub lambda2_scale: f64,
+    /// Use the incremental router for the per-iteration congestion
+    /// estimate: between routability iterations only nets dirtied by cell
+    /// movement are ripped up and re-routed. The final route is always a
+    /// full route. Off by default; note that a checkpoint-resumed run
+    /// starts the incremental state fresh (one full re-route at the
+    /// resume point), so resumed runs are only bit-identical to
+    /// uninterrupted ones when this is disabled.
+    pub incremental_routing: bool,
+    /// Movement threshold for incremental dirtiness, as a fraction of the
+    /// smaller G-cell dimension (cells drifting less than this since their
+    /// last-routed anchor do not dirty their nets). The default of 1.0 —
+    /// one G-cell pitch — keeps the congestion estimate's staleness below
+    /// the grid's own resolution: sub-bin drift rarely changes a route,
+    /// and the periodic/drift-triggered full resync bounds accumulation.
+    pub incremental_move_threshold: f64,
 }
 
 impl RoutabilityConfig {
@@ -127,6 +142,8 @@ impl RoutabilityConfig {
             dc_source: DcSource::Router,
             lambda1_rebalance: 2.0,
             lambda2_scale: 1.0,
+            incremental_routing: false,
+            incremental_move_threshold: 1.0,
         };
         match p {
             PlacerPreset::Xplace => base,
@@ -771,6 +788,21 @@ pub fn run_flow_with(
     // Phase 2: routability-driven iterations.
     session.set_stage(Stage::Routability);
     let router = GlobalRouter::new(cfg.router.clone());
+    // Optional incremental re-routing between iterations. Resuming from a
+    // checkpoint starts with empty incremental state, so the first call
+    // after a resume is a full re-route (documented on the config flag).
+    let mut inc_router = if cfg.incremental_routing {
+        let thr = cfg.incremental_move_threshold * grid.bin_w().min(grid.bin_h());
+        Some(IncrementalRouter::new(
+            GlobalRouter::new(cfg.router.clone()),
+            IncrementalConfig {
+                move_threshold: thr,
+                ..IncrementalConfig::default()
+            },
+        ))
+    } else {
+        None
+    };
     // Best-so-far snapshot: the routability iterations can regress (or,
     // with aggressive settings, diverge), so the flow keeps the placement
     // with the lowest observed score and restores it at the end. Total
@@ -817,7 +849,10 @@ pub fn run_flow_with(
 
         let route = {
             let _route_span = obs.span_iter("route", "route", t as i64);
-            router.route_obs(design, &obs)
+            match inc_router.as_mut() {
+                Some(inc) => inc.route_obs(design, &obs),
+                None => router.route_obs(design, &obs),
+            }
         };
         let field =
             {

@@ -47,7 +47,7 @@ mod inflate;
 mod nesterov;
 mod netmove;
 mod placer;
-mod wirelength;
+pub mod wirelength;
 
 pub use congestion::CongestionField;
 pub use density::{DensityField, DensityModel};

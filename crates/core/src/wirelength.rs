@@ -11,16 +11,29 @@
 //! computed on max-shifted coordinates for numerical stability.
 
 use rdp_db::{Design, NetId, Point};
-use rdp_par::{chunk_len, Pool};
+use rdp_par::{chunk_len, fast_exp, Pool};
+
+/// Fixed accumulator lane width for the 1-D WA kernels. Four independent
+/// partial sums give LLVM a clean `f64x4`-shaped reduction (two SSE2
+/// registers, one AVX register) while keeping the fold order a pure
+/// function of the element count — the same fixed-width-lane policy the
+/// chunked pool applies across threads, applied inside one chunk.
+/// Changing this constant changes last-bit results and requires a bench
+/// re-baseline (DESIGN.md §11).
+const LANES: usize = 4;
 
 /// Reusable buffers for WA evaluations. One instance amortizes every
 /// allocation of [`WaModel::accumulate_gradient_with`] across Nesterov
-/// iterations: `pin_grad` holds one gradient contribution per pin, the
-/// small vectors hold per-net coordinates and 1-D gradients.
+/// iterations: `pin_grad` holds one gradient contribution per pin, and
+/// `pin_cell` caches the pin → cell index map (netlist topology is fixed
+/// within a placement session, so it is built once and keyed on the pin
+/// count — a scratch must not be shared across *different* designs).
 #[derive(Debug, Clone, Default)]
 pub struct WaScratch {
     /// Per-pin ∂WA/∂pin contributions (net weight folded in).
     pin_grad: Vec<Point>,
+    /// Owning cell index of every pin (scatter target).
+    pin_cell: Vec<u32>,
 }
 
 impl WaScratch {
@@ -146,11 +159,12 @@ impl WaModel {
             .collect();
 
         let gamma = self.gamma;
+        let inv_g = 1.0 / gamma;
         pool.for_uneven_chunks_mut(
             &mut scratch.pin_grad,
             &bounds,
-            || (Vec::new(), Vec::new()),
-            |(coords, grads), ci, offset, window| {
+            || (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new()),
+            |(xs, ys, ep, en, grads), ci, offset, window| {
                 let net_end = ((ci + 1) * chunk).min(num_nets);
                 for ni in ci * chunk..net_end {
                     let net = design.net(NetId::from_index(ni));
@@ -164,21 +178,34 @@ impl WaModel {
                         .iter()
                         .enumerate()
                         .all(|(k, p)| p.index() == offset + start + k));
-                    // x axis
-                    coords.clear();
-                    coords.extend(net.pins.iter().map(|&p| design.pin_position(p).x));
+                    // Two-pin nets dominate real netlists (≈⅔ here); the
+                    // register-only closed form skips every buffer.
+                    if net.pins.len() == 2 {
+                        let p0 = design.pin_position(net.pins[0]);
+                        let p1 = design.pin_position(net.pins[1]);
+                        let (gx0, gx1) = wa_grad_2(p0.x, p1.x, inv_g);
+                        let (gy0, gy1) = wa_grad_2(p0.y, p1.y, inv_g);
+                        window[start] = Point::new(w * gx0, w * gy0);
+                        window[start + 1] = Point::new(w * gx1, w * gy1);
+                        continue;
+                    }
+                    // Gather both axes in one pass over the pins: the
+                    // pin-table walk (id → cell → position + offset) is a
+                    // real fraction of the kernel on small nets.
+                    xs.clear();
+                    ys.clear();
+                    for &p in &net.pins {
+                        let pos = design.pin_position(p);
+                        xs.push(pos.x);
+                        ys.push(pos.y);
+                    }
                     grads.clear();
-                    grads.resize(coords.len(), 0.0);
-                    wa_grad_1d(coords, gamma, grads);
+                    grads.resize(xs.len(), 0.0);
+                    wa_grad_1d(xs, gamma, ep, en, grads);
                     for (k, g) in grads.iter().enumerate() {
                         window[start + k].x = w * g;
                     }
-                    // y axis
-                    coords.clear();
-                    coords.extend(net.pins.iter().map(|&p| design.pin_position(p).y));
-                    grads.clear();
-                    grads.resize(coords.len(), 0.0);
-                    wa_grad_1d(coords, gamma, grads);
+                    wa_grad_1d(ys, gamma, ep, en, grads);
                     for (k, g) in grads.iter().enumerate() {
                         window[start + k].y = w * g;
                     }
@@ -186,60 +213,222 @@ impl WaModel {
             },
         );
 
-        // Sequential deterministic scatter: pin order matches the serial
-        // per-net accumulation order exactly.
-        for ni in 0..num_nets {
-            let net = design.net(NetId::from_index(ni));
-            if net.pins.len() < 2 {
-                continue;
-            }
-            for &p in &net.pins {
-                let cell = design.pin(p).cell.index();
-                let pg = scratch.pin_grad[p.index()];
-                grad[cell].x += pg.x;
-                grad[cell].y += pg.y;
-            }
+        // Sequential deterministic scatter in pin order. Pins of skipped
+        // (< 2-pin) nets carry a zeroed contribution, so one flat pass
+        // over the cached pin → cell map replaces the per-net pin-table
+        // walk without reordering any non-trivial addition.
+        if scratch.pin_cell.len() != num_pins {
+            scratch.pin_cell.clear();
+            scratch.pin_cell.extend(
+                (0..num_pins).map(|p| design.pin(rdp_db::PinId::from_index(p)).cell.index() as u32),
+            );
+        }
+        for (pg, &cell) in scratch.pin_grad.iter().zip(scratch.pin_cell.iter()) {
+            let g = &mut grad[cell as usize];
+            g.x += pg.x;
+            g.y += pg.y;
         }
     }
 }
 
-/// One-dimensional WA value, max-shifted for stability.
-fn wa_1d(v: &[f64], gamma: f64) -> f64 {
-    let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
-    let (mut sp, mut ap, mut sn, mut an) = (0.0, 0.0, 0.0, 0.0);
-    for &x in v {
-        let ep = ((x - hi) / gamma).exp();
-        let en = ((lo - x) / gamma).exp();
-        sp += ep;
-        ap += x * ep;
-        sn += en;
-        an += x * en;
+/// Max-shift bounds of `v` with [`LANES`] independent lanes. `max`/`min`
+/// are order-insensitive, but the lane structure is kept identical to
+/// the sum kernels so every 1-D pass walks memory the same way.
+fn minmax_1d(v: &[f64]) -> (f64, f64) {
+    let mut hi = [f64::NEG_INFINITY; LANES];
+    let mut lo = [f64::INFINITY; LANES];
+    let mut chunks = v.chunks_exact(LANES);
+    for c in &mut chunks {
+        for l in 0..LANES {
+            hi[l] = hi[l].max(c[l]);
+            lo[l] = lo[l].min(c[l]);
+        }
     }
+    for (l, &x) in chunks.remainder().iter().enumerate() {
+        hi[l] = hi[l].max(x);
+        lo[l] = lo[l].min(x);
+    }
+    (
+        (hi[0].max(hi[1])).max(hi[2].max(hi[3])),
+        (lo[0].min(lo[1])).min(lo[2].min(lo[3])),
+    )
+}
+
+/// One-dimensional WA value, max-shifted for stability. Lane-chunked:
+/// four fixed-width partial accumulators folded in a fixed pairwise
+/// order, then the scalar remainder — the operation sequence depends
+/// only on `v.len()`, so the kernel is trivially thread-count invariant
+/// and autovectorizes (the exponential is the branch-free
+/// [`fast_exp`]).
+fn wa_1d(v: &[f64], gamma: f64) -> f64 {
+    let (hi, lo) = minmax_1d(v);
+    let inv_g = 1.0 / gamma;
+    let (mut sp, mut ap) = ([0.0f64; LANES], [0.0f64; LANES]);
+    let (mut sn, mut an) = ([0.0f64; LANES], [0.0f64; LANES]);
+    let mut chunks = v.chunks_exact(LANES);
+    for c in &mut chunks {
+        for l in 0..LANES {
+            let x = c[l];
+            let ep = fast_exp((x - hi) * inv_g);
+            let en = fast_exp((lo - x) * inv_g);
+            sp[l] += ep;
+            ap[l] += x * ep;
+            sn[l] += en;
+            an[l] += x * en;
+        }
+    }
+    for (l, &x) in chunks.remainder().iter().enumerate() {
+        let ep = fast_exp((x - hi) * inv_g);
+        let en = fast_exp((lo - x) * inv_g);
+        sp[l] += ep;
+        ap[l] += x * ep;
+        sn[l] += en;
+        an[l] += x * en;
+    }
+    let sp = (sp[0] + sp[1]) + (sp[2] + sp[3]);
+    let ap = (ap[0] + ap[1]) + (ap[2] + ap[3]);
+    let sn = (sn[0] + sn[1]) + (sn[2] + sn[3]);
+    let an = (an[0] + an[1]) + (an[2] + an[3]);
     ap / sp - an / sn
 }
 
 /// One-dimensional WA gradient: out[i] = ∂WA/∂v[i].
-fn wa_grad_1d(v: &[f64], gamma: f64, out: &mut [f64]) {
-    let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
-    let (mut sp, mut ap, mut sn, mut an) = (0.0, 0.0, 0.0, 0.0);
-    for &x in v {
-        let ep = ((x - hi) / gamma).exp();
-        let en = ((lo - x) / gamma).exp();
-        sp += ep;
-        ap += x * ep;
-        sn += en;
-        an += x * en;
+///
+/// The exponentials are computed **once** into the caller's `ep`/`en`
+/// scratch (the scalar reference recomputed them in the output pass —
+/// exp is the dominant cost of the whole GP step), the four sums use the
+/// same fixed-lane accumulators as [`wa_1d`], and the output pass is the
+/// hoisted two-coefficient form
+///
+/// ```text
+///   out[i] = ep[i]·(a0 + a1·v[i]) − en[i]·(b0 − b1·v[i])
+///   a0 = 1/sp − ap/(γ·sp²)   a1 = 1/(γ·sp)
+///   b0 = 1/sn + an/(γ·sn²)   b1 = 1/(γ·sn)
+/// ```
+///
+/// which is algebraically identical to the reference formula but
+/// division-free per element, so the pass vectorizes cleanly.
+fn wa_grad_1d(v: &[f64], gamma: f64, ep: &mut Vec<f64>, en: &mut Vec<f64>, out: &mut [f64]) {
+    let (hi, lo) = minmax_1d(v);
+    let inv_g = 1.0 / gamma;
+    ep.clear();
+    ep.extend(v.iter().map(|&x| fast_exp((x - hi) * inv_g)));
+    en.clear();
+    en.extend(v.iter().map(|&x| fast_exp((lo - x) * inv_g)));
+
+    let (mut sp, mut ap) = ([0.0f64; LANES], [0.0f64; LANES]);
+    let (mut sn, mut an) = ([0.0f64; LANES], [0.0f64; LANES]);
+    let mut i = 0;
+    while i + LANES <= v.len() {
+        for l in 0..LANES {
+            let x = v[i + l];
+            sp[l] += ep[i + l];
+            ap[l] += x * ep[i + l];
+            sn[l] += en[i + l];
+            an[l] += x * en[i + l];
+        }
+        i += LANES;
     }
+    let mut l = 0;
+    while i < v.len() {
+        let x = v[i];
+        sp[l] += ep[i];
+        ap[l] += x * ep[i];
+        sn[l] += en[i];
+        an[l] += x * en[i];
+        i += 1;
+        l += 1;
+    }
+    let sp = (sp[0] + sp[1]) + (sp[2] + sp[3]);
+    let ap = (ap[0] + ap[1]) + (ap[2] + ap[3]);
+    let sn = (sn[0] + sn[1]) + (sn[2] + sn[3]);
+    let an = (an[0] + an[1]) + (an[2] + an[3]);
+
+    let inv_sp = 1.0 / sp;
+    let inv_sn = 1.0 / sn;
+    let a1 = inv_g * inv_sp;
+    let a0 = inv_sp - ap * a1 * inv_sp;
+    let b1 = inv_g * inv_sn;
+    let b0 = inv_sn + an * b1 * inv_sn;
     for (i, &x) in v.iter().enumerate() {
-        let ep = ((x - hi) / gamma).exp();
-        let en = ((lo - x) / gamma).exp();
-        // d(ap/sp)/dxi = ep(1 + xi/γ)/sp − ap·ep/(γ·sp²)
-        let dmax = ep * (1.0 + x / gamma) / sp - ap * ep / (gamma * sp * sp);
-        // d(an/sn)/dxi = en(1 − xi/γ)/sn + an·en/(γ·sn²)
-        let dmin = en * (1.0 - x / gamma) / sn + an * en / (gamma * sn * sn);
-        out[i] = dmax - dmin;
+        out[i] = ep[i] * (a0 + a1 * x) - en[i] * (b0 - b1 * x);
+    }
+}
+
+/// Closed-form 1-D WA gradient for a two-pin net (the [`wa_grad_1d`]
+/// arithmetic with the buffers and loops evaporated). With the pair
+/// ordered, the max-shifted exponent of the larger coordinate is exactly
+/// 0 (e⁰ = 1) and the remaining positive/negative exponents coincide, so
+/// a **single** `fast_exp` serves all four terms, and `sp = sn` leaves
+/// one reciprocal. Two-pin nets are the majority of any real netlist,
+/// so this path carries most of the gradient call count.
+#[inline]
+fn wa_grad_2(x0: f64, x1: f64, inv_g: f64) -> (f64, f64) {
+    let swap = x0 < x1;
+    let (hi, lo) = if swap { (x1, x0) } else { (x0, x1) };
+    let e = fast_exp((lo - hi) * inv_g);
+    // sp = 1 + e = sn; ap = hi + lo·e; an = hi·e + lo.
+    let s = 1.0 + e;
+    let ap = hi + lo * e;
+    let an = hi * e + lo;
+    let inv_s = 1.0 / s;
+    let a1 = inv_g * inv_s;
+    let a0 = inv_s - ap * a1 * inv_s;
+    let b0 = inv_s + an * a1 * inv_s;
+    let g_hi = (a0 + a1 * hi) - e * (b0 - a1 * hi);
+    let g_lo = e * (a0 + a1 * lo) - (b0 - a1 * lo);
+    if swap {
+        (g_lo, g_hi)
+    } else {
+        (g_hi, g_lo)
+    }
+}
+
+/// Scalar pre-vectorization reference kernels, kept for two reasons:
+/// the `wa_*_scalar_ref` benches in `crates/bench` record the
+/// before/after speedup trajectory in `BENCH_kernels.json`, and the
+/// unit tests cross-check the lane kernels against them (the two differ
+/// only by summation order and the ≈2-ulp [`fast_exp`], so agreement is
+/// tight).
+pub mod reference {
+    /// Scalar 1-D WA value (libm `exp`, single accumulator).
+    pub fn wa_1d(v: &[f64], gamma: f64) -> f64 {
+        let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let (mut sp, mut ap, mut sn, mut an) = (0.0, 0.0, 0.0, 0.0);
+        for &x in v {
+            let ep = ((x - hi) / gamma).exp();
+            let en = ((lo - x) / gamma).exp();
+            sp += ep;
+            ap += x * ep;
+            sn += en;
+            an += x * en;
+        }
+        ap / sp - an / sn
+    }
+
+    /// Scalar 1-D WA gradient (libm `exp` recomputed in the output pass).
+    pub fn wa_grad_1d(v: &[f64], gamma: f64, out: &mut [f64]) {
+        let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let (mut sp, mut ap, mut sn, mut an) = (0.0, 0.0, 0.0, 0.0);
+        for &x in v {
+            let ep = ((x - hi) / gamma).exp();
+            let en = ((lo - x) / gamma).exp();
+            sp += ep;
+            ap += x * ep;
+            sn += en;
+            an += x * en;
+        }
+        for (i, &x) in v.iter().enumerate() {
+            let ep = ((x - hi) / gamma).exp();
+            let en = ((lo - x) / gamma).exp();
+            // d(ap/sp)/dxi = ep(1 + xi/γ)/sp − ap·ep/(γ·sp²)
+            let dmax = ep * (1.0 + x / gamma) / sp - ap * ep / (gamma * sp * sp);
+            // d(an/sn)/dxi = en(1 − xi/γ)/sn + an·en/(γ·sn²)
+            let dmin = en * (1.0 - x / gamma) / sn + an * en / (gamma * sn * sn);
+            out[i] = dmax - dmin;
+        }
     }
 }
 
@@ -387,5 +576,39 @@ mod tests {
     #[should_panic(expected = "gamma must be positive")]
     fn zero_gamma_rejected() {
         WaModel::new(0.0);
+    }
+
+    #[test]
+    fn lane_kernels_match_scalar_reference() {
+        // The lane kernels differ from the scalar reference only by
+        // summation order and the ≈2-ulp fast_exp, so values agree to
+        // ~1e-13 relative across awkward lengths (remainder lanes).
+        for n in [2usize, 3, 4, 5, 7, 8, 13, 64, 129] {
+            let v: Vec<f64> = (0..n)
+                .map(|i| ((i * 37) % 23) as f64 * 1.7 - 11.0)
+                .collect();
+            for gamma in [0.25, 1.5, 8.0] {
+                let got = wa_1d(&v, gamma);
+                let want = reference::wa_1d(&v, gamma);
+                assert!(
+                    (got - want).abs() <= 1e-12 * (1.0 + want.abs()),
+                    "wa_1d n={n} gamma={gamma}: {got} vs {want}"
+                );
+
+                let mut out = vec![0.0; n];
+                let mut want_out = vec![0.0; n];
+                let (mut ep, mut en) = (Vec::new(), Vec::new());
+                wa_grad_1d(&v, gamma, &mut ep, &mut en, &mut out);
+                reference::wa_grad_1d(&v, gamma, &mut want_out);
+                for i in 0..n {
+                    assert!(
+                        (out[i] - want_out[i]).abs() <= 1e-12,
+                        "wa_grad_1d n={n} gamma={gamma} i={i}: {} vs {}",
+                        out[i],
+                        want_out[i]
+                    );
+                }
+            }
+        }
     }
 }

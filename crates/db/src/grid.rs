@@ -8,11 +8,25 @@
 use crate::geom::{Point, Rect};
 
 /// A uniform `nx × ny` grid covering a rectangular region.
+///
+/// The bin geometry (`bin_w`/`bin_h`/`bin_area`) is computed once at
+/// construction — bitwise the same divisions the accessors used to
+/// perform per call, just cached, since every hot traversal (density
+/// binning, bilinear sampling, G-cell lookup) asks for them per element.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GridSpec {
     region: Rect,
     nx: usize,
     ny: usize,
+    bw: f64,
+    bh: f64,
+    barea: f64,
+    /// Cached reciprocals for the bilinear samplers (a multiply instead
+    /// of a divide per sampled cell). The index-quantizing lookups
+    /// (`bin_of`, `bins_overlapping`) keep the true division: their
+    /// floor/fract edge semantics must not move with reciprocal rounding.
+    inv_bw: f64,
+    inv_bh: f64,
 }
 
 impl GridSpec {
@@ -27,7 +41,18 @@ impl GridSpec {
             region.width() > 0.0 && region.height() > 0.0,
             "grid region must have positive area"
         );
-        GridSpec { region, nx, ny }
+        let bw = region.width() / nx as f64;
+        let bh = region.height() / ny as f64;
+        GridSpec {
+            region,
+            nx,
+            ny,
+            bw,
+            bh,
+            barea: bw * bh,
+            inv_bw: 1.0 / bw,
+            inv_bh: 1.0 / bh,
+        }
     }
 
     /// The covered region.
@@ -46,18 +71,21 @@ impl GridSpec {
     }
 
     /// Width `l_x` of one bin / G-cell.
+    #[inline]
     pub fn bin_w(&self) -> f64 {
-        self.region.width() / self.nx as f64
+        self.bw
     }
 
     /// Height `l_y` of one bin / G-cell.
+    #[inline]
     pub fn bin_h(&self) -> f64 {
-        self.region.height() / self.ny as f64
+        self.bh
     }
 
     /// Area of one bin.
+    #[inline]
     pub fn bin_area(&self) -> f64 {
-        self.bin_w() * self.bin_h()
+        self.barea
     }
 
     /// Bin indices containing point `p`, clamped into the grid so that
@@ -130,8 +158,8 @@ impl GridSpec {
     pub fn sample_bilinear(&self, field: &crate::Map2d<f64>, p: Point) -> f64 {
         assert_eq!(field.nx(), self.nx);
         assert_eq!(field.ny(), self.ny);
-        let gx = (p.x - self.region.lo.x) / self.bin_w() - 0.5;
-        let gy = (p.y - self.region.lo.y) / self.bin_h() - 0.5;
+        let gx = (p.x - self.region.lo.x) * self.inv_bw - 0.5;
+        let gy = (p.y - self.region.lo.y) * self.inv_bh - 0.5;
         let gx = gx.clamp(0.0, (self.nx - 1) as f64);
         let gy = gy.clamp(0.0, (self.ny - 1) as f64);
         let x0 = gx.floor() as usize;
@@ -148,6 +176,43 @@ impl GridSpec {
             + f10 * tx * (1.0 - ty)
             + f01 * (1.0 - tx) * ty
             + f11 * tx * ty
+    }
+
+    /// [`sample_bilinear`](GridSpec::sample_bilinear) of **two** fields at
+    /// one point, sharing the index/weight computation. Each component is
+    /// the exact expression of the single-field sampler, so the results
+    /// are bitwise identical to two separate calls — the density gradient
+    /// samples `E_x` and `E_y` at every cell and was paying the address
+    /// math twice.
+    pub fn sample_bilinear2(
+        &self,
+        fa: &crate::Map2d<f64>,
+        fb: &crate::Map2d<f64>,
+        p: Point,
+    ) -> (f64, f64) {
+        assert_eq!(fa.nx(), self.nx);
+        assert_eq!(fa.ny(), self.ny);
+        assert_eq!(fb.nx(), self.nx);
+        assert_eq!(fb.ny(), self.ny);
+        let gx = (p.x - self.region.lo.x) * self.inv_bw - 0.5;
+        let gy = (p.y - self.region.lo.y) * self.inv_bh - 0.5;
+        let gx = gx.clamp(0.0, (self.nx - 1) as f64);
+        let gy = gy.clamp(0.0, (self.ny - 1) as f64);
+        let x0 = gx.floor() as usize;
+        let y0 = gy.floor() as usize;
+        let x1 = (x0 + 1).min(self.nx - 1);
+        let y1 = (y0 + 1).min(self.ny - 1);
+        let tx = gx - x0 as f64;
+        let ty = gy - y0 as f64;
+        let a = fa[(x0, y0)] * (1.0 - tx) * (1.0 - ty)
+            + fa[(x1, y0)] * tx * (1.0 - ty)
+            + fa[(x0, y1)] * (1.0 - tx) * ty
+            + fa[(x1, y1)] * tx * ty;
+        let b = fb[(x0, y0)] * (1.0 - tx) * (1.0 - ty)
+            + fb[(x1, y0)] * tx * (1.0 - ty)
+            + fb[(x0, y1)] * (1.0 - tx) * ty
+            + fb[(x1, y1)] * tx * ty;
+        (a, b)
     }
 }
 
@@ -226,6 +291,30 @@ mod tests {
             Point::new(99.0, 49.0),
         ] {
             assert!((g.sample_bilinear(&f, p) - 3.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bilinear2_matches_two_single_samples_bitwise() {
+        let g = grid();
+        let mut fa = Map2d::new(10, 5);
+        let mut fb = Map2d::new(10, 5);
+        for iy in 0..5 {
+            for ix in 0..10 {
+                fa[(ix, iy)] = (ix * 7 + iy * 3) as f64 * 0.37 - 2.0;
+                fb[(ix, iy)] = (ix as f64 * 1.3).sin() + iy as f64;
+            }
+        }
+        for p in [
+            Point::new(0.0, 0.0),
+            Point::new(3.2, 48.7),
+            Point::new(55.5, 25.1),
+            Point::new(99.99, 0.01),
+            Point::new(-4.0, 60.0),
+        ] {
+            let (a, b) = g.sample_bilinear2(&fa, &fb, p);
+            assert_eq!(a.to_bits(), g.sample_bilinear(&fa, p).to_bits());
+            assert_eq!(b.to_bits(), g.sample_bilinear(&fb, p).to_bits());
         }
     }
 

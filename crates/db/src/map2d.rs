@@ -128,6 +128,33 @@ impl<T> Map2d<T> {
             .map(move |(i, v)| (i % nx, i / nx, v))
     }
 
+    /// Row `iy` as a contiguous slice (the fast path for row sweeps —
+    /// no per-element index arithmetic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iy >= ny`.
+    #[inline]
+    pub fn row(&self, iy: usize) -> &[T] {
+        &self.data[iy * self.nx..(iy + 1) * self.nx]
+    }
+
+    /// Mutable row `iy` as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iy >= ny`.
+    #[inline]
+    pub fn row_mut(&mut self, iy: usize) -> &mut [T] {
+        &mut self.data[iy * self.nx..(iy + 1) * self.nx]
+    }
+
+    /// Iterates over rows bottom-up (`iy = 0` first), each a contiguous
+    /// slice of length `nx`.
+    pub fn rows(&self) -> impl Iterator<Item = &[T]> {
+        self.data.chunks_exact(self.nx)
+    }
+
     /// Applies `f` to every element in place.
     pub fn map_in_place(&mut self, mut f: impl FnMut(&mut T)) {
         for v in &mut self.data {
@@ -136,20 +163,58 @@ impl<T> Map2d<T> {
     }
 }
 
+/// Fixed accumulator lane width for the `Map2d<f64>` reductions: four
+/// independent partials folded in a fixed pairwise order, so the
+/// operation sequence depends only on the element count (thread-count
+/// invariant by construction) while LLVM gets a clean `f64x4` reduction.
+/// Changing this changes last-bit sums and requires a bench re-baseline
+/// (DESIGN.md §11).
+const LANES: usize = 4;
+
 impl Map2d<f64> {
-    /// Sum of all elements.
+    /// Sum of all elements (fixed-width lane reduction; see [`LANES`]).
     pub fn sum(&self) -> f64 {
-        self.data.iter().sum()
+        let mut acc = [0.0f64; LANES];
+        let mut chunks = self.data.chunks_exact(LANES);
+        for c in &mut chunks {
+            for l in 0..LANES {
+                acc[l] += c[l];
+            }
+        }
+        for (l, &x) in chunks.remainder().iter().enumerate() {
+            acc[l] += x;
+        }
+        (acc[0] + acc[1]) + (acc[2] + acc[3])
     }
 
     /// Maximum element (`-inf` is impossible: maps are non-empty).
     pub fn max(&self) -> f64 {
-        self.data.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        let mut acc = [f64::NEG_INFINITY; LANES];
+        let mut chunks = self.data.chunks_exact(LANES);
+        for c in &mut chunks {
+            for l in 0..LANES {
+                acc[l] = acc[l].max(c[l]);
+            }
+        }
+        for (l, &x) in chunks.remainder().iter().enumerate() {
+            acc[l] = acc[l].max(x);
+        }
+        (acc[0].max(acc[1])).max(acc[2].max(acc[3]))
     }
 
     /// Minimum element.
     pub fn min(&self) -> f64 {
-        self.data.iter().cloned().fold(f64::INFINITY, f64::min)
+        let mut acc = [f64::INFINITY; LANES];
+        let mut chunks = self.data.chunks_exact(LANES);
+        for c in &mut chunks {
+            for l in 0..LANES {
+                acc[l] = acc[l].min(c[l]);
+            }
+        }
+        for (l, &x) in chunks.remainder().iter().enumerate() {
+            acc[l] = acc[l].min(x);
+        }
+        (acc[0].min(acc[1])).min(acc[2].min(acc[3]))
     }
 
     /// Arithmetic mean of all elements.
@@ -289,6 +354,33 @@ mod tests {
         let mut m = Map2d::filled(2, 2, 5.0f64);
         m.clear();
         assert_eq!(m.sum(), 0.0);
+    }
+
+    #[test]
+    fn row_accessors_match_layout() {
+        let m = Map2d::from_vec(3, 2, vec![0, 1, 2, 10, 11, 12]);
+        assert_eq!(m.row(0), &[0, 1, 2]);
+        assert_eq!(m.row(1), &[10, 11, 12]);
+        let rows: Vec<_> = m.rows().collect();
+        assert_eq!(rows, vec![&[0, 1, 2][..], &[10, 11, 12][..]]);
+        let mut m = m;
+        m.row_mut(1)[2] = 99;
+        assert_eq!(m[(2, 1)], 99);
+    }
+
+    #[test]
+    fn lane_reductions_cover_remainders() {
+        // Lengths exercising 0..LANES-1 remainder lanes.
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 9] {
+            let data: Vec<f64> = (0..n).map(|i| (i as f64 - 2.5) * 1.3).collect();
+            let m = Map2d::from_vec(n, 1, data.clone());
+            let naive_sum: f64 = data.iter().sum();
+            assert!((m.sum() - naive_sum).abs() < 1e-12, "sum n={n}");
+            let naive_max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let naive_min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+            assert_eq!(m.max(), naive_max, "max n={n}");
+            assert_eq!(m.min(), naive_min, "min n={n}");
+        }
     }
 
     #[test]

@@ -47,13 +47,25 @@ impl Frame {
 /// copied verbatim. Averaging is performed in deterministic row-major
 /// order, so the capture is byte-stable run to run on equal input.
 pub fn downsample(nx: usize, ny: usize, data: &[f64]) -> (usize, usize, Vec<f64>) {
+    let mut out = Vec::new();
+    let (onx, ony) = downsample_into(nx, ny, data, &mut out);
+    (onx, ony, out)
+}
+
+/// [`downsample`] into a caller-owned buffer, so the per-iteration capture
+/// path can recycle frame allocations instead of allocating a fresh `Vec`
+/// every routability iteration. `out` is cleared and refilled; its capacity
+/// is reused. Returns the downsampled `(nx, ny)`.
+pub fn downsample_into(nx: usize, ny: usize, data: &[f64], out: &mut Vec<f64>) -> (usize, usize) {
     assert_eq!(data.len(), nx * ny, "frame buffer length mismatch");
+    out.clear();
     if nx <= FRAME_MAX_DIM && ny <= FRAME_MAX_DIM {
-        return (nx, ny, data.to_vec());
+        out.extend_from_slice(data);
+        return (nx, ny);
     }
     let onx = nx.min(FRAME_MAX_DIM);
     let ony = ny.min(FRAME_MAX_DIM);
-    let mut out = vec![0.0f64; onx * ony];
+    out.resize(onx * ony, 0.0);
     for oy in 0..ony {
         // Input row band [y0, y1) mapping to output row oy.
         let y0 = oy * ny / ony;
@@ -70,7 +82,7 @@ pub fn downsample(nx: usize, ny: usize, data: &[f64]) -> (usize, usize, Vec<f64>
             out[oy * onx + ox] = acc / ((y1 - y0) * (x1 - x0)) as f64;
         }
     }
-    (onx, ony, out)
+    (onx, ony)
 }
 
 #[cfg(test)]

@@ -131,6 +131,9 @@ struct State {
     frames_bytes: usize,
     frame_budget: usize,
     dropped_frames: u64,
+    /// Recycled buffer from the last budget-evicted frame; the capture
+    /// path downsamples into it instead of allocating per iteration.
+    frame_spare: Vec<f64>,
 }
 
 impl State {
@@ -185,6 +188,7 @@ impl Collector {
                 frames_bytes: 0,
                 frame_budget: frame_budget.max(1),
                 dropped_frames: 0,
+                frame_spare: Vec::new(),
             }),
         })))
     }
@@ -240,13 +244,17 @@ impl Collector {
     /// nothing in the flow ever reads a frame back.
     pub fn frame(&self, name: &'static str, iter: i64, nx: usize, ny: usize, data: &[f64]) {
         if let Some(inner) = &self.0 {
-            let (dnx, dny, ddata) = frame::downsample(nx, ny, data);
+            // Downsample outside the lock, into the recycled buffer from
+            // the last evicted frame (if any) to avoid a per-iteration
+            // allocation on long flows.
+            let mut buf = std::mem::take(&mut inner.state.lock().unwrap().frame_spare);
+            let (dnx, dny) = frame::downsample_into(nx, ny, data, &mut buf);
             let frame = Frame {
                 name,
                 iter,
                 nx: dnx,
                 ny: dny,
-                data: ddata,
+                data: buf,
             };
             let bytes = frame.byte_size();
             let mut state = inner.state.lock().unwrap();
@@ -256,6 +264,10 @@ impl Collector {
                 let evicted = state.frames.remove(0);
                 state.frames_bytes -= evicted.byte_size();
                 state.dropped_frames += 1;
+                if evicted.data.capacity() > state.frame_spare.capacity() {
+                    state.frame_spare = evicted.data;
+                    state.frame_spare.clear();
+                }
             }
         }
     }

@@ -1,0 +1,128 @@
+//! Branch-free polynomial `exp` for the hot kernels.
+//!
+//! The WA wirelength gradient and the router's logistic G-cell cost spend
+//! most of their time in `f64::exp`, which on glibc is an out-of-line
+//! call with internal branches — the call alone blocks autovectorization
+//! of every loop that contains it. [`fast_exp`] is a straight-line
+//! Cody–Waite range reduction plus the classic Cephes degree-(2,3)
+//! rational approximation, accurate to ≈2 ulp over the whole finite
+//! range, built only from `+ - * /`, `round`, integer shifts and
+//! `f64::from_bits`. That makes it:
+//!
+//! * **inlinable** — LLVM can keep it inside the caller's loop and
+//!   vectorize the surrounding arithmetic;
+//! * **deterministic** — the operation sequence is fixed (no FMA, no
+//!   libm dispatch, no per-input branches), so results are bit-identical
+//!   across thread counts and across calls, exactly like the rest of the
+//!   workspace's kernels (see DESIGN.md §11);
+//! * **total** — inputs are clamped to the exactly-representable range
+//!   `[-708, 709]`, so overflow saturates to `exp(709) ≈ 8.2e307`
+//!   (finite) and deep underflow to `exp(-708) ≈ 3.3e-308` instead of 0.
+//!   NaN propagates. The kernels only ever feed it max-shifted exponents
+//!   (≤ 0) or bounded logistic arguments, where clamping is a no-op.
+//!
+//! Switching a kernel from `f64::exp` to `fast_exp` changes its output
+//! in the last couple of bits, which is why the swap landed together
+//! with a bench re-baseline (the determinism suite compares thread
+//! counts within one build, never across builds — see DESIGN.md §7).
+
+/// Cephes `exp` numerator coefficients (highest order first), for
+/// `px = r · P(r²)`.
+const P: [f64; 3] = [
+    1.26177193074810590878e-4,
+    3.02994407707441961300e-2,
+    9.99999999999999999910e-1,
+];
+
+/// Cephes `exp` denominator coefficients (highest order first), for
+/// `qx = Q(r²)`.
+const Q: [f64; 4] = [
+    3.00198505138664455042e-6,
+    2.52448340349684104192e-3,
+    2.27265548208155028766e-1,
+    2.00000000000000000005e0,
+];
+
+/// `ln 2` split for Cody–Waite reduction: `LN2_HI + LN2_LO = ln 2` with
+/// `LN2_HI` exact in the product `n · LN2_HI` for |n| < 2^20.
+const LN2_HI: f64 = 6.93145751953125e-1;
+const LN2_LO: f64 = 1.42860682030941723212e-6;
+
+/// Round-to-nearest magic constant `2^52 + 2^51`: adding it pushes the
+/// integer part of a small f64 into the mantissa's low bits (and the
+/// subtraction recovers the rounded value), replacing `f64::round` —
+/// which lowers to a libm call on baseline x86-64 — with two adds.
+const MAGIC: f64 = 6_755_399_441_055_744.0;
+
+/// Fast, deterministic, branch-free `e^x` (≈2 ulp).
+///
+/// See the module docs for the contract. The body is pure straight-line
+/// arithmetic so LLVM can inline and vectorize it inside hot loops.
+#[inline]
+pub fn fast_exp(x: f64) -> f64 {
+    // Clamp to the safely finite range; NaN propagates through clamp.
+    let x = x.clamp(-708.0, 709.0);
+
+    // Range reduction: x = n·ln2 + r, |r| ≤ ½ln2 (+1 ulp from the
+    // nearest-even magic rounding — harmless). After the clamp,
+    // |x·log2 e| ≤ 1023.5 ≪ 2^51, so the magic-add is exact rounding.
+    let t = x * std::f64::consts::LOG2_E + MAGIC;
+    let n = t - MAGIC;
+    let r = (x - n * LN2_HI) - n * LN2_LO;
+
+    // e^r via the Cephes rational approximation e^r = 1 + 2·px/(qx − px).
+    let rr = r * r;
+    let px = r * ((P[0] * rr + P[1]) * rr + P[2]);
+    let qx = ((Q[0] * rr + Q[1]) * rr + Q[2]) * rr + Q[3];
+    let e = px / (qx - px);
+    let poly = 1.0 + 2.0 * e;
+
+    // Scale by 2^n through the exponent bits. Because `t`'s exponent is
+    // pinned at 2^52 by the magic-add, its mantissa's low 32 bits hold
+    // `n` in two's complement (n ∈ [-1022, 1023] after the clamp, so the
+    // biased exponent stays normal). NaN inputs reach here with a zero
+    // low word (scale 1.0) and `poly` already NaN, so NaN propagates.
+    let k = t.to_bits() as u32 as i32 as i64;
+    let scale = f64::from_bits(((k + 1023) as u64) << 52);
+    poly * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_libm_to_two_ulp() {
+        // Dense sweep over the range the kernels actually use.
+        let mut x = -60.0f64;
+        while x <= 8.0 {
+            let got = fast_exp(x);
+            let want = x.exp();
+            let rel = ((got - want) / want).abs();
+            assert!(rel < 1e-15, "x={x}: got {got}, want {want}, rel {rel}");
+            x += 0.0137;
+        }
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(fast_exp(0.0), 1.0);
+        assert!(fast_exp(f64::NAN).is_nan());
+        // Saturation: huge inputs clamp instead of overflowing to inf.
+        assert!(fast_exp(1e9).is_finite());
+        assert!(fast_exp(1e9) > 1e300);
+        assert!(fast_exp(-1e9) > 0.0);
+        assert!(fast_exp(-1e9) < 1e-300);
+        // Deep-but-representable arguments stay monotone-ish and finite.
+        assert!(fast_exp(-700.0) > 0.0);
+        assert!(fast_exp(708.0).is_finite());
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        for i in 0..1000 {
+            let x = -0.003 * i as f64;
+            assert_eq!(fast_exp(x).to_bits(), fast_exp(x).to_bits());
+        }
+    }
+}

@@ -42,6 +42,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fastexp;
 mod pool;
 
+pub use fastexp::fast_exp;
 pub use pool::{chunk_len, global_threads, set_global_threads, Pool};

@@ -10,23 +10,79 @@
 //!   used for the electric field components (DREAMPlace's "IDXST").
 
 use crate::complex::Complex;
-use crate::fft::{fft_in_place, ifft_unnormalized_in_place, is_power_of_two};
+use crate::fft::{fft_in_place_tw, fill_twiddles, ifft_unnormalized_in_place_tw, is_power_of_two};
 use rdp_par::{chunk_len, Pool};
 
 /// Reusable buffers for the scratch-based transform variants
 /// ([`dct2_with`], [`idct_with`], [`idxst_with`]): one complex FFT
-/// buffer plus a real staging buffer. A worker allocates one scratch
-/// and reuses it across every row/column it transforms.
+/// buffer, a real staging buffer, and cached twiddle tables. A worker
+/// allocates one scratch and reuses it across every row/column it
+/// transforms, so the trigonometry for a transform length is computed
+/// once per worker instead of once per element per call — the per-call
+/// `cis` loops were the dominant cost of the 2-D passes.
 #[derive(Debug, Clone, Default)]
 pub struct DctScratch {
     v: Vec<Complex>,
     tmp: Vec<f64>,
+    /// Quarter-wave table `e^{iπk/2n}` for `k < n` (the Makhoul pre/post
+    /// twiddles; the forward transform conjugates on read).
+    quarter: Vec<Complex>,
+    /// FFT half-spectrum table from [`fill_twiddles`].
+    fft_tw: Vec<Complex>,
+    /// Transform length the tables are built for (0 = none yet).
+    tw_len: usize,
 }
 
 impl DctScratch {
     /// Creates an empty scratch; buffers grow on first use.
     pub fn new() -> Self {
         DctScratch::default()
+    }
+
+    /// (Re)builds the twiddle tables for transform length `n`. The 1-D
+    /// kernels call this on entry; alternating lengths through one
+    /// scratch works but rebuilds the tables each switch, so the 2-D
+    /// passes keep one scratch per pass (fixed length within a pass).
+    fn ensure_tables(&mut self, n: usize) {
+        if self.tw_len == n {
+            return;
+        }
+        let step = std::f64::consts::PI / (2.0 * n as f64);
+        self.quarter.clear();
+        self.quarter
+            .extend((0..n).map(|k| Complex::cis(step * k as f64)));
+        fill_twiddles(n, &mut self.fft_tw);
+        self.tw_len = n;
+    }
+}
+
+/// Cache-blocked out-of-place transpose of a row-major `h × w` matrix
+/// (`h` rows of length `w`): `dst[c·h + r] = src[r·w + c]`. The 2-D
+/// transform passes use it so every 1-D transform reads a contiguous
+/// slice instead of gathering a strided column — at 256×256 and up the
+/// strided gather misses cache on every element.
+///
+/// # Panics
+///
+/// Panics if either buffer's length differs from `w·h`.
+pub(crate) fn transpose_tiled(src: &[f64], w: usize, h: usize, dst: &mut [f64]) {
+    const TILE: usize = 32;
+    assert_eq!(src.len(), w * h, "transpose source size");
+    assert_eq!(dst.len(), w * h, "transpose destination size");
+    let mut r0 = 0;
+    while r0 < h {
+        let r1 = (r0 + TILE).min(h);
+        let mut c0 = 0;
+        while c0 < w {
+            let c1 = (c0 + TILE).min(w);
+            for r in r0..r1 {
+                for c in c0..c1 {
+                    dst[c * h + r] = src[r * w + c];
+                }
+            }
+            c0 = c1;
+        }
+        r0 = r1;
     }
 }
 
@@ -56,7 +112,10 @@ pub fn dct2_with(x: &[f64], out: &mut [f64], scratch: &mut DctScratch) {
         return;
     }
     // Makhoul reordering: evens ascending then odds descending.
-    let v = &mut scratch.v;
+    scratch.ensure_tables(n);
+    let DctScratch {
+        v, quarter, fft_tw, ..
+    } = scratch;
     v.clear();
     v.resize(n, Complex::ZERO);
     let half = n.div_ceil(2);
@@ -66,10 +125,11 @@ pub fn dct2_with(x: &[f64], out: &mut [f64], scratch: &mut DctScratch) {
     for i in 0..n / 2 {
         v[n - 1 - i] = Complex::new(x[2 * i + 1], 0.0);
     }
-    fft_in_place(v);
-    for (k, vk) in v.iter().enumerate() {
-        let w = Complex::cis(-std::f64::consts::PI * k as f64 / (2.0 * n as f64));
-        out[k] = (*vk * w).re;
+    fft_in_place_tw(v, fft_tw);
+    // Post-twiddle by conj(quarter[k]) = e^{-iπk/2n}, real part only:
+    // (a+bi)(c-si).re = a·c + b·s.
+    for ((o, vk), q) in out.iter_mut().zip(v.iter()).zip(quarter.iter()) {
+        *o = vk.re * q.re + vk.im * q.im;
     }
 }
 
@@ -102,16 +162,19 @@ pub fn idct_with(coeffs: &[f64], out: &mut [f64], scratch: &mut DctScratch) {
     }
     // Rebuild the spectrum of the Makhoul-reordered sequence:
     // V[k] = e^{iπk/2N}·(C[k] − i·C[N−k]), with C[N] = 0.
-    let v = &mut scratch.v;
+    scratch.ensure_tables(n);
+    let DctScratch {
+        v, quarter, fft_tw, ..
+    } = scratch;
     v.clear();
     v.resize(n, Complex::ZERO);
-    for k in 0..n {
+    v[0] = Complex::new(coeffs[0], 0.0);
+    for k in 1..n {
         let c_k = coeffs[k];
-        let c_nk = if k == 0 { 0.0 } else { coeffs[n - k] };
-        let w = Complex::cis(std::f64::consts::PI * k as f64 / (2.0 * n as f64));
-        v[k] = w * Complex::new(c_k, -c_nk);
+        let c_nk = coeffs[n - k];
+        v[k] = quarter[k] * Complex::new(c_k, -c_nk);
     }
-    ifft_unnormalized_in_place(v);
+    ifft_unnormalized_in_place_tw(v, fft_tw);
     // The unnormalized inverse yields N·v; the exact inverse of dct2 is
     // x[n] = (2/N)(C[0]/2 + Σ …), so the series value is (N/2)·x = v/2.
     let half = n.div_ceil(2);
@@ -193,29 +256,26 @@ pub fn dct2_2d_with(data: &[f64], nx: usize, ny: usize, pool: Pool) -> Vec<f64> 
             }
         },
     );
-    // Column pass into a column-major staging buffer, then transpose.
+    // Transpose once (cache-blocked), transform contiguous columns,
+    // transpose back. The former per-column strided gather walked the
+    // whole `rows` buffer once per column.
+    let mut rowst = vec![0.0; nx * ny];
+    transpose_tiled(&rows, nx, ny, &mut rowst);
     let mut cols = vec![0.0; nx * ny];
     let col_chunk = chunk_len(nx, 32, 4);
     pool.for_chunks_mut(
         &mut cols,
         col_chunk * ny,
-        || (DctScratch::new(), vec![0.0; ny]),
-        |(scratch, col), _ci, offset, window| {
+        DctScratch::new,
+        |scratch, _ci, offset, window| {
             for (c, out_col) in window.chunks_mut(ny).enumerate() {
                 let u = offset / ny + c;
-                for iy in 0..ny {
-                    col[iy] = rows[iy * nx + u];
-                }
-                dct2_with(col, out_col, scratch);
+                dct2_with(&rowst[u * ny..(u + 1) * ny], out_col, scratch);
             }
         },
     );
     let mut out = vec![0.0; nx * ny];
-    for u in 0..nx {
-        for v in 0..ny {
-            out[v * nx + u] = cols[u * ny + v];
-        }
-    }
+    transpose_tiled(&cols, ny, nx, &mut out);
     out
 }
 

@@ -38,5 +38,8 @@ pub use complex::Complex;
 pub use dct::{
     dct2, dct2_2d, dct2_2d_with, dct2_with, idct, idct_with, idxst, idxst_with, DctScratch,
 };
-pub use fft::{fft_in_place, ifft_in_place, ifft_unnormalized_in_place, is_power_of_two};
+pub use fft::{
+    fft_in_place, fft_in_place_tw, fill_twiddles, ifft_in_place, ifft_unnormalized_in_place,
+    ifft_unnormalized_in_place_tw, is_power_of_two,
+};
 pub use solver::{PoissonSolution, PoissonSolver};

@@ -17,7 +17,7 @@
 //! cell area, Section II-A) and routing congestion (charge = demand ÷
 //! capacity, Section II-B).
 
-use crate::dct::{idct_with, idxst_with, DctScratch};
+use crate::dct::{idct_with, idxst_with, transpose_tiled, DctScratch};
 use crate::fft::is_power_of_two;
 use rdp_par::{chunk_len, Pool};
 
@@ -185,28 +185,38 @@ impl PoissonSolver {
             }
         }
 
-        let psi = self.eval_series(&q, Basis::Cos, Basis::Cos, None, None, pool);
-        let ex = self.eval_series(&q, Basis::Sin, Basis::Cos, Some(&self.wx), None, pool);
-        let ey = self.eval_series(&q, Basis::Cos, Basis::Sin, None, Some(&self.wy), pool);
+        // ψ and E_y share their pass-1: E_y's row-v transform input is
+        // wy[v]·q[v·nx..], and the per-row weight is constant along the
+        // row, so E_y's pass-1 equals ψ's pass-1 scaled row-wise by wy[v].
+        // One transform sweep (ny inverse DCTs) is replaced by nx·ny
+        // multiplies. E_x cannot share: its pass-1 uses the sine basis.
+        let t_cos = self.pass1(&q, Basis::Cos, None, pool);
+        let psi = self.pass2(&t_cos, Basis::Cos, pool);
+        let ex = {
+            let t = self.pass1(&q, Basis::Sin, Some(&self.wx), pool);
+            self.pass2(&t, Basis::Cos, pool)
+        };
+        let ey = {
+            let mut t = t_cos;
+            for (v, row) in t.chunks_mut(nx).enumerate() {
+                let w = self.wy[v];
+                for x in row {
+                    *x *= w;
+                }
+            }
+            self.pass2(&t, Basis::Sin, pool)
+        };
         PoissonSolution { psi, ex, ey }
     }
 
-    /// Evaluates `out[n,m] = Σ_{u,v} q[u,v]·fx(u,n)·fy(v,m)` where `fx`/`fy`
-    /// are cosine or sine basis functions, optionally premultiplying the
-    /// coefficients by per-frequency weights (for the ∂/∂x, ∂/∂y factors).
-    fn eval_series(
-        &self,
-        q: &[f64],
-        bx: Basis,
-        by: Basis,
-        weight_x: Option<&[f64]>,
-        weight_y: Option<&[f64]>,
-        pool: Pool,
-    ) -> Vec<f64> {
+    /// Series-evaluation pass 1: transforms along u for every v,
+    /// optionally premultiplying the coefficients by per-`u` weights (the
+    /// ∂/∂x factor). Each row of the result is an independent 1-D inverse
+    /// transform, so rows parallelize with no change to per-element
+    /// arithmetic. A per-`v` weight is applied by the caller scaling the
+    /// returned rows (constant along a row — see `solve_with`).
+    fn pass1(&self, q: &[f64], bx: Basis, weight_x: Option<&[f64]>, pool: Pool) -> Vec<f64> {
         let (nx, ny) = (self.nx, self.ny);
-        // Pass 1: transform along u for every v. Each row of `t` is an
-        // independent 1-D inverse transform, so rows parallelize with no
-        // change to per-element arithmetic.
         let mut t = vec![0.0; nx * ny];
         let row_chunk = chunk_len(ny, 32, 4);
         pool.for_chunks_mut(
@@ -221,9 +231,6 @@ impl PoissonSolver {
                         if let Some(w) = weight_x {
                             c *= w[u];
                         }
-                        if let Some(w) = weight_y {
-                            c *= w[v];
-                        }
                         // `idct` halves its k = 0 term; that halving is
                         // exactly the c₀ = ½ factor of the inverse-DCT
                         // normalization, so the coefficients are passed
@@ -237,20 +244,27 @@ impl PoissonSolver {
                 }
             },
         );
-        // Pass 2: transform along v for every n, into a column-major
-        // staging buffer, then transpose back to row-major.
+        t
+    }
+
+    /// Series-evaluation pass 2: transforms along v for every n. One
+    /// cache-blocked transpose makes every column a contiguous slice (the
+    /// former per-column gather walked the whole `t` buffer once per
+    /// column), then a second transpose restores row-major order.
+    fn pass2(&self, t: &[f64], by: Basis, pool: Pool) -> Vec<f64> {
+        let (nx, ny) = (self.nx, self.ny);
+        let mut tt = vec![0.0; nx * ny];
+        transpose_tiled(t, nx, ny, &mut tt);
         let mut cols = vec![0.0; nx * ny];
         let col_chunk = chunk_len(nx, 32, 4);
         pool.for_chunks_mut(
             &mut cols,
             col_chunk * ny,
-            || (DctScratch::new(), vec![0.0; ny]),
-            |(scratch, col), _ci, offset, window| {
+            DctScratch::new,
+            |scratch, _ci, offset, window| {
                 for (c, out_col) in window.chunks_mut(ny).enumerate() {
                     let n = offset / ny + c;
-                    for v in 0..ny {
-                        col[v] = t[v * nx + n];
-                    }
+                    let col = &tt[n * ny..(n + 1) * ny];
                     match by {
                         Basis::Cos => idct_with(col, out_col, scratch),
                         Basis::Sin => idxst_with(col, out_col, scratch),
@@ -259,11 +273,7 @@ impl PoissonSolver {
             },
         );
         let mut out = vec![0.0; nx * ny];
-        for n in 0..nx {
-            for m in 0..ny {
-                out[m * nx + n] = cols[n * ny + m];
-            }
-        }
+        transpose_tiled(&cols, ny, nx, &mut out);
         out
     }
 }

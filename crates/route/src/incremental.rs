@@ -1,0 +1,397 @@
+//! Incremental rip-up-and-reroute between routability iterations.
+//!
+//! A routability-driven placement flow re-routes the whole design every
+//! iteration even though most cells barely move between router calls.
+//! [`IncrementalRouter`] retains the previous route (per-net decomposition,
+//! committed segment routes, demand maps, and the position-independent
+//! capacity model) and, on the next call, rips up and re-routes only the
+//! **dirty** nets:
+//!
+//! * nets owning a pin on a cell that moved beyond
+//!   [`IncrementalConfig::move_threshold`], and
+//! * nets whose effect region (segment/pin bounding box, plus any maze
+//!   detour's cells) intersects a G-cell touched by a moved cell.
+//!
+//! Demand bookkeeping is exact: pattern and maze commits are ±1 wire /
+//! ±1 bend-via per cell and ±`pin_via` per pin — with the default dyadic
+//! `pin_via = 0.5` every rip-up restores the exact bits the commit added,
+//! so incremental state never drifts from what a replay of the committed
+//! routes would produce (checked by
+//! [`IncrementalRouter::verify_consistency`]).
+//!
+//! **Equivalence contract**: an incremental route that marks *every* net
+//! dirty executes the exact instruction sequence of
+//! [`GlobalRouter::route_on_grid_obs`] — same decomposition, same flat
+//! (net, segment) task order, same pass/batch machinery, same maze phase —
+//! and therefore produces bitwise-identical maps and totals. Periodic
+//! ([`IncrementalConfig::resync_every`]) and drift-triggered
+//! ([`IncrementalConfig::drift_frac`]) full re-routes rely on this: a
+//! resync is just an all-dirty route from a fresh state.
+
+use crate::capacity::CapacityMaps;
+use crate::maps::RouteMaps;
+use crate::router::{
+    apply_seg, build_tasks, summarize, BinRect, GlobalRouter, NetDecomp, RouteResult, Seg, SegRoute,
+};
+use rdp_db::{Design, GridSpec, NetId, Point};
+use rdp_obs::Collector;
+use rdp_par::Pool;
+
+/// Tuning for [`IncrementalRouter`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalConfig {
+    /// Distance (microns, per axis) a cell must move since its last-routed
+    /// anchor before it dirties its nets. `0.0` dirties on any movement.
+    /// Sub-threshold drift accumulates against the anchor, so a slowly
+    /// creeping cell eventually crosses the threshold.
+    pub move_threshold: f64,
+    /// Run a full re-route every this many router calls (`0` disables the
+    /// periodic resync; the drift trigger still applies).
+    pub resync_every: usize,
+    /// Fraction of dirty nets above which the call falls back to a full
+    /// re-route (rip-up bookkeeping would cost more than it saves).
+    pub drift_frac: f64,
+}
+
+impl Default for IncrementalConfig {
+    fn default() -> Self {
+        IncrementalConfig {
+            move_threshold: 0.0,
+            resync_every: 16,
+            drift_frac: 0.5,
+        }
+    }
+}
+
+/// What the last [`IncrementalRouter`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Nets ripped up and re-routed.
+    pub dirty_nets: usize,
+    /// Total nets in the design.
+    pub total_nets: usize,
+    /// True when the call performed a full re-route (first call, periodic
+    /// or drift-triggered resync, or changed grid/netlist).
+    pub full_resync: bool,
+}
+
+/// Retained state between router calls.
+#[derive(Debug, Clone)]
+struct IncState {
+    grid: GridSpec,
+    maps: RouteMaps,
+    /// Cell positions at which each cell's nets were last routed.
+    anchors: Vec<Point>,
+    decomp: Vec<NetDecomp>,
+    committed: Vec<Vec<SegRoute>>,
+    /// Net ids incident to each cell (netlist topology, fixed per design).
+    nets_of_cell: Vec<Vec<u32>>,
+    routes_since_full: usize,
+    /// Maze-reroute count of the last call (reported in summaries).
+    last_maze: usize,
+}
+
+/// A [`GlobalRouter`] wrapper that re-routes only dirty nets between
+/// calls. Assumes a fixed netlist and grid — positions are the only thing
+/// allowed to change between calls; anything else triggers a full
+/// re-route.
+#[derive(Debug, Clone)]
+pub struct IncrementalRouter {
+    router: GlobalRouter,
+    icfg: IncrementalConfig,
+    state: Option<IncState>,
+    last: Option<IncrementalStats>,
+}
+
+impl IncrementalRouter {
+    /// Wraps `router` with incremental state tracking.
+    pub fn new(router: GlobalRouter, icfg: IncrementalConfig) -> Self {
+        IncrementalRouter {
+            router,
+            icfg,
+            state: None,
+            last: None,
+        }
+    }
+
+    /// The wrapped pattern router.
+    pub fn router(&self) -> &GlobalRouter {
+        &self.router
+    }
+
+    /// The incremental tuning.
+    pub fn config(&self) -> &IncrementalConfig {
+        &self.icfg
+    }
+
+    /// What the last call did, if any call happened yet.
+    pub fn last_stats(&self) -> Option<IncrementalStats> {
+        self.last
+    }
+
+    /// Drops all retained state: the next call performs a full re-route.
+    pub fn reset(&mut self) {
+        self.state = None;
+    }
+
+    /// Routes the design on its G-cell grid (incremental when possible).
+    pub fn route(&mut self, design: &Design) -> RouteResult {
+        self.route_obs(design, &Collector::disabled())
+    }
+
+    /// [`route`](IncrementalRouter::route) with observability.
+    pub fn route_obs(&mut self, design: &Design, obs: &Collector) -> RouteResult {
+        let grid = design.gcell_grid();
+        self.route_on_grid_obs(design, &grid, obs)
+    }
+
+    /// Routes on an arbitrary grid, re-routing only dirty nets when the
+    /// retained state matches the design/grid and no resync is due.
+    pub fn route_on_grid_obs(
+        &mut self,
+        design: &Design,
+        grid: &GridSpec,
+        obs: &Collector,
+    ) -> RouteResult {
+        let pool = Pool::global();
+        let needs_full = match &self.state {
+            None => true,
+            Some(s) => {
+                s.grid != *grid
+                    || s.anchors.len() != design.num_cells()
+                    || s.decomp.len() != design.num_nets()
+                    || (self.icfg.resync_every > 0
+                        && s.routes_since_full + 1 >= self.icfg.resync_every)
+            }
+        };
+        if needs_full {
+            return self.full(design, grid, pool, obs);
+        }
+        self.incremental(design, grid, pool, obs)
+    }
+
+    /// Full route: run the shared core, capture durable state.
+    fn full(
+        &mut self,
+        design: &Design,
+        grid: &GridSpec,
+        pool: Pool,
+        obs: &Collector,
+    ) -> RouteResult {
+        // The capacity model depends only on fixed geometry (macros,
+        // obstructions, rails, layer specs) — reuse it across resyncs on
+        // the same grid instead of rebuilding.
+        let caps = match &self.state {
+            Some(s)
+                if s.grid == *grid
+                    && s.anchors.len() == design.num_cells()
+                    && s.decomp.len() == design.num_nets() =>
+            {
+                s.maps.caps.clone()
+            }
+            _ => CapacityMaps::build_on_grid(design, grid, &self.router.config().capacity),
+        };
+        let (result, decomp, committed) = self
+            .router
+            .route_full_with_caps(design, grid, caps, pool, obs);
+        let mut nets_of_cell: Vec<Vec<u32>> = vec![Vec::new(); design.num_cells()];
+        for ni in 0..design.num_nets() {
+            for &pid in &design.net(NetId::from_index(ni)).pins {
+                nets_of_cell[design.pin(pid).cell.index()].push(ni as u32);
+            }
+        }
+        let total = design.num_nets();
+        self.state = Some(IncState {
+            grid: *grid,
+            maps: result.maps.clone(),
+            anchors: design.positions().to_vec(),
+            decomp,
+            committed,
+            nets_of_cell,
+            routes_since_full: 0,
+            last_maze: result.maze_rerouted,
+        });
+        self.last = Some(IncrementalStats {
+            dirty_nets: total,
+            total_nets: total,
+            full_resync: true,
+        });
+        obs.counter_add("route_incremental_full", 1);
+        result
+    }
+
+    /// Incremental route: rip up and re-route only the dirty nets.
+    fn incremental(
+        &mut self,
+        design: &Design,
+        grid: &GridSpec,
+        pool: Pool,
+        obs: &Collector,
+    ) -> RouteResult {
+        let (moved, dirty) = {
+            let state = self.state.as_ref().expect("state checked by caller");
+            let thr = self.icfg.move_threshold;
+            let positions = design.positions();
+            let mut moved: Vec<usize> = Vec::new();
+            for (i, (p, a)) in positions.iter().zip(state.anchors.iter()).enumerate() {
+                if (p.x - a.x).abs() > thr || (p.y - a.y).abs() > thr {
+                    moved.push(i);
+                }
+            }
+            let n_nets = state.decomp.len();
+            let mut dirty_flag = vec![false; n_nets];
+            for &ci in &moved {
+                for &ni in &state.nets_of_cell[ci] {
+                    dirty_flag[ni as usize] = true;
+                }
+            }
+
+            // G-cell mask of moved cells (old anchor bin + new bin), with
+            // per-row prefix sums so each net-bbox query is O(rows).
+            let (nx, ny) = (grid.nx(), grid.ny());
+            let mut mask = vec![0u32; nx * ny];
+            for &ci in &moved {
+                let (ox, oy) = grid.bin_of(state.anchors[ci]);
+                let (mx, my) = grid.bin_of(positions[ci]);
+                mask[oy * nx + ox] = 1;
+                mask[my * nx + mx] = 1;
+            }
+            let mut pre = vec![0u32; (nx + 1) * ny];
+            for iy in 0..ny {
+                let mut acc = 0u32;
+                let row = &mask[iy * nx..(iy + 1) * nx];
+                let out = &mut pre[iy * (nx + 1)..(iy + 1) * (nx + 1)];
+                for (ix, &m) in row.iter().enumerate() {
+                    acc += m;
+                    out[ix + 1] = acc;
+                }
+            }
+            let rect_touches_mask = |r: &BinRect| -> bool {
+                for iy in r.y0..=r.y1 {
+                    let row = &pre[iy * (nx + 1)..(iy + 1) * (nx + 1)];
+                    if row[r.x1 + 1] > row[r.x0] {
+                        return true;
+                    }
+                }
+                false
+            };
+            for (ni, flag) in dirty_flag.iter_mut().enumerate() {
+                if *flag {
+                    continue;
+                }
+                let mut bbox = state.decomp[ni].bbox;
+                for seg in &state.committed[ni] {
+                    if let Some(mb) = seg.maze_bbox() {
+                        bbox = Some(bbox.map_or(mb, |b| b.union(mb)));
+                    }
+                }
+                if let Some(b) = bbox {
+                    if rect_touches_mask(&b) {
+                        *flag = true;
+                    }
+                }
+            }
+            let dirty: Vec<usize> = dirty_flag
+                .iter()
+                .enumerate()
+                .filter_map(|(ni, &f)| f.then_some(ni))
+                .collect();
+            (moved, dirty)
+        };
+
+        let n_nets = design.num_nets();
+        if dirty.len() as f64 > self.icfg.drift_frac * n_nets as f64 {
+            return self.full(design, grid, pool, obs);
+        }
+
+        let _span = obs.span("route_incremental", "route");
+        let pin_via = self.router.config().pin_via;
+        let state = self.state.as_mut().expect("state checked by caller");
+
+        // Rip up dirty nets in ascending net order: committed demand, then
+        // pin vias.
+        for &ni in &dirty {
+            for seg in &state.committed[ni] {
+                apply_seg(&mut state.maps, seg, -1.0);
+            }
+            state.committed[ni].clear();
+            for &pb in &state.decomp[ni].pin_bins {
+                state.maps.via_demand[pb] -= pin_via;
+            }
+        }
+
+        // Re-decompose at current positions; commit pin vias before any
+        // routing, in net order (mirroring the full route's prologue).
+        let fresh_decomp = self.router.decompose_ids(design, grid, &dirty, pool, obs);
+        for (&ni, d) in dirty.iter().zip(fresh_decomp.into_iter()) {
+            for &pb in &d.pin_bins {
+                state.maps.via_demand[pb] += pin_via;
+            }
+            state.decomp[ni] = d;
+        }
+        for &ci in &moved {
+            state.anchors[ci] = design.positions()[ci];
+        }
+
+        // Route the dirty nets with the shared pass/batch machinery.
+        let cells: Vec<&[Seg]> = dirty
+            .iter()
+            .map(|&ni| state.decomp[ni].cells.as_slice())
+            .collect();
+        let tasks = build_tasks(&cells);
+        let mut fresh: Vec<Vec<SegRoute>> = vec![Vec::new(); dirty.len()];
+        self.router
+            .route_tasks(&mut state.maps, &tasks, &mut fresh, pool, obs);
+        let (maze_rerouted, _) =
+            self.router
+                .maze_phase(&mut state.maps, grid, &cells, &mut fresh, obs);
+        obs.counter_add("route_maze_rerouted", maze_rerouted as u64);
+        for (&ni, segs) in dirty.iter().zip(fresh.into_iter()) {
+            state.committed[ni] = segs;
+        }
+        state.routes_since_full += 1;
+        state.last_maze = maze_rerouted;
+        obs.counter_add("route_incremental_dirty_nets", dirty.len() as u64);
+
+        let result = summarize(
+            state.maps.clone(),
+            &state.decomp,
+            &state.committed,
+            maze_rerouted,
+        );
+        self.last = Some(IncrementalStats {
+            dirty_nets: dirty.len(),
+            total_nets: n_nets,
+            full_resync: false,
+        });
+        result
+    }
+
+    /// Replays the committed routes into fresh maps and checks the result
+    /// is **bitwise** identical to the retained incremental maps — the
+    /// exact-rip-up invariant. Returns `true` when no route happened yet.
+    /// Intended for tests; cost is one full demand replay.
+    pub fn verify_consistency(&self) -> bool {
+        let Some(state) = &self.state else {
+            return true;
+        };
+        let pin_via = self.router.config().pin_via;
+        let mut replay = RouteMaps::new(state.maps.caps.clone(), self.router.config().via_weight);
+        for d in &state.decomp {
+            for &pb in &d.pin_bins {
+                replay.via_demand[pb] += pin_via;
+            }
+        }
+        for segs in &state.committed {
+            for seg in segs {
+                apply_seg(&mut replay, seg, 1.0);
+            }
+        }
+        let bits = |m: &rdp_db::Map2d<f64>| -> Vec<u64> {
+            m.as_slice().iter().map(|v| v.to_bits()).collect()
+        };
+        bits(&replay.h_demand) == bits(&state.maps.h_demand)
+            && bits(&replay.v_demand) == bits(&state.maps.v_demand)
+            && bits(&replay.via_demand) == bits(&state.maps.via_demand)
+    }
+}

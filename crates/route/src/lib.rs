@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod capacity;
+mod incremental;
 mod layers;
 mod maps;
 mod maze;
@@ -45,6 +46,7 @@ pub mod rsmt;
 mod rudy;
 
 pub use capacity::{CapacityMaps, CapacityOptions};
+pub use incremental::{IncrementalConfig, IncrementalRouter, IncrementalStats};
 pub use layers::{assign_layers, LayerAssignment};
 pub use maps::RouteMaps;
 pub use maze::{astar, MazePath, MazeStep};

@@ -61,12 +61,21 @@ impl RouteMaps {
 
     /// The congestion map of Eq. (3):
     /// `C_{m,n} = max(Dmd_{m,n} / Cap_{m,n} − 1, 0)`.
+    ///
+    /// Flat row-major sweep over the five backing slices; each element is
+    /// the same expression as `demand_at`/`capacity_at`, so the values are
+    /// bitwise identical to the indexed form.
     pub fn congestion_eq3(&self) -> Map2d<f64> {
         let mut m = Map2d::new(self.nx(), self.ny());
-        for iy in 0..self.ny() {
-            for ix in 0..self.nx() {
-                m[(ix, iy)] = (self.demand_at(ix, iy) / self.capacity_at(ix, iy) - 1.0).max(0.0);
-            }
+        let w = self.via_weight;
+        let (h, v, via) = (
+            self.h_demand.as_slice(),
+            self.v_demand.as_slice(),
+            self.via_demand.as_slice(),
+        );
+        let (ch, cv) = (self.caps.h.as_slice(), self.caps.v.as_slice());
+        for (i, o) in m.as_mut_slice().iter_mut().enumerate() {
+            *o = ((h[i] + v[i] + w * via[i]) / (ch[i] + cv[i]) - 1.0).max(0.0);
         }
         m
     }
@@ -75,34 +84,47 @@ impl RouteMaps {
     /// charge density of the congestion Poisson problem (Section II-B).
     pub fn charge_density(&self) -> Map2d<f64> {
         let mut m = Map2d::new(self.nx(), self.ny());
-        for iy in 0..self.ny() {
-            for ix in 0..self.nx() {
-                m[(ix, iy)] = self.demand_at(ix, iy) / self.capacity_at(ix, iy);
-            }
+        let w = self.via_weight;
+        let (h, v, via) = (
+            self.h_demand.as_slice(),
+            self.v_demand.as_slice(),
+            self.via_demand.as_slice(),
+        );
+        let (ch, cv) = (self.caps.h.as_slice(), self.caps.v.as_slice());
+        for (i, o) in m.as_mut_slice().iter_mut().enumerate() {
+            *o = (h[i] + v[i] + w * via[i]) / (ch[i] + cv[i]);
         }
         m
     }
 
     /// Total overflow: Σ max(Dmd − Cap, 0) over G-cells, in track units.
     pub fn total_overflow(&self) -> f64 {
+        let w = self.via_weight;
+        let (h, v, via) = (
+            self.h_demand.as_slice(),
+            self.v_demand.as_slice(),
+            self.via_demand.as_slice(),
+        );
+        let (ch, cv) = (self.caps.h.as_slice(), self.caps.v.as_slice());
         let mut acc = 0.0;
-        for iy in 0..self.ny() {
-            for ix in 0..self.nx() {
-                acc += (self.demand_at(ix, iy) - self.capacity_at(ix, iy)).max(0.0);
-            }
+        for i in 0..h.len() {
+            acc += (h[i] + v[i] + w * via[i] - (ch[i] + cv[i])).max(0.0);
         }
         acc
     }
 
     /// Number of G-cells whose demand exceeds capacity.
     pub fn overflowed_gcells(&self) -> usize {
+        let w = self.via_weight;
+        let (h, v, via) = (
+            self.h_demand.as_slice(),
+            self.v_demand.as_slice(),
+            self.via_demand.as_slice(),
+        );
+        let (ch, cv) = (self.caps.h.as_slice(), self.caps.v.as_slice());
         let mut n = 0;
-        for iy in 0..self.ny() {
-            for ix in 0..self.nx() {
-                if self.demand_at(ix, iy) > self.capacity_at(ix, iy) {
-                    n += 1;
-                }
-            }
+        for i in 0..h.len() {
+            n += usize::from(h[i] + v[i] + w * via[i] > ch[i] + cv[i]);
         }
         n
     }

@@ -7,13 +7,20 @@
 //! candidates under a logistic congestion cost, and its demand is
 //! committed to the maps. A configurable number of rip-up-and-reroute
 //! passes refines the solution against the accumulated demand.
+//!
+//! The routing machinery (decomposition, the pass/batch loop, the maze
+//! phase) is factored into `pub(crate)` pieces shared with
+//! [`crate::incremental`], so an incremental re-route that marks every net
+//! dirty runs the exact instruction sequence of a full route — the basis
+//! of the bit-exact equivalence the incremental router guarantees.
 
 use crate::capacity::{CapacityMaps, CapacityOptions};
 use crate::maps::RouteMaps;
+use crate::maze::MazeStep;
 use crate::rsmt;
 use rdp_db::{Design, GridSpec, Map2d, NetId};
 use rdp_obs::Collector;
-use rdp_par::{chunk_len, Pool};
+use rdp_par::{chunk_len, fast_exp, Pool};
 
 /// Configuration for [`GlobalRouter`].
 #[derive(Debug, Clone, PartialEq)]
@@ -90,36 +97,108 @@ impl RouteResult {
 }
 
 /// One monotone run of a committed path.
-#[derive(Debug, Clone, Copy)]
-struct Run {
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct Run {
     /// True for a horizontal run.
-    horizontal: bool,
+    pub(crate) horizontal: bool,
     /// Row (for horizontal) or column (for vertical).
-    fixed: usize,
+    pub(crate) fixed: usize,
     /// Inclusive start index along the run.
-    from: usize,
+    pub(crate) from: usize,
     /// Inclusive end index along the run.
-    to: usize,
+    pub(crate) to: usize,
 }
 
-/// A committed segment route: at most three runs plus its bend count.
+/// A pattern route: at most three monotone runs plus the bend count,
+/// stored inline. Candidate enumeration creates and discards dozens of
+/// these per segment, so the fixed-size representation (no heap) matters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct Path {
+    runs: [Run; 3],
+    nruns: u8,
+    bends: u8,
+}
+
+impl Path {
+    #[inline]
+    fn one(r: Run) -> Path {
+        Path {
+            runs: [r, Run::default(), Run::default()],
+            nruns: 1,
+            bends: 0,
+        }
+    }
+
+    #[inline]
+    fn two(a: Run, b: Run) -> Path {
+        Path {
+            runs: [a, b, Run::default()],
+            nruns: 2,
+            bends: 1,
+        }
+    }
+
+    #[inline]
+    fn three(a: Run, b: Run, c: Run) -> Path {
+        Path {
+            runs: [a, b, c],
+            nruns: 3,
+            bends: 2,
+        }
+    }
+
+    /// The populated runs.
+    #[inline]
+    pub(crate) fn runs(&self) -> &[Run] {
+        &self.runs[..self.nruns as usize]
+    }
+
+    /// Bend count (0 for straight, 1 for L, 2 for Z).
+    #[inline]
+    pub(crate) fn bends(&self) -> usize {
+        self.bends as usize
+    }
+}
+
+/// Durable route of one two-pin segment: the pattern path, plus the maze
+/// detour that replaced it (if any). Keeping the maze steps around lets a
+/// later rip-up subtract exactly what was committed — the invariant the
+/// incremental router's demand bookkeeping rests on.
 #[derive(Debug, Clone, Default)]
-struct Path {
-    runs: Vec<Run>,
-    bends: usize,
+pub(crate) struct SegRoute {
+    /// Pattern route; cleared (empty) when a maze detour replaced it.
+    pub(crate) path: Path,
+    /// Maze steps, empty unless the maze phase re-routed this segment.
+    pub(crate) maze: Vec<MazeStep>,
+    /// Bends of the maze detour.
+    pub(crate) maze_bends: usize,
+    /// Extra wirelength (microns) the maze detour added.
+    pub(crate) detour: f64,
 }
 
-/// Inclusive G-cell rectangle used for batch-conflict tests.
-#[derive(Debug, Clone, Copy)]
-struct BinRect {
-    x0: usize,
-    x1: usize,
-    y0: usize,
-    y1: usize,
+impl SegRoute {
+    /// Bounding box of the maze detour's cells (pattern paths stay inside
+    /// their segment bbox; maze detours may not).
+    pub(crate) fn maze_bbox(&self) -> Option<BinRect> {
+        self.maze
+            .iter()
+            .map(|s| BinRect::of(s.cell, s.cell))
+            .reduce(BinRect::union)
+    }
+}
+
+/// Inclusive G-cell rectangle used for batch-conflict and dirty-region
+/// tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BinRect {
+    pub(crate) x0: usize,
+    pub(crate) x1: usize,
+    pub(crate) y0: usize,
+    pub(crate) y1: usize,
 }
 
 impl BinRect {
-    fn of(a: (usize, usize), b: (usize, usize)) -> Self {
+    pub(crate) fn of(a: (usize, usize), b: (usize, usize)) -> Self {
         BinRect {
             x0: a.0.min(b.0),
             x1: a.0.max(b.0),
@@ -128,7 +207,7 @@ impl BinRect {
         }
     }
 
-    fn union(self, o: BinRect) -> BinRect {
+    pub(crate) fn union(self, o: BinRect) -> BinRect {
         BinRect {
             x0: self.x0.min(o.x0),
             x1: self.x1.max(o.x1),
@@ -137,14 +216,34 @@ impl BinRect {
         }
     }
 
-    fn intersects(&self, o: &BinRect) -> bool {
+    pub(crate) fn intersects(&self, o: &BinRect) -> bool {
         self.x0 <= o.x1 && o.x0 <= self.x1 && self.y0 <= o.y1 && o.y0 <= self.y1
     }
 }
 
+/// A two-pin segment in G-cell coordinates.
+pub(crate) type Seg = ((usize, usize), (usize, usize));
+
+/// Per-net decomposition: the data a route needs about a net, cacheable
+/// across routability iterations while the net's pins stand still.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct NetDecomp {
+    /// Two-pin segments in G-cell coordinates.
+    pub(crate) cells: Vec<Seg>,
+    /// G-cells of the net's pins (one pin-via charge each).
+    pub(crate) pin_bins: Vec<(usize, usize)>,
+    /// Total pin-via demand of the net.
+    pub(crate) pin_vias: f64,
+    /// RSMT wirelength of the net in microns.
+    pub(crate) net_len: f64,
+    /// Bounding box over segment endpoints and pin bins — every G-cell
+    /// the net's pattern routes or pin vias can touch.
+    pub(crate) bbox: Option<BinRect>,
+}
+
 /// One two-pin routing task in the flattened per-pass work list.
 #[derive(Debug, Clone, Copy)]
-struct SegTask {
+pub(crate) struct SegTask {
     /// Net (request) index.
     ri: usize,
     /// Segment index within the net.
@@ -157,6 +256,110 @@ struct SegTask {
     /// covering every cell its rip-up can touch (pattern paths never leave
     /// their segment bbox).
     rip_rect: Option<BinRect>,
+}
+
+/// Adds (`sign = 1.0`) or subtracts (`sign = -1.0`) a pattern path's
+/// demand. Wire demand is ±1 per cell, bend vias ±1 at run joints — all
+/// dyadic, so add/subtract pairs cancel exactly.
+pub(crate) fn apply_path(maps: &mut RouteMaps, path: &Path, sign: f64) {
+    for run in path.runs() {
+        for i in run.from..=run.to {
+            if run.horizontal {
+                maps.h_demand[(i, run.fixed)] += sign;
+            } else {
+                maps.v_demand[(run.fixed, i)] += sign;
+            }
+        }
+    }
+    // Bend vias at run joints: charged at the start cell of each
+    // follow-up run.
+    for w in path.runs().windows(2) {
+        let joint = joint_cell(&w[0], &w[1]);
+        maps.via_demand[joint] += sign;
+    }
+}
+
+/// Adds or subtracts a maze detour's demand: ±1 wire per step in its
+/// direction, ±1 via at each direction change.
+fn apply_maze(maps: &mut RouteMaps, steps: &[MazeStep], sign: f64) {
+    for step in steps {
+        if step.horizontal {
+            maps.h_demand[step.cell] += sign;
+        } else {
+            maps.v_demand[step.cell] += sign;
+        }
+    }
+    let mut prev_dir: Option<bool> = None;
+    for step in steps {
+        if let Some(pd) = prev_dir {
+            if pd != step.horizontal {
+                maps.via_demand[step.cell] += sign;
+            }
+        }
+        prev_dir = Some(step.horizontal);
+    }
+}
+
+/// Adds or subtracts everything a committed segment put into the maps.
+pub(crate) fn apply_seg(maps: &mut RouteMaps, seg: &SegRoute, sign: f64) {
+    apply_path(maps, &seg.path, sign);
+    apply_maze(maps, &seg.maze, sign);
+}
+
+/// Flattens per-net segments into the task list the pass loop walks.
+/// `cells[ri]` are net `ri`'s segments; task order is flat (net, segment)
+/// order, which fixes the serial commit order.
+pub(crate) fn build_tasks(cells: &[&[Seg]]) -> Vec<SegTask> {
+    let mut tasks: Vec<SegTask> = Vec::new();
+    for (ri, segs) in cells.iter().enumerate() {
+        let net_rect = segs
+            .iter()
+            .map(|&(a, b)| BinRect::of(a, b))
+            .reduce(BinRect::union);
+        for (si, &(a, b)) in segs.iter().enumerate() {
+            tasks.push(SegTask {
+                ri,
+                si,
+                a,
+                b,
+                seg_rect: BinRect::of(a, b),
+                rip_rect: if si == 0 { net_rect } else { None },
+            });
+        }
+    }
+    tasks
+}
+
+/// Builds a [`RouteResult`] from durable per-net state. All sums run in
+/// flat net order, so a full route and an incremental route over the same
+/// state produce bitwise-identical totals.
+pub(crate) fn summarize(
+    maps: RouteMaps,
+    decomp: &[NetDecomp],
+    committed: &[Vec<SegRoute>],
+    maze_rerouted: usize,
+) -> RouteResult {
+    let mut wirelength = 0.0;
+    let mut pin_vias = 0.0;
+    for d in decomp {
+        wirelength += d.net_len;
+        pin_vias += d.pin_vias;
+    }
+    let mut bend_vias = 0.0;
+    let mut detour = 0.0;
+    for seg in committed.iter().flatten() {
+        bend_vias += seg.path.bends() as f64 + seg.maze_bends as f64;
+        detour += seg.detour;
+    }
+    let congestion = maps.congestion_eq3();
+    RouteResult {
+        maps,
+        wirelength: wirelength + detour,
+        vias: bend_vias + pin_vias,
+        congestion,
+        maze_rerouted,
+        detour_wirelength: detour,
+    }
 }
 
 /// Congestion-aware pattern router.
@@ -211,84 +414,108 @@ impl GlobalRouter {
     ) -> RouteResult {
         let pool = Pool::global();
         let caps = CapacityMaps::build_on_grid(design, grid, &self.cfg.capacity);
+        self.route_full_with_caps(design, grid, caps, pool, obs).0
+    }
+
+    /// Full route with an externally supplied capacity model. Also returns
+    /// the durable per-net state the incremental router retains between
+    /// iterations; [`route_on_grid_obs`](GlobalRouter::route_on_grid_obs)
+    /// simply drops it.
+    pub(crate) fn route_full_with_caps(
+        &self,
+        design: &Design,
+        grid: &GridSpec,
+        caps: CapacityMaps,
+        pool: Pool,
+        obs: &Collector,
+    ) -> (RouteResult, Vec<NetDecomp>, Vec<Vec<SegRoute>>) {
         let mut maps = RouteMaps::new(caps, self.cfg.via_weight);
+        let ids: Vec<usize> = (0..design.num_nets()).collect();
+        let decomp = self.decompose_ids(design, grid, &ids, pool, obs);
 
-        // Decompose all nets into G-cell segment requests. Decomposition is
-        // pure per-net work; the per-net results are folded in net order
-        // below so the wirelength sum and via commits match a serial run.
-        let num_nets = design.num_nets();
-        struct NetDecomp {
-            cells: Vec<((usize, usize), (usize, usize))>,
-            pin_bins: Vec<(usize, usize)>,
-            pin_vias: f64,
-            net_len: f64,
+        // Commit pin vias once in net order, independent of pass structure.
+        for d in &decomp {
+            for &pb in &d.pin_bins {
+                maps.via_demand[pb] += self.cfg.pin_via;
+            }
         }
-        let net_chunk = chunk_len(num_nets, 64, 32);
-        let decomp_span = obs.span("route_decompose", "route");
-        let decomposed: Vec<NetDecomp> = pool
-            .map_chunks(num_nets, net_chunk, |_ci, range| {
-                let mut out = Vec::with_capacity(range.len());
-                for ni in range {
-                    let pins: Vec<_> = design
-                        .net(NetId::from_index(ni))
-                        .pins
-                        .iter()
-                        .map(|&p| design.pin_position(p))
-                        .collect();
-                    let segs = rsmt::decompose(&pins);
-                    let net_len = rsmt::total_length(&segs);
-                    let cells: Vec<_> = segs
-                        .iter()
-                        .map(|s| (grid.bin_of(s.a), grid.bin_of(s.b)))
-                        .collect();
-                    let pin_bins: Vec<_> = pins.iter().map(|p| grid.bin_of(*p)).collect();
-                    out.push(NetDecomp {
-                        cells,
-                        pin_vias: self.cfg.pin_via * pins.len() as f64,
-                        pin_bins,
-                        net_len,
-                    });
-                }
-                out
-            })
-            .into_iter()
-            .flatten()
+
+        let cells: Vec<&[Seg]> = decomp.iter().map(|d| d.cells.as_slice()).collect();
+        let tasks = build_tasks(&cells);
+        let mut committed: Vec<Vec<SegRoute>> = vec![Vec::new(); decomp.len()];
+        self.route_tasks(&mut maps, &tasks, &mut committed, pool, obs);
+        let (maze_rerouted, _) = self.maze_phase(&mut maps, grid, &cells, &mut committed, obs);
+        obs.counter_add("route_maze_rerouted", maze_rerouted as u64);
+        let result = summarize(maps, &decomp, &committed, maze_rerouted);
+        (result, decomp, committed)
+    }
+
+    /// Decomposes one net into two-pin G-cell segments.
+    fn decompose_net(&self, design: &Design, grid: &GridSpec, ni: usize) -> NetDecomp {
+        let pins: Vec<_> = design
+            .net(NetId::from_index(ni))
+            .pins
+            .iter()
+            .map(|&p| design.pin_position(p))
             .collect();
-        drop(decomp_span);
-
-        let mut requests: Vec<(NetId, Vec<((usize, usize), (usize, usize))>, f64)> = Vec::new();
-        let mut wirelength = 0.0;
-        for (ni, d) in decomposed.into_iter().enumerate() {
-            wirelength += d.net_len;
-            // Commit pin vias once, independent of pass structure.
-            for &(ix, iy) in &d.pin_bins {
-                maps.via_demand[(ix, iy)] += self.cfg.pin_via;
-            }
-            requests.push((NetId::from_index(ni), d.cells, d.pin_vias));
+        let segs = rsmt::decompose(&pins);
+        let net_len = rsmt::total_length(&segs);
+        let cells: Vec<Seg> = segs
+            .iter()
+            .map(|s| (grid.bin_of(s.a), grid.bin_of(s.b)))
+            .collect();
+        let pin_bins: Vec<_> = pins.iter().map(|p| grid.bin_of(*p)).collect();
+        let bbox = cells
+            .iter()
+            .map(|&(a, b)| BinRect::of(a, b))
+            .chain(pin_bins.iter().map(|&p| BinRect::of(p, p)))
+            .reduce(BinRect::union);
+        NetDecomp {
+            cells,
+            pin_vias: self.cfg.pin_via * pins.len() as f64,
+            pin_bins,
+            net_len,
+            bbox,
         }
+    }
 
-        // Flatten the segment work list once; each pass walks it in order.
-        let mut tasks: Vec<SegTask> = Vec::new();
-        for (ri, (_net, cells, _)) in requests.iter().enumerate() {
-            let net_rect = cells
-                .iter()
-                .map(|&(a, b)| BinRect::of(a, b))
-                .reduce(BinRect::union);
-            for (si, &(a, b)) in cells.iter().enumerate() {
-                tasks.push(SegTask {
-                    ri,
-                    si,
-                    a,
-                    b,
-                    seg_rect: BinRect::of(a, b),
-                    rip_rect: if si == 0 { net_rect } else { None },
-                });
-            }
-        }
+    /// Decomposes the given nets in parallel (fixed chunking, results in
+    /// `ids` order).
+    pub(crate) fn decompose_ids(
+        &self,
+        design: &Design,
+        grid: &GridSpec,
+        ids: &[usize],
+        pool: Pool,
+        obs: &Collector,
+    ) -> Vec<NetDecomp> {
+        let _span = obs.span("route_decompose", "route");
+        let chunk = chunk_len(ids.len(), 64, 32);
+        pool.map_chunks(ids.len(), chunk, |_ci, range| {
+            range
+                .map(|k| self.decompose_net(design, grid, ids[k]))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
 
-        // Pass 1: route in net order. Passes 2..n: rip-up and reroute.
-        let mut committed: Vec<Vec<Path>> = vec![Vec::new(); requests.len()];
+    /// The pattern pass loop: pass 0 routes every task in flat order,
+    /// passes 1.. rip up and reroute. `committed[ri]` must start empty and
+    /// receives net `ri`'s segment routes. Batch scratch is hoisted and
+    /// reused across all batches of all passes.
+    pub(crate) fn route_tasks(
+        &self,
+        maps: &mut RouteMaps,
+        tasks: &[SegTask],
+        committed: &mut [Vec<SegRoute>],
+        pool: Pool,
+        obs: &Collector,
+    ) {
         let batch_cap = self.cfg.parallel_batch.max(1);
+        let mut rects: Vec<BinRect> = Vec::new();
+        let mut paths: Vec<Path> = Vec::new();
         for pass in 0..self.cfg.passes.max(1) {
             let _pass_span = obs.span_iter("route_pass", "route", pass as i64);
             let mut batches_this_pass = 0u64;
@@ -300,24 +527,22 @@ impl GlobalRouter {
                 // batch member's commit or rip-up can change another
                 // member's candidate costs, so evaluating the whole batch
                 // against the frozen maps is exactly the serial result.
-                let mut rects: Vec<BinRect> = Vec::new();
+                rects.clear();
                 let mut j = i;
                 'grow: while j < tasks.len() && j - i < batch_cap {
                     let t = &tasks[j];
-                    let mut own: Vec<BinRect> = vec![t.seg_rect];
-                    if pass > 0 {
-                        if let Some(r) = t.rip_rect {
-                            own.push(r);
-                        }
-                    }
+                    let rip = if pass > 0 { t.rip_rect } else { None };
                     if j > i {
                         for r in &rects {
-                            if own.iter().any(|o| o.intersects(r)) {
+                            if t.seg_rect.intersects(r) || rip.map_or(false, |o| o.intersects(r)) {
                                 break 'grow;
                             }
                         }
                     }
-                    rects.extend(own);
+                    rects.push(t.seg_rect);
+                    if let Some(r) = rip {
+                        rects.push(r);
+                    }
                     j += 1;
                 }
 
@@ -325,8 +550,9 @@ impl GlobalRouter {
                 if pass > 0 {
                     for t in &tasks[i..j] {
                         if t.si == 0 {
-                            for path in &committed[t.ri] {
-                                self.apply_path(&mut maps, path, -1.0);
+                            for seg in &committed[t.ri] {
+                                debug_assert!(seg.maze.is_empty());
+                                apply_path(maps, &seg.path, -1.0);
                             }
                             committed[t.ri].clear();
                         }
@@ -335,27 +561,31 @@ impl GlobalRouter {
 
                 // Evaluate candidate paths against the frozen maps.
                 let batch = &tasks[i..j];
-                let paths: Vec<Path> = if batch.len() >= 16 && pool.threads() > 1 {
-                    pool.map_chunks(batch.len(), chunk_len(batch.len(), 8, 4), |_ci, range| {
-                        range
-                            .map(|k| self.best_path(&maps, batch[k].a, batch[k].b))
-                            .collect::<Vec<_>>()
-                    })
-                    .into_iter()
-                    .flatten()
-                    .collect()
+                paths.clear();
+                if batch.len() >= 16 && pool.threads() > 1 {
+                    let frozen: &RouteMaps = maps;
+                    let parts =
+                        pool.map_chunks(batch.len(), chunk_len(batch.len(), 8, 4), |_ci, range| {
+                            range
+                                .map(|k| self.best_path(frozen, batch[k].a, batch[k].b))
+                                .collect::<Vec<_>>()
+                        });
+                    for part in parts {
+                        paths.extend(part);
+                    }
                 } else {
-                    batch
-                        .iter()
-                        .map(|t| self.best_path(&maps, t.a, t.b))
-                        .collect()
-                };
+                    let frozen: &RouteMaps = maps;
+                    paths.extend(batch.iter().map(|t| self.best_path(frozen, t.a, t.b)));
+                }
 
                 // Commit sequentially in flat (net, segment) order.
-                for (t, path) in batch.iter().zip(paths) {
-                    self.apply_path(&mut maps, &path, 1.0);
+                for (t, &path) in batch.iter().zip(paths.iter()) {
+                    apply_path(maps, &path, 1.0);
                     debug_assert_eq!(committed[t.ri].len(), t.si);
-                    committed[t.ri].push(path);
+                    committed[t.ri].push(SegRoute {
+                        path,
+                        ..SegRoute::default()
+                    });
                 }
                 batches_this_pass += 1;
                 if obs.is_enabled() {
@@ -365,100 +595,87 @@ impl GlobalRouter {
             }
             obs.counter_add("route_batches", batches_this_pass);
         }
+    }
 
-        let mut bend_vias: f64 = committed.iter().flatten().map(|p| p.bends as f64).sum();
-
-        // Maze phase: rip up the worst overflow-crossing segments and let
-        // A* find detours.
+    /// Maze phase: rips up the worst overflow-crossing committed segments
+    /// and lets A* find detours, recording the steps in the segment's
+    /// [`SegRoute`]. Returns the reroute count and detour wirelength added
+    /// by this call. No-op when `maze_rip_up` is 0.
+    pub(crate) fn maze_phase(
+        &self,
+        maps: &mut RouteMaps,
+        grid: &GridSpec,
+        cells: &[&[Seg]],
+        committed: &mut [Vec<SegRoute>],
+        obs: &Collector,
+    ) -> (usize, f64) {
+        if self.cfg.maze_rip_up == 0 {
+            return (0, 0.0);
+        }
+        let _maze_span = obs.span("route_maze", "route");
         let mut maze_rerouted = 0usize;
-        let mut detour_wirelength = 0.0;
-        if self.cfg.maze_rip_up > 0 {
-            let _maze_span = obs.span("route_maze", "route");
-            // Score each committed segment by the overflow it crosses.
-            let mut scored: Vec<(f64, usize, usize)> = Vec::new(); // (score, req idx, seg idx)
-            for (ri, paths) in committed.iter().enumerate() {
-                for (si, path) in paths.iter().enumerate() {
-                    let mut score = 0.0;
-                    for run in &path.runs {
-                        for i in run.from..=run.to {
-                            let (ix, iy) = if run.horizontal {
-                                (i, run.fixed)
-                            } else {
-                                (run.fixed, i)
-                            };
-                            score += (maps.demand_at(ix, iy) - maps.capacity_at(ix, iy)).max(0.0);
-                        }
-                    }
-                    if score > 0.0 {
-                        scored.push((score, ri, si));
+        let mut detour_added = 0.0;
+        // Score each committed segment by the overflow it crosses.
+        let mut scored: Vec<(f64, usize, usize)> = Vec::new(); // (score, req idx, seg idx)
+        for (ri, segs) in committed.iter().enumerate() {
+            for (si, seg) in segs.iter().enumerate() {
+                let mut score = 0.0;
+                for run in seg.path.runs() {
+                    for i in run.from..=run.to {
+                        let (ix, iy) = if run.horizontal {
+                            (i, run.fixed)
+                        } else {
+                            (run.fixed, i)
+                        };
+                        score += (maps.demand_at(ix, iy) - maps.capacity_at(ix, iy)).max(0.0);
                     }
                 }
+                if score > 0.0 {
+                    scored.push((score, ri, si));
+                }
             }
-            scored.sort_by(|a, b| b.0.total_cmp(&a.0));
-            scored.truncate(self.cfg.maze_rip_up);
+        }
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+        scored.truncate(self.cfg.maze_rip_up);
 
-            let pitch = 0.5 * (grid.bin_w() + grid.bin_h());
-            for (_, ri, si) in scored {
-                let old = committed[ri][si].clone();
-                self.apply_path(&mut maps, &old, -1.0);
-                bend_vias -= old.bends as f64;
-                let (a, b) = requests[ri].1[si];
+        let pitch = 0.5 * (grid.bin_w() + grid.bin_h());
+        for (_, ri, si) in scored {
+            let old = committed[ri][si].path;
+            apply_path(maps, &old, -1.0);
+            let (a, b) = cells[ri][si];
+            let found = {
+                let frozen: &RouteMaps = maps;
                 let cost = |ix: usize, iy: usize, horizontal: bool| {
-                    self.cell_cost(&maps, ix, iy, horizontal)
+                    self.cell_cost(frozen, ix, iy, horizontal)
                 };
-                match crate::maze::astar(&maps, a, b, &cost, self.cfg.via_cost) {
-                    Some(mp) => {
-                        for step in &mp.steps {
-                            if step.horizontal {
-                                maps.h_demand[step.cell] += 1.0;
-                            } else {
-                                maps.v_demand[step.cell] += 1.0;
-                            }
-                        }
-                        // Bends become vias at the turn cells (approximate:
-                        // charge at the step cell).
-                        let mut prev_dir: Option<bool> = None;
-                        for step in &mp.steps {
-                            if let Some(pd) = prev_dir {
-                                if pd != step.horizontal {
-                                    maps.via_demand[step.cell] += 1.0;
-                                }
-                            }
-                            prev_dir = Some(step.horizontal);
-                        }
-                        bend_vias += mp.bends as f64;
-                        let manhattan =
-                            (a.0 as f64 - b.0 as f64).abs() + (a.1 as f64 - b.1 as f64).abs();
-                        let extra = (mp.steps.len() as f64 - manhattan).max(0.0) * pitch;
-                        detour_wirelength += extra;
-                        maze_rerouted += 1;
-                        committed[ri][si] = Path::default(); // consumed
-                    }
-                    None => {
-                        // Restore the pattern route (degenerate grids only).
-                        self.apply_path(&mut maps, &old, 1.0);
-                        bend_vias += old.bends as f64;
-                        committed[ri][si] = old;
-                    }
+                crate::maze::astar(frozen, a, b, &cost, self.cfg.via_cost)
+            };
+            match found {
+                Some(mp) => {
+                    apply_maze(maps, &mp.steps, 1.0);
+                    let manhattan =
+                        (a.0 as f64 - b.0 as f64).abs() + (a.1 as f64 - b.1 as f64).abs();
+                    let extra = (mp.steps.len() as f64 - manhattan).max(0.0) * pitch;
+                    detour_added += extra;
+                    maze_rerouted += 1;
+                    let seg = &mut committed[ri][si];
+                    seg.path = Path::default(); // consumed
+                    seg.maze_bends = mp.bends;
+                    seg.detour = extra;
+                    seg.maze = mp.steps;
+                }
+                None => {
+                    // Restore the pattern route (degenerate grids only).
+                    apply_path(maps, &old, 1.0);
                 }
             }
         }
-
-        obs.counter_add("route_maze_rerouted", maze_rerouted as u64);
-        let pin_vias: f64 = requests.iter().map(|r| r.2).sum();
-        let congestion = maps.congestion_eq3();
-        RouteResult {
-            maps,
-            wirelength: wirelength + detour_wirelength,
-            vias: bend_vias + pin_vias,
-            congestion,
-            maze_rerouted,
-            detour_wirelength,
-        }
+        (maze_rerouted, detour_added)
     }
 
     /// Logistic congestion cost of pushing one more unit of demand through
-    /// a G-cell in the given direction.
+    /// a G-cell in the given direction. Uses the deterministic inlinable
+    /// [`fast_exp`] so the surrounding loops vectorize.
     #[inline]
     fn cell_cost(&self, maps: &RouteMaps, ix: usize, iy: usize, horizontal: bool) -> f64 {
         let (dem, cap) = if horizontal {
@@ -467,31 +684,47 @@ impl GlobalRouter {
             (maps.v_demand[(ix, iy)], maps.caps.v[(ix, iy)])
         };
         let u = (dem + 1.0 + maps.via_weight * maps.via_demand[(ix, iy)]) / cap;
-        1.0 + self.cfg.cost_amplitude / (1.0 + (-self.cfg.cost_sharpness * (u - 1.0)).exp())
+        1.0 + self.cfg.cost_amplitude / (1.0 + fast_exp(-self.cfg.cost_sharpness * (u - 1.0)))
     }
 
+    /// Cost of one monotone run. Horizontal runs read contiguous row
+    /// slices (the hot case: repeated index math dominates the scalar
+    /// version); vertical runs fall back to per-cell indexing.
     fn run_cost(&self, maps: &RouteMaps, run: &Run) -> f64 {
         let mut acc = 0.0;
-        for i in run.from..=run.to {
-            let (ix, iy) = if run.horizontal {
-                (i, run.fixed)
-            } else {
-                (run.fixed, i)
-            };
-            acc += self.cell_cost(maps, ix, iy, run.horizontal);
+        if run.horizontal {
+            let h = maps.h_demand.row(run.fixed);
+            let ch = maps.caps.h.row(run.fixed);
+            let via = maps.via_demand.row(run.fixed);
+            let w = maps.via_weight;
+            for i in run.from..=run.to {
+                let u = (h[i] + 1.0 + w * via[i]) / ch[i];
+                acc += 1.0
+                    + self.cfg.cost_amplitude
+                        / (1.0 + fast_exp(-self.cfg.cost_sharpness * (u - 1.0)));
+            }
+        } else {
+            for i in run.from..=run.to {
+                acc += self.cell_cost(maps, run.fixed, i, false);
+            }
         }
         acc
     }
 
     fn path_cost(&self, maps: &RouteMaps, path: &Path) -> f64 {
-        path.runs
-            .iter()
-            .map(|r| self.run_cost(maps, r))
-            .sum::<f64>()
-            + self.cfg.via_cost * path.bends as f64
+        let mut acc = 0.0;
+        for r in path.runs() {
+            acc += self.run_cost(maps, r);
+        }
+        acc + self.cfg.via_cost * path.bends as f64
     }
 
     /// Enumerates straight / L / Z candidates and returns the cheapest.
+    ///
+    /// Candidates are evaluated in a fixed order with `<=` replacement, so
+    /// the **last** minimum wins — the same tie-break as the previous
+    /// `Iterator::min_by` implementation, without materializing the
+    /// candidate list.
     fn best_path(&self, maps: &RouteMaps, a: (usize, usize), b: (usize, usize)) -> Path {
         let (ax, ay) = a;
         let (bx, by) = b;
@@ -499,28 +732,21 @@ impl GlobalRouter {
             return Path::default();
         }
         if ay == by {
-            return Path {
-                runs: vec![hrun(ay, ax, bx)],
-                bends: 0,
-            };
+            return Path::one(hrun(ay, ax, bx));
         }
         if ax == bx {
-            return Path {
-                runs: vec![vrun(ax, ay, by)],
-                bends: 0,
-            };
+            return Path::one(vrun(ax, ay, by));
         }
 
-        let mut candidates: Vec<Path> = Vec::with_capacity(2 + 2 * self.cfg.z_candidates);
         // L-shapes.
-        candidates.push(Path {
-            runs: vec![hrun(ay, ax, bx), vrun(bx, ay, by)],
-            bends: 1,
-        });
-        candidates.push(Path {
-            runs: vec![vrun(ax, ay, by), hrun(by, ax, bx)],
-            bends: 1,
-        });
+        let mut best = Path::two(hrun(ay, ax, bx), vrun(bx, ay, by));
+        let mut best_cost = self.path_cost(maps, &best);
+        let cand = Path::two(vrun(ax, ay, by), hrun(by, ax, bx));
+        let c = self.path_cost(maps, &cand);
+        if c <= best_cost {
+            best = cand;
+            best_cost = c;
+        }
         // Z-shapes: H-V-H with interior bend column, V-H-V with interior
         // bend row.
         let (xlo, xhi) = (ax.min(bx), ax.max(bx));
@@ -528,44 +754,24 @@ impl GlobalRouter {
         for t in 1..=self.cfg.z_candidates {
             let xm = xlo + t * (xhi - xlo) / (self.cfg.z_candidates + 1);
             if xm > xlo && xm < xhi {
-                candidates.push(Path {
-                    runs: vec![hrun(ay, ax, xm), vrun(xm, ay, by), hrun(by, xm, bx)],
-                    bends: 2,
-                });
+                let cand = Path::three(hrun(ay, ax, xm), vrun(xm, ay, by), hrun(by, xm, bx));
+                let c = self.path_cost(maps, &cand);
+                if c <= best_cost {
+                    best = cand;
+                    best_cost = c;
+                }
             }
             let ym = ylo + t * (yhi - ylo) / (self.cfg.z_candidates + 1);
             if ym > ylo && ym < yhi {
-                candidates.push(Path {
-                    runs: vec![vrun(ax, ay, ym), hrun(ym, ax, bx), vrun(bx, ym, by)],
-                    bends: 2,
-                });
-            }
-        }
-
-        candidates
-            .into_iter()
-            .map(|p| (self.path_cost(maps, &p), p))
-            .min_by(|(c1, _), (c2, _)| c1.total_cmp(c2))
-            .map(|(_, p)| p)
-            .expect("candidate list is never empty")
-    }
-
-    fn apply_path(&self, maps: &mut RouteMaps, path: &Path, sign: f64) {
-        for run in &path.runs {
-            for i in run.from..=run.to {
-                if run.horizontal {
-                    maps.h_demand[(i, run.fixed)] += sign;
-                } else {
-                    maps.v_demand[(run.fixed, i)] += sign;
+                let cand = Path::three(vrun(ax, ay, ym), hrun(ym, ax, bx), vrun(bx, ym, by));
+                let c = self.path_cost(maps, &cand);
+                if c <= best_cost {
+                    best = cand;
+                    best_cost = c;
                 }
             }
         }
-        // Bend vias at run joints: charged at the start cell of each
-        // follow-up run.
-        for w in path.runs.windows(2) {
-            let joint = joint_cell(&w[0], &w[1]);
-            maps.via_demand[joint] += sign;
-        }
+        best
     }
 }
 
@@ -664,7 +870,7 @@ mod tests {
         let router = GlobalRouter::default();
         let path = router.best_path(&maps, (0, 0), (7, 7));
         // The chosen path must not run vertically along column 0.
-        for run in &path.runs {
+        for run in path.runs() {
             assert!(
                 run.horizontal || run.fixed != 0,
                 "path used congested column: {path:?}"

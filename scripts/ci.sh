@@ -46,7 +46,7 @@ fi
 echo "==> obs smoke (traced 5k-cell flow, exporter + HTML report validation)"
 cargo run -q --release --offline -p rdp-bench --bin obs_smoke
 
-echo "==> obs overhead gate (20k-cell GP step, < 3%)"
+echo "==> obs overhead gate (20k-cell GP step, < 6%)"
 RDP_OBS_ASSERT=1 cargo bench --offline -p rdp-bench --bench obs
 
 # Scenario-matrix gate (fast tier): every scenario class — adversarial
@@ -61,9 +61,12 @@ scripts/matrix.sh
 
 # Perf-regression gate: re-runs the baselined bench suites and compares
 # median-of-N against crates/bench/baselines/ (bench_diff exits non-zero
-# on a benchmark more than RDP_REGRESS_TOL slower than its baseline).
-echo "==> perf regression gate (scripts/regress.sh)"
-scripts/regress.sh
+# on a benchmark more than RDP_REGRESS_TOL slower than its baseline;
+# the summary prints the per-kernel speedup vs the baseline). The
+# tolerance is pinned explicitly here so the CI gate never silently
+# drifts with a changed regress.sh default.
+echo "==> perf regression gate (scripts/regress.sh, tol ${RDP_REGRESS_TOL:-0.5})"
+RDP_REGRESS_TOL="${RDP_REGRESS_TOL:-0.5}" scripts/regress.sh
 
 # Fault-injection pass: the robustness suite (FaultPlan scenarios,
 # checkpoint corruption, kill-and-resume bitwise identity) and the

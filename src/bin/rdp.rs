@@ -72,9 +72,12 @@ commands:
            [--checkpoint FILE]               save resumable state each iteration
            [--resume FILE]                   resume a killed run (bit-exact)
            [--legalize]                      legalize + detailed-place after GP
+           [--incremental-route]             rip up / re-route only dirty nets
+           [--incremental-move-threshold F]  dirty threshold, fraction of bin
   route    <input>                         route and summarize congestion
   eval     <input>                         evaluate the current placement
   flow     <input> [--preset P]            place → legalize → evaluate
+           [--incremental-route]             (same routing flags as place)
   matrix   [--scale small|full] [--classes a,b,...] [--run-dir DIR]
                                            scenario matrix: run every stress
                                            class through the three presets and
@@ -111,6 +114,22 @@ fn parse_preset(rest: &[String]) -> Result<PlacerPreset, String> {
         "ours" => Ok(PlacerPreset::Ours),
         other => Err(format!("unknown preset `{other}`")),
     }
+}
+
+/// Builds the flow configuration for a preset plus command-line overrides
+/// (`--incremental-route` enables incremental rip-up-and-reroute between
+/// routability iterations).
+fn parse_flow_config(rest: &[String]) -> Result<RoutabilityConfig, String> {
+    let mut cfg = RoutabilityConfig::preset(parse_preset(rest)?);
+    if rest.iter().any(|a| a == "--incremental-route") {
+        cfg.incremental_routing = true;
+    }
+    if let Some(thr) = flag(rest, "--incremental-move-threshold") {
+        cfg.incremental_move_threshold = thr
+            .parse()
+            .map_err(|_| format!("--incremental-move-threshold `{thr}` is not a number"))?;
+    }
+    Ok(cfg)
 }
 
 /// Observability outputs requested on the command line. The collector is
@@ -304,7 +323,6 @@ fn cmd_generate(rest: &[String]) -> Result<(), String> {
 
 fn cmd_place(rest: &[String]) -> Result<(), String> {
     let spec = rest.first().ok_or("place needs an input")?;
-    let preset = parse_preset(rest)?;
     let obs_args = parse_obs(rest);
     let mut design = load_input(spec, &obs_args.obs)?;
 
@@ -350,8 +368,8 @@ fn cmd_place(rest: &[String]) -> Result<(), String> {
         obs: obs_args.obs.clone(),
         ..Default::default()
     };
-    let report = run_flow_with(&mut design, &RoutabilityConfig::preset(preset), ctrl)
-        .map_err(|e| e.to_string())?;
+    let report =
+        run_flow_with(&mut design, &parse_flow_config(rest)?, ctrl).map_err(|e| e.to_string())?;
     println!(
         "placed `{}`: {} WL iters + {} routability iters in {:.2}s, HPWL {:.0} um",
         design.name(),
@@ -467,7 +485,7 @@ fn cmd_flow(rest: &[String]) -> Result<(), String> {
     let mut design = load_input(spec, &obs_args.obs)?;
     let report = place_and_evaluate_obs(
         &mut design,
-        &RoutabilityConfig::preset(preset),
+        &parse_flow_config(rest)?,
         &EvalConfig::default(),
         &obs_args.obs,
     )

@@ -103,6 +103,91 @@ fn poisson_solution_thread_invariant() {
     }
 }
 
+/// The vectorized 2-D DCT (twiddle-table FFT butterflies, tiled
+/// transposes) parallelizes over rows/columns; the transform must stay
+/// bit-identical across pool sizes.
+#[test]
+fn dct_2d_thread_invariant() {
+    use rdp::poisson::dct2_2d_with;
+    let (nx, ny) = (128, 64);
+    let data: Vec<f64> = (0..nx * ny)
+        .map(|i| (((i * 131) % 97) as f64) / 9.7 - 5.0)
+        .collect();
+    let c1 = dct2_2d_with(&data, nx, ny, Pool::serial());
+    for threads in [2, 4] {
+        let cn = dct2_2d_with(&data, nx, ny, Pool::new(threads));
+        assert_eq!(bits(&c1), bits(&cn), "dct2_2d @ {threads} threads");
+    }
+}
+
+/// Reusing a `DctScratch` (cached quarter-wave and twiddle tables) must
+/// be bitwise indistinguishable from fresh scratch: table caching is a
+/// pure allocation optimization, never a numeric one.
+#[test]
+fn dct_scratch_reuse_is_bitwise_stable() {
+    use rdp::poisson::{dct2_with, idct_with, idxst_with, DctScratch};
+    let n = 256;
+    let x: Vec<f64> = (0..n).map(|i| ((i * 37) % 19) as f64 - 9.0).collect();
+
+    let mut reused = DctScratch::new();
+    // Warm the tables at a different size first, then at `n`.
+    let mut warm = vec![0.0; 64];
+    dct2_with(&x[..64], &mut warm, &mut reused);
+
+    let mut a = vec![0.0; n];
+    let mut b = vec![0.0; n];
+    dct2_with(&x, &mut a, &mut reused);
+    dct2_with(&x, &mut b, &mut DctScratch::new());
+    assert_eq!(bits(&a), bits(&b), "dct2 scratch reuse");
+
+    idct_with(&x, &mut a, &mut reused);
+    idct_with(&x, &mut b, &mut DctScratch::new());
+    assert_eq!(bits(&a), bits(&b), "idct scratch reuse");
+
+    idxst_with(&x, &mut a, &mut reused);
+    idxst_with(&x, &mut b, &mut DctScratch::new());
+    assert_eq!(bits(&a), bits(&b), "idxst scratch reuse");
+}
+
+/// The lane-chunked WA kernels differ from the scalar reference
+/// (`wirelength::reference`) only by summation order and the ≈2-ulp
+/// `fast_exp`, so on a real design the totals must agree to a tight
+/// relative tolerance — while the lane result itself stays bitwise
+/// thread-invariant (checked above).
+#[test]
+fn wa_lanes_track_scalar_reference() {
+    use rdp::core::wirelength::reference;
+    use rdp::db::NetId;
+    let design = test_design();
+    let gamma = 2.0;
+    let wa = WaModel::new(gamma);
+
+    let mut ref_total = 0.0;
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for ni in 0..design.num_nets() {
+        let net = design.net(NetId::from_index(ni));
+        if net.pins.len() < 2 {
+            continue;
+        }
+        xs.clear();
+        ys.clear();
+        for &p in &net.pins {
+            let pos = design.pin_position(p);
+            xs.push(pos.x);
+            ys.push(pos.y);
+        }
+        ref_total += (reference::wa_1d(&xs, gamma) + reference::wa_1d(&ys, gamma)) * net.weight;
+    }
+
+    let lanes = wa.wirelength_with(&design, Pool::serial());
+    let rel = (lanes - ref_total).abs() / ref_total.abs().max(1.0);
+    assert!(
+        rel < 1e-12,
+        "lane WA {lanes} vs scalar reference {ref_total} (rel {rel:e})"
+    );
+}
+
 #[test]
 fn rudy_map_thread_invariant() {
     let design = test_design();

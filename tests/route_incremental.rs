@@ -1,0 +1,305 @@
+//! Incremental-vs-full routing equivalence: the dirty-net rip-up path of
+//! `rdp::route::IncrementalRouter` must never be observable in the routing
+//! *results* — only in the work done.
+//!
+//! Contract under test (see `crates/route/src/incremental.rs`):
+//!
+//! * A first call (or any resync) is a plain full route — bitwise equal to
+//!   `GlobalRouter` on the same design.
+//! * An all-dirty incremental call executes the exact instruction sequence
+//!   of a full route, so demand maps, congestion, wirelength and via
+//!   totals are bitwise identical to routing the perturbed design from
+//!   scratch.
+//! * After any partial incremental call, replaying the committed routes
+//!   into fresh maps reproduces the retained demand maps bit-for-bit
+//!   (exact dyadic rip-up; `verify_consistency`).
+//! * The whole incremental sequence is thread-count invariant, like every
+//!   other kernel in the workspace.
+
+use rdp::db::Point;
+use rdp::gen::{scenario_by_name, Scale};
+use rdp::par::set_global_threads;
+use rdp::route::{GlobalRouter, IncrementalConfig, IncrementalRouter, RouteResult, RouterConfig};
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Asserts two route results are bitwise identical (maps and totals).
+fn assert_routes_bit_equal(a: &RouteResult, b: &RouteResult, what: &str) {
+    assert_eq!(
+        a.wirelength.to_bits(),
+        b.wirelength.to_bits(),
+        "{what}: wirelength"
+    );
+    assert_eq!(a.vias.to_bits(), b.vias.to_bits(), "{what}: vias");
+    assert_eq!(a.maze_rerouted, b.maze_rerouted, "{what}: maze reroutes");
+    assert_eq!(
+        bits(a.maps.h_demand.as_slice()),
+        bits(b.maps.h_demand.as_slice()),
+        "{what}: h demand"
+    );
+    assert_eq!(
+        bits(a.maps.v_demand.as_slice()),
+        bits(b.maps.v_demand.as_slice()),
+        "{what}: v demand"
+    );
+    assert_eq!(
+        bits(a.maps.via_demand.as_slice()),
+        bits(b.maps.via_demand.as_slice()),
+        "{what}: via demand"
+    );
+    assert_eq!(
+        bits(a.congestion.as_slice()),
+        bits(b.congestion.as_slice()),
+        "{what}: congestion"
+    );
+}
+
+/// Deterministically nudge every movable cell (index-hashed offsets,
+/// clamped inside the die).
+fn perturb_all(design: &mut rdp::db::Design, amplitude: f64) {
+    let die = design.die();
+    let mut pos: Vec<Point> = design.positions().to_vec();
+    for (i, p) in pos.iter_mut().enumerate() {
+        if design.cell(rdp::db::CellId::from_index(i)).fixed {
+            continue;
+        }
+        let dx = amplitude * (1.0 + (i % 5) as f64) / 5.0;
+        let dy = amplitude * (1.0 + (i % 3) as f64) / 3.0;
+        p.x = (p.x + if i % 2 == 0 { dx } else { -dx }).clamp(die.lo.x, die.hi.x);
+        p.y = (p.y + if i % 4 < 2 { dy } else { -dy }).clamp(die.lo.y, die.hi.y);
+    }
+    design.set_positions(&pos);
+}
+
+/// Nudge a deterministic subset (`1 / stride` of the movable cells).
+fn perturb_some(design: &mut rdp::db::Design, amplitude: f64, stride: usize) {
+    let die = design.die();
+    let mut pos: Vec<Point> = design.positions().to_vec();
+    for (i, p) in pos.iter_mut().enumerate() {
+        if i % stride != 0 || design.cell(rdp::db::CellId::from_index(i)).fixed {
+            continue;
+        }
+        p.x = (p.x + amplitude).clamp(die.lo.x, die.hi.x);
+        p.y = (p.y - amplitude).clamp(die.lo.y, die.hi.y);
+    }
+    design.set_positions(&pos);
+}
+
+/// A router config with the maze phase enabled, so the suite also covers
+/// rip-up of maze-detoured segments (their steps must be stored and
+/// subtracted exactly).
+fn maze_router() -> GlobalRouter {
+    GlobalRouter::new(RouterConfig {
+        maze_rip_up: 50,
+        ..RouterConfig::default()
+    })
+}
+
+/// Incremental tuning that never resyncs on its own, so the tests below
+/// exercise the genuine incremental path.
+fn no_resync() -> IncrementalConfig {
+    IncrementalConfig {
+        move_threshold: 0.0,
+        resync_every: 0,
+        drift_frac: f64::INFINITY,
+    }
+}
+
+/// First incremental call ≡ full route, across the scenario matrix's
+/// routing-heavy classes (including the blockage maze and the
+/// near-saturated core).
+#[test]
+fn first_call_matches_full_route_across_scenarios() {
+    for name in [
+        "baseline",
+        "macro_obstructed",
+        "obstruction_maze",
+        "near_full_util",
+    ] {
+        let design = scenario_by_name(name)
+            .expect("known scenario")
+            .build(Scale::Small);
+        let full = maze_router().route(&design);
+        let mut inc = IncrementalRouter::new(maze_router(), IncrementalConfig::default());
+        let first = inc.route(&design);
+        let stats = inc.last_stats().expect("routed once");
+        assert!(stats.full_resync, "{name}: first call must be a full route");
+        assert_routes_bit_equal(&first, &full, name);
+        assert!(inc.verify_consistency(), "{name}: replay mismatch");
+    }
+}
+
+/// All-dirty incremental ≡ full route of the perturbed design: with every
+/// net ripped up, the incremental call must walk the exact instruction
+/// sequence of a from-scratch route.
+#[test]
+fn all_dirty_incremental_matches_full_route() {
+    for name in ["baseline", "obstruction_maze"] {
+        let mut design = scenario_by_name(name)
+            .expect("known scenario")
+            .build(Scale::Small);
+        let mut inc = IncrementalRouter::new(maze_router(), no_resync());
+        inc.route(&design);
+
+        perturb_all(&mut design, 1.5);
+        let incremental = inc.route(&design);
+        let stats = inc.last_stats().expect("routed twice");
+        assert!(
+            !stats.full_resync,
+            "{name}: all-dirty call must stay on the incremental path"
+        );
+        assert_eq!(
+            stats.dirty_nets, stats.total_nets,
+            "{name}: every net must be dirty after a global perturbation"
+        );
+
+        let full = maze_router().route(&design);
+        assert_routes_bit_equal(&incremental, &full, name);
+        assert!(inc.verify_consistency(), "{name}: replay mismatch");
+    }
+}
+
+/// Partial perturbation: only a subset of nets is re-routed, the retained
+/// maps still replay exactly from the committed routes, and a reset
+/// returns to bitwise full-route agreement.
+#[test]
+fn partial_incremental_is_exact_and_reset_recovers_full() {
+    let mut design = scenario_by_name("baseline")
+        .expect("known scenario")
+        .build(Scale::Small);
+    let mut inc = IncrementalRouter::new(maze_router(), no_resync());
+    inc.route(&design);
+
+    perturb_some(&mut design, 2.0, 7);
+    let r = inc.route(&design);
+    let stats = inc.last_stats().expect("routed twice");
+    assert!(!stats.full_resync);
+    assert!(
+        stats.dirty_nets < stats.total_nets,
+        "a sparse perturbation must not dirty every net ({} / {})",
+        stats.dirty_nets,
+        stats.total_nets
+    );
+    assert!(
+        stats.dirty_nets > 0,
+        "perturbed cells must dirty their nets"
+    );
+    assert!(r.wirelength > 0.0);
+    assert!(
+        inc.verify_consistency(),
+        "incremental maps drifted from the committed routes"
+    );
+
+    // Dropping the state makes the next call a full route again.
+    inc.reset();
+    let resynced = inc.route(&design);
+    assert!(inc.last_stats().unwrap().full_resync);
+    let full = maze_router().route(&design);
+    assert_routes_bit_equal(&resynced, &full, "post-reset resync");
+}
+
+/// The periodic resync is an all-dirty route from fresh state: bitwise
+/// equal to `GlobalRouter` on the same positions.
+#[test]
+fn periodic_resync_matches_full_route() {
+    let mut design = scenario_by_name("baseline")
+        .expect("known scenario")
+        .build(Scale::Small);
+    let mut inc = IncrementalRouter::new(
+        maze_router(),
+        IncrementalConfig {
+            move_threshold: 0.0,
+            resync_every: 2,
+            drift_frac: f64::INFINITY,
+        },
+    );
+    inc.route(&design); // full (first call)
+    perturb_some(&mut design, 1.0, 5);
+    inc.route(&design); // incremental
+    assert!(!inc.last_stats().unwrap().full_resync);
+    perturb_some(&mut design, 1.0, 3);
+    let resynced = inc.route(&design); // periodic resync due
+    assert!(
+        inc.last_stats().unwrap().full_resync,
+        "resync_every=2 must force a full route on the third call"
+    );
+    let full = maze_router().route(&design);
+    assert_routes_bit_equal(&resynced, &full, "periodic resync");
+}
+
+/// Sub-threshold motion leaves the route untouched; drift accumulates
+/// against the anchor and eventually crosses the threshold.
+#[test]
+fn move_threshold_filters_and_accumulates() {
+    let mut design = scenario_by_name("baseline")
+        .expect("known scenario")
+        .build(Scale::Small);
+    let mut inc = IncrementalRouter::new(
+        maze_router(),
+        IncrementalConfig {
+            move_threshold: 1.0,
+            resync_every: 0,
+            drift_frac: f64::INFINITY,
+        },
+    );
+    let before = inc.route(&design);
+
+    // 0.4 um < threshold: nothing becomes dirty, so maps and totals are
+    // unchanged. (`maze_rerouted` is a per-call work counter — a no-op
+    // call legitimately reports 0 — so it is not compared here.)
+    perturb_some(&mut design, 0.4, 1);
+    let after = inc.route(&design);
+    assert_eq!(inc.last_stats().unwrap().dirty_nets, 0);
+    assert_eq!(after.wirelength.to_bits(), before.wirelength.to_bits());
+    assert_eq!(after.vias.to_bits(), before.vias.to_bits());
+    assert_eq!(
+        bits(after.maps.h_demand.as_slice()),
+        bits(before.maps.h_demand.as_slice())
+    );
+    assert_eq!(
+        bits(after.maps.v_demand.as_slice()),
+        bits(before.maps.v_demand.as_slice())
+    );
+    assert_eq!(
+        bits(after.congestion.as_slice()),
+        bits(before.congestion.as_slice())
+    );
+
+    // Another 0.8 um in the same direction: cumulative drift vs the
+    // anchor is 1.2 um > threshold, so nets go dirty now.
+    perturb_some(&mut design, 0.8, 1);
+    inc.route(&design);
+    assert!(
+        inc.last_stats().unwrap().dirty_nets > 0,
+        "accumulated drift must eventually dirty the nets"
+    );
+    assert!(inc.verify_consistency());
+}
+
+/// The incremental sequence (full → perturb → incremental) is thread-count
+/// invariant, like every kernel behind it.
+#[test]
+fn incremental_sequence_thread_invariant() {
+    let run = || {
+        let mut design = scenario_by_name("baseline")
+            .expect("known scenario")
+            .build(Scale::Small);
+        let mut inc = IncrementalRouter::new(maze_router(), no_resync());
+        inc.route(&design);
+        perturb_some(&mut design, 2.0, 4);
+        let r = inc.route(&design);
+        (r, inc.last_stats().unwrap())
+    };
+
+    set_global_threads(1);
+    let (r1, s1) = run();
+    set_global_threads(4);
+    let (r4, s4) = run();
+    set_global_threads(1);
+
+    assert_eq!(s1, s4, "dirty-net accounting differs across thread counts");
+    assert!(!s1.full_resync);
+    assert_routes_bit_equal(&r1, &r4, "t1 vs t4");
+}
