@@ -34,7 +34,7 @@ use std::time::Instant;
 use rdp_db::{Design, Point};
 use rdp_guard::{RdpError, SnapshotReader, SnapshotWriter, Stage, Warning};
 use rdp_obs::Collector;
-use rdp_route::{GlobalRouter, IncrementalConfig, IncrementalRouter, RouterConfig};
+use rdp_route::{GlobalRouter, IncrementalConfig, IncrementalRouter, ResyncReason, RouterConfig};
 
 use crate::congestion::CongestionField;
 use crate::dpa::{DpaConfig, PgDensity};
@@ -111,10 +111,12 @@ pub struct RoutabilityConfig {
     /// Use the incremental router for the per-iteration congestion
     /// estimate: between routability iterations only nets dirtied by cell
     /// movement are ripped up and re-routed. The final route is always a
-    /// full route. Off by default; note that a checkpoint-resumed run
-    /// starts the incremental state fresh (one full re-route at the
-    /// resume point), so resumed runs are only bit-identical to
-    /// uninterrupted ones when this is disabled.
+    /// full route. Off by default. Checkpointed runs (an `on_checkpoint`
+    /// hook installed) force a full resync at every checkpoint boundary so
+    /// a killed-and-resumed run — which starts the incremental state
+    /// fresh — reproduces the uninterrupted run bit-for-bit; the
+    /// incremental speedup therefore only materializes in
+    /// non-checkpointed runs.
     pub incremental_routing: bool,
     /// Movement threshold for incremental dirtiness, as a fraction of the
     /// smaller G-cell dimension (cells drifting less than this since their
@@ -339,6 +341,12 @@ pub struct FlowControl<'a> {
     /// Called with a fresh checkpoint at the top of every routability
     /// iteration (before that iteration's routing).
     pub on_checkpoint: Option<&'a mut dyn FnMut(&FlowCheckpoint)>,
+    /// Polled at the top of every routability iteration, right after
+    /// `on_checkpoint`. Returning `Some(err)` aborts the flow with that
+    /// error — the service layer uses this for deadlines, cancellation,
+    /// and drain, so the last persisted checkpoint is at most one
+    /// iteration stale when the flow stops.
+    pub interrupt: Option<&'a mut dyn FnMut(usize) -> Option<RdpError>>,
     /// Deterministic one-shot fault injection (robustness suite).
     pub fault: Option<FlowFault>,
     /// Observability sink (disabled by default): every flow stage gets a
@@ -788,6 +796,7 @@ pub fn run_flow_with(
     // Phase 2: routability-driven iterations.
     session.set_stage(Stage::Routability);
     let router = GlobalRouter::new(cfg.router.clone());
+    let checkpointing = ctrl.on_checkpoint.is_some();
     // Optional incremental re-routing between iterations. Resuming from a
     // checkpoint starts with empty incremental state, so the first call
     // after a resume is a full re-route (documented on the config flag).
@@ -846,11 +855,62 @@ pub fn run_flow_with(
             };
             cb(&cp);
         }
+        if let Some(poll) = ctrl.interrupt.as_mut() {
+            if let Some(e) = poll(t) {
+                return Err(e);
+            }
+        }
 
         let route = {
             let _route_span = obs.span_iter("route", "route", t as i64);
             match inc_router.as_mut() {
-                Some(inc) => inc.route_obs(design, &obs),
+                Some(inc) => {
+                    // Checkpointed flows must resume bitwise: a resumed run
+                    // starts with empty incremental state, so force the
+                    // uninterrupted run onto the same all-dirty path by
+                    // resyncing at every checkpoint boundary. The speedup
+                    // is preserved for non-checkpointed runs.
+                    if checkpointing {
+                        inc.reset();
+                    }
+                    let r = inc.route_obs(design, &obs);
+                    if let Some(st) = inc.last_stats() {
+                        if st.full_resync {
+                            obs.counter_add("route_resyncs", 1);
+                            obs.instant(
+                                "route_resync",
+                                t as i64,
+                                format!(
+                                    "{} resync ({}/{} nets dirty)",
+                                    st.reason.label(),
+                                    st.dirty_nets,
+                                    st.total_nets
+                                ),
+                            );
+                        }
+                        // Periodic/drift bails are degraded-mode events the
+                        // report should carry; forced and first-call resyncs
+                        // are expected and stay trace-only so resumed runs
+                        // keep identical warning lists.
+                        if matches!(st.reason, ResyncReason::Periodic | ResyncReason::Drift) {
+                            note_warning(
+                                &obs,
+                                &mut warnings,
+                                Warning::new(
+                                    Stage::Routing,
+                                    t,
+                                    format!(
+                                        "incremental routing bailed to a full re-route ({}; {}/{} nets dirty)",
+                                        st.reason.label(),
+                                        st.dirty_nets,
+                                        st.total_nets
+                                    ),
+                                ),
+                            );
+                        }
+                    }
+                    r
+                }
                 None => router.route_obs(design, &obs),
             }
         };

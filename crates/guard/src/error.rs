@@ -83,6 +83,30 @@ pub enum RdpError {
     Checkpoint { detail: String },
     /// A configuration value is unusable for the given design.
     Config { detail: String },
+    /// A wall-clock deadline expired. Enforced at checkpoint boundaries,
+    /// so the last persisted checkpoint is at most one iteration stale.
+    Deadline {
+        detail: String,
+        /// Wall-clock milliseconds consumed when the deadline tripped.
+        elapsed_ms: u64,
+        /// The configured budget in milliseconds.
+        budget_ms: u64,
+    },
+    /// Work was cancelled before completing (client request or drain).
+    Cancelled { detail: String },
+    /// A wire-protocol violation: malformed, oversized, or truncated
+    /// frames, or an I/O deadline exceeded on a connection.
+    Protocol { detail: String },
+    /// A bounded queue or resource rejected the request; retry after the
+    /// indicated backoff.
+    Busy {
+        detail: String,
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// An internal invariant failed (e.g. a panic caught at a job
+    /// boundary). Never retried automatically.
+    Internal { detail: String },
 }
 
 impl RdpError {
@@ -117,7 +141,26 @@ impl RdpError {
             RdpError::Design { .. } => Some(Stage::Design),
             RdpError::NonFinite { stage, .. } | RdpError::Diverged { stage, .. } => Some(*stage),
             RdpError::Checkpoint { .. } => Some(Stage::Checkpoint),
-            RdpError::Config { .. } => None,
+            RdpError::Config { .. }
+            | RdpError::Deadline { .. }
+            | RdpError::Cancelled { .. }
+            | RdpError::Protocol { .. }
+            | RdpError::Busy { .. }
+            | RdpError::Internal { .. } => None,
+        }
+    }
+
+    /// Convenience constructor for protocol violations.
+    pub fn protocol(detail: impl Into<String>) -> Self {
+        RdpError::Protocol {
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for internal invariant failures.
+    pub fn internal(detail: impl Into<String>) -> Self {
+        RdpError::Internal {
+            detail: detail.into(),
         }
     }
 }
@@ -158,6 +201,21 @@ impl fmt::Display for RdpError {
             ),
             RdpError::Checkpoint { detail } => write!(f, "checkpoint error: {detail}"),
             RdpError::Config { detail } => write!(f, "config error: {detail}"),
+            RdpError::Deadline {
+                detail,
+                elapsed_ms,
+                budget_ms,
+            } => write!(
+                f,
+                "deadline exceeded after {elapsed_ms} ms (budget {budget_ms} ms): {detail}"
+            ),
+            RdpError::Cancelled { detail } => write!(f, "cancelled: {detail}"),
+            RdpError::Protocol { detail } => write!(f, "protocol error: {detail}"),
+            RdpError::Busy {
+                detail,
+                retry_after_ms,
+            } => write!(f, "busy: {detail} (retry after {retry_after_ms} ms)"),
+            RdpError::Internal { detail } => write!(f, "internal error: {detail}"),
         }
     }
 }
@@ -188,6 +246,40 @@ mod tests {
             "{s}"
         );
         assert_eq!(e.stage(), Some(Stage::WirelengthGp));
+    }
+
+    #[test]
+    fn service_variants_carry_no_stage_and_display_context() {
+        let e = RdpError::Deadline {
+            detail: "job 3".into(),
+            elapsed_ms: 1500,
+            budget_ms: 1000,
+        };
+        assert_eq!(e.stage(), None);
+        let s = e.to_string();
+        assert!(
+            s.contains("1500") && s.contains("1000") && s.contains("job 3"),
+            "{s}"
+        );
+
+        let e = RdpError::Busy {
+            detail: "queue full (8 jobs)".into(),
+            retry_after_ms: 250,
+        };
+        assert_eq!(e.stage(), None);
+        assert!(e.to_string().contains("retry after 250 ms"), "{e}");
+
+        assert!(RdpError::protocol("oversized frame")
+            .to_string()
+            .contains("protocol error"));
+        assert!(RdpError::internal("worker panicked")
+            .to_string()
+            .contains("internal error"));
+        assert!(RdpError::Cancelled {
+            detail: "drain".into()
+        }
+        .to_string()
+        .contains("cancelled"));
     }
 
     #[test]

@@ -46,4 +46,4 @@ mod fastexp;
 mod pool;
 
 pub use fastexp::fast_exp;
-pub use pool::{chunk_len, global_threads, set_global_threads, Pool};
+pub use pool::{chunk_len, global_threads, set_global_threads, with_local_threads, Pool};

@@ -7,11 +7,45 @@ use std::sync::{Mutex, OnceLock};
 /// Process-wide thread-count override; 0 means "not yet resolved".
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
 
-/// Resolves the global thread count: an explicit
-/// [`set_global_threads`] override wins, then the `RDP_THREADS`
-/// environment variable, then [`std::thread::available_parallelism`].
-/// A value of 1 selects the exact serial fallback.
+thread_local! {
+    /// Per-thread thread-count override; 0 means "not set". Consulted
+    /// before the process-global value so a service can partition its
+    /// worker threads without touching the process-wide setting.
+    static LOCAL_THREADS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Runs `f` with the calling thread's pool width pinned to `threads`
+/// (clamped to ≥ 1). The override applies to every [`Pool::global()`]
+/// created on this thread inside `f` — including transitively, deep in
+/// kernel code — and is restored on exit, even on panic. Results are
+/// unaffected by construction: the determinism contract makes them
+/// bit-identical at any width; only the parallelism changes.
+pub fn with_local_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LOCAL_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let prev = LOCAL_THREADS.with(|c| {
+        let prev = c.get();
+        c.set(threads.max(1));
+        prev
+    });
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Resolves the global thread count: a [`with_local_threads`] scope on
+/// the calling thread wins, then an explicit [`set_global_threads`]
+/// override, then the `RDP_THREADS` environment variable, then
+/// [`std::thread::available_parallelism`]. A value of 1 selects the
+/// exact serial fallback.
 pub fn global_threads() -> usize {
+    let local = LOCAL_THREADS.with(|c| c.get());
+    if local != 0 {
+        return local;
+    }
     let t = GLOBAL_THREADS.load(Ordering::Relaxed);
     if t != 0 {
         return t;
@@ -422,5 +456,32 @@ mod tests {
     #[test]
     fn global_pool_is_at_least_one() {
         assert!(Pool::global().threads() >= 1);
+    }
+
+    #[test]
+    fn local_thread_override_scopes_and_restores() {
+        let outside = Pool::global().threads();
+        let inside = with_local_threads(3, || Pool::global().threads());
+        assert_eq!(inside, 3);
+        assert_eq!(Pool::global().threads(), outside);
+
+        // Nested scopes stack; zero clamps to one.
+        with_local_threads(2, || {
+            assert_eq!(Pool::global().threads(), 2);
+            with_local_threads(0, || assert_eq!(Pool::global().threads(), 1));
+            assert_eq!(Pool::global().threads(), 2);
+        });
+
+        // The override is per-thread: a spawned thread sees the default.
+        with_local_threads(5, || {
+            let other = std::thread::spawn(move || Pool::global().threads())
+                .join()
+                .unwrap();
+            assert_eq!(other, outside);
+        });
+
+        // Restored even when the scope panics.
+        let _ = std::panic::catch_unwind(|| with_local_threads(7, || panic!("boom")));
+        assert_eq!(Pool::global().threads(), outside);
     }
 }

@@ -105,6 +105,11 @@ pub struct RunModel {
     pub dropped_events: u64,
     /// Frames evicted by the frame byte budget.
     pub dropped_frames: u64,
+    /// Torn-write leftovers (`*.tmp` siblings) found in the run directory:
+    /// evidence the producing run was killed mid-capture. The artifacts
+    /// that did land are intact (writes are tmp + rename), so the model
+    /// loads normally, but reports should surface the partial-run warning.
+    pub partial_artifacts: Vec<String>,
 }
 
 fn perr(context: &str, line: Option<usize>, message: impl Into<String>) -> RdpError {
@@ -169,12 +174,27 @@ impl RunModel {
                 .map_err(|e| perr(&ctx, None, format!("cannot read metrics: {e}")))?;
             return Self::from_strings(None, &metrics);
         }
+        // Torn-write leftovers first: artifacts are written tmp + rename,
+        // so a `.tmp` sibling means the producing run was killed
+        // mid-capture. Never panic on them — flag and keep loading.
+        let mut partial: Vec<String> = ["trace.jsonl.tmp", "metrics.json.tmp"]
+            .iter()
+            .filter(|name| path.join(name).is_file())
+            .map(|name| name.to_string())
+            .collect();
+        partial.sort();
         let metrics_path = path.join("metrics.json");
         let metrics = std::fs::read_to_string(&metrics_path).map_err(|e| {
+            let hint = if partial.iter().any(|p| p == "metrics.json.tmp") {
+                " (a metrics.json.tmp leftover exists: the run was killed mid-capture \
+                 before the atomic rename)"
+            } else {
+                ""
+            };
             perr(
                 &ctx,
                 None,
-                format!("cannot read {}: {e}", metrics_path.display()),
+                format!("cannot read {}: {e}{hint}", metrics_path.display()),
             )
         })?;
         let trace_path = path.join("trace.jsonl");
@@ -189,7 +209,9 @@ impl RunModel {
                 ))
             }
         };
-        Self::from_strings(trace.as_deref(), &metrics)
+        let mut model = Self::from_strings(trace.as_deref(), &metrics)?;
+        model.partial_artifacts = partial;
+        Ok(model)
     }
 
     /// Total nanoseconds per span name, for the stage breakdown and the

@@ -63,6 +63,34 @@ impl Default for IncrementalConfig {
     }
 }
 
+/// Why an [`IncrementalRouter`] call routed the way it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResyncReason {
+    /// The call routed incrementally — no full re-route happened.
+    Incremental,
+    /// First call, or state was dropped via [`IncrementalRouter::reset`].
+    First,
+    /// The grid or netlist shape changed since the retained state.
+    ShapeChanged,
+    /// The [`IncrementalConfig::resync_every`] cadence came due.
+    Periodic,
+    /// The dirty fraction exceeded [`IncrementalConfig::drift_frac`].
+    Drift,
+}
+
+impl ResyncReason {
+    /// Stable lowercase label for telemetry and log messages.
+    pub fn label(self) -> &'static str {
+        match self {
+            ResyncReason::Incremental => "incremental",
+            ResyncReason::First => "first",
+            ResyncReason::ShapeChanged => "shape-changed",
+            ResyncReason::Periodic => "periodic",
+            ResyncReason::Drift => "drift",
+        }
+    }
+}
+
 /// What the last [`IncrementalRouter`] call did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IncrementalStats {
@@ -73,6 +101,9 @@ pub struct IncrementalStats {
     /// True when the call performed a full re-route (first call, periodic
     /// or drift-triggered resync, or changed grid/netlist).
     pub full_resync: bool,
+    /// Why: [`ResyncReason::Incremental`] when `full_resync` is false,
+    /// the resync trigger otherwise.
+    pub reason: ResyncReason,
 }
 
 /// Retained state between router calls.
@@ -155,17 +186,24 @@ impl IncrementalRouter {
     ) -> RouteResult {
         let pool = Pool::global();
         let needs_full = match &self.state {
-            None => true,
-            Some(s) => {
-                s.grid != *grid
+            None => Some(ResyncReason::First),
+            Some(s)
+                if s.grid != *grid
                     || s.anchors.len() != design.num_cells()
-                    || s.decomp.len() != design.num_nets()
-                    || (self.icfg.resync_every > 0
-                        && s.routes_since_full + 1 >= self.icfg.resync_every)
+                    || s.decomp.len() != design.num_nets() =>
+            {
+                Some(ResyncReason::ShapeChanged)
             }
+            Some(s)
+                if self.icfg.resync_every > 0
+                    && s.routes_since_full + 1 >= self.icfg.resync_every =>
+            {
+                Some(ResyncReason::Periodic)
+            }
+            Some(_) => None,
         };
-        if needs_full {
-            return self.full(design, grid, pool, obs);
+        if let Some(reason) = needs_full {
+            return self.full(design, grid, pool, obs, reason);
         }
         self.incremental(design, grid, pool, obs)
     }
@@ -177,6 +215,7 @@ impl IncrementalRouter {
         grid: &GridSpec,
         pool: Pool,
         obs: &Collector,
+        reason: ResyncReason,
     ) -> RouteResult {
         // The capacity model depends only on fixed geometry (macros,
         // obstructions, rails, layer specs) — reuse it across resyncs on
@@ -215,6 +254,7 @@ impl IncrementalRouter {
             dirty_nets: total,
             total_nets: total,
             full_resync: true,
+            reason,
         });
         obs.counter_add("route_incremental_full", 1);
         result
@@ -301,7 +341,7 @@ impl IncrementalRouter {
 
         let n_nets = design.num_nets();
         if dirty.len() as f64 > self.icfg.drift_frac * n_nets as f64 {
-            return self.full(design, grid, pool, obs);
+            return self.full(design, grid, pool, obs, ResyncReason::Drift);
         }
 
         let _span = obs.span("route_incremental", "route");
@@ -363,6 +403,7 @@ impl IncrementalRouter {
             dirty_nets: dirty.len(),
             total_nets: n_nets,
             full_resync: false,
+            reason: ResyncReason::Incremental,
         });
         result
     }

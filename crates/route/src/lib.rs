@@ -46,7 +46,7 @@ pub mod rsmt;
 mod rudy;
 
 pub use capacity::{CapacityMaps, CapacityOptions};
-pub use incremental::{IncrementalConfig, IncrementalRouter, IncrementalStats};
+pub use incremental::{IncrementalConfig, IncrementalRouter, IncrementalStats, ResyncReason};
 pub use layers::{assign_layers, LayerAssignment};
 pub use maps::RouteMaps;
 pub use maze::{astar, MazePath, MazeStep};

@@ -1,0 +1,587 @@
+//! Job model: specs, states, durable records, retry policy.
+//!
+//! A [`JobRecord`] is the unit of durability — one versioned,
+//! FNV-1a-checksummed `RDPSNAP` record per job, rewritten atomically on
+//! every state transition. The queue itself is implicit: recovery scans
+//! the records and replays them in ascending job-id order, so there is no
+//! separate queue file that could tear mid-write.
+
+use rdp_core::{PlacerPreset, RoutabilityConfig};
+use rdp_db::Point;
+use rdp_guard::{RdpError, SnapshotReader, SnapshotWriter};
+use rdp_obs::json::{self, Value};
+
+/// A JSON string literal: quoted + escaped.
+pub(crate) fn jstr(s: &str) -> String {
+    format!("\"{}\"", json::escape(s))
+}
+
+/// Job lifecycle: `Queued → Running → Done | Failed | Cancelled`. A
+/// `Running` record found on disk at startup means the server died
+/// mid-job; recovery requeues it (its checkpoint, if any, resumes the
+/// flow bitwise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting for a worker.
+    Queued,
+    /// A worker is executing the flow.
+    Running,
+    /// Completed; the record carries a [`JobResult`].
+    Done,
+    /// Failed terminally; the record carries the error kind and detail.
+    Failed,
+    /// Cancelled by a client (or found cancelled on disk).
+    Cancelled,
+}
+
+impl JobState {
+    /// True for states no worker will touch again.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+
+    /// Stable lowercase label (wire protocol and CLI output).
+    pub fn label(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    fn code(self) -> u64 {
+        match self {
+            JobState::Queued => 0,
+            JobState::Running => 1,
+            JobState::Done => 2,
+            JobState::Failed => 3,
+            JobState::Cancelled => 4,
+        }
+    }
+
+    fn from_code(c: u64) -> Result<Self, RdpError> {
+        Ok(match c {
+            0 => JobState::Queued,
+            1 => JobState::Running,
+            2 => JobState::Done,
+            3 => JobState::Failed,
+            4 => JobState::Cancelled,
+            other => return Err(RdpError::checkpoint(format!("unknown job state {other}"))),
+        })
+    }
+}
+
+impl std::fmt::Display for JobState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What to place and under which policy. The submit request carries this
+/// verbatim; it is embedded in the durable record so a restarted server
+/// re-runs exactly what was asked.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Input spec: a suite design name, `bookshelf:DIR:BASE`, or
+    /// `lefdef:LEF:DEF` (same grammar as the CLI).
+    pub input: String,
+    /// Preset name: `xplace`, `xplace-route`, or `ours`.
+    pub preset: String,
+    /// Use the CI-sized fast preset variant.
+    pub fast: bool,
+    /// Capture a run directory (trace.jsonl + metrics.json) next to the
+    /// job record, compatible with `rdp report` / `rdp diff`.
+    pub capture: bool,
+    /// Route incrementally between iterations (checkpointing forces a
+    /// resync per iteration, so recovery stays bitwise).
+    pub incremental: bool,
+    /// Wall-clock budget in milliseconds, enforced at checkpoint
+    /// boundaries and accumulated across restarts. `None` = unbounded.
+    pub deadline_ms: Option<u64>,
+    /// Retry budget for retryable errors (divergence after rollback
+    /// exhaustion); each retry re-runs with a damped configuration.
+    pub max_retries: u32,
+    /// Override `max_route_iters` when set.
+    pub max_route_iters: Option<u64>,
+    /// Override the wirelength-phase iteration cap when set.
+    pub gp_max_iters: Option<u64>,
+    /// Override the Nesterov steps per routability iteration when set.
+    pub gp_iters_per_route: Option<u64>,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            input: String::new(),
+            preset: "ours".into(),
+            fast: false,
+            capture: false,
+            incremental: false,
+            deadline_ms: None,
+            max_retries: 0,
+            max_route_iters: None,
+            gp_max_iters: None,
+            gp_iters_per_route: None,
+        }
+    }
+}
+
+impl JobSpec {
+    /// Serializes as the `spec` object of a submit request.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"input\":{},\"preset\":{},\"fast\":{},\"capture\":{},\"incremental\":{},\"max_retries\":{}",
+            jstr(&self.input),
+            jstr(&self.preset),
+            self.fast,
+            self.capture,
+            self.incremental,
+            self.max_retries
+        );
+        for (key, v) in [
+            ("deadline_ms", self.deadline_ms),
+            ("max_route_iters", self.max_route_iters),
+            ("gp_max_iters", self.gp_max_iters),
+            ("gp_iters_per_route", self.gp_iters_per_route),
+        ] {
+            if let Some(v) = v {
+                out.push_str(&format!(",\"{key}\":{v}"));
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses the `spec` object of a submit request. Malformed specs are
+    /// typed `Protocol` errors (the *content* is validated again by
+    /// [`flow_config`] at execution time).
+    pub fn from_json(v: &Value) -> Result<Self, RdpError> {
+        let input = v
+            .get("input")
+            .and_then(Value::as_str)
+            .ok_or_else(|| RdpError::protocol("spec needs a string `input`"))?
+            .to_string();
+        let take_u64 = |key: &str| -> Result<Option<u64>, RdpError> {
+            match v.get(key) {
+                None | Some(Value::Null) => Ok(None),
+                Some(Value::Num(n)) if n.fract() == 0.0 && *n >= 0.0 => Ok(Some(*n as u64)),
+                Some(_) => Err(RdpError::protocol(format!(
+                    "spec field `{key}` must be a non-negative integer"
+                ))),
+            }
+        };
+        let take_bool = |key: &str| match v.get(key) {
+            Some(Value::Bool(b)) => *b,
+            _ => false,
+        };
+        Ok(JobSpec {
+            input,
+            preset: v
+                .get("preset")
+                .and_then(Value::as_str)
+                .unwrap_or("ours")
+                .to_string(),
+            fast: take_bool("fast"),
+            capture: take_bool("capture"),
+            incremental: take_bool("incremental"),
+            deadline_ms: take_u64("deadline_ms")?,
+            max_retries: take_u64("max_retries")?.unwrap_or(0) as u32,
+            max_route_iters: take_u64("max_route_iters")?,
+            gp_max_iters: take_u64("gp_max_iters")?,
+            gp_iters_per_route: take_u64("gp_iters_per_route")?,
+        })
+    }
+}
+
+/// Final numbers of a completed job. Floats cross the wire through the
+/// shortest-round-trip formatter, so `hpwl`, `density_overflow`, and the
+/// positions are recovered **bitwise** by the client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Final HPWL in microns.
+    pub hpwl: f64,
+    /// Final density overflow.
+    pub density_overflow: f64,
+    /// Wirelength-phase iterations.
+    pub gp_iterations: u64,
+    /// Routability iterations.
+    pub route_iterations: u64,
+    /// Placement wall-clock of the *final* attempt in seconds
+    /// (informational; not part of the determinism contract).
+    pub place_seconds: f64,
+    /// Degraded-mode warnings, as display strings.
+    pub warnings: Vec<String>,
+    /// Final positions of every cell.
+    pub positions: Vec<Point>,
+}
+
+/// One durable job: spec + lifecycle + outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Monotonically increasing id; queue order is ascending id.
+    pub id: u64,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// What to run.
+    pub spec: JobSpec,
+    /// Retry attempts consumed so far (0 = first run).
+    pub attempt: u32,
+    /// Wall-clock milliseconds consumed across all attempts and restarts;
+    /// deadlines are enforced against this total, so a crash-restart
+    /// cycle cannot launder a job's budget.
+    pub consumed_ms: u64,
+    /// Terminal error as `(kind, detail)` when `state == Failed`.
+    pub error: Option<(String, String)>,
+    /// Result when `state == Done`.
+    pub result: Option<JobResult>,
+}
+
+impl JobRecord {
+    /// Current record format version.
+    pub const VERSION: u32 = 1;
+
+    /// A fresh queued record.
+    pub fn queued(id: u64, spec: JobSpec) -> Self {
+        JobRecord {
+            id,
+            state: JobState::Queued,
+            spec,
+            attempt: 0,
+            consumed_ms: 0,
+            error: None,
+            result: None,
+        }
+    }
+
+    /// Serializes into the versioned, checksummed `RDPSNAP` format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(Self::VERSION);
+        w.put_u64(self.id);
+        w.put_u64(self.state.code());
+        w.put_u64(self.attempt as u64);
+        w.put_u64(self.consumed_ms);
+        let s = &self.spec;
+        w.put_str(&s.input);
+        w.put_str(&s.preset);
+        w.put_u64(s.fast as u64);
+        w.put_u64(s.capture as u64);
+        w.put_u64(s.incremental as u64);
+        w.put_u64(s.max_retries as u64);
+        for opt in [
+            s.deadline_ms,
+            s.max_route_iters,
+            s.gp_max_iters,
+            s.gp_iters_per_route,
+        ] {
+            match opt {
+                Some(v) => {
+                    w.put_u64(1);
+                    w.put_u64(v);
+                }
+                None => w.put_u64(0),
+            }
+        }
+        match &self.error {
+            Some((kind, detail)) => {
+                w.put_u64(1);
+                w.put_str(kind);
+                w.put_str(detail);
+            }
+            None => w.put_u64(0),
+        }
+        match &self.result {
+            Some(r) => {
+                w.put_u64(1);
+                w.put_f64(r.hpwl);
+                w.put_f64(r.density_overflow);
+                w.put_u64(r.gp_iterations);
+                w.put_u64(r.route_iterations);
+                w.put_f64(r.place_seconds);
+                w.put_u64(r.warnings.len() as u64);
+                for warn in &r.warnings {
+                    w.put_str(warn);
+                }
+                w.put_points(&r.positions);
+            }
+            None => w.put_u64(0),
+        }
+        w.finish()
+    }
+
+    /// Deserializes [`JobRecord::to_bytes`] output, validating magic,
+    /// version, checksum, and exact length.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, RdpError> {
+        let mut r = SnapshotReader::new(bytes, Self::VERSION)?;
+        let id = r.take_u64()?;
+        let state = JobState::from_code(r.take_u64()?)?;
+        let attempt = r.take_u64()? as u32;
+        let consumed_ms = r.take_u64()?;
+        let input = r.take_str()?;
+        let preset = r.take_str()?;
+        let fast = r.take_u64()? != 0;
+        let capture = r.take_u64()? != 0;
+        let incremental = r.take_u64()? != 0;
+        let max_retries = r.take_u64()? as u32;
+        let mut opts = [None; 4];
+        for opt in opts.iter_mut() {
+            *opt = match r.take_u64()? {
+                0 => None,
+                _ => Some(r.take_u64()?),
+            };
+        }
+        let error = match r.take_u64()? {
+            0 => None,
+            _ => Some((r.take_str()?, r.take_str()?)),
+        };
+        let result = match r.take_u64()? {
+            0 => None,
+            _ => {
+                let hpwl = r.take_f64()?;
+                let density_overflow = r.take_f64()?;
+                let gp_iterations = r.take_u64()?;
+                let route_iterations = r.take_u64()?;
+                let place_seconds = r.take_f64()?;
+                let n_warn = r.take_u64()? as usize;
+                if n_warn > bytes.len() {
+                    return Err(RdpError::checkpoint(format!(
+                        "implausible warning count {n_warn}"
+                    )));
+                }
+                let mut warnings = Vec::with_capacity(n_warn);
+                for _ in 0..n_warn {
+                    warnings.push(r.take_str()?);
+                }
+                Some(JobResult {
+                    hpwl,
+                    density_overflow,
+                    gp_iterations,
+                    route_iterations,
+                    place_seconds,
+                    warnings,
+                    positions: r.take_points()?,
+                })
+            }
+        };
+        r.finish()?;
+        Ok(JobRecord {
+            id,
+            state,
+            spec: JobSpec {
+                input,
+                preset,
+                fast,
+                capture,
+                incremental,
+                deadline_ms: opts[0],
+                max_retries,
+                max_route_iters: opts[1],
+                gp_max_iters: opts[2],
+                gp_iters_per_route: opts[3],
+            },
+            attempt,
+            consumed_ms,
+            error,
+            result,
+        })
+    }
+
+    /// One status line as a JSON object (used by `status` responses).
+    pub fn status_json(&self) -> String {
+        let mut out = format!(
+            "{{\"id\":{},\"state\":{},\"attempt\":{},\"consumed_ms\":{}",
+            self.id,
+            jstr(self.state.label()),
+            self.attempt,
+            self.consumed_ms
+        );
+        if let Some((kind, detail)) = &self.error {
+            out.push_str(&format!(
+                ",\"kind\":{},\"error\":{}",
+                jstr(kind),
+                jstr(detail)
+            ));
+        }
+        if let Some(res) = &self.result {
+            out.push_str(&format!(
+                ",\"hpwl\":{},\"density_overflow\":{},\"gp_iterations\":{},\"route_iterations\":{}",
+                json::num(res.hpwl),
+                json::num(res.density_overflow),
+                res.gp_iterations,
+                res.route_iterations
+            ));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// True when the error class is worth a damped re-run: divergence after
+/// rollback exhaustion and non-finite blow-ups respond to a gentler
+/// schedule. Everything else — bad input, bad config, protocol noise,
+/// deadlines, cancellation, internal panics — fails fast.
+pub fn retryable(e: &RdpError) -> bool {
+    matches!(e, RdpError::Diverged { .. } | RdpError::NonFinite { .. })
+}
+
+/// Builds the flow configuration for a spec at a given retry attempt.
+/// Attempt 0 is the submitted configuration; each retry damps the
+/// schedule exponentially — λ₁ re-anchoring and density growth halve
+/// their distance to 1.0, and the rollback budget doubles — so a job
+/// that diverged under aggressive settings converges under calmer ones.
+pub fn flow_config(spec: &JobSpec, attempt: u32) -> Result<RoutabilityConfig, RdpError> {
+    let preset: PlacerPreset = spec
+        .preset
+        .parse()
+        .map_err(|e: String| RdpError::Config { detail: e })?;
+    let mut cfg = if spec.fast {
+        RoutabilityConfig::preset_fast(preset)
+    } else {
+        RoutabilityConfig::preset(preset)
+    };
+    if let Some(n) = spec.max_route_iters {
+        cfg.max_route_iters = n as usize;
+    }
+    if let Some(n) = spec.gp_max_iters {
+        if n == 0 {
+            return Err(RdpError::Config {
+                detail: "gp_max_iters must be at least 1".into(),
+            });
+        }
+        cfg.gp.max_iters = n as usize;
+    }
+    if let Some(n) = spec.gp_iters_per_route {
+        cfg.gp_iters_per_route = n as usize;
+    }
+    cfg.incremental_routing = spec.incremental;
+    for _ in 0..attempt {
+        cfg.lambda1_rebalance = 1.0 + (cfg.lambda1_rebalance - 1.0) * 0.5;
+        cfg.gp.lambda_growth = 1.0 + (cfg.gp.lambda_growth - 1.0) * 0.5;
+        cfg.gp.health.max_rollbacks = cfg.gp.health.max_rollbacks.saturating_mul(2).max(1);
+    }
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdp_guard::Stage;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            input: "fft_1".into(),
+            preset: "ours".into(),
+            fast: true,
+            capture: true,
+            incremental: true,
+            deadline_ms: Some(60_000),
+            max_retries: 2,
+            max_route_iters: Some(3),
+            gp_max_iters: Some(80),
+            gp_iters_per_route: None,
+        }
+    }
+
+    #[test]
+    fn record_roundtrips_through_bytes() {
+        let mut rec = JobRecord::queued(42, spec());
+        rec.state = JobState::Done;
+        rec.attempt = 1;
+        rec.consumed_ms = 1234;
+        rec.result = Some(JobResult {
+            hpwl: 12345.678901234,
+            density_overflow: 0.0625,
+            gp_iterations: 80,
+            route_iterations: 3,
+            place_seconds: 1.5,
+            warnings: vec!["fell back to RUDY".into()],
+            positions: vec![Point::new(1.5, -2.25), Point::new(0.0, 7.0)],
+        });
+        let back = JobRecord::from_bytes(&rec.to_bytes()).unwrap();
+        assert_eq!(rec, back);
+
+        let failed = JobRecord {
+            state: JobState::Failed,
+            error: Some(("diverged".into(), "rollbacks exhausted".into())),
+            result: None,
+            ..rec
+        };
+        assert_eq!(failed, JobRecord::from_bytes(&failed.to_bytes()).unwrap());
+    }
+
+    #[test]
+    fn corrupt_and_truncated_records_are_typed_errors() {
+        let rec = JobRecord::queued(7, spec());
+        let mut bytes = rec.to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x5a;
+        assert!(JobRecord::from_bytes(&bytes).is_err());
+        let whole = rec.to_bytes();
+        let err = JobRecord::from_bytes(&whole[..whole.len() - 5]).unwrap_err();
+        assert_eq!(err.stage(), Some(Stage::Checkpoint), "{err}");
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let s = spec();
+        let v = json::parse(&s.to_json()).unwrap();
+        assert_eq!(JobSpec::from_json(&v).unwrap(), s);
+
+        // Optional fields default.
+        let v = json::parse("{\"input\":\"fft_1\"}").unwrap();
+        let d = JobSpec::from_json(&v).unwrap();
+        assert_eq!(d.preset, "ours");
+        assert_eq!(d.deadline_ms, None);
+        assert!(!d.fast);
+
+        // Bad field types are typed protocol errors.
+        let v = json::parse("{\"input\":\"x\",\"deadline_ms\":\"soon\"}").unwrap();
+        assert!(matches!(
+            JobSpec::from_json(&v),
+            Err(RdpError::Protocol { .. })
+        ));
+        let v = json::parse("{\"preset\":\"ours\"}").unwrap();
+        assert!(JobSpec::from_json(&v).is_err(), "missing input");
+    }
+
+    #[test]
+    fn retry_damping_calms_the_schedule() {
+        let s = JobSpec {
+            fast: false,
+            ..spec()
+        };
+        let base = flow_config(&s, 0).unwrap();
+        let damped = flow_config(&s, 2).unwrap();
+        assert!(damped.lambda1_rebalance < base.lambda1_rebalance);
+        assert!(damped.gp.lambda_growth < base.gp.lambda_growth);
+        assert!(damped.gp.health.max_rollbacks > base.gp.health.max_rollbacks);
+        assert!(damped.lambda1_rebalance > 1.0);
+        assert!(damped.gp.lambda_growth > 1.0);
+        // Overrides stick.
+        assert_eq!(damped.max_route_iters, 3);
+        assert_eq!(damped.gp.max_iters, 80);
+        assert!(damped.incremental_routing);
+    }
+
+    #[test]
+    fn bad_preset_is_a_config_error_not_retryable() {
+        let s = JobSpec {
+            preset: "warp-speed".into(),
+            ..spec()
+        };
+        let err = flow_config(&s, 0).unwrap_err();
+        assert!(matches!(err, RdpError::Config { .. }), "{err}");
+        assert!(!retryable(&err));
+        assert!(retryable(&RdpError::Diverged {
+            stage: Stage::Routability,
+            iteration: 3,
+            rollbacks: 8,
+            detail: "overflow blew up".into(),
+        }));
+        assert!(!retryable(&RdpError::internal("panic")));
+    }
+}

@@ -1,0 +1,393 @@
+//! Length-prefixed JSON-over-TCP wire protocol.
+//!
+//! Frame layout: a 4-byte little-endian payload length followed by that
+//! many bytes of UTF-8 JSON (one request or response object per frame).
+//! Both directions enforce [`FrameLimits`]: a claimed length above
+//! `max_frame` is rejected before any payload is read, and every read and
+//! write carries a hard wall-clock deadline so a slow or stalled peer
+//! produces a typed [`RdpError::Protocol`] instead of a hang.
+//!
+//! Requests are `{"cmd": "...", ...}` objects; responses carry
+//! `{"ok": true, ...}` or `{"ok": false, "kind": K, "error": msg, ...}`
+//! where `kind` is the stable [`error_kind`] label of the [`RdpError`]
+//! variant, letting clients rebuild typed errors across the wire.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use rdp_guard::RdpError;
+use rdp_obs::json::{self, Value};
+
+use crate::job::JobSpec;
+
+/// Default cap on a single frame's payload (1 MiB holds the positions of
+/// well over 30k cells; larger results stream in run-dir artifacts).
+pub const MAX_FRAME_DEFAULT: usize = 1 << 20;
+
+/// Default per-frame I/O deadline.
+pub const IO_TIMEOUT_DEFAULT_MS: u64 = 5_000;
+
+/// Per-connection frame bounds (shared by server and client).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameLimits {
+    /// Maximum payload bytes a frame may claim or carry.
+    pub max_frame: usize,
+    /// Wall-clock budget for reading or writing one complete frame.
+    pub io_timeout: Duration,
+}
+
+impl Default for FrameLimits {
+    fn default() -> Self {
+        FrameLimits {
+            max_frame: MAX_FRAME_DEFAULT,
+            io_timeout: Duration::from_millis(IO_TIMEOUT_DEFAULT_MS),
+        }
+    }
+}
+
+fn io_protocol(what: &str, e: std::io::Error) -> RdpError {
+    RdpError::protocol(format!("{what}: {e}"))
+}
+
+/// Reads exactly `buf.len()` bytes before `deadline`, whatever the peer's
+/// pacing — a slow-loris sending one byte per poll still cannot extend
+/// the total budget.
+fn read_exact_deadline(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Instant,
+) -> Result<(), RdpError> {
+    let mut done = 0usize;
+    while done < buf.len() {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(RdpError::protocol(format!(
+                "read deadline exceeded after {done} of {} frame bytes",
+                buf.len()
+            )));
+        }
+        stream
+            .set_read_timeout(Some(deadline - now))
+            .map_err(|e| io_protocol("set_read_timeout", e))?;
+        match stream.read(&mut buf[done..]) {
+            Ok(0) => {
+                return Err(RdpError::protocol(format!(
+                    "connection closed mid-frame ({done} of {} bytes)",
+                    buf.len()
+                )))
+            }
+            Ok(n) => done += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(RdpError::protocol(format!(
+                    "read deadline exceeded after {done} of {} frame bytes",
+                    buf.len()
+                )))
+            }
+            Err(e) => return Err(io_protocol("read", e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame. `Ok(None)` means the peer closed the connection
+/// cleanly before sending any header byte (the normal end of a session).
+pub fn read_frame_opt(
+    stream: &mut TcpStream,
+    limits: &FrameLimits,
+) -> Result<Option<Vec<u8>>, RdpError> {
+    let deadline = Instant::now() + limits.io_timeout;
+    let mut header = [0u8; 4];
+    // Distinguish clean EOF (no bytes at all) from a truncated header.
+    stream
+        .set_read_timeout(Some(limits.io_timeout))
+        .map_err(|e| io_protocol("set_read_timeout", e))?;
+    let first = loop {
+        match stream.read(&mut header[..1]) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break header[0],
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(RdpError::protocol("read deadline exceeded awaiting frame"))
+            }
+            Err(e) => return Err(io_protocol("read", e)),
+        }
+    };
+    header[0] = first;
+    read_exact_deadline(stream, &mut header[1..], deadline)?;
+    let len = u32::from_le_bytes(header) as usize;
+    if len > limits.max_frame {
+        return Err(RdpError::protocol(format!(
+            "frame of {len} bytes exceeds the {}-byte limit",
+            limits.max_frame
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_deadline(stream, &mut payload, deadline)?;
+    Ok(Some(payload))
+}
+
+/// Reads one frame, treating clean EOF as a protocol error (client side,
+/// where a response is always expected).
+pub fn read_frame(stream: &mut TcpStream, limits: &FrameLimits) -> Result<Vec<u8>, RdpError> {
+    read_frame_opt(stream, limits)?
+        .ok_or_else(|| RdpError::protocol("connection closed before a response frame"))
+}
+
+/// Writes one frame under the write deadline.
+pub fn write_frame(
+    stream: &mut TcpStream,
+    payload: &[u8],
+    limits: &FrameLimits,
+) -> Result<(), RdpError> {
+    if payload.len() > limits.max_frame {
+        return Err(RdpError::protocol(format!(
+            "refusing to send a {}-byte frame (limit {})",
+            payload.len(),
+            limits.max_frame
+        )));
+    }
+    stream
+        .set_write_timeout(Some(limits.io_timeout))
+        .map_err(|e| io_protocol("set_write_timeout", e))?;
+    let header = (payload.len() as u32).to_le_bytes();
+    let write_all = |stream: &mut TcpStream, bytes: &[u8]| match stream.write_all(bytes) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => Err(
+            RdpError::protocol("write deadline exceeded sending a frame"),
+        ),
+        Err(e) => Err(io_protocol("write", e)),
+    };
+    write_all(stream, &header)?;
+    write_all(stream, payload)?;
+    stream.flush().map_err(|e| io_protocol("flush", e))
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Enqueue a job.
+    Submit(JobSpec),
+    /// Status of one job (`Some(id)`) or the whole queue (`None`).
+    Status(Option<u64>),
+    /// Cancel a queued or running job.
+    Cancel(u64),
+    /// Fetch a terminal job's result; `bool` asks for cell positions,
+    /// the `u64` is a long-poll budget in milliseconds — the server
+    /// holds the request open (bounded by its own cap) while the job is
+    /// still queued/running, 0 answers immediately.
+    Result(u64, bool, u64),
+    /// Stream progress frames until the job reaches a terminal state.
+    Stream(u64),
+    /// Graceful drain: stop accepting, checkpoint running jobs, exit.
+    Shutdown,
+}
+
+fn need_id(v: &Value, cmd: &str) -> Result<u64, RdpError> {
+    v.get("id")
+        .and_then(Value::as_f64)
+        .filter(|id| id.fract() == 0.0 && *id >= 0.0)
+        .map(|id| id as u64)
+        .ok_or_else(|| RdpError::protocol(format!("`{cmd}` needs a non-negative integer `id`")))
+}
+
+/// Parses a request frame. Any malformed input — invalid UTF-8, invalid
+/// JSON, an unknown command, a missing field — is a typed `Protocol`
+/// error, never a panic.
+pub fn parse_request(payload: &[u8]) -> Result<Request, RdpError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| RdpError::protocol(format!("frame is not UTF-8: {e}")))?;
+    let v = json::parse(text).map_err(|e| RdpError::protocol(format!("bad request JSON: {e}")))?;
+    let cmd = v
+        .get("cmd")
+        .and_then(Value::as_str)
+        .ok_or_else(|| RdpError::protocol("request object needs a string `cmd`"))?;
+    match cmd {
+        "ping" => Ok(Request::Ping),
+        "submit" => {
+            let spec = v
+                .get("spec")
+                .ok_or_else(|| RdpError::protocol("`submit` needs a `spec` object"))?;
+            Ok(Request::Submit(JobSpec::from_json(spec)?))
+        }
+        "status" => match v.get("id") {
+            Some(_) => Ok(Request::Status(Some(need_id(&v, "status")?))),
+            None => Ok(Request::Status(None)),
+        },
+        "cancel" => Ok(Request::Cancel(need_id(&v, "cancel")?)),
+        "result" => {
+            let positions = matches!(v.get("positions"), Some(Value::Bool(true)));
+            let wait_ms = v
+                .get("wait_ms")
+                .and_then(Value::as_f64)
+                .filter(|w| *w >= 0.0 && w.is_finite())
+                .map_or(0, |w| w as u64);
+            Ok(Request::Result(need_id(&v, "result")?, positions, wait_ms))
+        }
+        "stream" => Ok(Request::Stream(need_id(&v, "stream")?)),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(RdpError::protocol(format!("unknown command `{other}`"))),
+    }
+}
+
+/// Stable wire label for each [`RdpError`] variant.
+pub fn error_kind(e: &RdpError) -> &'static str {
+    match e {
+        RdpError::Parse { .. } => "parse",
+        RdpError::Design { .. } => "design",
+        RdpError::NonFinite { .. } => "non-finite",
+        RdpError::Diverged { .. } => "diverged",
+        RdpError::Checkpoint { .. } => "checkpoint",
+        RdpError::Config { .. } => "config",
+        RdpError::Deadline { .. } => "deadline",
+        RdpError::Cancelled { .. } => "cancelled",
+        RdpError::Protocol { .. } => "protocol",
+        RdpError::Busy { .. } => "busy",
+        RdpError::Internal { .. } => "internal",
+    }
+}
+
+/// Serializes an error as an `{"ok":false,...}` response payload.
+pub fn error_response(e: &RdpError) -> Vec<u8> {
+    let mut out = format!(
+        "{{\"ok\":false,\"kind\":{},\"error\":{}",
+        crate::job::jstr(error_kind(e)),
+        crate::job::jstr(&e.to_string())
+    );
+    if let RdpError::Busy { retry_after_ms, .. } = e {
+        out.push_str(&format!(",\"retry_after_ms\":{retry_after_ms}"));
+    }
+    if let RdpError::Deadline {
+        elapsed_ms,
+        budget_ms,
+        ..
+    } = e
+    {
+        out.push_str(&format!(
+            ",\"elapsed_ms\":{elapsed_ms},\"budget_ms\":{budget_ms}"
+        ));
+    }
+    out.push('}');
+    out.into_bytes()
+}
+
+/// Rebuilds a typed error from a parsed `{"ok":false,...}` response.
+/// Variants whose full payload does not cross the wire (`Parse`,
+/// `Diverged`, …) come back with the transported display string intact.
+pub fn error_from_response(v: &Value) -> RdpError {
+    let detail = v
+        .get("error")
+        .and_then(Value::as_str)
+        .unwrap_or("(no detail)")
+        .to_string();
+    match v.get("kind").and_then(Value::as_str) {
+        Some("busy") => RdpError::Busy {
+            detail,
+            retry_after_ms: v
+                .get("retry_after_ms")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0) as u64,
+        },
+        Some("deadline") => RdpError::Deadline {
+            detail,
+            elapsed_ms: v.get("elapsed_ms").and_then(Value::as_f64).unwrap_or(0.0) as u64,
+            budget_ms: v.get("budget_ms").and_then(Value::as_f64).unwrap_or(0.0) as u64,
+        },
+        Some("cancelled") => RdpError::Cancelled { detail },
+        Some("protocol") => RdpError::Protocol { detail },
+        Some("config") => RdpError::Config { detail },
+        Some("checkpoint") => RdpError::Checkpoint { detail },
+        Some("parse") => RdpError::Parse {
+            context: "serve response".into(),
+            line: None,
+            message: detail,
+        },
+        Some("design") => RdpError::Design { message: detail },
+        _ => RdpError::Internal { detail },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_parse_and_reject_garbage() {
+        assert_eq!(parse_request(b"{\"cmd\":\"ping\"}").unwrap(), Request::Ping);
+        assert_eq!(
+            parse_request(b"{\"cmd\":\"status\"}").unwrap(),
+            Request::Status(None)
+        );
+        assert_eq!(
+            parse_request(b"{\"cmd\":\"status\",\"id\":7}").unwrap(),
+            Request::Status(Some(7))
+        );
+        assert_eq!(
+            parse_request(b"{\"cmd\":\"result\",\"id\":1,\"positions\":true}").unwrap(),
+            Request::Result(1, true, 0)
+        );
+        assert_eq!(
+            parse_request(b"{\"cmd\":\"result\",\"id\":1,\"wait_ms\":2500}").unwrap(),
+            Request::Result(1, false, 2500)
+        );
+        assert_eq!(
+            parse_request(b"{\"cmd\":\"result\",\"id\":1,\"wait_ms\":-4}").unwrap(),
+            Request::Result(1, false, 0)
+        );
+
+        for bad in [
+            &b"\xff\xfe"[..],
+            b"not json",
+            b"{\"cmd\":\"warp\"}",
+            b"{\"cmd\":\"cancel\"}",
+            b"{\"cmd\":\"cancel\",\"id\":-1}",
+            b"{\"cmd\":\"cancel\",\"id\":1.5}",
+            b"{\"no_cmd\":1}",
+        ] {
+            let err = parse_request(bad).unwrap_err();
+            assert!(matches!(err, RdpError::Protocol { .. }), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn errors_roundtrip_through_the_wire_shape() {
+        let cases = vec![
+            RdpError::Busy {
+                detail: "queue full (4 queued)".into(),
+                retry_after_ms: 250,
+            },
+            RdpError::Deadline {
+                detail: "job 3".into(),
+                elapsed_ms: 900,
+                budget_ms: 500,
+            },
+            RdpError::Cancelled {
+                detail: "drain".into(),
+            },
+            RdpError::protocol("oversized frame"),
+            RdpError::Config {
+                detail: "unknown preset".into(),
+            },
+        ];
+        for e in cases {
+            let bytes = error_response(&e);
+            let v = json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+            assert_eq!(v.get("ok"), Some(&Value::Bool(false)));
+            let back = error_from_response(&v);
+            assert_eq!(error_kind(&back), error_kind(&e));
+            if let (
+                RdpError::Busy { retry_after_ms, .. },
+                RdpError::Busy {
+                    retry_after_ms: back_ms,
+                    ..
+                },
+            ) = (&e, &back)
+            {
+                assert_eq!(retry_after_ms, back_ms);
+            }
+        }
+    }
+}

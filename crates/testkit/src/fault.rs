@@ -70,6 +70,30 @@ pub enum FaultKind {
         /// Byte offset to XOR (wrapped to the stream length).
         offset: usize,
     },
+    /// Keep only the first `keep` bytes of a binary stream (torn write:
+    /// a record or checkpoint cut off mid-file).
+    TruncateBytes {
+        /// Number of leading bytes to keep.
+        keep: usize,
+    },
+    /// Service fault: `kill -9` the server `after_ms` into the run, then
+    /// restart it. The queue must replay and results stay bitwise.
+    KillServer {
+        /// Milliseconds to let the server run before the kill.
+        after_ms: u64,
+    },
+    /// Service fault: send a frame whose payload is not valid JSON (or
+    /// not valid UTF-8). The server must answer a typed protocol error.
+    GarbageFrame,
+    /// Service fault: claim a frame length beyond the server's limit.
+    /// Must be rejected before any payload is read.
+    OversizedFrame,
+    /// Service fault: send a frame header, then only part of the payload,
+    /// then stall. The server's read deadline must fire.
+    TruncatedFrame,
+    /// Service fault: drip request bytes slower than the read deadline
+    /// allows (slow-loris). The connection must be cut, not held.
+    SlowClient,
 }
 
 /// A named scenario: one fault plus its contract.
@@ -117,14 +141,20 @@ impl FaultKind {
         }
     }
 
-    /// Applies a byte-level fault to a binary stream (checkpoints).
+    /// Applies a byte-level fault to a binary stream (checkpoints, job
+    /// records). Faults that are not byte transforms return the stream
+    /// unchanged.
     pub fn mutate_bytes(&self, bytes: &[u8]) -> Vec<u8> {
         let mut out = bytes.to_vec();
-        if let FaultKind::CorruptCheckpointByte { offset } = self {
-            if !out.is_empty() {
-                let i = offset % out.len();
-                out[i] ^= 0x5a;
+        match self {
+            FaultKind::CorruptCheckpointByte { offset } => {
+                if !out.is_empty() {
+                    let i = offset % out.len();
+                    out[i] ^= 0x5a;
+                }
             }
+            FaultKind::TruncateBytes { keep } => out.truncate(*keep),
+            _ => {}
         }
         out
     }
@@ -210,6 +240,16 @@ mod tests {
         assert_eq!(m.len(), bytes.len());
         assert_eq!(m.iter().zip(&bytes).filter(|(a, b)| a != b).count(), 1);
         assert_ne!(m[2], bytes[2]);
+    }
+
+    #[test]
+    fn truncate_bytes_cuts_the_tail() {
+        let bytes = vec![9u8; 16];
+        let t = FaultKind::TruncateBytes { keep: 5 }.mutate_bytes(&bytes);
+        assert_eq!(t, vec![9u8; 5]);
+        // Service descriptors leave streams untouched.
+        let s = FaultKind::SlowClient.mutate_bytes(&bytes);
+        assert_eq!(s, bytes);
     }
 
     #[test]

@@ -68,17 +68,38 @@ scripts/matrix.sh
 echo "==> perf regression gate (scripts/regress.sh, tol ${RDP_REGRESS_TOL:-0.5})"
 RDP_REGRESS_TOL="${RDP_REGRESS_TOL:-0.5}" scripts/regress.sh
 
-# Fault-injection pass: the robustness suite (FaultPlan scenarios,
-# checkpoint corruption, kill-and-resume bitwise identity) and the
-# router/placer property tests run with a pinned generator seed so a
-# failure replays exactly, at both worker counts — resume must be
-# bitwise under parallel reductions too.
+# Fault-injection pass: the robustness suites (FaultPlan scenarios,
+# checkpoint corruption, kill-and-resume bitwise identity, and the
+# serve-layer crash/corruption/deadline scenarios) and the router/placer
+# property tests run with a pinned generator seed so a failure replays
+# exactly, at both worker counts — resume must be bitwise under parallel
+# reductions too.
 echo "==> fault injection + robustness  (RDP_PROP_SEED=20250806, RDP_THREADS=1)"
 RDP_PROP_SEED=20250806 RDP_THREADS=1 cargo test -q --offline --test robustness
+RDP_PROP_SEED=20250806 RDP_THREADS=1 cargo test -q --offline --test serve_robustness
 RDP_PROP_SEED=20250806 RDP_THREADS=1 cargo test -q --offline -p rdp-route --test properties
 
 echo "==> fault injection + robustness  (RDP_PROP_SEED=20250806, RDP_THREADS=4)"
 RDP_PROP_SEED=20250806 RDP_THREADS=4 cargo test -q --offline --test robustness
+RDP_PROP_SEED=20250806 RDP_THREADS=4 cargo test -q --offline --test serve_robustness
 RDP_PROP_SEED=20250806 RDP_THREADS=4 cargo test -q --offline -p rdp-route --test properties
+
+# Service gate: kill -9 a live `rdp serve` mid-queue and restart — all
+# jobs must finish with the identical HPWL bit pattern and a captured
+# run-dir that diffs clean against a direct `rdp place` at zero QoR
+# tolerance (scripts/serve_smoke.sh exits non-zero otherwise). Then the
+# service-overhead budget: a 5k-cell job submit-to-result through the
+# server must stay within 5% of the direct in-process flow
+# (RDP_SERVE_ASSERT=1 turns the budget into a hard failure).
+echo "==> serve smoke (kill -9 recovery, served == direct run-dir diff)"
+scripts/serve_smoke.sh
+
+echo "==> service overhead gate (5k-cell submit-to-result, < 5%)"
+# Flush writeback first: the earlier gates write a lot, and a background
+# flush stalls the served path's fsyncs while leaving the (fsync-free)
+# direct path untouched — which would measure the disk backlog, not the
+# service.
+sync || true
+RDP_SERVE_ASSERT=1 cargo bench --offline -p rdp-bench --bench guard
 
 echo "ci: all gates passed"

@@ -47,6 +47,12 @@ fn main() -> ExitCode {
         "diff" => cmd_diff(rest),
         "convert" => cmd_convert(rest),
         "render" => cmd_render(rest),
+        "serve" => cmd_serve(rest),
+        "submit" => cmd_submit(rest),
+        "status" => cmd_status(rest),
+        "cancel" => cmd_cancel(rest),
+        "fetch" => cmd_fetch(rest),
+        "shutdown" => cmd_shutdown(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -69,6 +75,9 @@ commands:
   stats    <input>                         print design statistics
   generate <name> --out DIR [--format F]   write a suite design to disk
   place    <input> [--preset P] [--out DIR]  global placement flow
+           [--fast] [--gp-iters N] [--max-route-iters N] [--gp-burst N]
+                                             CI-sized preset + iteration caps
+                                             (same knobs as `rdp submit`)
            [--checkpoint FILE]               save resumable state each iteration
            [--resume FILE]                   resume a killed run (bit-exact)
            [--legalize]                      legalize + detailed-place after GP
@@ -88,6 +97,22 @@ commands:
                                            QoR/perf deltas; exit 1 on regression
   convert  <input> --out DIR --format F    convert between formats
   render   <input> --out FILE.svg [--congestion] [--place P]   render to SVG
+service (crash-safe placement-as-a-service):
+  serve    --dir DIR [--addr H:P] [--workers N] [--max-queue N]
+           [--job-threads N] [--io-timeout-ms N] [--port-file FILE]
+                                           durable job queue over TCP; kill -9
+                                           at any instant and restart: the
+                                           queue replays and partial jobs
+                                           resume bitwise from checkpoints
+  submit   ADDR <input> [--preset P] [--fast] [--capture]
+           [--incremental-route] [--deadline-ms N] [--retries N]
+           [--max-route-iters N] [--gp-iters N] [--gp-burst N]
+           [--wait [--wait-ms N]]           enqueue a job (prints its id)
+  status   ADDR [ID]                        one job or the whole queue
+  cancel   ADDR ID                          cancel a queued/running job
+  fetch    ADDR ID                          result + exact HPWL bit pattern
+  shutdown ADDR                             graceful drain: running jobs are
+                                            checkpointed and requeued durable
 observability (place and flow):
   --trace-out FILE.jsonl    span/instant event log (one JSON object per line)
   --chrome-trace FILE.json  chrome://tracing / Perfetto trace_event file
@@ -118,9 +143,28 @@ fn parse_preset(rest: &[String]) -> Result<PlacerPreset, String> {
 
 /// Builds the flow configuration for a preset plus command-line overrides
 /// (`--incremental-route` enables incremental rip-up-and-reroute between
-/// routability iterations).
+/// routability iterations). The iteration overrides mirror `rdp submit`,
+/// so a direct `rdp place` can run the exact configuration a served job
+/// ran — the serve smoke gate diffs the two run-dirs.
 fn parse_flow_config(rest: &[String]) -> Result<RoutabilityConfig, String> {
-    let mut cfg = RoutabilityConfig::preset(parse_preset(rest)?);
+    let preset = parse_preset(rest)?;
+    let mut cfg = if rest.iter().any(|a| a == "--fast") {
+        RoutabilityConfig::preset_fast(preset)
+    } else {
+        RoutabilityConfig::preset(preset)
+    };
+    if let Some(n) = parse_num::<usize>(rest, "--max-route-iters")? {
+        cfg.max_route_iters = n;
+    }
+    if let Some(n) = parse_num::<usize>(rest, "--gp-iters")? {
+        if n == 0 {
+            return Err("--gp-iters must be at least 1".into());
+        }
+        cfg.gp.max_iters = n;
+    }
+    if let Some(n) = parse_num::<usize>(rest, "--gp-burst")? {
+        cfg.gp_iters_per_route = n;
+    }
     if rest.iter().any(|a| a == "--incremental-route") {
         cfg.incremental_routing = true;
     }
@@ -197,12 +241,19 @@ fn write_obs_outputs(o: &ObsArgs, title: &str) -> Result<(), String> {
     }
     if let Some(dir) = &o.run_dir {
         std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
-        let trace = dir.join("trace.jsonl");
-        std::fs::write(&trace, rdp::obs::export_jsonl(&o.obs))
-            .map_err(|e| format!("{}: {e}", trace.display()))?;
-        let metrics = dir.join("metrics.json");
-        std::fs::write(&metrics, rdp::obs::export_metrics_json(&o.obs))
-            .map_err(|e| format!("{}: {e}", metrics.display()))?;
+        // Atomic capture (tmp + rename): a kill mid-write leaves at worst
+        // a `.tmp` leftover, which `rdp report` flags as a partial run
+        // instead of choking on torn JSON.
+        rdp::serve::store::write_atomic(
+            &dir.join("trace.jsonl"),
+            rdp::obs::export_jsonl(&o.obs).as_bytes(),
+        )
+        .map_err(|e| e.to_string())?;
+        rdp::serve::store::write_atomic(
+            &dir.join("metrics.json"),
+            rdp::obs::export_metrics_json(&o.obs).as_bytes(),
+        )
+        .map_err(|e| e.to_string())?;
         println!("wrote run directory {}", dir.display());
     }
     if let Some(path) = &o.report_out {
@@ -316,8 +367,34 @@ fn cmd_generate(rest: &[String]) -> Result<(), String> {
         .ok_or("generate needs --out DIR")?
         .into();
     let format = flag(rest, "--format").unwrap_or("bookshelf");
-    let design =
-        rdp::gen::generate_named(name).ok_or_else(|| format!("unknown design `{name}`"))?;
+    let mut params = rdp::gen::ispd2015_suite()
+        .into_iter()
+        .find(|e| e.name == name.as_str())
+        .ok_or_else(|| format!("unknown design `{name}`"))?
+        .params;
+    // Optional overrides so scripts can size a suite design to taste
+    // (e.g. the serve smoke gate's 5k-cell variant).
+    let num = |key: &str| -> Result<Option<f64>, String> {
+        flag(rest, key)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("{key} `{v}` is not a number"))
+            })
+            .transpose()
+    };
+    if let Some(v) = num("--cells")? {
+        params.num_cells = v as usize;
+    }
+    if let Some(v) = num("--seed")? {
+        params.seed = v as u64;
+    }
+    if let Some(v) = num("--util")? {
+        params.utilization = v;
+    }
+    if let Some(v) = num("--margin")? {
+        params.congestion_margin = v;
+    }
+    let design = rdp::gen::generate(name, &params);
     save_output(&design, &out, format)
 }
 
@@ -521,6 +598,13 @@ fn cmd_report(rest: &[String]) -> Result<(), String> {
         .map(str::to_string)
         .unwrap_or_else(|| format!("rdp run · {}", run.display()));
     let model = rdp::report::RunModel::load(&run).map_err(|e| e.to_string())?;
+    for name in &model.partial_artifacts {
+        eprintln!(
+            "warning: partial run — {name} leftover in {} (the producing run was \
+             killed mid-capture; the committed artifacts are intact)",
+            run.display()
+        );
+    }
     let html = rdp::report::render_report(&model, &title);
     let stats = rdp::report::validate_report(&html, &model)
         .map_err(|e| format!("generated report failed validation: {e}"))?;
@@ -626,4 +710,176 @@ fn cmd_convert(rest: &[String]) -> Result<(), String> {
     let format = flag(rest, "--format").ok_or("convert needs --format")?;
     let design = load_input(spec, &Collector::disabled())?;
     save_output(&design, &out, format)
+}
+
+// ---------------------------------------------------------------------------
+// Placement-as-a-service commands
+// ---------------------------------------------------------------------------
+
+fn parse_num<T: std::str::FromStr>(rest: &[String], key: &str) -> Result<Option<T>, String> {
+    flag(rest, key)
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("{key} `{v}` is not a valid number"))
+        })
+        .transpose()
+}
+
+fn cmd_serve(rest: &[String]) -> Result<(), String> {
+    let dir = flag(rest, "--dir").ok_or("serve needs --dir DIR (the durable store)")?;
+    let mut cfg = rdp::serve::ServeConfig {
+        dir: dir.into(),
+        ..Default::default()
+    };
+    if let Some(addr) = flag(rest, "--addr") {
+        cfg.addr = addr.into();
+    }
+    if let Some(v) = parse_num(rest, "--workers")? {
+        cfg.workers = v;
+    }
+    if let Some(v) = parse_num(rest, "--max-queue")? {
+        cfg.max_queue = v;
+    }
+    if let Some(v) = parse_num(rest, "--job-threads")? {
+        cfg.job_threads = v;
+    }
+    if let Some(v) = parse_num(rest, "--io-timeout-ms")? {
+        cfg.io_timeout_ms = v;
+    }
+    if let Some(v) = parse_num(rest, "--max-frame")? {
+        cfg.max_frame = v;
+    }
+    cfg.port_file = flag(rest, "--port-file").map(PathBuf::from);
+    let server = rdp::serve::Server::start(cfg).map_err(|e| e.to_string())?;
+    println!(
+        "rdp serve listening on {} — {}",
+        server.local_addr(),
+        server.recovery().summary()
+    );
+    // Runs until a client sends `shutdown` (graceful drain) or the
+    // process is killed; a kill at any instant is recoverable.
+    server.join().map_err(|e| e.to_string())
+}
+
+fn service_client(rest: &[String], cmd: &str) -> Result<(rdp::serve::Client, Vec<String>), String> {
+    let addr = rest
+        .first()
+        .ok_or_else(|| format!("{cmd} needs a server ADDR (host:port)"))?;
+    Ok((rdp::serve::Client::new(addr.clone()), rest[1..].to_vec()))
+}
+
+fn cmd_submit(rest: &[String]) -> Result<(), String> {
+    let (client, rest) = service_client(rest, "submit")?;
+    let input = rest
+        .first()
+        .ok_or("submit needs an input (suite name, bookshelf:, or lefdef:)")?
+        .clone();
+    let spec = rdp::serve::JobSpec {
+        input,
+        preset: flag(&rest, "--preset").unwrap_or("ours").to_string(),
+        fast: rest.iter().any(|a| a == "--fast"),
+        capture: rest.iter().any(|a| a == "--capture"),
+        incremental: rest.iter().any(|a| a == "--incremental-route"),
+        deadline_ms: parse_num(&rest, "--deadline-ms")?,
+        max_retries: parse_num(&rest, "--retries")?.unwrap_or(0),
+        max_route_iters: parse_num(&rest, "--max-route-iters")?,
+        gp_max_iters: parse_num(&rest, "--gp-iters")?,
+        gp_iters_per_route: parse_num(&rest, "--gp-burst")?,
+    };
+    let id = client.submit(&spec).map_err(|e| e.to_string())?;
+    println!("submitted job {id}");
+    if rest.iter().any(|a| a == "--wait") {
+        let budget: u64 = parse_num(&rest, "--wait-ms")?.unwrap_or(600_000);
+        let outcome = client.wait(id, 100, budget).map_err(|e| e.to_string())?;
+        print_outcome(&outcome);
+    }
+    Ok(())
+}
+
+fn print_outcome(o: &rdp::serve::client::JobOutcome) {
+    println!(
+        "job {} done (attempt {}, {} ms consumed): HPWL {:.0} um bits {:#018x}, \
+         overflow {:.4}, {} WL iters + {} routability iters, {:.2}s place",
+        o.id,
+        o.attempt,
+        o.consumed_ms,
+        o.hpwl,
+        o.hpwl_bits,
+        o.density_overflow,
+        o.gp_iterations,
+        o.route_iterations,
+        o.place_seconds
+    );
+    for w in &o.warnings {
+        println!("  warning: {w}");
+    }
+}
+
+fn cmd_status(rest: &[String]) -> Result<(), String> {
+    let (client, rest) = service_client(rest, "status")?;
+    match rest.first().and_then(|s| s.parse::<u64>().ok()) {
+        Some(id) => {
+            let s = client.status(id).map_err(|e| e.to_string())?;
+            print_status_line(&s);
+        }
+        None => {
+            let all = client.status_all().map_err(|e| e.to_string())?;
+            if all.is_empty() {
+                println!("no jobs");
+            }
+            for s in &all {
+                print_status_line(s);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn print_status_line(s: &rdp::serve::client::JobStatus) {
+    let mut line = format!(
+        "job {:>4}  {:<10} attempt {}  {} ms",
+        s.id,
+        s.state.label(),
+        s.attempt,
+        s.consumed_ms
+    );
+    if let Some(iter) = s.route_iter {
+        line.push_str(&format!("  route-iter {iter}"));
+    }
+    if let Some(hpwl) = s.hpwl {
+        line.push_str(&format!("  HPWL {hpwl:.0}"));
+    }
+    if let Some((kind, detail)) = &s.error {
+        line.push_str(&format!("  [{kind}] {detail}"));
+    }
+    println!("{line}");
+}
+
+fn cmd_cancel(rest: &[String]) -> Result<(), String> {
+    let (client, rest) = service_client(rest, "cancel")?;
+    let id: u64 = rest
+        .first()
+        .and_then(|s| s.parse().ok())
+        .ok_or("cancel needs a numeric job ID")?;
+    client.cancel(id).map_err(|e| e.to_string())?;
+    println!("cancel requested for job {id}");
+    Ok(())
+}
+
+fn cmd_fetch(rest: &[String]) -> Result<(), String> {
+    let (client, rest) = service_client(rest, "fetch")?;
+    let id: u64 = rest
+        .first()
+        .and_then(|s| s.parse().ok())
+        .ok_or("fetch needs a numeric job ID")?;
+    let outcome = client.result(id, true).map_err(|e| e.to_string())?;
+    print_outcome(&outcome);
+    Ok(())
+}
+
+fn cmd_shutdown(rest: &[String]) -> Result<(), String> {
+    let (client, _) = service_client(rest, "shutdown")?;
+    client.shutdown().map_err(|e| e.to_string())?;
+    println!("server draining (running jobs checkpoint and requeue durably)");
+    Ok(())
 }

@@ -51,6 +51,7 @@ pub use rdp_parse as parse;
 pub use rdp_poisson as poisson;
 pub use rdp_report as report;
 pub use rdp_route as route;
+pub use rdp_serve as serve;
 
 pub use rdp_core::{PlacerPreset, RoutabilityConfig};
 pub use rdp_db::Design;

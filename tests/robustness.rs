@@ -260,7 +260,7 @@ fn run_plan(plan: &FaultPlan) -> Result<(), String> {
         }
 
         // -------------------------------------------------- checkpoint --
-        FaultKind::CorruptCheckpointByte { .. } => {
+        FaultKind::CorruptCheckpointByte { .. } | FaultKind::TruncateBytes { .. } => {
             let bytes = capture_checkpoint(31, 2);
             let bad = plan.kind.mutate_bytes(&bytes);
             match FlowCheckpoint::from_bytes(&bad) {
@@ -268,6 +268,16 @@ fn run_plan(plan: &FaultPlan) -> Result<(), String> {
                 Err(e) if e.stage() == Some(Stage::Checkpoint) => Ok(()),
                 Err(e) => Err(format!("wrong error stage for corrupt checkpoint: {e}")),
             }
+        }
+
+        // Service faults are driven against a live server by
+        // `tests/serve_robustness.rs`, not through the flow harness.
+        FaultKind::KillServer { .. }
+        | FaultKind::GarbageFrame
+        | FaultKind::OversizedFrame
+        | FaultKind::TruncatedFrame
+        | FaultKind::SlowClient => {
+            unreachable!("service faults belong to the serve robustness suite")
         }
     }
 }
@@ -342,6 +352,11 @@ fn plans() -> Vec<FaultPlan> {
         FaultPlan::new(
             "corrupt-checkpoint-magic",
             FaultKind::CorruptCheckpointByte { offset: 0 },
+            TypedError,
+        ),
+        FaultPlan::new(
+            "torn-checkpoint-write",
+            FaultKind::TruncateBytes { keep: 40 },
             TypedError,
         ),
     ]

@@ -303,3 +303,126 @@ fn incremental_sequence_thread_invariant() {
     assert!(!s1.full_resync);
     assert_routes_bit_equal(&r1, &r4, "t1 vs t4");
 }
+
+/// Satellite of the serve PR: checkpoint/resume under `--incremental-route`
+/// must be bitwise at any thread count. A checkpointed flow forces a full
+/// resync at every checkpoint boundary (so a resumed run, whose router
+/// state starts empty, walks the exact same all-dirty path), surfaces each
+/// forced resync as a `route_resyncs` counter + `route_resync` instant,
+/// and keeps the warning list identical between the uninterrupted and the
+/// resumed run.
+#[test]
+fn checkpointed_incremental_flow_resumes_bitwise() {
+    use rdp::core::{run_flow_with, FlowCheckpoint, FlowControl, PlacerPreset, RoutabilityConfig};
+    use rdp::gen::{generate, GenParams};
+    use rdp::obs::Collector;
+
+    let mut cfg = RoutabilityConfig::preset(PlacerPreset::Ours);
+    cfg.gp.max_iters = 120;
+    cfg.max_route_iters = 3;
+    cfg.gp_iters_per_route = 8;
+    cfg.incremental_routing = true;
+    let make = || {
+        generate(
+            "inc-resume",
+            &GenParams {
+                num_cells: 300,
+                num_macros: 2,
+                macro_fraction: 0.12,
+                utilization: 0.6,
+                congestion_margin: 0.8,
+                io_terminals: 8,
+                high_fanout_nets: 2,
+                seed: 11,
+                ..GenParams::default()
+            },
+        )
+    };
+
+    for threads in [1usize, 4] {
+        set_global_threads(threads);
+
+        // Uninterrupted checkpointed run, capturing the checkpoint at the
+        // top of routability iteration 1 and the whole trace.
+        let obs = Collector::enabled();
+        let mut captured: Option<Vec<u8>> = None;
+        let mut design = make();
+        let mut hook = |cp: &FlowCheckpoint| {
+            if cp.next_route_iter == 1 && captured.is_none() {
+                captured = Some(cp.to_bytes());
+            }
+        };
+        let full = run_flow_with(
+            &mut design,
+            &cfg,
+            FlowControl {
+                on_checkpoint: Some(&mut hook),
+                obs: obs.clone(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+        // Every checkpointed incremental iteration is a forced full
+        // resync, each surfaced on the collector.
+        let model = rdp::report::RunModel::from_collector(&obs).unwrap();
+        assert_eq!(
+            model.counters.get("route_resyncs").copied(),
+            Some(full.route_iterations as f64),
+            "threads={threads}: one surfaced resync per routability iteration"
+        );
+        assert!(
+            model.instants.iter().any(|i| i.name == "route_resync"),
+            "threads={threads}: route_resync instants missing from the trace"
+        );
+
+        // Resume from the captured checkpoint (with checkpointing still
+        // on, as the service does) and compare bitwise.
+        let cp = FlowCheckpoint::from_bytes(&captured.expect("no checkpoint captured")).unwrap();
+        let mut resumed_design = make();
+        let mut noop = |_cp: &FlowCheckpoint| {};
+        let resumed = run_flow_with(
+            &mut resumed_design,
+            &cfg,
+            FlowControl {
+                resume: Some(cp),
+                on_checkpoint: Some(&mut noop),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+        assert_eq!(resumed.resumed_from, Some(1), "threads={threads}");
+        assert_eq!(
+            resumed.hpwl.to_bits(),
+            full.hpwl.to_bits(),
+            "threads={threads}: resumed HPWL differs: {} vs {}",
+            resumed.hpwl,
+            full.hpwl
+        );
+        assert_eq!(
+            resumed.density_overflow.to_bits(),
+            full.density_overflow.to_bits(),
+            "threads={threads}: resumed overflow differs"
+        );
+        assert_eq!(resumed.route_iterations, full.route_iterations);
+        assert_eq!(
+            resumed_design.positions(),
+            design.positions(),
+            "threads={threads}: resumed positions differ"
+        );
+        assert_eq!(
+            resumed
+                .warnings
+                .iter()
+                .map(|w| w.to_string())
+                .collect::<Vec<_>>(),
+            full.warnings
+                .iter()
+                .map(|w| w.to_string())
+                .collect::<Vec<_>>(),
+            "threads={threads}: warning parity broken between full and resumed runs"
+        );
+    }
+    set_global_threads(1);
+}
