@@ -1,0 +1,66 @@
+//! rdp-predict micro-benchmarks: the cost of the learned congestion
+//! fast-path on a 5k-cell design. `predict_eval_5k` (feature extraction +
+//! linear evaluation) is what a substituted iteration pays *instead of*
+//! routing, so it must stay far below a router invocation for the
+//! fast-path to be worth anything; `predict_fit_5k` is the per-real-route
+//! RLS update added to every routed iteration. `BENCH_predict.json`
+//! records both and `scripts/regress.sh` gates them.
+
+use rdp_testkit::BenchHarness;
+use std::hint::black_box;
+
+use rdp_gen::{generate, GenParams};
+use rdp_par::Pool;
+use rdp_predict::{CongestionPredictor, FeatureExtractor, PredictConfig};
+use rdp_route::{CapacityMaps, CapacityOptions, GlobalRouter};
+
+fn design_5k() -> rdp_db::Design {
+    generate(
+        "bench-predict",
+        &GenParams {
+            num_cells: 5_000,
+            num_macros: 2,
+            macro_fraction: 0.12,
+            utilization: 0.88,
+            congestion_margin: 0.72,
+            rail_pitch: 1.0,
+            seed: 901,
+            ..GenParams::default()
+        },
+    )
+}
+
+fn main() {
+    let mut harness = BenchHarness::new("predict").sample_size(20);
+    let design = design_5k();
+    let caps = CapacityMaps::build(&design, &CapacityOptions::default());
+    let fx = FeatureExtractor::new(&design, &caps);
+    let pool = Pool::global();
+    let route = GlobalRouter::default().route(&design);
+    let charge = route.maps.charge_density();
+
+    harness.bench_function("feature_extract_5k", |b| {
+        b.iter(|| black_box(fx.extract(&design, Some(&charge), pool)))
+    });
+
+    harness.bench_function("predict_fit_5k", |b| {
+        let feats = fx.extract(&design, None, pool);
+        let mut p = CongestionPredictor::new(PredictConfig::default());
+        b.iter(|| {
+            p.observe(&feats, &charge, pool);
+            black_box(p.fits())
+        })
+    });
+
+    harness.bench_function("predict_eval_5k", |b| {
+        let feats = fx.extract(&design, None, pool);
+        let mut p = CongestionPredictor::new(PredictConfig::default());
+        p.observe(&feats, &charge, pool);
+        b.iter(|| {
+            let pred = p.predict(&feats, fx.capacity(), pool).expect("fitted");
+            black_box(pred.total_overflow)
+        })
+    });
+
+    harness.finish();
+}

@@ -112,6 +112,17 @@ pub struct JobSpec {
     pub gp_max_iters: Option<u64>,
     /// Override the Nesterov steps per routability iteration when set.
     pub gp_iters_per_route: Option<u64>,
+    /// Override the incremental-router full-resync cadence when set.
+    pub incremental_resync_every: Option<u64>,
+    /// Override the incremental-router drift fraction when set.
+    pub incremental_drift_frac: Option<f64>,
+    /// Enable the online-learned congestion predictor (`--predict`).
+    pub predict: bool,
+    /// Override the predictor drift gate when set (requires `predict`).
+    pub predict_drift_tol: Option<f64>,
+    /// Override the predictor warmup route count when set (requires
+    /// `predict`).
+    pub predict_warmup: Option<u64>,
 }
 
 impl Default for JobSpec {
@@ -127,6 +138,11 @@ impl Default for JobSpec {
             max_route_iters: None,
             gp_max_iters: None,
             gp_iters_per_route: None,
+            incremental_resync_every: None,
+            incremental_drift_frac: None,
+            predict: false,
+            predict_drift_tol: None,
+            predict_warmup: None,
         }
     }
 }
@@ -135,12 +151,13 @@ impl JobSpec {
     /// Serializes as the `spec` object of a submit request.
     pub fn to_json(&self) -> String {
         let mut out = format!(
-            "{{\"input\":{},\"preset\":{},\"fast\":{},\"capture\":{},\"incremental\":{},\"max_retries\":{}",
+            "{{\"input\":{},\"preset\":{},\"fast\":{},\"capture\":{},\"incremental\":{},\"predict\":{},\"max_retries\":{}",
             jstr(&self.input),
             jstr(&self.preset),
             self.fast,
             self.capture,
             self.incremental,
+            self.predict,
             self.max_retries
         );
         for (key, v) in [
@@ -148,9 +165,19 @@ impl JobSpec {
             ("max_route_iters", self.max_route_iters),
             ("gp_max_iters", self.gp_max_iters),
             ("gp_iters_per_route", self.gp_iters_per_route),
+            ("incremental_resync_every", self.incremental_resync_every),
+            ("predict_warmup", self.predict_warmup),
         ] {
             if let Some(v) = v {
                 out.push_str(&format!(",\"{key}\":{v}"));
+            }
+        }
+        for (key, v) in [
+            ("incremental_drift_frac", self.incremental_drift_frac),
+            ("predict_drift_tol", self.predict_drift_tol),
+        ] {
+            if let Some(v) = v {
+                out.push_str(&format!(",\"{key}\":{}", json::num(v)));
             }
         }
         out.push('}');
@@ -175,6 +202,15 @@ impl JobSpec {
                 ))),
             }
         };
+        let take_f64 = |key: &str| -> Result<Option<f64>, RdpError> {
+            match v.get(key) {
+                None | Some(Value::Null) => Ok(None),
+                Some(Value::Num(n)) if n.is_finite() => Ok(Some(*n)),
+                Some(_) => Err(RdpError::protocol(format!(
+                    "spec field `{key}` must be a finite number"
+                ))),
+            }
+        };
         let take_bool = |key: &str| match v.get(key) {
             Some(Value::Bool(b)) => *b,
             _ => false,
@@ -194,6 +230,11 @@ impl JobSpec {
             max_route_iters: take_u64("max_route_iters")?,
             gp_max_iters: take_u64("gp_max_iters")?,
             gp_iters_per_route: take_u64("gp_iters_per_route")?,
+            incremental_resync_every: take_u64("incremental_resync_every")?,
+            incremental_drift_frac: take_f64("incremental_drift_frac")?,
+            predict: take_bool("predict"),
+            predict_drift_tol: take_f64("predict_drift_tol")?,
+            predict_warmup: take_u64("predict_warmup")?,
         })
     }
 }
@@ -242,8 +283,10 @@ pub struct JobRecord {
 }
 
 impl JobRecord {
-    /// Current record format version.
-    pub const VERSION: u32 = 1;
+    /// Current record format version. Version 1 records (pre-predictor)
+    /// are still readable; their predictor and incremental-tuning fields
+    /// default off, matching the behavior those jobs actually ran with.
+    pub const VERSION: u32 = 2;
 
     /// A fresh queued record.
     pub fn queued(id: u64, spec: JobSpec) -> Self {
@@ -286,6 +329,25 @@ impl JobRecord {
                 None => w.put_u64(0),
             }
         }
+        w.put_u64(s.predict as u64);
+        for opt in [s.incremental_resync_every, s.predict_warmup] {
+            match opt {
+                Some(v) => {
+                    w.put_u64(1);
+                    w.put_u64(v);
+                }
+                None => w.put_u64(0),
+            }
+        }
+        for opt in [s.incremental_drift_frac, s.predict_drift_tol] {
+            match opt {
+                Some(v) => {
+                    w.put_u64(1);
+                    w.put_f64(v);
+                }
+                None => w.put_u64(0),
+            }
+        }
         match &self.error {
             Some((kind, detail)) => {
                 w.put_u64(1);
@@ -317,6 +379,7 @@ impl JobRecord {
     /// version, checksum, and exact length.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, RdpError> {
         let mut r = SnapshotReader::new(bytes, Self::VERSION)?;
+        let version = r.version();
         let id = r.take_u64()?;
         let state = JobState::from_code(r.take_u64()?)?;
         let attempt = r.take_u64()? as u32;
@@ -333,6 +396,24 @@ impl JobRecord {
                 0 => None,
                 _ => Some(r.take_u64()?),
             };
+        }
+        let mut predict = false;
+        let mut u_opts = [None; 2];
+        let mut f_opts = [None; 2];
+        if version >= 2 {
+            predict = r.take_u64()? != 0;
+            for opt in u_opts.iter_mut() {
+                *opt = match r.take_u64()? {
+                    0 => None,
+                    _ => Some(r.take_u64()?),
+                };
+            }
+            for opt in f_opts.iter_mut() {
+                *opt = match r.take_u64()? {
+                    0 => None,
+                    _ => Some(r.take_f64()?),
+                };
+            }
         }
         let error = match r.take_u64()? {
             0 => None,
@@ -382,6 +463,11 @@ impl JobRecord {
                 max_route_iters: opts[1],
                 gp_max_iters: opts[2],
                 gp_iters_per_route: opts[3],
+                incremental_resync_every: u_opts[0],
+                incremental_drift_frac: f_opts[0],
+                predict,
+                predict_drift_tol: f_opts[1],
+                predict_warmup: u_opts[1],
             },
             attempt,
             consumed_ms,
@@ -458,6 +544,36 @@ pub fn flow_config(spec: &JobSpec, attempt: u32) -> Result<RoutabilityConfig, Rd
         cfg.gp_iters_per_route = n as usize;
     }
     cfg.incremental_routing = spec.incremental;
+    if let Some(n) = spec.incremental_resync_every {
+        if n == 0 {
+            return Err(RdpError::Config {
+                detail: "incremental_resync_every must be at least 1".into(),
+            });
+        }
+        cfg.incremental_resync_every = n as usize;
+    }
+    if let Some(f) = spec.incremental_drift_frac {
+        cfg.incremental_drift_frac = f;
+    }
+    if spec.predict {
+        let mut pc = rdp_core::PredictConfig::default();
+        if let Some(tol) = spec.predict_drift_tol {
+            pc.drift_tol = tol;
+        }
+        if let Some(k) = spec.predict_warmup {
+            if k == 0 {
+                return Err(RdpError::Config {
+                    detail: "predict_warmup must be at least 1".into(),
+                });
+            }
+            pc.warmup_routes = k as usize;
+        }
+        cfg.predict = Some(pc);
+    } else if spec.predict_drift_tol.is_some() || spec.predict_warmup.is_some() {
+        return Err(RdpError::Config {
+            detail: "predict_drift_tol/predict_warmup require predict".into(),
+        });
+    }
     for _ in 0..attempt {
         cfg.lambda1_rebalance = 1.0 + (cfg.lambda1_rebalance - 1.0) * 0.5;
         cfg.gp.lambda_growth = 1.0 + (cfg.gp.lambda_growth - 1.0) * 0.5;
@@ -483,6 +599,11 @@ mod tests {
             max_route_iters: Some(3),
             gp_max_iters: Some(80),
             gp_iters_per_route: None,
+            incremental_resync_every: Some(8),
+            incremental_drift_frac: Some(0.25),
+            predict: true,
+            predict_drift_tol: Some(0.75),
+            predict_warmup: Some(1),
         }
     }
 
@@ -511,6 +632,36 @@ mod tests {
             ..rec
         };
         assert_eq!(failed, JobRecord::from_bytes(&failed.to_bytes()).unwrap());
+    }
+
+    #[test]
+    fn version1_records_parse_with_predictor_defaults_off() {
+        // Bytes laid out exactly as the VERSION=1 writer produced them:
+        // no predict flag, no tuning options.
+        let mut w = SnapshotWriter::new(1);
+        w.put_u64(42); // id
+        w.put_u64(0); // state: queued
+        w.put_u64(0); // attempt
+        w.put_u64(0); // consumed_ms
+        w.put_str("fft_1");
+        w.put_str("ours");
+        w.put_u64(1); // fast
+        w.put_u64(0); // capture
+        w.put_u64(1); // incremental
+        w.put_u64(0); // max_retries
+        for _ in 0..4 {
+            w.put_u64(0); // deadline/iters options absent
+        }
+        w.put_u64(0); // no error
+        w.put_u64(0); // no result
+        let rec = JobRecord::from_bytes(&w.finish()).unwrap();
+        assert_eq!(rec.id, 42);
+        assert!(rec.spec.incremental);
+        assert!(!rec.spec.predict);
+        assert_eq!(rec.spec.incremental_resync_every, None);
+        assert_eq!(rec.spec.incremental_drift_frac, None);
+        assert_eq!(rec.spec.predict_drift_tol, None);
+        assert_eq!(rec.spec.predict_warmup, None);
     }
 
     #[test]
@@ -565,6 +716,18 @@ mod tests {
         assert_eq!(damped.max_route_iters, 3);
         assert_eq!(damped.gp.max_iters, 80);
         assert!(damped.incremental_routing);
+        assert_eq!(damped.incremental_resync_every, 8);
+        assert_eq!(damped.incremental_drift_frac, 0.25);
+        let pc = damped.predict.expect("predict enabled by the spec");
+        assert_eq!(pc.drift_tol, 0.75);
+        assert_eq!(pc.warmup_routes, 1);
+
+        // Predictor tuning without the predictor itself is a config error.
+        let bad = JobSpec {
+            predict: false,
+            ..spec()
+        };
+        assert!(matches!(flow_config(&bad, 0), Err(RdpError::Config { .. })));
     }
 
     #[test]

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the learned congestion fast-path (`--predict`):
+#
+#   1. generate a 5k-cell Bookshelf design,
+#   2. run `rdp place` twice with identical flow flags — once plain,
+#      once with `--predict` — each into a run directory,
+#   3. assert the predict run substituted at least one predicted
+#      congestion map for a router invocation (the fast-path actually
+#      fired; an idle predictor would make this smoke a no-op), and
+#   4. `rdp diff` the two run directories: the predict run's QoR must
+#      match the full-routing run within the matched-QoR tolerance, and
+#   5. the final HPWL of the two runs must agree within 0.5 % — the
+#      headline matched-QoR claim, gated tighter than the mid-loop diff.
+#
+# The diff tolerance is deliberately looser than the serve smoke's zero:
+# the predict run *intentionally* skips router invocations, so mid-loop
+# proxy series (c_penalty, lambda1, gamma) follow a perturbed but
+# convergent trajectory; what must hold is the final placement quality,
+# which step 5 pins. The route-iteration cap is set below the design's
+# natural convergence point so both runs execute the same number of
+# routability iterations and the per-series last values compare like
+# with like. Exits non-zero on any violation. Wall-clock is a few
+# seconds; ci.sh runs this after the test passes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RDP="${RDP:-target/release/rdp}"
+if [[ ! -x "$RDP" ]]; then
+    cargo build --release --offline --bin rdp
+fi
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/rdp-predict-smoke.XXXXXX")"
+cleanup() {
+    local code=$?
+    if [[ $code -ne 0 ]]; then
+        for log in place-base.log place-predict.log; do
+            if [[ -f "$WORK/$log" ]]; then
+                echo "--- $log (tail) ---" >&2
+                tail -n 20 "$WORK/$log" >&2 || true
+            fi
+        done
+    fi
+    rm -rf "$WORK"
+    exit $code
+}
+trap cleanup EXIT
+
+FLOW_FLAGS=(--preset ours --gp-iters 900 --max-route-iters 3 --gp-burst 80)
+QOR_TOL="${RDP_PREDICT_QOR_TOL:-0.1}"
+HPWL_TOL="${RDP_PREDICT_HPWL_TOL:-0.005}"
+INPUT="bookshelf:$WORK/design:fft_1"
+
+echo "predict-smoke: generating 5k-cell design"
+"$RDP" generate fft_1 --out "$WORK/design" \
+    --cells 5000 --seed 901 --util 0.88 --margin 0.72
+
+echo "predict-smoke: baseline place (full routing every iteration)"
+"$RDP" place "$INPUT" "${FLOW_FLAGS[@]}" --run-dir "$WORK/base" \
+    >"$WORK/place-base.log"
+
+echo "predict-smoke: place with --predict"
+"$RDP" place "$INPUT" "${FLOW_FLAGS[@]}" \
+    --predict --predict-warmup 1 \
+    --run-dir "$WORK/predict" >"$WORK/place-predict.log"
+
+# The fast-path must have fired: at least one iteration substituted a
+# predicted congestion map for a router invocation.
+SUBST=$(sed -n 's/.*"predict_substituted"[[:space:]]*:[[:space:]]*\([0-9][0-9]*\).*/\1/p' \
+    "$WORK/predict/metrics.json" | head -n 1)
+if [[ -z "$SUBST" || "$SUBST" -lt 1 ]]; then
+    echo "predict-smoke: no substituted route (predict_substituted=${SUBST:-absent})" >&2
+    exit 1
+fi
+echo "predict-smoke: $SUBST router invocation(s) replaced by prediction"
+
+echo "predict-smoke: rdp diff predict vs baseline (QoR tol $QOR_TOL)"
+"$RDP" diff "$WORK/base" "$WORK/predict" --qor-tol "$QOR_TOL" --time-tol 1000000
+
+# The headline matched-QoR gate: final HPWL within 0.5 %.
+hpwl_of() {
+    sed -n 's/.*"final_hpwl"[[:space:]]*:[[:space:]]*\([0-9.eE+-]*\).*/\1/p' "$1" | head -n 1
+}
+H_BASE=$(hpwl_of "$WORK/base/metrics.json")
+H_PRED=$(hpwl_of "$WORK/predict/metrics.json")
+if [[ -z "$H_BASE" || -z "$H_PRED" ]]; then
+    echo "predict-smoke: final_hpwl gauge missing from a run" >&2
+    exit 1
+fi
+awk -v a="$H_BASE" -v b="$H_PRED" -v tol="$HPWL_TOL" 'BEGIN {
+    d = (b - a) / a; if (d < 0) d = -d;
+    printf "predict-smoke: final HPWL %s vs %s (rel delta %.5f, tol %s)\n", a, b, d, tol;
+    exit (d <= tol) ? 0 : 1;
+}' || {
+    echo "predict-smoke: final HPWL diverged beyond $HPWL_TOL" >&2
+    exit 1
+}
+
+echo "predict-smoke: PASS (fast-path fired, QoR matched at tol $QOR_TOL)"

@@ -21,7 +21,8 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use rdp::core::{
-    run_flow, run_flow_with, FlowCheckpoint, FlowControl, PlacerPreset, RoutabilityConfig,
+    run_flow, run_flow_with, FlowCheckpoint, FlowControl, PlacerPreset, PredictConfig,
+    RoutabilityConfig,
 };
 use rdp::db::DesignStats;
 use rdp::obs::Collector;
@@ -83,15 +84,26 @@ commands:
            [--legalize]                      legalize + detailed-place after GP
            [--incremental-route]             rip up / re-route only dirty nets
            [--incremental-move-threshold F]  dirty threshold, fraction of bin
+           [--incremental-resync-every N]    full-resync cadence (default 16)
+           [--incremental-drift-frac F]      dirty-fraction resync trigger
+           [--predict]                       learned congestion fast-path:
+                                             substitute predicted maps for
+                                             routing on alternating iterations
+           [--predict-drift-tol F]           fall back to full routing when
+                                             predicted-vs-routed QoR drift
+                                             exceeds F (default 0.5)
+           [--predict-warmup K]              real routes before substituting
+                                             (default 2)
   route    <input>                         route and summarize congestion
   eval     <input>                         evaluate the current placement
   flow     <input> [--preset P]            place → legalize → evaluate
            [--incremental-route]             (same routing flags as place)
   matrix   [--scale small|full] [--classes a,b,...] [--run-dir DIR]
                                            scenario matrix: run every stress
-                                           class through the three presets and
-                                           gate the Table-1 DRV ordering;
-                                           exits nonzero naming violations
+                                           class through the three presets
+                                           plus ours+predict and gate the
+                                           Table-1 DRV ordering; exits
+                                           nonzero naming violations
   report   <run-dir> [--out FILE.html]     render a run directory to HTML
   diff     <run-a> <run-b> [--qor-tol X] [--time-tol Y]
                                            QoR/perf deltas; exit 1 on regression
@@ -107,6 +119,8 @@ service (crash-safe placement-as-a-service):
   submit   ADDR <input> [--preset P] [--fast] [--capture]
            [--incremental-route] [--deadline-ms N] [--retries N]
            [--max-route-iters N] [--gp-iters N] [--gp-burst N]
+           [--incremental-resync-every N] [--incremental-drift-frac F]
+           [--predict] [--predict-drift-tol F] [--predict-warmup K]
            [--wait [--wait-ms N]]           enqueue a job (prints its id)
   status   ADDR [ID]                        one job or the whole queue
   cancel   ADDR ID                          cancel a queued/running job
@@ -172,6 +186,35 @@ fn parse_flow_config(rest: &[String]) -> Result<RoutabilityConfig, String> {
         cfg.incremental_move_threshold = thr
             .parse()
             .map_err(|_| format!("--incremental-move-threshold `{thr}` is not a number"))?;
+    }
+    if let Some(n) = parse_num::<usize>(rest, "--incremental-resync-every")? {
+        if n == 0 {
+            return Err("--incremental-resync-every must be at least 1".into());
+        }
+        cfg.incremental_resync_every = n;
+    }
+    if let Some(f) = parse_num::<f64>(rest, "--incremental-drift-frac")? {
+        cfg.incremental_drift_frac = f;
+    }
+    if rest.iter().any(|a| a == "--predict") {
+        cfg.predict = Some(PredictConfig::default());
+    }
+    if let Some(tol) = parse_num::<f64>(rest, "--predict-drift-tol")? {
+        let p = cfg
+            .predict
+            .as_mut()
+            .ok_or("--predict-drift-tol requires --predict")?;
+        p.drift_tol = tol;
+    }
+    if let Some(k) = parse_num::<usize>(rest, "--predict-warmup")? {
+        let p = cfg
+            .predict
+            .as_mut()
+            .ok_or("--predict-warmup requires --predict")?;
+        if k == 0 {
+            return Err("--predict-warmup must be at least 1".into());
+        }
+        p.warmup_routes = k;
     }
     Ok(cfg)
 }
@@ -785,6 +828,11 @@ fn cmd_submit(rest: &[String]) -> Result<(), String> {
         max_route_iters: parse_num(&rest, "--max-route-iters")?,
         gp_max_iters: parse_num(&rest, "--gp-iters")?,
         gp_iters_per_route: parse_num(&rest, "--gp-burst")?,
+        incremental_resync_every: parse_num(&rest, "--incremental-resync-every")?,
+        incremental_drift_frac: parse_num(&rest, "--incremental-drift-frac")?,
+        predict: rest.iter().any(|a| a == "--predict"),
+        predict_drift_tol: parse_num(&rest, "--predict-drift-tol")?,
+        predict_warmup: parse_num(&rest, "--predict-warmup")?,
     };
     let id = client.submit(&spec).map_err(|e| e.to_string())?;
     println!("submitted job {id}");

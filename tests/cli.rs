@@ -113,6 +113,120 @@ fn render_writes_svg() {
     std::fs::remove_file(&svg_path).ok();
 }
 
+/// `--predict` (and its tuning flags) round-trip through `rdp place`: the
+/// run completes and the metrics carry the substitution counter.
+#[test]
+fn place_with_predict_flags_substitutes_and_reports() {
+    let dir = std::env::temp_dir().join("rdp_cli_predict_test");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let metrics = dir.join("metrics.json");
+    let report = dir.join("report.html");
+
+    let out = rdp()
+        .args([
+            "place",
+            "fft_a",
+            "--fast",
+            "--max-route-iters",
+            "4",
+            "--predict",
+            "--predict-warmup",
+            "1",
+            "--predict-drift-tol",
+            "0.6",
+            "--incremental-route",
+            "--incremental-resync-every",
+            "8",
+            "--incremental-drift-frac",
+            "0.4",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--report-out",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run place");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v = rdp::obs::json::parse(&std::fs::read_to_string(&metrics).unwrap())
+        .expect("metrics file is valid JSON");
+    let counters = v.get("counters").expect("counters present");
+    assert!(
+        counters
+            .get("predict_substituted")
+            .is_some_and(|c| c.as_f64().is_some_and(|n| n >= 1.0)),
+        "predict_substituted counter missing or zero: {counters:?}"
+    );
+    assert!(counters.get("predict_fits").is_some());
+    // The validated HTML report charts the prediction-accuracy series.
+    let html = std::fs::read_to_string(&report).expect("report written");
+    assert!(
+        html.contains("data-series=\"predict_drift\""),
+        "report must chart predicted-vs-routed drift"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Malformed or inconsistent predictor/incremental flags are rejected
+/// with a message naming the flag — on `place` and on `submit` (the
+/// client validates before any connection is attempted).
+#[test]
+fn predict_flag_misuse_is_rejected() {
+    let cases: &[(&[&str], &str)] = &[
+        (
+            &["place", "fft_a", "--predict", "--predict-drift-tol", "abc"],
+            "--predict-drift-tol",
+        ),
+        (
+            &["place", "fft_a", "--predict-warmup", "2"],
+            "--predict-warmup",
+        ),
+        (
+            &["place", "fft_a", "--predict", "--predict-warmup", "0"],
+            "--predict-warmup",
+        ),
+        (
+            &["place", "fft_a", "--incremental-resync-every", "0"],
+            "--incremental-resync-every",
+        ),
+        (
+            &["place", "fft_a", "--incremental-drift-frac", "wide"],
+            "--incremental-drift-frac",
+        ),
+        (
+            &[
+                "submit",
+                "127.0.0.1:1",
+                "fft_a",
+                "--predict",
+                "--predict-warmup",
+                "xyz",
+            ],
+            "--predict-warmup",
+        ),
+        (
+            &[
+                "submit",
+                "127.0.0.1:1",
+                "fft_a",
+                "--incremental-drift-frac",
+                "NaNny",
+            ],
+            "--incremental-drift-frac",
+        ),
+    ];
+    for (args, needle) in cases {
+        let out = rdp().args(*args).output().expect("run");
+        assert!(!out.status.success(), "{args:?} should fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(needle), "{args:?}: {err}");
+    }
+}
+
 #[test]
 fn place_with_trace_flags_writes_valid_artifacts() {
     let dir = std::env::temp_dir().join("rdp_cli_obs_test");

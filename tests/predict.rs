@@ -1,0 +1,242 @@
+//! Integration tests for the learned congestion fast-path (`rdp-predict`
+//! wired into the routability flow):
+//!
+//! * the predictor-enabled flow is **bitwise thread-invariant** — the
+//!   whole determinism contract extends through feature extraction, the
+//!   RLS fit, and prediction;
+//! * the drift gate catches an injected congestion regime shift and falls
+//!   back to full routing;
+//! * a flow killed mid-warmup and resumed from its checkpoint reproduces
+//!   the uninterrupted run bit-for-bit (predictor state rides the
+//!   checkpoint);
+//! * degenerate scenario classes complete with the predictor on.
+
+use rdp::core::{
+    run_flow_with, FlowCheckpoint, FlowControl, FlowFault, PlacerPreset, PredictConfig,
+    RoutabilityConfig,
+};
+use rdp::gen::{generate, scenario_by_name, GenParams, Scale};
+use rdp::par::set_global_threads;
+use rdp_testkit::{FaultExpectation, FaultKind, FaultPlan};
+
+fn test_design(seed: u64) -> rdp::db::Design {
+    generate(
+        "predict",
+        &GenParams {
+            num_cells: 400,
+            num_macros: 2,
+            macro_fraction: 0.12,
+            utilization: 0.62,
+            congestion_margin: 0.8,
+            io_terminals: 8,
+            high_fanout_nets: 2,
+            rail_pitch: 1.0,
+            seed,
+            ..GenParams::default()
+        },
+    )
+}
+
+/// Fast `Ours` configuration with the predictor on: warm up on one real
+/// route, then alternate predicted and routed iterations.
+fn predict_cfg(max_route_iters: usize) -> RoutabilityConfig {
+    let mut cfg = RoutabilityConfig::preset(PlacerPreset::Ours);
+    cfg.gp.max_iters = 120;
+    cfg.max_route_iters = max_route_iters;
+    cfg.gp_iters_per_route = 8;
+    cfg.predict = Some(PredictConfig {
+        warmup_routes: 1,
+        ..PredictConfig::default()
+    });
+    cfg
+}
+
+/// The full predictor-enabled flow — features, RLS fit, prediction,
+/// substitution — produces bit-identical results at 1 and 4 threads.
+#[test]
+fn predict_flow_is_thread_invariant_bitwise() {
+    let cfg = predict_cfg(4);
+
+    set_global_threads(1);
+    let mut d1 = test_design(0x9e1);
+    let r1 = run_flow_with(&mut d1, &cfg, FlowControl::default()).unwrap();
+
+    set_global_threads(4);
+    let mut d4 = test_design(0x9e1);
+    let r4 = run_flow_with(&mut d4, &cfg, FlowControl::default()).unwrap();
+    set_global_threads(1);
+
+    assert!(
+        r1.predicted_iterations >= 1,
+        "the fast-path never substituted a predicted map"
+    );
+    assert_eq!(r1.predicted_iterations, r4.predicted_iterations);
+    assert_eq!(r1.route_iterations, r4.route_iterations);
+    assert_eq!(
+        r1.hpwl.to_bits(),
+        r4.hpwl.to_bits(),
+        "HPWL differs between 1 and 4 threads: {} vs {}",
+        r1.hpwl,
+        r4.hpwl
+    );
+    assert_eq!(r1.density_overflow.to_bits(), r4.density_overflow.to_bits());
+    assert_eq!(d1.positions(), d4.positions());
+    // The per-iteration logs agree entirely, including which iterations
+    // were predicted.
+    assert_eq!(r1.log.len(), r4.log.len());
+    for (a, b) in r1.log.iter().zip(&r4.log) {
+        assert_eq!(a.predicted, b.predicted, "iter {} schedule differs", a.iter);
+        assert_eq!(a.overflow.to_bits(), b.overflow.to_bits());
+        assert_eq!(a.hpwl.to_bits(), b.hpwl.to_bits());
+    }
+}
+
+/// An injected congestion spike — routed demand tripled after one real
+/// route — must trip the drift gate: the flow records the fallback
+/// warning and completes with full routing during the cooldown.
+#[test]
+fn drift_gate_falls_back_under_congestion_spike() {
+    // The robustness idiom: a declarative plan, translated to a flow hook.
+    let plan = FaultPlan::new(
+        "congestion-spike",
+        FaultKind::CongestionSpike { route_iter: 3 },
+        FaultExpectation::RecoveredOk,
+    );
+    let fault = match plan.kind {
+        FaultKind::CongestionSpike { route_iter } => FlowFault::CongestionSpike { route_iter },
+        _ => unreachable!(),
+    };
+
+    let cfg = predict_cfg(5);
+    let mut design = test_design(0x9e2);
+    let report = run_flow_with(
+        &mut design,
+        &cfg,
+        FlowControl {
+            fault: Some(fault),
+            ..Default::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("{} must complete: {e}", plan.name));
+
+    assert!(report.hpwl.is_finite());
+    let tripped = report
+        .warnings
+        .iter()
+        .any(|w| w.to_string().contains("prediction drift"));
+    assert!(
+        tripped,
+        "{}: expected a drift-gate warning, got {:?}",
+        plan.name,
+        report
+            .warnings
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+    );
+    // Iteration 3 itself is a real route (the spike strikes the router's
+    // output), and the cooldown keeps iteration 4 real too.
+    for l in &report.log {
+        if l.iter == 3 || l.iter == 4 {
+            assert!(!l.predicted, "iter {} should have routed", l.iter);
+        }
+    }
+}
+
+/// A run killed mid-warmup (after the first real route, before the model
+/// ever substituted) and resumed from its checkpoint reproduces the
+/// uninterrupted run bitwise — predictor state is part of the snapshot.
+#[test]
+fn checkpoint_resume_mid_warmup_is_bitwise_identical() {
+    let mut cfg = predict_cfg(4);
+    // Two-route warmup so the captured checkpoint is strictly mid-warmup.
+    cfg.predict = Some(PredictConfig {
+        warmup_routes: 2,
+        ..PredictConfig::default()
+    });
+
+    let mut uninterrupted = test_design(0x9e3);
+    let full = run_flow_with(&mut uninterrupted, &cfg, FlowControl::default()).unwrap();
+    assert!(
+        full.predicted_iterations >= 1,
+        "warmup must complete and substitute at least once"
+    );
+
+    let mut captured: Option<Vec<u8>> = None;
+    {
+        let mut victim = test_design(0x9e3);
+        let mut hook = |cp: &FlowCheckpoint| {
+            if cp.next_route_iter == 2 && captured.is_none() {
+                captured = Some(cp.to_bytes());
+            }
+        };
+        run_flow_with(
+            &mut victim,
+            &cfg,
+            FlowControl {
+                on_checkpoint: Some(&mut hook),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    }
+    let bytes = captured.expect("no checkpoint captured at iteration 2");
+    let checkpoint = FlowCheckpoint::from_bytes(&bytes).unwrap();
+    assert!(
+        checkpoint.predictor.as_ref().is_some_and(|p| p.fits() == 1),
+        "checkpoint must carry the mid-warmup predictor (1 fit)"
+    );
+
+    let mut resumed_design = test_design(0x9e3);
+    let resumed = run_flow_with(
+        &mut resumed_design,
+        &cfg,
+        FlowControl {
+            resume: Some(checkpoint),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    assert_eq!(resumed.resumed_from, Some(2));
+    assert_eq!(resumed.predicted_iterations, full.predicted_iterations);
+    assert_eq!(resumed.route_iterations, full.route_iterations);
+    assert_eq!(
+        resumed.hpwl.to_bits(),
+        full.hpwl.to_bits(),
+        "resumed HPWL differs: {} vs {}",
+        resumed.hpwl,
+        full.hpwl
+    );
+    assert_eq!(
+        resumed.density_overflow.to_bits(),
+        full.density_overflow.to_bits()
+    );
+    assert_eq!(resumed_design.positions(), uninterrupted.positions());
+}
+
+/// Degenerate scenario classes complete with the predictor enabled: the
+/// zero-movable design takes the degraded path with a warning, and the
+/// single-cell design finishes with finite results.
+#[test]
+fn degenerate_scenarios_complete_with_predict() {
+    for name in ["all_fixed", "single_cell"] {
+        let scenario = scenario_by_name(name).expect("known scenario");
+        let mut d = scenario.build(Scale::Small);
+        let mut cfg = RoutabilityConfig::preset_fast(PlacerPreset::Ours);
+        cfg.predict = Some(PredictConfig {
+            warmup_routes: 1,
+            ..PredictConfig::default()
+        });
+        let report = run_flow_with(&mut d, &cfg, FlowControl::default())
+            .unwrap_or_else(|e| panic!("{name} must complete with --predict: {e}"));
+        assert!(report.hpwl.is_finite(), "{name}: non-finite HPWL");
+        if name == "all_fixed" {
+            assert_eq!(report.route_iterations, 0);
+            assert!(
+                !report.warnings.is_empty(),
+                "{name}: degraded mode must warn"
+            );
+        }
+    }
+}
