@@ -42,10 +42,12 @@ pub mod job;
 pub mod protocol;
 pub mod server;
 pub mod store;
+pub mod telemetry;
 pub mod worker;
 
-pub use client::{Client, JobStatus};
+pub use client::{Client, JobStatus, PingInfo};
 pub use job::{flow_config, retryable, JobRecord, JobResult, JobSpec, JobState};
-pub use protocol::{error_kind, FrameLimits, Request};
+pub use protocol::{error_kind, FrameLimits, Request, WatchParams, PROTOCOL_VERSION};
 pub use server::{ServeConfig, Server};
 pub use store::{RecoveryReport, Store};
+pub use telemetry::{validate_stats_json, ServiceMetrics, StatsSummary, STATS_VERSION};

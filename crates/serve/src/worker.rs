@@ -42,6 +42,11 @@ pub struct JobControl {
     pub cancel: AtomicBool,
     /// Latest checkpoint-boundary progress.
     pub progress: Mutex<Progress>,
+    /// The running attempt's in-flight collector (disabled unless the
+    /// spec asked for capture). `stats`/`watch` read convergence series
+    /// and drop accounting from it — read-side snapshots only, so an
+    /// observed job stays bitwise identical to an unobserved one.
+    pub obs: Mutex<Collector>,
 }
 
 /// Why [`execute_job`] stopped.
@@ -181,6 +186,9 @@ fn run_attempt(
     } else {
         Collector::disabled()
     };
+    // Publish the attempt's collector so `stats`/`watch` can read live
+    // series while the flow runs (a clone shares the same Arc'd state).
+    *ctl.obs.lock().unwrap() = obs.clone();
     let mut design = match resolve_input(&spec.input, &obs) {
         Ok(d) => d,
         Err(e) => return Disposition::Failed(e),

@@ -7,10 +7,16 @@
 #      mid-flow, job 3 still queued),
 #   4. restart on the same store and wait for all three jobs,
 #   5. assert the three results carry the *identical* HPWL bit pattern
-#      (the kill-anywhere invariant: resumed == uninterrupted), and
+#      (the kill-anywhere invariant: resumed == uninterrupted),
 #   6. `rdp diff` job 1's captured run-dir against a direct
 #      `rdp place --run-dir` with the same flags — QoR must match at
-#      zero tolerance.
+#      zero tolerance, and
+#   7. scrape `rdp stats` mid-run and after the kill -9 restart: every
+#      scrape is schema-validated by the client, and the lifetime
+#      counters stay monotonic across the restart (terminal jobs are
+#      re-counted exactly once, never doubled). `rdp top --iters 1`
+#      renders a frame, and after the drain `rdp report` ingests the
+#      exported service session.
 #
 # Exits non-zero on any violation. Wall-clock is a few seconds; ci.sh
 # runs this after the test passes.
@@ -96,6 +102,25 @@ J3=$(submit_job)
 }
 
 wait_done "$J1" 120
+
+# Every `rdp stats` call is schema-validated client-side before it
+# prints; --json hands through the exact wire bytes for the asserts.
+completions_now() {
+    "$RDP" stats "$ADDR" --json |
+        sed -n 's/.*"completions": *\([0-9][0-9]*\).*/\1/p' | head -n 1
+}
+echo "serve-smoke: scraping stats mid-run"
+"$RDP" stats "$ADDR" --json >"$WORK/stats_mid.json"
+grep -q '"stats_version":1' "$WORK/stats_mid.json" || {
+    echo "serve-smoke: mid-run stats missing stats_version" >&2
+    exit 1
+}
+MID_COMP=$(completions_now)
+[[ "$MID_COMP" == "1" ]] || {
+    echo "serve-smoke: expected 1 completion mid-run, got '$MID_COMP'" >&2
+    exit 1
+}
+
 echo "serve-smoke: job $J1 done — kill -9 the server (job $J2 in flight)"
 kill -9 "$SERVER_PID"
 wait "$SERVER_PID" 2>/dev/null || true
@@ -118,9 +143,38 @@ echo "serve-smoke: job $J1 $B1 / job $J2 $B2 / job $J3 $B3"
     exit 1
 }
 
+# Counter monotonicity across the kill: the restart re-counts job 1's
+# terminal record exactly once, then jobs 2 and 3 settle live — so the
+# lifetime completions counter must read exactly 3, not 4 (doubled J1)
+# and not 2 (lost J1).
+POST_COMP=$(completions_now)
+[[ "$POST_COMP" == "3" ]] || {
+    echo "serve-smoke: expected exactly 3 completions after restart, got '$POST_COMP'" >&2
+    "$RDP" stats "$ADDR" >&2 || true
+    exit 1
+}
+echo "serve-smoke: completions monotonic across restart ($MID_COMP -> $POST_COMP)"
+
+echo "serve-smoke: rdp top renders one frame"
+"$RDP" top "$ADDR" --iters 1 >"$WORK/top.txt"
+grep -q "protocol v" "$WORK/top.txt" || {
+    echo "serve-smoke: rdp top frame missing the server header" >&2
+    cat "$WORK/top.txt" >&2 || true
+    exit 1
+}
+
 "$RDP" shutdown "$ADDR"
 wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
+
+echo "serve-smoke: report ingests the exported service session"
+"$RDP" report "$WORK/store/service" --out "$WORK/service.html"
+# Op latency histograms are process-lifetime: the final incarnation
+# handled the post-restart stats scrapes, so that op must be in there.
+grep -q "op_stats_ms" "$WORK/service.html" || {
+    echo "serve-smoke: service report missing op latency histograms" >&2
+    exit 1
+}
 
 echo "serve-smoke: direct rdp place with identical flags"
 "$RDP" place "$INPUT" "${FLOW_FLAGS[@]}" --run-dir "$WORK/direct" \
@@ -130,4 +184,4 @@ RUN_DIR="$WORK/store/jobs/$(printf 'job-%010d.run' "$J1")"
 echo "serve-smoke: rdp diff served run-dir vs direct (QoR tol 0)"
 "$RDP" diff "$RUN_DIR" "$WORK/direct" --qor-tol 0 --time-tol 1000000
 
-echo "serve-smoke: PASS (kill -9 recovery bitwise, served == direct)"
+echo "serve-smoke: PASS (kill -9 recovery bitwise, served == direct, telemetry monotonic)"

@@ -53,6 +53,7 @@ fn main() -> ExitCode {
         "status" => cmd_status(rest),
         "cancel" => cmd_cancel(rest),
         "fetch" => cmd_fetch(rest),
+        "top" => cmd_top(rest),
         "shutdown" => cmd_shutdown(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -125,8 +126,16 @@ service (crash-safe placement-as-a-service):
   status   ADDR [ID]                        one job or the whole queue
   cancel   ADDR ID                          cancel a queued/running job
   fetch    ADDR ID                          result + exact HPWL bit pattern
+  stats    ADDR [--json] [--metrics-out F]  lifetime service telemetry snapshot
+                                            (schema-validated; op latency
+                                            histograms, counters, live jobs)
+  top      ADDR [--interval-ms N] [--iters N]
+                                            live fleet view (refreshes in
+                                            place on a TTY, appends otherwise;
+                                            refuses protocol-version mismatch)
   shutdown ADDR                             graceful drain: running jobs are
                                             checkpointed and requeued durable
+                                            (prints the drained-job count)
 observability (place and flow):
   --trace-out FILE.jsonl    span/instant event log (one JSON object per line)
   --chrome-trace FILE.json  chrome://tracing / Perfetto trace_event file
@@ -389,7 +398,14 @@ fn cmd_suite() -> Result<(), String> {
 }
 
 fn cmd_stats(rest: &[String]) -> Result<(), String> {
-    let spec = rest.first().ok_or("stats needs an input")?;
+    let spec = rest
+        .first()
+        .ok_or("stats needs an input or a server ADDR")?;
+    // `rdp stats HOST:PORT` is the service telemetry snapshot; anything
+    // else (suite name, bookshelf:, lefdef:) is design statistics.
+    if looks_like_addr(spec) {
+        return cmd_service_stats(rest);
+    }
     let design = load_input(spec, &Collector::disabled())?;
     println!("{}", DesignStats::of(&design));
     let spec = design.routing();
@@ -927,7 +943,218 @@ fn cmd_fetch(rest: &[String]) -> Result<(), String> {
 
 fn cmd_shutdown(rest: &[String]) -> Result<(), String> {
     let (client, _) = service_client(rest, "shutdown")?;
-    client.shutdown().map_err(|e| e.to_string())?;
-    println!("server draining (running jobs checkpoint and requeue durably)");
+    let drained = client.shutdown().map_err(|e| e.to_string())?;
+    println!(
+        "server draining: {drained} live job{} checkpointed and requeued durably",
+        if drained == 1 { "" } else { "s" }
+    );
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Service telemetry: `rdp stats ADDR` and `rdp top ADDR`.
+// ---------------------------------------------------------------------------
+
+/// `HOST:PORT` vs design input disambiguation for verbs that accept
+/// both (`rdp stats`). Bookshelf/LEF-DEF specs also contain colons, so
+/// require the suffix after the *last* colon to parse as a port.
+fn looks_like_addr(s: &str) -> bool {
+    if s.starts_with("bookshelf:") || s.starts_with("lefdef:") {
+        return false;
+    }
+    match s.rsplit_once(':') {
+        Some((host, port)) => !host.is_empty() && port.parse::<u16>().is_ok(),
+        None => false,
+    }
+}
+
+fn cmd_service_stats(rest: &[String]) -> Result<(), String> {
+    let (client, rest) = service_client(rest, "stats")?;
+    let (text, summary) = client.stats().map_err(|e| e.to_string())?;
+    if let Some(path) = flag(&rest, "--metrics-out") {
+        std::fs::write(path, text.as_bytes()).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if rest.iter().any(|a| a == "--json") {
+        println!("{text}");
+        return Ok(());
+    }
+    let v = rdp::obs::json::parse(&text).map_err(|e| format!("stats response: {e}"))?;
+    print_service_stats(&v, &summary);
+    Ok(())
+}
+
+fn print_service_stats(v: &rdp::obs::json::Value, summary: &rdp::serve::StatsSummary) {
+    use rdp::obs::json::Value;
+    let gu64 = |obj: &Value, key: &str| -> u64 {
+        obj.get(key).and_then(Value::as_f64).unwrap_or(0.0) as u64
+    };
+    let uptime_ms = gu64(v, "uptime_ms");
+    let draining = matches!(v.get("draining"), Some(Value::Bool(true)));
+    println!(
+        "server {} (protocol v{})  uptime {:.1}s{}",
+        v.get("server_version")
+            .and_then(Value::as_str)
+            .unwrap_or("?"),
+        gu64(v, "protocol_version"),
+        uptime_ms as f64 / 1e3,
+        if draining { "  DRAINING" } else { "" }
+    );
+    let service = v.get("service");
+    if let Some(gauges) = service.and_then(|s| s.get("gauges")) {
+        println!(
+            "gauges   queue {}  running {}  connections {}",
+            gu64(gauges, "queue_depth"),
+            gu64(gauges, "running_jobs"),
+            gu64(gauges, "connections"),
+        );
+    }
+    if let Some(counters) = service.and_then(|s| s.get("counters")) {
+        println!(
+            "jobs     submits {}  completions {}  failures {}  cancellations {}  \
+             retries {}  requeues {}  quarantined {}",
+            gu64(counters, "submits"),
+            gu64(counters, "completions"),
+            gu64(counters, "failures"),
+            gu64(counters, "cancellations"),
+            gu64(counters, "retries"),
+            gu64(counters, "requeues"),
+            gu64(counters, "quarantined"),
+        );
+        println!(
+            "rejects  frame-limit {}  slots {}  predictor fallbacks {}",
+            gu64(counters, "frame_limit_rejections"),
+            gu64(counters, "slot_rejections"),
+            gu64(counters, "predict_fallbacks"),
+        );
+    }
+    if let Some(Value::Obj(hists)) = service.and_then(|s| s.get("histograms")) {
+        for (name, h) in hists.iter().filter(|(n, _)| n.starts_with("op_")) {
+            let count = gu64(h, "count");
+            if count == 0 {
+                continue;
+            }
+            let sum = h.get("sum").and_then(Value::as_f64).unwrap_or(0.0);
+            let max = h.get("max").and_then(Value::as_f64).unwrap_or(0.0);
+            println!(
+                "op       {:<14} {:>6} calls  mean {:>8.3} ms  max {:>8.3} ms",
+                name.trim_start_matches("op_").trim_end_matches("_ms"),
+                count,
+                sum / count as f64,
+                max
+            );
+        }
+    }
+    if let Some(drops) = v.get("drops") {
+        let total = gu64(drops, "events") + gu64(drops, "frames");
+        if total > 0 {
+            println!(
+                "drops    events {} (spans {}, instants {})  frames {}",
+                gu64(drops, "events"),
+                gu64(drops, "spans"),
+                gu64(drops, "instants"),
+                gu64(drops, "frames"),
+            );
+        }
+    }
+    println!(
+        "totals   {} jobs tracked, {} counter increments, {} timed ops",
+        summary.jobs, summary.counter_total, summary.op_observations
+    );
+    if let Some(Value::Arr(jobs)) = v.get("jobs") {
+        for job in jobs {
+            print_live_job_line(job);
+        }
+    }
+}
+
+fn print_live_job_line(job: &rdp::obs::json::Value) {
+    use rdp::obs::json::Value;
+    let mut line = format!(
+        "job {:>4}  {:<10} attempt {}  {} ms",
+        job.get("id").and_then(Value::as_f64).unwrap_or(0.0) as u64,
+        job.get("state").and_then(Value::as_str).unwrap_or("?"),
+        job.get("attempt").and_then(Value::as_f64).unwrap_or(0.0) as u64,
+        job.get("consumed_ms")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0) as u64,
+    );
+    if let Some(iter) = job.get("route_iter").and_then(Value::as_f64) {
+        line.push_str(&format!("  route-iter {}", iter as u64));
+    }
+    // Prefer the settled result's numbers; fall back to live progress.
+    for (label, keys) in [
+        ("HPWL", ["hpwl", "progress_hpwl"]),
+        ("overflow", ["density_overflow", "progress_overflow"]),
+    ] {
+        if let Some(x) = keys.iter().find_map(|k| job.get(k).and_then(Value::as_f64)) {
+            if label == "HPWL" {
+                line.push_str(&format!("  {label} {x:.0}"));
+            } else {
+                line.push_str(&format!("  {label} {x:.4}"));
+            }
+        }
+    }
+    if let Some(kind) = job.get("kind").and_then(Value::as_str) {
+        line.push_str(&format!("  [{kind}]"));
+    }
+    println!("{line}");
+}
+
+fn cmd_top(rest: &[String]) -> Result<(), String> {
+    use std::io::IsTerminal;
+    let (client, rest) = service_client(rest, "top")?;
+    let interval_ms: u64 = parse_num(&rest, "--interval-ms")?.unwrap_or(1_000);
+    let tty = std::io::stdout().is_terminal();
+    // On a TTY, refresh forever by default; piped output gets one frame
+    // unless --iters asks for more, so scripts never hang on `rdp top`.
+    let iters: u64 = parse_num(&rest, "--iters")?.unwrap_or(if tty { 0 } else { 1 });
+    let info = client.ping_info().map_err(|e| e.to_string())?;
+    match info.protocol_version {
+        Some(v) if v == rdp::serve::PROTOCOL_VERSION => {}
+        got => {
+            return Err(format!(
+                "protocol version mismatch: server {} speaks {}, this client speaks v{} — \
+                 refusing to render (use a matching rdp build)",
+                info.server_version
+                    .as_deref()
+                    .unwrap_or("(unknown version)"),
+                got.map(|v| format!("v{v}"))
+                    .unwrap_or_else(|| "an unversioned protocol".into()),
+                rdp::serve::PROTOCOL_VERSION
+            ))
+        }
+    }
+    let mut watch_seq = 0u64;
+    let mut frame = 0u64;
+    loop {
+        let (text, summary) = client.stats().map_err(|e| e.to_string())?;
+        let v = rdp::obs::json::parse(&text).map_err(|e| format!("stats response: {e}"))?;
+        if tty {
+            // Clear and home, then redraw the whole frame in place.
+            print!("\x1b[2J\x1b[H");
+        } else if frame > 0 {
+            println!("---");
+        }
+        print_service_stats(&v, &summary);
+        frame += 1;
+        if iters != 0 && frame >= iters {
+            return Ok(());
+        }
+        // Sleep on the server's fleet watch: wakes early on activity
+        // (submit/settle), times out as a typed Busy when idle.
+        let params = rdp::serve::WatchParams {
+            seq: watch_seq,
+            wait_ms: interval_ms,
+            ..Default::default()
+        };
+        match client.watch(&params) {
+            Ok(delta) => {
+                if let Some(seq) = delta.get("seq").and_then(rdp::obs::json::Value::as_f64) {
+                    watch_seq = seq as u64;
+                }
+            }
+            Err(rdp::core::RdpError::Busy { .. }) => {}
+            Err(e) => return Err(e.to_string()),
+        }
+    }
 }

@@ -664,3 +664,323 @@ fn kill_anywhere_queue_replays_and_results_stay_bitwise() {
     child.wait().expect("server exits after drain");
     let _ = std::fs::remove_dir_all(&root);
 }
+
+// ---------------------------------------------------------------------
+// Live service telemetry: the stats/watch surface stays typed under
+// abuse, and observing a job never changes its bits.
+// ---------------------------------------------------------------------
+
+use rdp::report::RunModel;
+use rdp::serve::{validate_stats_json, WatchParams, PROTOCOL_VERSION};
+
+#[test]
+fn stats_snapshot_validates_and_counts_the_fleet() {
+    let root = tmp_root("stats-snapshot");
+    let (server, client) = start(ServeConfig {
+        dir: root.clone(),
+        ..ServeConfig::default()
+    });
+    let info = client.ping_info().expect("ping_info");
+    assert_eq!(info.protocol_version, Some(PROTOCOL_VERSION));
+    assert!(info.server_version.is_some(), "server must identify itself");
+    let id = client.submit(&small_spec()).expect("submit");
+    client.wait(id, 20, 180_000).expect("job completes");
+    // `Client::stats` already runs the schema validator; re-run it on
+    // the raw text to pin that the validator sees the exact wire bytes.
+    let (text, summary) = client.stats().expect("stats");
+    let revalidated = validate_stats_json(&text).expect("raw text validates");
+    assert_eq!(revalidated, summary);
+    assert_eq!(summary.jobs, 1, "one tracked job");
+    let v = json::parse(&text).unwrap();
+    let counters = v.get("service").and_then(|s| s.get("counters")).unwrap();
+    let counter = |name: &str| counters.get(name).and_then(json::Value::as_f64);
+    assert_eq!(counter("submits"), Some(1.0));
+    assert_eq!(counter("completions"), Some(1.0));
+    server.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn oversized_watch_filters_are_typed_protocol_errors() {
+    let root = tmp_root("watch-filter");
+    let (server, client) = start(ServeConfig {
+        dir: root.clone(),
+        workers: 0,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr().to_string();
+    // 17 series names against the cap of 16.
+    let names: Vec<String> = (0..17).map(|i| format!("\"s{i}\"")).collect();
+    let too_many = format!("{{\"cmd\":\"watch\",\"series\":[{}]}}", names.join(","));
+    let err = raw_exchange(&addr, &frame_bytes(too_many.as_bytes()));
+    assert!(
+        matches!(err, RdpError::Protocol { .. }) && err.to_string().contains("oversized"),
+        "17 filters must be a typed oversized-filter error, got {err}"
+    );
+    // One 65-byte name against the 64-byte cap.
+    let long = format!("{{\"cmd\":\"watch\",\"series\":[\"{}\"]}}", "n".repeat(65));
+    let err = raw_exchange(&addr, &frame_bytes(long.as_bytes()));
+    assert!(
+        matches!(err, RdpError::Protocol { .. }) && err.to_string().contains("64-byte"),
+        "a 65-byte name must be a typed error, got {err}"
+    );
+    client.ping().expect("server must survive hostile filters");
+    server.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn watch_long_poll_cap_answers_busy_with_the_retry_hint() {
+    let root = tmp_root("watch-cap");
+    let (server, client) = start(ServeConfig {
+        dir: root.clone(),
+        workers: 0,
+        retry_after_ms: 130,
+        ..ServeConfig::default()
+    });
+    // Fleet watch on a silent server: the hold must end at wait_ms with
+    // a typed Busy carrying the configured back-off hint.
+    let started = Instant::now();
+    let err = client
+        .watch(&WatchParams {
+            wait_ms: 250,
+            ..WatchParams::default()
+        })
+        .expect_err("no activity inside the window");
+    match err {
+        RdpError::Busy { retry_after_ms, .. } => assert_eq!(retry_after_ms, 130),
+        other => panic!("capped watch must be typed Busy, got {other:?}"),
+    }
+    let held = started.elapsed();
+    assert!(
+        held >= Duration::from_millis(250) && held < Duration::from_secs(5),
+        "the hold must last ~wait_ms, not hang: {held:?}"
+    );
+    // A queued job (no workers) has no news either; same contract.
+    let id = client.submit(&small_spec()).expect("submit");
+    let err = client
+        .watch(&WatchParams {
+            id: Some(id),
+            wait_ms: 100,
+            ..WatchParams::default()
+        })
+        .expect_err("queued job has no news");
+    assert!(matches!(err, RdpError::Busy { .. }), "{err}");
+    // But fleet activity (the submit) IS news for a seq-0 watcher, and
+    // wait_ms=0 must answer immediately.
+    let v = client
+        .watch(&WatchParams::default())
+        .expect("submit counts as fleet activity");
+    assert!(
+        v.get("seq").and_then(json::Value::as_f64).unwrap_or(0.0) >= 1.0,
+        "activity cursor must advance past the submit"
+    );
+    // Unknown job ids are typed errors, not hangs.
+    let err = client
+        .watch(&WatchParams {
+            id: Some(999),
+            ..WatchParams::default()
+        })
+        .expect_err("unknown id");
+    assert!(matches!(err, RdpError::Protocol { .. }), "{err}");
+    server.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn stats_under_slot_exhaustion_is_busy_then_counts_the_rejections() {
+    let root = tmp_root("stats-slots");
+    let (server, client) = start(ServeConfig {
+        dir: root.clone(),
+        workers: 0,
+        max_connections: 1,
+        ..ServeConfig::default()
+    });
+    // Hold the only slot open with an idle raw connection.
+    let holder = TcpStream::connect(server.local_addr()).expect("holder connects");
+    std::thread::sleep(Duration::from_millis(50));
+    let err = client.stats().expect_err("no slot left for stats");
+    assert!(
+        matches!(err, RdpError::Busy { .. }),
+        "slot exhaustion must be typed Busy, got {err}"
+    );
+    drop(holder);
+    // With the slot free again, stats answers — and the snapshot itself
+    // records the rejection it survived.
+    // The release races the server's teardown of the holder's handler
+    // thread: until it notices the closed socket, a fresh connect may
+    // still bounce — as a clean Busy, or as a cut-off write if the
+    // server closes while our request is in flight. Both are transient;
+    // a slot must open well inside the deadline.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let text = loop {
+        match client.stats() {
+            Ok((text, _)) => break text,
+            Err(e) if Instant::now() < deadline => {
+                assert!(
+                    matches!(e, RdpError::Busy { .. } | RdpError::Protocol { .. }),
+                    "slot-release race must stay typed, got {e}"
+                );
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => panic!("stats after slot release: {e}"),
+        }
+    };
+    let v = json::parse(&text).unwrap();
+    let rejections = v
+        .get("service")
+        .and_then(|s| s.get("counters"))
+        .and_then(|c| c.get("slot_rejections"))
+        .and_then(json::Value::as_f64)
+        .unwrap_or(0.0);
+    assert!(rejections >= 1.0, "got {rejections} slot rejections");
+    server.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn watch_on_a_job_terminating_mid_poll_returns_done() {
+    let root = tmp_root("watch-terminal");
+    let (server, client) = start(ServeConfig {
+        dir: root.clone(),
+        ..ServeConfig::default()
+    });
+    let id = client.submit(&longer_spec()).expect("submit");
+    poll_until(&client, id, Duration::from_secs(60), "running", |s| {
+        s.state == JobState::Running
+    });
+    // Cancel from a second thread while the watch below is parked on
+    // the job: the settle must wake the watcher with `done:true`, well
+    // before the wait_ms horizon.
+    let canceller = {
+        let client = client.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            client.cancel(id).expect("cancel running");
+        })
+    };
+    let v = client
+        .watch(&WatchParams {
+            id: Some(id),
+            wait_ms: 8_000,
+            ..WatchParams::default()
+        })
+        .expect("watch returns when the job terminates");
+    canceller.join().unwrap();
+    assert_eq!(v.get("done"), Some(&json::Value::Bool(true)));
+    assert_eq!(
+        v.get("job")
+            .and_then(|j| j.get("state"))
+            .and_then(json::Value::as_str),
+        Some("cancelled")
+    );
+    server.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn observed_job_is_bitwise_identical_to_the_unobserved_run() {
+    let root = tmp_root("observed-bitwise");
+    let (server, client) = start(ServeConfig {
+        dir: root.clone(),
+        ..ServeConfig::default()
+    });
+    let spec = JobSpec {
+        capture: true,
+        ..longer_spec()
+    };
+    let id = client.submit(&spec).expect("submit");
+    // Hammer the job with stats and watch polls for its whole lifetime:
+    // snapshots, event deltas, and series tails all read-side only.
+    let hammer = {
+        let client = client.clone();
+        std::thread::spawn(move || {
+            let mut seq = 0u64;
+            let mut after_step = None;
+            let mut polls = 0u64;
+            let mut series_points = 0u64;
+            loop {
+                let _ = client.stats().expect("stats under load");
+                match client.watch(&WatchParams {
+                    id: Some(id),
+                    seq,
+                    after_step,
+                    series: vec!["hpwl".into(), "overflow".into()],
+                    wait_ms: 50,
+                }) {
+                    Ok(v) => {
+                        polls += 1;
+                        if let Some(s) = v.get("seq").and_then(json::Value::as_f64) {
+                            seq = s as u64;
+                        }
+                        if let Some(series) = v.get("job").and_then(|j| j.get("series")) {
+                            if let Some(pts) = series
+                                .get("hpwl")
+                                .and_then(|s| s.get("points"))
+                                .and_then(json::Value::as_arr)
+                            {
+                                series_points += pts.len() as u64;
+                                if let Some(last) = pts.last().and_then(json::Value::as_arr) {
+                                    after_step = last
+                                        .first()
+                                        .and_then(json::Value::as_f64)
+                                        .map(|s| s as u64);
+                                }
+                            }
+                        }
+                        if v.get("done") == Some(&json::Value::Bool(true)) {
+                            return (polls, series_points);
+                        }
+                    }
+                    Err(RdpError::Busy { .. }) => {}
+                    Err(e) => panic!("watch under load: {e}"),
+                }
+            }
+        })
+    };
+    let outcome = client
+        .wait(id, 20, 300_000)
+        .expect("observed job completes");
+    let (polls, series_points) = hammer.join().expect("hammer thread");
+    assert!(polls >= 1, "the watcher must have seen at least one delta");
+    assert!(
+        series_points >= 1,
+        "a captured job's convergence series must be visible mid-flight"
+    );
+    let (reference, _) = reference_run(&spec).unwrap();
+    assert_eq!(
+        outcome.hpwl_bits,
+        reference.hpwl.to_bits(),
+        "a stats/watch-hammered job must land on the unobserved run's exact bits"
+    );
+    assert_eq!(outcome.positions, reference.positions);
+    server.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn service_session_export_is_ingestible_by_report() {
+    let root = tmp_root("service-export");
+    let (server, client) = start(ServeConfig {
+        dir: root.clone(),
+        ..ServeConfig::default()
+    });
+    let id = client.submit(&small_spec()).expect("submit");
+    client.wait(id, 20, 180_000).expect("job completes");
+    server.shutdown().unwrap();
+    // The drain wrote `<dir>/service/{trace.jsonl,metrics.json}`; the
+    // report model must load it exactly like a run directory.
+    let model = RunModel::load(&root.join("service")).expect("service session loads");
+    assert_eq!(model.counters.get("submits"), Some(&1.0));
+    assert_eq!(model.counters.get("completions"), Some(&1.0));
+    assert!(
+        model.histograms.keys().any(|k| k == "op_submit_ms"),
+        "op latency histograms must survive the export: {:?}",
+        model.histograms.keys().collect::<Vec<_>>()
+    );
+    assert!(
+        model.instants.iter().any(|i| i.name == "drain"),
+        "the drain instant must be in the trace"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
